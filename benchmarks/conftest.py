@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark reproduces one table or figure of the paper at a
+*laptop* scale by default and scales up to the paper's full settings
+through environment variables:
+
+=====================  ======================================  ========
+variable               meaning                                 default
+=====================  ======================================  ========
+``REPRO_BENCH_N``      input bits for the Fig. 4 suite          10
+``REPRO_BENCH_N9``     input bits for the Table 1 suite         9
+``REPRO_BENCH_P``      candidate partitions per component       4
+``REPRO_BENCH_R``      framework rounds                         1
+``REPRO_BENCH_ILP_S``  DALTA-ILP per-COP budget (seconds)       0.5
+=====================  ======================================  ========
+
+Paper scale: ``REPRO_BENCH_N=16 REPRO_BENCH_P=1000 REPRO_BENCH_R=5
+REPRO_BENCH_ILP_S=3600`` (expect long runtimes).
+
+Each benchmark prints the reproduced rows/series (run pytest with
+``-s`` to see them) and asserts the paper's *qualitative* shape — who
+wins, roughly by how much — rather than absolute numbers, since the
+substrate here is NumPy rather than the authors' C++/Eigen testbed.
+"""
+
+import os
+
+import pytest
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def _env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Benchmark scale knobs resolved from the environment."""
+    return {
+        "n_large": _env_int("REPRO_BENCH_N", 10),
+        "n_small": _env_int("REPRO_BENCH_N9", 9),
+        "n_partitions": _env_int("REPRO_BENCH_P", 4),
+        "n_rounds": _env_int("REPRO_BENCH_R", 1),
+        "ilp_seconds": _env_float("REPRO_BENCH_ILP_S", 0.5),
+    }

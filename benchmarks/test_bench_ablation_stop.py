@@ -1,0 +1,80 @@
+"""Ablation (Sec. 3.3.1): dynamic energy-variance stop vs fixed budgets.
+
+The dynamic criterion should (a) terminate well before a generous fixed
+budget on instances that settle early, while (b) matching the solution
+quality of the largest fixed budget — that is the whole point of
+monitoring the energy variance instead of guessing an iteration count.
+"""
+
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_stop_ablation
+from repro.analysis.tables import format_table
+from repro.core.config import CoreSolverConfig
+
+BUDGETS = (100, 500, 2000)
+
+
+@pytest.fixture(scope="module")
+def stop_rows(bench_scale):
+    solver = CoreSolverConfig.paper_small_scale().with_updates(
+        max_iterations=4000, n_replicas=4
+    )
+    return run_stop_ablation(
+        n_inputs=bench_scale["n_small"],
+        n_instances=6,
+        fixed_budgets=BUDGETS,
+        seed=0,
+        solver=solver,
+    )
+
+
+def _by_variant(rows):
+    grouped = defaultdict(list)
+    for row in rows:
+        grouped[row.variant].append(row)
+    return grouped
+
+
+def test_stop_ablation_table(benchmark, stop_rows):
+    rows = benchmark.pedantic(lambda: stop_rows, rounds=1, iterations=1)
+    grouped = _by_variant(rows)
+    body = []
+    for variant, items in grouped.items():
+        body.append(
+            [
+                variant,
+                float(np.mean([r.objective for r in items])),
+                float(np.mean([r.n_iterations for r in items])),
+                float(np.mean([r.runtime_seconds for r in items])),
+            ]
+        )
+    print("\n[ablation/stop]")
+    print(
+        format_table(
+            ["variant", "mean objective", "mean iterations",
+             "mean time (s)"],
+            body,
+        )
+    )
+    assert set(grouped) == {"dynamic"} | {f"fixed-{b}" for b in BUDGETS}
+
+
+def test_stop_ablation_shape(benchmark, stop_rows):
+    grouped = benchmark.pedantic(
+        lambda: _by_variant(stop_rows), rounds=1, iterations=1
+    )
+    dynamic_obj = np.mean([r.objective for r in grouped["dynamic"]])
+    dynamic_iters = np.mean([r.n_iterations for r in grouped["dynamic"]])
+    big_obj = np.mean([r.objective for r in grouped["fixed-2000"]])
+    print(
+        f"\n[ablation/stop] dynamic: obj {dynamic_obj:.4f} at "
+        f"{dynamic_iters:.0f} iters; fixed-2000: obj {big_obj:.4f}"
+    )
+    # quality of the dynamic stop matches the generous fixed budget
+    assert dynamic_obj <= big_obj * 1.1 + 1e-6
+    # and it stops meaningfully earlier than its own 4000-iteration cap
+    assert dynamic_iters < 4000

@@ -1,0 +1,116 @@
+"""Supporting benchmark: batched multi-partition bSB vs sequential.
+
+The paper's pitch for SB is parallel spin updates; the software
+counterpart is batching the framework's ``P`` candidate-partition COPs
+into one vectorized integration (:mod:`repro.core.batch`).  This
+benchmark times one full component optimization both ways at equal
+iteration budgets and checks the accuracy parity.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchedCoreCOPSolver
+from repro.core.config import CoreSolverConfig
+from repro.core.partitions import sample_partitions
+from repro.core.solver import CoreCOPSolver
+from repro.workloads import build_workload
+
+N_PARTITIONS = 8
+
+
+@pytest.fixture(scope="module")
+def instance(bench_scale):
+    workload = build_workload("ln", n_inputs=bench_scale["n_small"])
+    rng = np.random.default_rng(0)
+    partitions = sample_partitions(
+        workload.table.n_inputs, workload.free_size, N_PARTITIONS, rng
+    )
+    return workload, partitions
+
+
+# fixed budget on both sides for a fair flop comparison
+CONFIG = CoreSolverConfig(
+    max_iterations=1000, n_replicas=4, use_dynamic_stop=False
+)
+
+
+def test_sequential_component_sweep(benchmark, instance):
+    workload, partitions = instance
+    solver = CoreCOPSolver(CONFIG)
+
+    def sweep():
+        best = np.inf
+        for partition in partitions:
+            solution = solver.solve(
+                workload.table, workload.table,
+                workload.table.n_outputs - 1, partition, "joint",
+                np.random.default_rng(0),
+            )
+            best = min(best, solution.objective)
+        return best
+
+    best = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\n[batched] sequential best objective: {best:.4f}")
+    assert np.isfinite(best)
+
+
+def test_batched_component_sweep(benchmark, instance):
+    workload, partitions = instance
+    solver = BatchedCoreCOPSolver(CONFIG)
+
+    def sweep():
+        solutions = solver.solve_candidates(
+            workload.table, workload.table,
+            workload.table.n_outputs - 1, partitions, "joint",
+            np.random.default_rng(0),
+        )
+        return min(s.objective for s in solutions)
+
+    best = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\n[batched] batched best objective:    {best:.4f}")
+    assert np.isfinite(best)
+
+
+def test_batched_speedup_and_parity(benchmark, instance):
+    """Direct head-to-head under one timer (the headline number)."""
+    workload, partitions = instance
+    sequential = CoreCOPSolver(CONFIG)
+    batched = BatchedCoreCOPSolver(CONFIG)
+    k = workload.table.n_outputs - 1
+
+    def head_to_head():
+        t0 = time.perf_counter()
+        seq_best = min(
+            sequential.solve(
+                workload.table, workload.table, k, partition, "joint",
+                np.random.default_rng(0),
+            ).objective
+            for partition in partitions
+        )
+        t_seq = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        bat_best = min(
+            s.objective
+            for s in batched.solve_candidates(
+                workload.table, workload.table, k, partitions, "joint",
+                np.random.default_rng(0),
+            )
+        )
+        t_bat = time.perf_counter() - t0
+        return seq_best, t_seq, bat_best, t_bat
+
+    seq_best, t_seq, bat_best, t_bat = benchmark.pedantic(
+        head_to_head, rounds=1, iterations=1
+    )
+    print(
+        f"\n[batched] sequential {seq_best:.4f} in {t_seq:.2f}s vs "
+        f"batched {bat_best:.4f} in {t_bat:.2f}s "
+        f"({t_seq / t_bat:.1f}x speedup)"
+    )
+    # equal budgets: the batch must not trade away accuracy...
+    assert bat_best <= seq_best * 1.25 + 0.1
+    # ...and must be faster (that is its entire reason to exist)
+    assert t_bat < t_seq

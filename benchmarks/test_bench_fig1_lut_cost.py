@@ -1,0 +1,61 @@
+"""Fig. 1 reproduction: LUT size reduction via disjoint decomposition.
+
+The paper's motivating figure: a 5-input function needs a 32-bit LUT
+flat, or 16 bits as a phi/F cascade (2x).  This benchmark verifies the
+exact Fig. 1 numbers and then reproduces the economics on a real
+workload (cos) at benchmark scale, timing the full decompose-and-build
+pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.boolean.partition import InputPartition
+from repro.core import CoreSolverConfig, FrameworkConfig, IsingDecomposer
+from repro.lut import build_cascade_design, cascade_cost_report, flat_lut_bits
+from repro.workloads import build_workload
+
+
+def test_fig1_exact_numbers(benchmark):
+    """The literal Fig. 1 arithmetic: 32 bits -> 16 bits."""
+
+    def figure1():
+        w = InputPartition(free=(3, 4), bound=(0, 1, 2), n_inputs=5)
+        flat = flat_lut_bits(5, 1)
+        cascade = w.n_cols + 2 * w.n_rows
+        return flat, cascade
+
+    flat, cascade = benchmark(figure1)
+    assert flat == 32
+    assert cascade == 16
+    print(f"\n[fig1] flat LUT {flat} bits -> cascade {cascade} bits "
+          f"({flat / cascade:.0f}x, matching the paper's example)")
+
+
+def test_fig1_on_real_workload(benchmark, bench_scale):
+    """Decompose cos(x) and report the cascade economics."""
+    workload = build_workload("cos", n_inputs=bench_scale["n_small"])
+    config = FrameworkConfig(
+        mode="joint",
+        free_size=workload.free_size,
+        n_partitions=bench_scale["n_partitions"],
+        n_rounds=bench_scale["n_rounds"],
+        seed=0,
+        solver=CoreSolverConfig(max_iterations=1000, n_replicas=4),
+    )
+
+    def pipeline():
+        result = IsingDecomposer(config).decompose(workload.table)
+        return result, build_cascade_design(result)
+
+    result, design = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    report = cascade_cost_report(design)
+    print(f"\n[fig1/cos] {report}")
+    print(f"[fig1/cos] MED of the compressed design: {result.med:.3f}")
+
+    # the paper's storage story: the cascade must be substantially smaller
+    assert report.compression_ratio >= 2.0
+    # and it must be a faithful implementation
+    assert np.array_equal(
+        design.to_truth_table().outputs, result.approx.outputs
+    )

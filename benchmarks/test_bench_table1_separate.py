@@ -1,0 +1,70 @@
+"""Table 1 (separate mode): DALTA-ILP vs the proposed Ising method.
+
+Paper result (n = 9, separate mode): the proposed method finds a 16%
+smaller MED than DALTA-ILP using ~418x less runtime (DALTA-ILP's ILP
+instances hit their hour-scale budget; bSB converges in sub-second).
+
+Here DALTA-ILP runs under a laptop-scale per-COP budget
+(``REPRO_BENCH_ILP_S``), which keeps its anytime character: the shape
+to reproduce is *proposed at least matches the ILP incumbent's accuracy
+while being far faster*.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    dalta_ilp_method,
+    proposed_method,
+    run_table1,
+)
+from repro.core.config import CoreSolverConfig
+
+
+@pytest.fixture(scope="module")
+def table1_separate(bench_scale):
+    solver = CoreSolverConfig.paper_small_scale().with_updates(
+        max_iterations=2000, n_replicas=4
+    )
+    return run_table1(
+        mode="separate",
+        methods=[
+            dalta_ilp_method(
+                time_limit=bench_scale["ilp_seconds"], node_limit=2000
+            ),
+            proposed_method(solver),
+        ],
+        n_inputs=bench_scale["n_small"],
+        n_partitions=min(2, bench_scale["n_partitions"]),
+        n_rounds=1,
+        seed=0,
+    )
+
+
+def test_table1_separate_rows(benchmark, table1_separate):
+    result = benchmark.pedantic(
+        lambda: table1_separate, rounds=1, iterations=1
+    )
+    print("\n[table1/separate]")
+    print(result.to_table())
+    assert result.benchmarks() == [
+        "cos", "tan", "exp", "ln", "erf", "denoise",
+    ]
+
+
+def test_table1_separate_shape(benchmark, table1_separate):
+    """Proposed: accuracy >= ILP incumbent, runtime orders faster."""
+    averages = benchmark.pedantic(
+        table1_separate.averages, rounds=1, iterations=1
+    )
+    proposed = averages["proposed"]
+    ilp = averages["dalta-ilp"]
+    print(
+        f"\n[table1/separate] avg MED: proposed {proposed['med']:.3f} "
+        f"vs dalta-ilp {ilp['med']:.3f}; avg time: "
+        f"{proposed['time']:.2f}s vs {ilp['time']:.2f}s "
+        f"({ilp['time'] / proposed['time']:.1f}x speedup)"
+    )
+    # paper shape: proposed MED <= ILP-incumbent MED (16% better there)
+    assert proposed["med"] <= ilp["med"] * 1.05 + 1e-9
+    # paper shape: large speedup (418x there; require at least 2x here)
+    assert proposed["time"] * 2 <= ilp["time"]

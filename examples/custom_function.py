@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Bring your own function: decompose a custom kernel with a custom
+input distribution.
+
+The library is not limited to the paper's ten benchmarks.  This example
+builds a LUT for a saturating "gamma correction" kernel used in image
+pipelines, weights the input distribution towards dark pixels (as real
+image histograms are), decomposes it in both separate and joint modes,
+and shows why joint mode wins when output bits have different
+significance.
+
+Run:  python examples/custom_function.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.boolean.metrics import error_rate, mean_error_distance
+from repro.core import CoreSolverConfig, FrameworkConfig, IsingDecomposer
+from repro.workloads import QuantizationScheme, quantize_real_function
+
+
+def main() -> None:
+    # gamma-correction kernel with soft clipping
+    def gamma(x: np.ndarray) -> np.ndarray:
+        return np.minimum(1.0, 1.08 * x**0.45)
+
+    scheme = QuantizationScheme(n_inputs=9, n_outputs=8)
+
+    # dark-heavy input histogram: exponentially more mass at low codes
+    codes = np.arange(1 << scheme.n_inputs)
+    histogram = np.exp(-3.0 * codes / codes.max())
+    histogram /= histogram.sum()
+
+    table = quantize_real_function(
+        gamma, scheme, domain=(0.0, 1.0), output_range=(0.0, 1.0),
+        probabilities=histogram,
+    )
+    print(
+        f"custom kernel: gamma correction, n = {scheme.n_inputs}, "
+        f"m = {scheme.n_outputs}, dark-weighted inputs"
+    )
+
+    rows = []
+    for mode in ("separate", "joint"):
+        config = FrameworkConfig(
+            mode=mode,
+            free_size=scheme.free_size,
+            n_partitions=8,
+            n_rounds=2,
+            seed=7,
+            solver=CoreSolverConfig(max_iterations=800, n_replicas=4),
+        )
+        result = IsingDecomposer(config).decompose(table)
+        rows.append(
+            [
+                mode,
+                mean_error_distance(table, result.approx),
+                error_rate(table, result.approx),
+                result.compression_ratio,
+                result.runtime_seconds,
+            ]
+        )
+
+    print(format_table(
+        ["mode", "MED", "word error rate", "compression", "time (s)"],
+        rows,
+    ))
+    print(
+        "\nSeparate mode minimizes each bit's own error rate and ignores"
+        "\nbit significance; joint mode minimizes the binary-weighted MED"
+        "\n(Eq. 2), which is what the output actually means numerically."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — Ising-model approximate disjoint decomposition (DAC 2024).
+
+A full Python reproduction of *"Efficient Approximate Decomposition
+Solver using Ising Model"* (Xiao, Zhang, Qian, Han, Qian; DAC 2024):
+column-based approximate disjoint Boolean decomposition solved with a
+ballistic simulated-bifurcation Ising solver, plus every substrate and
+baseline the paper's evaluation depends on.
+
+Quick start
+-----------
+>>> from repro import IsingDecomposer, FrameworkConfig
+>>> from repro.workloads import build_workload
+>>> workload = build_workload("cos", n_inputs=8)
+>>> config = FrameworkConfig(mode="joint", free_size=workload.free_size,
+...                          n_partitions=4, n_rounds=1, seed=0)
+>>> result = IsingDecomposer(config).decompose(workload.table)
+>>> result.med >= 0 and result.compression_ratio > 1
+True
+
+Package map
+-----------
+``repro.boolean``    truth tables, Boolean matrices, Theorems 1/2
+``repro.ising``      Ising models, QUBO, bSB/aSB/dSB/SA/brute solvers
+``repro.ilp``        0-1 branch-and-bound (the Gurobi substitute)
+``repro.core``       the paper's contribution (Eqs. 3-16, Sec. 3.3)
+``repro.baselines``  DALTA, DALTA-ILP, BA
+``repro.lut``        LUT-cascade construction and cost model
+``repro.workloads``  the 10 paper benchmarks
+``repro.analysis``   Table-1 / Figure-4 / ablation experiment harness
+"""
+
+from repro.boolean import (
+    BooleanMatrix,
+    ColumnSetting,
+    InputPartition,
+    RowSetting,
+    TruthTable,
+)
+from repro.boolean.metrics import error_rate, mean_error_distance
+from repro.core import (
+    CoreCOPSolver,
+    CoreSolverConfig,
+    DecompositionResult,
+    FrameworkConfig,
+    IsingDecomposer,
+)
+from repro.errors import ReproError
+from repro.ising import (
+    BallisticSBSolver,
+    BipartiteDecompositionModel,
+    DenseIsingModel,
+    EnergyVarianceStop,
+    SimulatedAnnealingSolver,
+)
+from repro.lut import LutCascadeDesign, build_cascade_design
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BallisticSBSolver",
+    "BipartiteDecompositionModel",
+    "BooleanMatrix",
+    "ColumnSetting",
+    "CoreCOPSolver",
+    "CoreSolverConfig",
+    "DecompositionResult",
+    "DenseIsingModel",
+    "EnergyVarianceStop",
+    "FrameworkConfig",
+    "InputPartition",
+    "IsingDecomposer",
+    "LutCascadeDesign",
+    "ReproError",
+    "RowSetting",
+    "SimulatedAnnealingSolver",
+    "TruthTable",
+    "build_cascade_design",
+    "error_rate",
+    "mean_error_distance",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Experiment harness: reproduce every table and figure of the paper.
+
+* :mod:`repro.analysis.experiments` — runnable experiment definitions:
+  Table 1 (separate and joint modes), Figure 4 (large-scale MED/runtime
+  ratios), and the two improvement-technique ablations.
+* :mod:`repro.analysis.tables` — plain-text/markdown table rendering of
+  the results, matching the paper's row layout.
+* :mod:`repro.analysis.figures` — ratio series and ASCII bar charts for
+  the Figure-4 style comparisons.
+* :mod:`repro.analysis.stats` — small statistics helpers (geometric
+  means, ratio summaries).
+"""
+
+from repro.analysis.experiments import (
+    AblationRow,
+    BenchmarkRow,
+    MethodSpec,
+    ba_method,
+    dalta_ilp_method,
+    dalta_method,
+    proposed_method,
+    run_fig4,
+    run_heuristic_ablation,
+    run_stop_ablation,
+    run_table1,
+)
+from repro.analysis.figures import ascii_bar_chart, ratio_series
+from repro.analysis.pareto import DesignPoint, pareto_front, sweep_free_sizes
+from repro.analysis.stats import geometric_mean, safe_ratio, summarize_ratios
+from repro.analysis.tables import format_markdown_table, format_table
+
+__all__ = [
+    "AblationRow",
+    "BenchmarkRow",
+    "DesignPoint",
+    "MethodSpec",
+    "pareto_front",
+    "sweep_free_sizes",
+    "ascii_bar_chart",
+    "ba_method",
+    "dalta_ilp_method",
+    "dalta_method",
+    "format_markdown_table",
+    "format_table",
+    "geometric_mean",
+    "proposed_method",
+    "ratio_series",
+    "run_fig4",
+    "run_heuristic_ablation",
+    "run_stop_ablation",
+    "run_table1",
+    "safe_ratio",
+    "summarize_ratios",
+]

@@ -1,0 +1,494 @@
+"""Runnable experiment definitions for every table and figure.
+
+The four public entry points mirror the paper's evaluation section:
+
+* :func:`run_table1` — Table 1: the six continuous functions under the
+  small quantization scheme, comparing methods on MED and runtime in
+  separate or joint mode.
+* :func:`run_fig4` — Figure 4: all ten benchmarks under the large
+  scheme, reporting the proposed-method/DALTA ratios of MED and runtime.
+* :func:`run_stop_ablation` — Section 3.3.1: dynamic stop vs. fixed
+  iteration budgets on a pool of core-COP instances.
+* :func:`run_heuristic_ablation` — Section 3.3.2: Theorem-3
+  intervention on/off (plus the repository's optional polish step).
+
+Every runner takes explicit scale knobs (input width, partition count,
+rounds) so the same code drives both laptop-scale benchmark defaults
+and the paper's full settings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.figures import ascii_bar_chart, ratio_series
+from repro.analysis.stats import safe_ratio, summarize_ratios
+from repro.analysis.tables import format_table
+from repro.baselines.ba import BASolver
+from repro.baselines.dalta import DaltaHeuristicSolver
+from repro.baselines.dalta_ilp import DaltaIlpSolver
+from repro.baselines.framework import BaselineDecomposer
+from repro.boolean.truth_table import TruthTable
+from repro.core.config import CoreSolverConfig, FrameworkConfig
+from repro.core.framework import IsingDecomposer
+from repro.core.ising_formulation import build_core_cop_model
+from repro.core.partitions import sample_partitions
+from repro.core.solver import CoreCOPSolver
+from repro.errors import ConfigurationError
+from repro.workloads.registry import (
+    large_scale_suite,
+    small_scale_suite,
+    workload_names,
+)
+
+__all__ = [
+    "MethodSpec",
+    "BenchmarkRow",
+    "Table1Result",
+    "Fig4Result",
+    "AblationRow",
+    "proposed_method",
+    "dalta_method",
+    "dalta_ilp_method",
+    "ba_method",
+    "run_table1",
+    "run_fig4",
+    "run_stop_ablation",
+    "run_heuristic_ablation",
+]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A named decomposition method runnable under a framework config."""
+
+    name: str
+    build: Callable[[FrameworkConfig], object]
+
+    def run(self, table: TruthTable, config: FrameworkConfig):
+        """Decompose ``table`` and return the method's result object."""
+        return self.build(config).decompose(table)
+
+
+def proposed_method(
+    solver: Optional[CoreSolverConfig] = None, name: str = "proposed"
+) -> MethodSpec:
+    """The paper's Ising/bSB method (optionally with a solver override)."""
+
+    def build(config: FrameworkConfig) -> IsingDecomposer:
+        if solver is not None:
+            config = config.with_updates(solver=solver)
+        return IsingDecomposer(config)
+
+    return MethodSpec(name, build)
+
+
+def dalta_method(max_row_candidates: int = 64) -> MethodSpec:
+    """The DALTA heuristic baseline [9]."""
+
+    def build(config: FrameworkConfig) -> BaselineDecomposer:
+        return BaselineDecomposer(
+            DaltaHeuristicSolver(max_row_candidates), config
+        )
+
+    return MethodSpec("dalta", build)
+
+
+def dalta_ilp_method(
+    time_limit: float = 5.0, node_limit: int = 20_000
+) -> MethodSpec:
+    """The DALTA-ILP baseline [9] with a per-COP time budget."""
+
+    def build(config: FrameworkConfig) -> BaselineDecomposer:
+        return BaselineDecomposer(
+            DaltaIlpSolver(time_limit, node_limit), config
+        )
+
+    return MethodSpec("dalta-ilp", build)
+
+
+def ba_method(n_moves: int = 1000) -> MethodSpec:
+    """The BA simulated-annealing baseline [10]."""
+
+    def build(config: FrameworkConfig) -> BaselineDecomposer:
+        return BaselineDecomposer(BASolver(n_moves=n_moves), config)
+
+    return MethodSpec("ba", build)
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BenchmarkRow:
+    """One (benchmark, method) measurement."""
+
+    benchmark: str
+    method: str
+    med: float
+    runtime_seconds: float
+    compression_ratio: float = float("nan")
+
+
+@dataclass
+class Table1Result:
+    """All rows of a Table-1 style comparison plus formatting helpers."""
+
+    mode: str
+    rows: List[BenchmarkRow] = field(default_factory=list)
+
+    def methods(self) -> List[str]:
+        """Method names in first-appearance order."""
+        seen = []
+        for row in self.rows:
+            if row.method not in seen:
+                seen.append(row.method)
+        return seen
+
+    def benchmarks(self) -> List[str]:
+        """Benchmark names in first-appearance order."""
+        seen = []
+        for row in self.rows:
+            if row.benchmark not in seen:
+                seen.append(row.benchmark)
+        return seen
+
+    def cell(self, benchmark: str, method: str) -> BenchmarkRow:
+        """Lookup one measurement."""
+        for row in self.rows:
+            if row.benchmark == benchmark and row.method == method:
+                return row
+        raise KeyError((benchmark, method))
+
+    def averages(self) -> Dict[str, Dict[str, float]]:
+        """Per-method mean MED and mean runtime (the paper's last row)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for method in self.methods():
+            meds = [r.med for r in self.rows if r.method == method]
+            times = [
+                r.runtime_seconds for r in self.rows if r.method == method
+            ]
+            out[method] = {
+                "med": float(np.mean(meds)),
+                "time": float(np.mean(times)),
+            }
+        return out
+
+    def to_table(self) -> str:
+        """Render in the paper's layout: one row per function."""
+        methods = self.methods()
+        headers = ["Function"]
+        for method in methods:
+            headers += [f"{method} MED", f"{method} time(s)"]
+        body = []
+        for benchmark in self.benchmarks():
+            row = [benchmark]
+            for method in methods:
+                cell = self.cell(benchmark, method)
+                row += [cell.med, cell.runtime_seconds]
+            body.append(row)
+        averages = self.averages()
+        avg_row = ["average"]
+        for method in methods:
+            avg_row += [averages[method]["med"], averages[method]["time"]]
+        body.append(avg_row)
+        return format_table(headers, body)
+
+
+def run_table1(
+    mode: str = "joint",
+    methods: Optional[Sequence[MethodSpec]] = None,
+    n_inputs: int = 9,
+    n_partitions: int = 10,
+    n_rounds: int = 2,
+    seed: int = 0,
+    functions: Optional[Sequence[str]] = None,
+    solver: Optional[CoreSolverConfig] = None,
+) -> Table1Result:
+    """Reproduce Table 1 at a configurable scale.
+
+    Paper scale is ``n_inputs=9, n_partitions=1000, n_rounds=5`` with
+    methods ``dalta, dalta-ilp, ba, proposed`` (joint mode) or
+    ``dalta-ilp, proposed`` (separate mode).
+    """
+    if methods is None:
+        if mode == "separate":
+            methods = [dalta_ilp_method(), proposed_method(solver)]
+        else:
+            methods = [
+                dalta_method(),
+                dalta_ilp_method(),
+                ba_method(),
+                proposed_method(solver),
+            ]
+    suite = small_scale_suite(n_inputs)
+    if functions is not None:
+        unknown = set(functions) - set(suite)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown functions {sorted(unknown)}; "
+                f"available: {sorted(suite)}"
+            )
+        suite = {name: suite[name] for name in functions}
+
+    result = Table1Result(mode=mode)
+    for name, workload in suite.items():
+        for method in methods:
+            config = FrameworkConfig(
+                mode=mode,
+                free_size=workload.free_size,
+                n_partitions=n_partitions,
+                n_rounds=n_rounds,
+                seed=seed,
+            )
+            start = time.perf_counter()
+            outcome = method.run(workload.table, config)
+            elapsed = time.perf_counter() - start
+            result.rows.append(
+                BenchmarkRow(
+                    benchmark=name,
+                    method=method.name,
+                    med=outcome.med,
+                    runtime_seconds=elapsed,
+                    compression_ratio=outcome.compression_ratio,
+                )
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 4
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig4Result:
+    """Figure-4 data: per-benchmark ratios of MED and runtime."""
+
+    baseline_name: str
+    rows: List[BenchmarkRow] = field(default_factory=list)
+
+    def med_ratios(self) -> Dict[str, float]:
+        """proposed MED / baseline MED per benchmark."""
+        return self._ratios("med")
+
+    def runtime_ratios(self) -> Dict[str, float]:
+        """proposed runtime / baseline runtime per benchmark."""
+        return self._ratios("runtime_seconds")
+
+    def _ratios(self, attribute: str) -> Dict[str, float]:
+        proposed = {
+            r.benchmark: getattr(r, attribute)
+            for r in self.rows
+            if r.method == "proposed"
+        }
+        baseline = {
+            r.benchmark: getattr(r, attribute)
+            for r in self.rows
+            if r.method == self.baseline_name
+        }
+        return ratio_series(proposed, baseline)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Ratio statistics (the paper reports the means)."""
+        return {
+            "med_ratio": summarize_ratios(self.med_ratios().values()),
+            "runtime_ratio": summarize_ratios(
+                self.runtime_ratios().values()
+            ),
+        }
+
+    def to_chart(self) -> str:
+        """Figure-4 style ASCII rendering of both ratio series."""
+        med = ascii_bar_chart(
+            self.med_ratios(),
+            title=f"MED ratio (proposed / {self.baseline_name}); "
+            "'|' marks 1.0",
+        )
+        run = ascii_bar_chart(
+            self.runtime_ratios(),
+            title=f"runtime ratio (proposed / {self.baseline_name}); "
+            "'|' marks 1.0",
+        )
+        return med + "\n\n" + run
+
+
+def run_fig4(
+    n_inputs: int = 16,
+    n_partitions: int = 6,
+    n_rounds: int = 1,
+    seed: int = 0,
+    benchmarks: Optional[Sequence[str]] = None,
+    solver: Optional[CoreSolverConfig] = None,
+) -> Fig4Result:
+    """Reproduce Figure 4 (proposed vs DALTA, joint mode) at scale knobs.
+
+    Paper scale is ``n_inputs=16, n_partitions=1000, n_rounds=5``.
+    """
+    suite = large_scale_suite(n_inputs)
+    if benchmarks is not None:
+        unknown = set(benchmarks) - set(suite)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown benchmarks {sorted(unknown)}; "
+                f"available: {workload_names()}"
+            )
+        suite = {name: suite[name] for name in benchmarks}
+
+    if solver is None:
+        solver = CoreSolverConfig.paper_large_scale()
+    methods = [dalta_method(), proposed_method(solver)]
+    result = Fig4Result(baseline_name="dalta")
+    for name, workload in suite.items():
+        for method in methods:
+            config = FrameworkConfig(
+                mode="joint",
+                free_size=workload.free_size,
+                n_partitions=n_partitions,
+                n_rounds=n_rounds,
+                seed=seed,
+            )
+            start = time.perf_counter()
+            outcome = method.run(workload.table, config)
+            elapsed = time.perf_counter() - start
+            result.rows.append(
+                BenchmarkRow(
+                    benchmark=name,
+                    method=method.name,
+                    med=outcome.med,
+                    runtime_seconds=elapsed,
+                    compression_ratio=outcome.compression_ratio,
+                )
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Ablations (Sections 3.3.1 and 3.3.2)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class AblationRow:
+    """One (instance, variant) core-COP measurement."""
+
+    instance: str
+    variant: str
+    objective: float
+    n_iterations: int
+    runtime_seconds: float
+
+
+def _ablation_instances(
+    n_inputs: int,
+    n_instances: int,
+    seed: int,
+    mode: str = "joint",
+):
+    """A pool of core-COP models drawn from the continuous workloads.
+
+    Joint-mode *most-significant-bit* components are used: their
+    ``2^(m-1)``-scale weights make the Ising landscape hardest (this is
+    where the improvement techniques of Section 3.3 actually bite), and
+    the less significant bits alternate in for coverage.
+    """
+    rng = np.random.default_rng(seed)
+    suite = small_scale_suite(n_inputs)
+    names = sorted(suite)
+    instances = []
+    for i in range(n_instances):
+        workload = suite[names[i % len(names)]]
+        partition = sample_partitions(
+            n_inputs, workload.free_size, 1, rng
+        )[0]
+        m = workload.table.n_outputs
+        component = m - 1 if i % 2 == 0 else m - 2
+        model = build_core_cop_model(
+            workload.table, workload.table, component, partition, mode
+        )
+        label = f"{workload.name}[k={component}]"
+        instances.append((label, model))
+    return instances
+
+
+def run_stop_ablation(
+    n_inputs: int = 9,
+    n_instances: int = 6,
+    fixed_budgets: Sequence[int] = (100, 500, 2000),
+    seed: int = 0,
+    solver: Optional[CoreSolverConfig] = None,
+) -> List[AblationRow]:
+    """Dynamic stop criterion vs. fixed iteration budgets (Sec. 3.3.1)."""
+    if solver is None:
+        solver = CoreSolverConfig.paper_small_scale()
+    instances = _ablation_instances(n_inputs, n_instances, seed)
+    rows: List[AblationRow] = []
+    for label, model in instances:
+        variants = [("dynamic", solver.with_updates(use_dynamic_stop=True))]
+        for budget in fixed_budgets:
+            variants.append(
+                (
+                    f"fixed-{budget}",
+                    solver.with_updates(
+                        use_dynamic_stop=False, max_iterations=budget
+                    ),
+                )
+            )
+        for variant_name, config in variants:
+            rng = np.random.default_rng(seed)
+            solution = CoreCOPSolver(config).solve_model(model, rng)
+            rows.append(
+                AblationRow(
+                    instance=label,
+                    variant=variant_name,
+                    objective=solution.objective,
+                    n_iterations=solution.solve_result.n_iterations,
+                    runtime_seconds=solution.runtime_seconds,
+                )
+            )
+    return rows
+
+
+def run_heuristic_ablation(
+    n_inputs: int = 9,
+    n_instances: int = 6,
+    seed: int = 0,
+    solver: Optional[CoreSolverConfig] = None,
+) -> List[AblationRow]:
+    """Theorem-3 intervention on/off (Sec. 3.3.2) plus optional polish."""
+    if solver is None:
+        solver = CoreSolverConfig.paper_small_scale()
+    instances = _ablation_instances(n_inputs, n_instances, seed)
+    variants = [
+        ("intervention", solver.with_updates(use_intervention=True)),
+        ("no-intervention", solver.with_updates(use_intervention=False)),
+        (
+            "no-symmetry-init",
+            solver.with_updates(symmetry_breaking_init=False),
+        ),
+        (
+            "intervention+polish",
+            solver.with_updates(use_intervention=True, polish=True),
+        ),
+    ]
+    rows: List[AblationRow] = []
+    for label, model in instances:
+        for variant_name, config in variants:
+            rng = np.random.default_rng(seed)
+            solution = CoreCOPSolver(config).solve_model(model, rng)
+            rows.append(
+                AblationRow(
+                    instance=label,
+                    variant=variant_name,
+                    objective=solution.objective,
+                    n_iterations=solution.solve_result.n_iterations,
+                    runtime_seconds=solution.runtime_seconds,
+                )
+            )
+    return rows

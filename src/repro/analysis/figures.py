@@ -1,0 +1,58 @@
+"""Figure-4-style ratio series and terminal-friendly bar charts."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.stats import safe_ratio
+from repro.errors import DimensionError
+
+__all__ = ["ratio_series", "ascii_bar_chart"]
+
+
+def ratio_series(
+    numerators: Dict[str, float], denominators: Dict[str, float]
+) -> Dict[str, float]:
+    """Per-key ``numerator / denominator`` (keys must match)."""
+    if set(numerators) != set(denominators):
+        raise DimensionError(
+            "numerator and denominator series have different keys: "
+            f"{sorted(set(numerators) ^ set(denominators))}"
+        )
+    return {
+        key: safe_ratio(numerators[key], denominators[key])
+        for key in numerators
+    }
+
+
+def ascii_bar_chart(
+    values: Dict[str, float],
+    width: int = 50,
+    reference: float = 1.0,
+    title: str = "",
+) -> str:
+    """Horizontal ASCII bars with a reference line (e.g. ratio = 1).
+
+    Bars render proportionally to the maximum value; the reference
+    position is marked with ``|`` so "below 1.0" is visible at a glance
+    — the reading the paper's Figure 4 is designed for.
+    """
+    if not values:
+        raise DimensionError("nothing to chart")
+    if width < 10:
+        raise DimensionError(f"width must be >= 10, got {width}")
+    finite = [v for v in values.values() if v == v and v != float("inf")]
+    top = max(max(finite, default=reference), reference) * 1.05
+    label_width = max(len(k) for k in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    ref_pos = int(round(reference / top * width))
+    for key, value in values.items():
+        bar_len = int(round(min(value, top) / top * width))
+        bar = "#" * bar_len + " " * (width - bar_len)
+        if 0 <= ref_pos < width:
+            marker = "|" if bar_len <= ref_pos else "+"
+            bar = bar[:ref_pos] + marker + bar[ref_pos + 1 :]
+        lines.append(f"{key.ljust(label_width)}  {bar}  {value:.3f}")
+    return "\n".join(lines)

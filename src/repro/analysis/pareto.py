@@ -1,0 +1,95 @@
+"""Accuracy-versus-storage design-space sweeps.
+
+The partition sizes fix the cascade storage (``2^|B| + 2^(|A|+1)`` bits
+per output) *before* any optimization happens; the solver then decides
+how much accuracy that storage buys.  Sweeping the free-set size
+therefore traces the design's accuracy/storage trade-off — the curve an
+accelerator architect actually chooses from.
+
+:func:`sweep_free_sizes` runs the full decomposer at each size and
+:func:`pareto_front` filters the non-dominated points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.boolean.truth_table import TruthTable
+from repro.core.config import FrameworkConfig
+from repro.core.framework import IsingDecomposer
+from repro.errors import DimensionError
+
+__all__ = ["DesignPoint", "sweep_free_sizes", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One decomposed design in the (storage, accuracy) plane."""
+
+    free_size: int
+    med: float
+    total_lut_bits: int
+    compression_ratio: float
+    runtime_seconds: float
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Strictly better on one axis, no worse on the other."""
+        no_worse = (
+            self.med <= other.med
+            and self.total_lut_bits <= other.total_lut_bits
+        )
+        better = (
+            self.med < other.med
+            or self.total_lut_bits < other.total_lut_bits
+        )
+        return no_worse and better
+
+
+def sweep_free_sizes(
+    table: TruthTable,
+    free_sizes: Sequence[int],
+    config: Optional[FrameworkConfig] = None,
+) -> List[DesignPoint]:
+    """Decompose ``table`` at each free-set size; one point per size.
+
+    ``config`` provides all non-size knobs (its own ``free_size`` is
+    overridden).  Sizes must lie in ``(0, n_inputs)``.
+    """
+    if not free_sizes:
+        raise DimensionError("need at least one free size to sweep")
+    base = config if config is not None else FrameworkConfig()
+    points: List[DesignPoint] = []
+    for free_size in free_sizes:
+        if not 0 < free_size < table.n_inputs:
+            raise DimensionError(
+                f"free_size {free_size} out of range "
+                f"(0, {table.n_inputs})"
+            )
+        result = IsingDecomposer(
+            base.with_updates(free_size=free_size)
+        ).decompose(table)
+        points.append(
+            DesignPoint(
+                free_size=free_size,
+                med=result.med,
+                total_lut_bits=result.total_lut_bits,
+                compression_ratio=result.compression_ratio,
+                runtime_seconds=result.runtime_seconds,
+            )
+        )
+    return points
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset, sorted by storage ascending."""
+    if not points:
+        raise DimensionError("no design points given")
+    front = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(front, key=lambda p: (p.total_lut_bits, p.med))

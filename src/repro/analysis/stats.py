@@ -1,0 +1,51 @@
+"""Small statistics helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+__all__ = ["geometric_mean", "safe_ratio", "summarize_ratios"]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (the right mean for ratios)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise DimensionError("geometric mean of an empty sequence")
+    if (arr <= 0).any():
+        raise DimensionError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def safe_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with 0/0 -> 1 and x/0 -> inf.
+
+    A 0/0 MED ratio means both methods were exact — a tie, hence 1.
+    """
+    if denominator == 0.0:
+        return 1.0 if numerator == 0.0 else float("inf")
+    return numerator / denominator
+
+
+def summarize_ratios(ratios: Sequence[float]) -> Dict[str, float]:
+    """Arithmetic/geometric mean, min, max, and share below 1.0."""
+    arr = np.asarray(list(ratios), dtype=float)
+    if arr.size == 0:
+        raise DimensionError("cannot summarize an empty ratio sequence")
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        raise DimensionError("no finite ratios to summarize")
+    positive = finite[finite > 0]
+    return {
+        "mean": float(finite.mean()),
+        "geomean": (
+            geometric_mean(positive) if positive.size else float("nan")
+        ),
+        "min": float(finite.min()),
+        "max": float(finite.max()),
+        "fraction_below_one": float((finite < 1.0).mean()),
+    }

@@ -1,0 +1,66 @@
+"""Plain-text and markdown table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import DimensionError
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _stringify(rows: Sequence[Sequence]) -> List[List[str]]:
+    out = []
+    for row in rows:
+        formatted = []
+        for cell in row:
+            if isinstance(cell, float):
+                formatted.append(f"{cell:.4g}")
+            else:
+                formatted.append(str(cell))
+        out.append(formatted)
+    return out
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned plain-text table."""
+    header_list = [str(h) for h in headers]
+    str_rows = _stringify(rows)
+    for row in str_rows:
+        if len(row) != len(header_list):
+            raise DimensionError(
+                f"row width {len(row)} does not match header width "
+                f"{len(header_list)}"
+            )
+    widths = [
+        max(len(header_list[i]), *(len(r[i]) for r in str_rows))
+        if str_rows
+        else len(header_list[i])
+        for i in range(len(header_list))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(header_list, widths))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in str_rows
+    ]
+    return "\n".join([line, rule, *body])
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence]
+) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    header_list = [str(h) for h in headers]
+    str_rows = _stringify(rows)
+    for row in str_rows:
+        if len(row) != len(header_list):
+            raise DimensionError(
+                f"row width {len(row)} does not match header width "
+                f"{len(header_list)}"
+            )
+    lines = ["| " + " | ".join(header_list) + " |"]
+    lines.append("|" + "|".join("---" for _ in header_list) + "|")
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

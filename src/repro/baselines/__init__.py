@@ -1,0 +1,48 @@
+"""Baseline approximate-decomposition methods the paper compares against.
+
+All baselines operate on the *row-based* core COP (Theorem 1 view): for
+one component under a fixed partition, choose the row pattern ``V`` and
+the row-type vector ``S`` minimizing the introduced error.
+
+* :mod:`repro.baselines.row_core_cop` — the shared machinery: given
+  ``V``, the optimal ``S`` is separable per row (the row-based analogue
+  of Theorem 3); plus exhaustive solving for tiny instances.
+* :mod:`repro.baselines.dalta` — the DALTA heuristic [Meng et al. 2021]:
+  pick ``V`` from a candidate pool built out of the matrix's own rows.
+* :mod:`repro.baselines.dalta_ilp` — the exact ILP formulation solved by
+  :mod:`repro.ilp` under a time budget (the paper's Gurobi setup).
+* :mod:`repro.baselines.ba` — the simulated-annealing search over ``V``
+  of [Qian et al., DATE 2023].
+* :mod:`repro.baselines.framework` — the shared DALTA-style outer loop
+  (P partitions, R rounds, MSB first) with a pluggable per-component
+  solver, mirroring :class:`repro.core.framework.IsingDecomposer`.
+"""
+
+from repro.baselines.ba import BASolver
+from repro.baselines.dalta import DaltaHeuristicSolver
+from repro.baselines.dalta_ilp import DaltaIlpSolver, build_row_cop_ilp
+from repro.baselines.framework import (
+    BaselineDecomposer,
+    RowComponentDecomposition,
+    RowSolution,
+    RowSettingSolver,
+)
+from repro.baselines.row_core_cop import (
+    exhaustive_row_cop,
+    optimal_row_types,
+    row_cop_cost,
+)
+
+__all__ = [
+    "BASolver",
+    "BaselineDecomposer",
+    "DaltaHeuristicSolver",
+    "DaltaIlpSolver",
+    "RowComponentDecomposition",
+    "RowSettingSolver",
+    "RowSolution",
+    "build_row_cop_ilp",
+    "exhaustive_row_cop",
+    "optimal_row_types",
+    "row_cop_cost",
+]

@@ -1,0 +1,135 @@
+"""DALTA-ILP: the exact ILP formulation of the row-based core COP.
+
+This is the paper's strongest accuracy baseline [Meng et al., ICCAD'21],
+run through Gurobi with a 3600 s budget in the original evaluation; here
+it runs through :mod:`repro.ilp`'s branch and bound with the same
+anytime contract.
+
+Formulation (0-based row types ZEROS, ONES, PATTERN, COMPLEMENT):
+
+    min  sum_ij W_ij * O_hat_ij
+    O_hat_ij = z_{i,ONES} + z_{i,PATTERN} * V_j
+               + z_{i,COMPLEMENT} * (1 - V_j)
+    sum_t z_{i,t} = 1                         (one type per row)
+    z binary, V binary.
+
+The bilinear terms are linearized with exact McCormick envelopes over
+auxiliary continuous variables ``u2_ij = z_{i,PATTERN} V_j`` and
+``u3_ij = z_{i,COMPLEMENT} (1 - V_j)`` — tight at binary vertices, so
+the ILP optimum equals the true core-COP optimum.  Instance size is
+``c + 4r`` binaries plus ``2rc`` continuous auxiliaries, which is why
+this method scales poorly (the paper's Table 1 shows it hitting its
+hour-long budget) while staying the accuracy reference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.framework import RowSettingSolver, RowSolution
+from repro.baselines.row_core_cop import optimal_row_types
+from repro.boolean.decomposition import RowSetting
+from repro.errors import SolverError
+from repro.ilp import BranchAndBoundSolver, IlpBuilder, IntegerLinearProgram
+
+__all__ = ["DaltaIlpSolver", "build_row_cop_ilp"]
+
+
+def build_row_cop_ilp(weights: np.ndarray) -> IntegerLinearProgram:
+    """Lower a row-based core COP to the ILP described above.
+
+    Variable naming: ``V{j}``, ``z{i}_{t}`` (t in 0..3 following
+    :class:`~repro.boolean.decomposition.RowType`), ``u2_{i}_{j}``,
+    ``u3_{i}_{j}``.
+    """
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 2:
+        raise SolverError(f"weights must be 2-D, got ndim={w.ndim}")
+    r, c = w.shape
+    builder = IlpBuilder()
+
+    for j in range(c):
+        builder.add_binary(f"V{j}")
+    for i in range(r):
+        for t in range(4):
+            builder.add_binary(f"z{i}_{t}")
+        builder.add_equal({f"z{i}_{t}": 1.0 for t in range(4)}, 1.0)
+
+    row_sums = w.sum(axis=1)
+    for i in range(r):
+        # O_hat contribution of the all-ones type
+        builder.set_objective_term(f"z{i}_1", float(row_sums[i]))
+        for j in range(c):
+            coefficient = float(w[i, j])
+            u2 = builder.add_variable(f"u2_{i}_{j}", 0.0, 1.0)
+            u3 = builder.add_variable(f"u3_{i}_{j}", 0.0, 1.0)
+            builder.set_objective_term(u2, coefficient)
+            builder.set_objective_term(u3, coefficient)
+            # u2 = z_{i,PATTERN} * V_j
+            builder.add_less_equal({u2: 1.0, f"z{i}_2": -1.0}, 0.0)
+            builder.add_less_equal({u2: 1.0, f"V{j}": -1.0}, 0.0)
+            builder.add_greater_equal(
+                {u2: 1.0, f"z{i}_2": -1.0, f"V{j}": -1.0}, -1.0
+            )
+            # u3 = z_{i,COMPLEMENT} * (1 - V_j)
+            builder.add_less_equal({u3: 1.0, f"z{i}_3": -1.0}, 0.0)
+            builder.add_less_equal({u3: 1.0, f"V{j}": 1.0}, 1.0)
+            builder.add_greater_equal(
+                {u3: 1.0, f"z{i}_3": -1.0, f"V{j}": 1.0}, 0.0
+            )
+    return builder.build()
+
+
+class DaltaIlpSolver(RowSettingSolver):
+    """Row-based core COP via branch and bound with a time budget.
+
+    Parameters
+    ----------
+    time_limit:
+        Per-COP wall-clock budget in seconds (the paper used 3600 s for
+        Gurobi; benchmark configurations use seconds-scale budgets).
+    node_limit:
+        Branch-and-bound node cap.
+    """
+
+    def __init__(
+        self, time_limit: float = 10.0, node_limit: int = 50_000
+    ) -> None:
+        self.time_limit = float(time_limit)
+        self.node_limit = int(node_limit)
+
+    def solve_weights(
+        self,
+        weights: np.ndarray,
+        constant: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> RowSolution:
+        w = np.asarray(weights, dtype=float)
+        r, c = w.shape
+        problem = build_row_cop_ilp(w)
+        solver = BranchAndBoundSolver(
+            time_limit=self.time_limit, node_limit=self.node_limit
+        )
+        result = solver.solve(problem)
+
+        if result.x is not None:
+            pattern = np.round(result.x[:c]).astype(np.uint8)
+        else:  # pragma: no cover - rounding heuristic makes this unreachable
+            pattern = np.zeros(c, dtype=np.uint8)
+        # The per-row optimum for the decoded V is never worse than the
+        # ILP incumbent's own type assignment.
+        types, cost = optimal_row_types(w, pattern)
+        return RowSolution(
+            setting=RowSetting(pattern, types),
+            objective=cost + constant,
+            runtime_seconds=result.runtime_seconds,
+            n_evaluations=result.n_nodes,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DaltaIlpSolver(time_limit={self.time_limit}, "
+            f"node_limit={self.node_limit})"
+        )

@@ -1,0 +1,231 @@
+"""Shared DALTA-style outer loop for the row-based baselines.
+
+Mirrors :class:`repro.core.framework.IsingDecomposer` exactly — ``P``
+random candidate partitions per component, components optimized most
+significant first, ``R`` rounds, identical acceptance rule — but the
+per-(component, partition) inner solver is pluggable:
+:class:`~repro.baselines.dalta.DaltaHeuristicSolver`,
+:class:`~repro.baselines.dalta_ilp.DaltaIlpSolver`, or
+:class:`~repro.baselines.ba.BASolver`.  Keeping the outer loop identical
+is what makes the Table-1 / Figure-4 comparisons apples-to-apples: the
+methods differ only in how they solve the core COP.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.boolean.decomposition import RowSetting
+from repro.boolean.metrics import error_rate_per_output, mean_error_distance
+from repro.boolean.partition import InputPartition
+from repro.boolean.synthesis import apply_row_setting
+from repro.boolean.truth_table import TruthTable
+from repro.core.config import FrameworkConfig
+from repro.core.ising_formulation import linear_error_terms
+from repro.core.partitions import sample_partitions
+from repro.errors import DimensionError
+
+__all__ = [
+    "RowSolution",
+    "RowSettingSolver",
+    "RowComponentDecomposition",
+    "BaselineDecomposer",
+]
+
+
+@dataclass
+class RowSolution:
+    """Result of one row-based core-COP solve."""
+
+    setting: RowSetting
+    objective: float
+    runtime_seconds: float = 0.0
+    n_evaluations: int = 0
+
+
+class RowSettingSolver(abc.ABC):
+    """Inner solver of the row-based core COP under fixed weights."""
+
+    @abc.abstractmethod
+    def solve_weights(
+        self,
+        weights: np.ndarray,
+        constant: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> RowSolution:
+        """Minimize ``constant + sum W * O_hat`` over row settings.
+
+        The returned :attr:`RowSolution.objective` must include
+        ``constant`` (i.e. it is the true ER/MED value).
+        """
+
+
+@dataclass
+class RowComponentDecomposition:
+    """Accepted row-based decomposition of one output component."""
+
+    component: int
+    partition: InputPartition
+    setting: RowSetting
+    objective: float
+
+    @property
+    def lut_bits(self) -> int:
+        """Cascade storage: ``c`` bits for phi (= V) plus ``2r`` for F."""
+        return self.setting.n_cols + 2 * self.setting.n_rows
+
+
+@dataclass
+class BaselineDecompositionResult:
+    """Mirror of :class:`repro.core.framework.DecompositionResult`."""
+
+    exact: TruthTable
+    approx: TruthTable
+    components: Dict[int, RowComponentDecomposition]
+    med: float
+    error_rates: np.ndarray
+    med_trace: List[float] = field(default_factory=list)
+    rounds_used: int = 0
+    runtime_seconds: float = 0.0
+    n_cop_solves: int = 0
+
+    @property
+    def total_lut_bits(self) -> int:
+        """Total storage of the decomposed design."""
+        return sum(c.lut_bits for c in self.components.values())
+
+    @property
+    def flat_lut_bits(self) -> int:
+        """Storage of the undecomposed design."""
+        return self.exact.n_outputs * self.exact.size
+
+    @property
+    def compression_ratio(self) -> float:
+        """``flat_lut_bits / total_lut_bits``."""
+        total = self.total_lut_bits
+        if total == 0:
+            return float("inf")
+        return self.flat_lut_bits / total
+
+
+class BaselineDecomposer:
+    """DALTA-style decomposition driven by a row-based inner solver.
+
+    Parameters
+    ----------
+    solver:
+        The inner :class:`RowSettingSolver`.
+    config:
+        Outer-loop parameters (``mode``, ``P``, ``R``, ``free_size``,
+        ``seed``); the ``solver`` field of the config is ignored here.
+    """
+
+    def __init__(
+        self,
+        solver: RowSettingSolver,
+        config: Optional[FrameworkConfig] = None,
+    ) -> None:
+        self.solver = solver
+        self.config = config if config is not None else FrameworkConfig()
+
+    def _optimize_component(
+        self,
+        exact: TruthTable,
+        approx: TruthTable,
+        component: int,
+        partition_rng: np.random.Generator,
+        solver_rng: np.random.Generator,
+    ):
+        partitions = sample_partitions(
+            exact.n_inputs, self.config.free_size,
+            self.config.n_partitions, partition_rng,
+        )
+        best_solution: Optional[RowSolution] = None
+        best_partition: Optional[InputPartition] = None
+        for partition in partitions:
+            weights, constant = linear_error_terms(
+                exact, approx, component, partition, self.config.mode
+            )
+            solution = self.solver.solve_weights(
+                weights, constant, solver_rng
+            )
+            if (
+                best_solution is None
+                or solution.objective < best_solution.objective
+            ):
+                best_solution = solution
+                best_partition = partition
+        return best_solution, best_partition
+
+    def _baseline_error(
+        self, exact: TruthTable, approx: TruthTable, component: int
+    ) -> float:
+        if self.config.mode == "joint":
+            return mean_error_distance(exact, approx)
+        return float(error_rate_per_output(exact, approx)[component])
+
+    def decompose(self, table: TruthTable) -> BaselineDecompositionResult:
+        """Run the full ``R``-round, MSB-first baseline decomposition."""
+        if table.n_inputs <= self.config.free_size:
+            raise DimensionError(
+                f"free_size {self.config.free_size} must be smaller than "
+                f"the input count {table.n_inputs}"
+            )
+        start = time.perf_counter()
+        # Same split as IsingDecomposer: the partition stream depends
+        # only on the seed, never on solver randomness, so all methods
+        # under one seed face identical candidate partitions.
+        seed = self.config.seed
+        partition_rng = np.random.default_rng(seed)
+        solver_rng = np.random.default_rng(
+            None if seed is None else seed + 0x9E3779B9
+        )
+        exact = table
+        approx = table
+        components: Dict[int, RowComponentDecomposition] = {}
+        med_trace: List[float] = []
+        n_solves = 0
+        rounds_used = 0
+
+        for round_index in range(self.config.n_rounds):
+            rounds_used = round_index + 1
+            any_accepted = False
+            for component in reversed(range(exact.n_outputs)):
+                solution, partition = self._optimize_component(
+                    exact, approx, component, partition_rng, solver_rng
+                )
+                n_solves += self.config.n_partitions
+                baseline = self._baseline_error(exact, approx, component)
+                must_accept = component not in components
+                if must_accept or solution.objective < baseline - 1e-12:
+                    approx = apply_row_setting(
+                        approx, component, partition, solution.setting
+                    )
+                    components[component] = RowComponentDecomposition(
+                        component=component,
+                        partition=partition,
+                        setting=solution.setting,
+                        objective=solution.objective,
+                    )
+                    any_accepted = True
+            med_trace.append(mean_error_distance(exact, approx))
+            if self.config.stop_when_stalled and not any_accepted:
+                break
+
+        runtime = time.perf_counter() - start
+        return BaselineDecompositionResult(
+            exact=exact,
+            approx=approx,
+            components=components,
+            med=mean_error_distance(exact, approx),
+            error_rates=error_rate_per_output(exact, approx),
+            med_trace=med_trace,
+            rounds_used=rounds_used,
+            runtime_seconds=runtime,
+            n_cop_solves=n_solves,
+        )

@@ -1,0 +1,118 @@
+"""Shared machinery for the row-based core COP (Theorem 1 view).
+
+The row-based core COP fixes a partition and minimizes
+
+    cost(V, S) = constant + sum_ij W_ij * O_hat_ij,
+
+with ``O_hat`` row ``i`` equal to all-0s, all-1s, ``V``, or ``1 - V``
+according to ``S_i`` (see
+:class:`repro.boolean.decomposition.RowSetting`), and ``W`` the linear
+error weights of :func:`repro.core.ising_formulation.linear_error_terms`.
+
+Key structural fact exploited by every baseline: **given ``V``, the
+optimal ``S`` is separable per row** — each row independently picks the
+cheapest of the four types.  :func:`optimal_row_types` computes this in
+one vectorized pass; the baselines differ only in how they search the
+``2^c``-sized space of ``V``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.boolean.decomposition import RowSetting, RowType
+from repro.errors import DimensionError, SolverError
+
+__all__ = [
+    "optimal_row_types",
+    "row_cop_cost",
+    "exhaustive_row_cop",
+    "row_type_costs",
+]
+
+
+def row_type_costs(
+    weights: np.ndarray, pattern: np.ndarray
+) -> np.ndarray:
+    """Per-row cost of each of the four row types, shape ``(r, 4)``.
+
+    Column order follows :class:`RowType`: ZEROS, ONES, PATTERN,
+    COMPLEMENT.
+    """
+    w = np.asarray(weights, dtype=float)
+    v = np.asarray(pattern, dtype=float)
+    if w.ndim != 2 or v.shape != (w.shape[1],):
+        raise DimensionError(
+            f"incompatible shapes: weights {w.shape}, pattern {v.shape}"
+        )
+    zeros = np.zeros(w.shape[0])
+    ones = w.sum(axis=1)
+    pattern_cost = w @ v
+    complement_cost = ones - pattern_cost
+    return np.stack([zeros, ones, pattern_cost, complement_cost], axis=1)
+
+
+def optimal_row_types(
+    weights: np.ndarray, pattern: np.ndarray
+) -> Tuple[np.ndarray, float]:
+    """Best row-type vector ``S`` for a fixed ``V`` and its variable cost.
+
+    Ties resolve to the lowest :class:`RowType` value, making results
+    deterministic.
+    """
+    costs = row_type_costs(weights, pattern)
+    types = np.argmin(costs, axis=1).astype(np.int8)
+    total = float(costs[np.arange(costs.shape[0]), types].sum())
+    return types, total
+
+
+def row_cop_cost(weights: np.ndarray, setting: RowSetting) -> float:
+    """Variable cost ``sum_ij W_ij O_hat_ij`` of an explicit setting."""
+    approx = setting.reconstruct().astype(float)
+    return float((np.asarray(weights) * approx).sum())
+
+
+def exhaustive_row_cop(
+    weights: np.ndarray, max_cols: int = 20
+) -> Tuple[RowSetting, float]:
+    """Exact minimum over all ``2^c`` patterns (test oracle for tiny c).
+
+    Raises :class:`~repro.errors.SolverError` beyond ``max_cols``
+    columns.
+    """
+    w = np.asarray(weights, dtype=float)
+    c = w.shape[1]
+    if c > max_cols:
+        raise SolverError(
+            f"exhaustive search supports at most {max_cols} columns, got {c}"
+        )
+    best_setting = None
+    best_cost = np.inf
+    shifts = np.arange(c)
+    for code in range(1 << c):
+        pattern = ((code >> shifts) & 1).astype(np.uint8)
+        types, cost = optimal_row_types(w, pattern)
+        if cost < best_cost:
+            best_cost = cost
+            best_setting = RowSetting(pattern, types)
+    return best_setting, best_cost
+
+
+def majority_pattern(
+    values: np.ndarray, probabilities: np.ndarray
+) -> np.ndarray:
+    """Probability-weighted per-column majority vote over matrix rows.
+
+    A natural ``V`` candidate: the column-wise most likely bit.
+    """
+    v = np.asarray(values, dtype=float)
+    p = np.asarray(probabilities, dtype=float)
+    if v.shape != p.shape:
+        raise DimensionError(
+            f"values shape {v.shape} must match probabilities {p.shape}"
+        )
+    ones_mass = (p * v).sum(axis=0)
+    total_mass = p.sum(axis=0)
+    return (2.0 * ones_mass > total_mass).astype(np.uint8)

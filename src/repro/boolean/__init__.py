@@ -1,0 +1,72 @@
+"""Boolean-function substrate: truth tables, partitions, Boolean matrices,
+exact disjoint decomposition (Theorems 1 and 2), synthesis, and error
+metrics.
+
+This package is the foundation the decomposition solvers build on.  The
+central data structure is :class:`~repro.boolean.truth_table.TruthTable`,
+a bit-exact multi-output Boolean function with an attached input
+distribution.  :class:`~repro.boolean.partition.InputPartition` splits the
+inputs into a free set ``A`` and a bound set ``B``;
+:class:`~repro.boolean.boolean_matrix.BooleanMatrix` is the (row, column)
+view of one output component under a partition, which is where both the
+row-based (Theorem 1) and column-based (Theorem 2) decomposability
+conditions live.
+"""
+
+from repro.boolean.boolean_matrix import BooleanMatrix, CellIndexMap
+from repro.boolean.decomposition import (
+    ColumnSetting,
+    RowSetting,
+    column_setting_from_matrix,
+    has_column_decomposition,
+    has_row_decomposition,
+    row_setting_from_matrix,
+)
+from repro.boolean.metrics import (
+    error_rate,
+    error_rate_per_output,
+    max_error_distance,
+    mean_error_distance,
+    mean_relative_error_distance,
+)
+from repro.boolean.overlapping import OverlappingPartition
+from repro.boolean.partition import InputPartition
+from repro.boolean.random_functions import (
+    random_column_decomposable_matrix,
+    random_decomposable_function,
+    random_function,
+)
+from repro.boolean.synthesis import (
+    DecomposedComponent,
+    apply_column_setting,
+    apply_row_setting,
+    component_from_column_setting,
+)
+from repro.boolean.truth_table import TruthTable, uniform_distribution
+
+__all__ = [
+    "BooleanMatrix",
+    "CellIndexMap",
+    "ColumnSetting",
+    "DecomposedComponent",
+    "InputPartition",
+    "OverlappingPartition",
+    "RowSetting",
+    "TruthTable",
+    "apply_column_setting",
+    "apply_row_setting",
+    "column_setting_from_matrix",
+    "component_from_column_setting",
+    "error_rate",
+    "error_rate_per_output",
+    "has_column_decomposition",
+    "has_row_decomposition",
+    "max_error_distance",
+    "mean_error_distance",
+    "mean_relative_error_distance",
+    "random_column_decomposable_matrix",
+    "random_decomposable_function",
+    "random_function",
+    "row_setting_from_matrix",
+    "uniform_distribution",
+]

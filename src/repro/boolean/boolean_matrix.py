@@ -1,0 +1,232 @@
+"""The Boolean-matrix view of one output component under a partition.
+
+Given a component function ``g_k`` and an input partition ``w = {A, B}``,
+the *Boolean matrix* (Shen & McKellar 1970) lays the ``2**n`` truth-table
+entries out as an ``r x c`` grid, ``r = 2**|A|`` rows (free-set patterns)
+by ``c = 2**|B|`` columns (bound-set patterns).  Both decomposability
+conditions — at most four row types (Theorem 1) or at most two column
+types (Theorem 2) — are stated on this matrix, and the column-based core
+COP of the paper optimizes directly over its columns.
+
+The class also carries the per-cell probability matrix ``p_kij`` used by
+the error objectives (Eqs. 4 and 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.boolean.partition import InputPartition
+from repro.boolean.truth_table import TruthTable
+from repro.errors import DimensionError
+
+__all__ = ["BooleanMatrix", "CellIndexMap"]
+
+
+@dataclass(frozen=True)
+class CellIndexMap:
+    """Index bookkeeping between a truth table and a Boolean matrix.
+
+    Attributes
+    ----------
+    row_of_index / col_of_index:
+        ``(2**n,)`` arrays mapping each global input index to its cell.
+    index_of_cell:
+        ``(r, c)`` array mapping each cell back to the global input index.
+    """
+
+    row_of_index: np.ndarray
+    col_of_index: np.ndarray
+    index_of_cell: np.ndarray
+
+
+class BooleanMatrix:
+    """An ``r x c`` matrix view of one output component under a partition.
+
+    Parameters
+    ----------
+    values:
+        ``(r, c)`` array of 0/1 entries, ``O_kij`` in the paper.
+    probabilities:
+        ``(r, c)`` array of non-negative cell probabilities ``p_kij``.
+        They need not sum to one: the framework passes the slice of the
+        global input distribution belonging to this component.
+    partition:
+        Optional :class:`InputPartition` this matrix was derived from.
+        Present whenever the matrix came from :meth:`from_function`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> m = BooleanMatrix(np.array([[1, 0], [0, 1]]))
+    >>> m.n_rows, m.n_cols
+    (2, 2)
+    >>> m.distinct_column_count()
+    2
+    """
+
+    __slots__ = ("_values", "_probabilities", "_partition")
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        probabilities: Optional[np.ndarray] = None,
+        partition: Optional[InputPartition] = None,
+    ) -> None:
+        vals = np.asarray(values)
+        if vals.ndim != 2:
+            raise DimensionError(
+                f"Boolean matrix must be 2-D, got ndim={vals.ndim}"
+            )
+        if not np.isin(np.unique(vals), (0, 1)).all():
+            raise DimensionError("Boolean matrix entries must be 0/1")
+        self._values = np.ascontiguousarray(vals, dtype=np.uint8)
+        self._values.setflags(write=False)
+        if probabilities is None:
+            probs = np.full(vals.shape, 1.0 / vals.size)
+        else:
+            probs = np.asarray(probabilities, dtype=float)
+            if probs.shape != vals.shape:
+                raise DimensionError(
+                    f"probability matrix shape {probs.shape} must match "
+                    f"value matrix shape {vals.shape}"
+                )
+            if np.any(probs < 0.0):
+                raise DimensionError("cell probabilities must be non-negative")
+        self._probabilities = np.ascontiguousarray(probs)
+        self._probabilities.setflags(write=False)
+        self._partition = partition
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_function(
+        cls,
+        table: TruthTable,
+        component: int,
+        partition: InputPartition,
+    ) -> "BooleanMatrix":
+        """Lay output component ``component`` of ``table`` out as a matrix."""
+        if partition.n_inputs != table.n_inputs:
+            raise DimensionError(
+                f"partition covers {partition.n_inputs} inputs but table "
+                f"has {table.n_inputs}"
+            )
+        values = np.empty((partition.n_rows, partition.n_cols), dtype=np.uint8)
+        probs = np.empty((partition.n_rows, partition.n_cols))
+        rows = partition.row_of_index
+        cols = partition.col_of_index
+        values[rows, cols] = table.component(component)
+        probs[rows, cols] = table.probabilities
+        return cls(values, probs, partition)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only ``(r, c)`` 0/1 entries (``O_kij``)."""
+        return self._values
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Read-only ``(r, c)`` cell probabilities (``p_kij``)."""
+        return self._probabilities
+
+    @property
+    def partition(self) -> Optional[InputPartition]:
+        """The partition this matrix was derived from, if any."""
+        return self._partition
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows ``r``."""
+        return int(self._values.shape[0])
+
+    @property
+    def n_cols(self) -> int:
+        """Number of columns ``c``."""
+        return int(self._values.shape[1])
+
+    @property
+    def index_map(self) -> Optional[CellIndexMap]:
+        """Cell/index bookkeeping, available when a partition is attached."""
+        if self._partition is None:
+            return None
+        return CellIndexMap(
+            self._partition.row_of_index,
+            self._partition.col_of_index,
+            self._partition.index_of_cell,
+        )
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    def distinct_rows(self) -> np.ndarray:
+        """Unique rows, shape ``(n_distinct, c)``."""
+        return np.unique(self._values, axis=0)
+
+    def distinct_columns(self) -> np.ndarray:
+        """Unique columns, shape ``(r, n_distinct)``."""
+        return np.unique(self._values, axis=1)
+
+    def distinct_row_count(self) -> int:
+        """Number of distinct rows."""
+        return int(self.distinct_rows().shape[0])
+
+    def distinct_column_count(self) -> int:
+        """Number of distinct columns."""
+        return int(self.distinct_columns().shape[1])
+
+    def column_weights(self) -> np.ndarray:
+        """Per-column total probability, shape ``(c,)``."""
+        return self._probabilities.sum(axis=0)
+
+    def row_weights(self) -> np.ndarray:
+        """Per-row total probability, shape ``(r,)``."""
+        return self._probabilities.sum(axis=1)
+
+    def to_component(self) -> np.ndarray:
+        """Flatten back to a truth vector over global input indices.
+
+        Requires an attached partition.  Inverse of :meth:`from_function`.
+        """
+        if self._partition is None:
+            raise DimensionError(
+                "to_component() needs a matrix built from a partition"
+            )
+        flat = np.empty(1 << self._partition.n_inputs, dtype=np.uint8)
+        flat[self._partition.index_of_cell] = self._values
+        return flat
+
+    def with_values(self, values: np.ndarray) -> "BooleanMatrix":
+        """Same probabilities/partition, different 0/1 entries."""
+        return BooleanMatrix(values, self._probabilities, self._partition)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BooleanMatrix):
+            return NotImplemented
+        return (
+            np.array_equal(self._values, other._values)
+            and np.allclose(self._probabilities, other._probabilities)
+            and self._partition == other._partition
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._values.tobytes(), self._probabilities.tobytes(),
+             self._partition)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BooleanMatrix(r={self.n_rows}, c={self.n_cols}, "
+            f"partition={self._partition!r})"
+        )

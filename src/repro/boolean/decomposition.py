@@ -1,0 +1,318 @@
+"""Exact disjoint decomposition: Theorems 1 and 2 and their settings.
+
+Shen & McKellar's classic result gives two equivalent characterizations of
+when a Boolean function has a disjoint decomposition
+``g(X) = F(phi(B), A)`` over a partition ``{A, B}``:
+
+* **Theorem 1 (row-based):** the Boolean matrix has at most four distinct
+  row types — all-0s, all-1s, a fixed pattern ``V``, and its complement.
+* **Theorem 2 (column-based):** the Boolean matrix has at most two
+  distinct column types.
+
+The paper's key observation is that the column-based view yields a COP
+that is *quadratic* in binary variables (so a second-order Ising model
+suffices), while the row-based view would need a third-order model.
+
+This module implements both exact checks and the corresponding setting
+objects: :class:`RowSetting` ``(V, S)`` and :class:`ColumnSetting`
+``(V1, V2, T)``.  Both settings can reconstruct the (possibly
+approximate) Boolean matrix they describe, which is the bridge between
+the optimization layer and the function-synthesis layer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.boolean.boolean_matrix import BooleanMatrix
+from repro.errors import DecompositionError
+
+__all__ = [
+    "RowType",
+    "RowSetting",
+    "ColumnSetting",
+    "has_row_decomposition",
+    "has_column_decomposition",
+    "row_setting_from_matrix",
+    "column_setting_from_matrix",
+    "row_setting_to_column_setting",
+    "column_setting_to_row_setting",
+]
+
+
+class RowType(enum.IntEnum):
+    """The four admissible row types of Theorem 1.
+
+    Values follow the paper's enumeration (1..4) shifted to 0-based:
+    ``ZEROS`` is a row of all 0s, ``ONES`` all 1s, ``PATTERN`` the fixed
+    pattern ``V``, and ``COMPLEMENT`` its bitwise complement.
+    """
+
+    ZEROS = 0
+    ONES = 1
+    PATTERN = 2
+    COMPLEMENT = 3
+
+
+def _as_bit_vector(vec: np.ndarray, length: int, name: str) -> np.ndarray:
+    arr = np.asarray(vec)
+    if arr.shape != (length,):
+        raise DecompositionError(
+            f"{name} must have shape ({length},), got {arr.shape}"
+        )
+    if not np.isin(np.unique(arr), (0, 1)).all():
+        raise DecompositionError(f"{name} entries must be 0/1")
+    out = np.ascontiguousarray(arr, dtype=np.uint8)
+    out.setflags(write=False)
+    return out
+
+
+@dataclass(frozen=True)
+class RowSetting:
+    """A row-based decomposition setting ``(V, S)`` (Theorem 1).
+
+    Attributes
+    ----------
+    pattern:
+        The fixed row pattern ``V``, shape ``(c,)`` with 0/1 entries.
+    row_types:
+        The row type vector ``S``, shape ``(r,)`` with
+        :class:`RowType` values.
+    """
+
+    pattern: np.ndarray
+    row_types: np.ndarray
+
+    def __post_init__(self) -> None:
+        pattern = _as_bit_vector(
+            self.pattern, np.asarray(self.pattern).shape[0], "pattern V"
+        )
+        types = np.asarray(self.row_types, dtype=np.int8)
+        if types.ndim != 1:
+            raise DecompositionError("row_types S must be 1-D")
+        if not np.isin(np.unique(types), (0, 1, 2, 3)).all():
+            raise DecompositionError(
+                "row_types entries must be RowType values in {0, 1, 2, 3}"
+            )
+        types = np.ascontiguousarray(types)
+        types.setflags(write=False)
+        object.__setattr__(self, "pattern", pattern)
+        object.__setattr__(self, "row_types", types)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows ``r``."""
+        return int(self.row_types.shape[0])
+
+    @property
+    def n_cols(self) -> int:
+        """Number of columns ``c``."""
+        return int(self.pattern.shape[0])
+
+    def reconstruct(self) -> np.ndarray:
+        """Build the ``(r, c)`` 0/1 matrix this setting describes."""
+        rows = np.empty((self.n_rows, self.n_cols), dtype=np.uint8)
+        pattern = self.pattern
+        complement = (1 - pattern).astype(np.uint8)
+        lookup = np.stack(
+            [
+                np.zeros(self.n_cols, dtype=np.uint8),
+                np.ones(self.n_cols, dtype=np.uint8),
+                pattern,
+                complement,
+            ]
+        )
+        rows[:] = lookup[self.row_types]
+        return rows
+
+
+@dataclass(frozen=True)
+class ColumnSetting:
+    """A column-based decomposition setting ``(V1, V2, T)`` (Theorem 2).
+
+    Attributes
+    ----------
+    pattern1 / pattern2:
+        Column patterns ``V_k1`` and ``V_k2``, shape ``(r,)``.
+    column_types:
+        The column type vector ``T``, shape ``(c,)``; ``T_j = 0`` selects
+        ``pattern1`` for column ``j``, ``T_j = 1`` selects ``pattern2``
+        (Eq. 3 of the paper).
+    """
+
+    pattern1: np.ndarray
+    pattern2: np.ndarray
+    column_types: np.ndarray
+
+    def __post_init__(self) -> None:
+        r = np.asarray(self.pattern1).shape[0]
+        c = np.asarray(self.column_types).shape[0]
+        object.__setattr__(
+            self, "pattern1", _as_bit_vector(self.pattern1, r, "pattern1 V1")
+        )
+        object.__setattr__(
+            self, "pattern2", _as_bit_vector(self.pattern2, r, "pattern2 V2")
+        )
+        object.__setattr__(
+            self,
+            "column_types",
+            _as_bit_vector(self.column_types, c, "column_types T"),
+        )
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows ``r``."""
+        return int(self.pattern1.shape[0])
+
+    @property
+    def n_cols(self) -> int:
+        """Number of columns ``c``."""
+        return int(self.column_types.shape[0])
+
+    def reconstruct(self) -> np.ndarray:
+        """Build the ``(r, c)`` matrix of Eq. (3):
+        ``O_hat[i, j] = (1 - T_j) V1_i + T_j V2_i``.
+        """
+        patterns = np.stack([self.pattern1, self.pattern2])  # (2, r)
+        return patterns[self.column_types.astype(np.intp)].T.copy()
+
+    def error(self, matrix: Union[BooleanMatrix, np.ndarray]) -> float:
+        """Probability-weighted error vs. an exact matrix (Eq. 4 form).
+
+        With a plain array, cells are weighted uniformly by ``1/(r*c)``.
+        """
+        approx = self.reconstruct()
+        if isinstance(matrix, BooleanMatrix):
+            exact, probs = matrix.values, matrix.probabilities
+        else:
+            exact = np.asarray(matrix)
+            probs = np.full(exact.shape, 1.0 / exact.size)
+        if exact.shape != approx.shape:
+            raise DecompositionError(
+                f"matrix shape {exact.shape} does not match setting shape "
+                f"{approx.shape}"
+            )
+        return float((probs * (approx != exact)).sum())
+
+
+# ----------------------------------------------------------------------
+# Exact decomposability checks
+# ----------------------------------------------------------------------
+
+
+def _matrix_values(matrix: Union[BooleanMatrix, np.ndarray]) -> np.ndarray:
+    if isinstance(matrix, BooleanMatrix):
+        return matrix.values
+    return np.asarray(matrix, dtype=np.uint8)
+
+
+def has_row_decomposition(matrix: Union[BooleanMatrix, np.ndarray]) -> bool:
+    """Theorem 1: do the rows fall into at most {0s, 1s, V, ~V}?"""
+    return row_setting_from_matrix(matrix) is not None
+
+
+def has_column_decomposition(matrix: Union[BooleanMatrix, np.ndarray]) -> bool:
+    """Theorem 2: are there at most two distinct column types?"""
+    values = _matrix_values(matrix)
+    return int(np.unique(values, axis=1).shape[1]) <= 2
+
+
+def row_setting_from_matrix(
+    matrix: Union[BooleanMatrix, np.ndarray],
+) -> Optional[RowSetting]:
+    """Extract an exact :class:`RowSetting`, or ``None`` if Theorem 1 fails.
+
+    When several settings fit (e.g. a constant matrix), a deterministic
+    canonical one is returned: ``V`` is the first non-constant row in row
+    order, or all-zeros when every row is constant.
+    """
+    values = _matrix_values(matrix)
+    r, c = values.shape
+    row_sums = values.sum(axis=1)
+    is_zeros = row_sums == 0
+    is_ones = row_sums == c
+
+    nonconstant = values[~(is_zeros | is_ones)]
+    if nonconstant.shape[0] == 0:
+        pattern = np.zeros(c, dtype=np.uint8)
+    else:
+        distinct = np.unique(nonconstant, axis=0)
+        if distinct.shape[0] > 2:
+            return None
+        if distinct.shape[0] == 2 and not np.array_equal(
+            distinct[0], 1 - distinct[1]
+        ):
+            return None
+        # deterministic: first non-constant row in matrix order
+        pattern = nonconstant[0]
+
+    types = np.empty(r, dtype=np.int8)
+    types[is_zeros] = RowType.ZEROS
+    types[is_ones] = RowType.ONES
+    matches_pattern = (values == pattern).all(axis=1)
+    matches_complement = (values == 1 - pattern).all(axis=1)
+    remaining = ~(is_zeros | is_ones)
+    types[remaining & matches_pattern] = RowType.PATTERN
+    types[remaining & matches_complement] = RowType.COMPLEMENT
+    if not (
+        is_zeros | is_ones | matches_pattern | matches_complement
+    ).all():
+        return None
+    return RowSetting(pattern, types)
+
+
+def column_setting_from_matrix(
+    matrix: Union[BooleanMatrix, np.ndarray],
+) -> Optional[ColumnSetting]:
+    """Extract an exact :class:`ColumnSetting`, or ``None`` if Theorem 2 fails.
+
+    Canonical choice: ``V1`` is the first column; ``V2`` is the first
+    column differing from it (or a copy of ``V1`` when all columns agree).
+    """
+    values = _matrix_values(matrix)
+    r, c = values.shape
+    pattern1 = values[:, 0]
+    differs = (values != pattern1[:, np.newaxis]).any(axis=0)
+    if not differs.any():
+        return ColumnSetting(pattern1, pattern1.copy(), np.zeros(c, dtype=np.uint8))
+    first_diff = int(np.argmax(differs))
+    pattern2 = values[:, first_diff]
+    matches1 = (values == pattern1[:, np.newaxis]).all(axis=0)
+    matches2 = (values == pattern2[:, np.newaxis]).all(axis=0)
+    if not (matches1 | matches2).all():
+        return None
+    column_types = matches2.astype(np.uint8)
+    return ColumnSetting(pattern1, pattern2, column_types)
+
+
+# ----------------------------------------------------------------------
+# Conversions between the two views
+# ----------------------------------------------------------------------
+
+
+def row_setting_to_column_setting(setting: RowSetting) -> ColumnSetting:
+    """Convert a row-based setting to the equivalent column-based one.
+
+    The reconstructed matrices of the input and output are identical;
+    this realizes the Theorem 1 <-> Theorem 2 equivalence constructively.
+    """
+    result = column_setting_from_matrix(setting.reconstruct())
+    if result is None:  # pragma: no cover - impossible by Theorem 2
+        raise DecompositionError(
+            "row setting reconstruction unexpectedly violates Theorem 2"
+        )
+    return result
+
+
+def column_setting_to_row_setting(setting: ColumnSetting) -> RowSetting:
+    """Convert a column-based setting to the equivalent row-based one."""
+    result = row_setting_from_matrix(setting.reconstruct())
+    if result is None:  # pragma: no cover - impossible by Theorem 1
+        raise DecompositionError(
+            "column setting reconstruction unexpectedly violates Theorem 1"
+        )
+    return result

@@ -1,0 +1,88 @@
+"""Error metrics between exact and approximate multi-output functions.
+
+The paper evaluates approximations with two metrics:
+
+* **Error rate (ER)** — probability that an input pattern produces a
+  wrong output word (used by the separate-mode objective per component).
+* **Mean error distance (MED)** — Eq. (2),
+  ``MED(G, G_hat) = sum_X p_X |Bin(G(X)) - Bin(G_hat(X))|``
+  (the joint-mode objective).
+
+We also provide the common companions from the approximate-computing
+literature (maximum ED, mean relative ED) used by the analysis layer.
+All metrics weight input patterns by the *exact* table's distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.boolean.truth_table import TruthTable
+from repro.errors import DimensionError
+
+__all__ = [
+    "error_rate",
+    "error_rate_per_output",
+    "mean_error_distance",
+    "max_error_distance",
+    "mean_relative_error_distance",
+    "error_distance_profile",
+]
+
+
+def _check_pair(exact: TruthTable, approx: TruthTable) -> None:
+    if exact.n_inputs != approx.n_inputs or exact.n_outputs != approx.n_outputs:
+        raise DimensionError(
+            f"table shapes differ: exact ({exact.n_inputs} in, "
+            f"{exact.n_outputs} out) vs approx ({approx.n_inputs} in, "
+            f"{approx.n_outputs} out)"
+        )
+
+
+def error_rate(exact: TruthTable, approx: TruthTable) -> float:
+    """Probability that any output bit differs (whole-word error rate)."""
+    _check_pair(exact, approx)
+    wrong = (exact.outputs != approx.outputs).any(axis=1)
+    return float(exact.probabilities[wrong].sum())
+
+
+def error_rate_per_output(exact: TruthTable, approx: TruthTable) -> np.ndarray:
+    """Per-component error rates, shape ``(m,)``.
+
+    Component ``k``'s entry is the separate-mode objective of Eq. (4) for
+    that component.
+    """
+    _check_pair(exact, approx)
+    wrong = exact.outputs != approx.outputs  # (2**n, m)
+    return exact.probabilities @ wrong
+
+
+def error_distance_profile(exact: TruthTable, approx: TruthTable) -> np.ndarray:
+    """``|Bin(G(X)) - Bin(G_hat(X))|`` per input index, shape ``(2**n,)``."""
+    _check_pair(exact, approx)
+    return np.abs(exact.words - approx.words)
+
+
+def mean_error_distance(exact: TruthTable, approx: TruthTable) -> float:
+    """Eq. (2): probability-weighted mean absolute output deviation."""
+    return float(
+        exact.probabilities @ error_distance_profile(exact, approx)
+    )
+
+
+def max_error_distance(exact: TruthTable, approx: TruthTable) -> int:
+    """Worst-case error distance over inputs with non-zero probability."""
+    profile = error_distance_profile(exact, approx)
+    support = exact.probabilities > 0
+    if not support.any():
+        return 0
+    return int(profile[support].max())
+
+
+def mean_relative_error_distance(
+    exact: TruthTable, approx: TruthTable
+) -> float:
+    """Mean of ``ED / max(Bin(G(X)), 1)`` — scale-free companion to MED."""
+    profile = error_distance_profile(exact, approx)
+    denom = np.maximum(exact.words, 1)
+    return float(exact.probabilities @ (profile / denom))

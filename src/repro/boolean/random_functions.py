@@ -1,0 +1,140 @@
+"""Random Boolean-function generators with controllable structure.
+
+Tests and ablations need three kinds of oracles:
+
+* arbitrary random functions (:func:`random_function`),
+* functions *known* to be exactly decomposable over a given partition
+  (:func:`random_decomposable_function`) — built by sampling a setting
+  and reconstructing, so the generator certifies the ground truth, and
+* raw column-decomposable matrices (:func:`random_column_decomposable_matrix`).
+
+The generators also support "noisy" variants: flip a few cells of a
+decomposable function so the minimum achievable approximate-decomposition
+error is known by construction (upper-bounded by the flipped mass).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.boolean.boolean_matrix import BooleanMatrix
+from repro.boolean.decomposition import ColumnSetting
+from repro.boolean.partition import InputPartition
+from repro.boolean.synthesis import apply_column_setting
+from repro.boolean.truth_table import TruthTable
+from repro.errors import DimensionError
+
+__all__ = [
+    "random_function",
+    "random_partition",
+    "random_column_setting",
+    "random_column_decomposable_matrix",
+    "random_decomposable_function",
+    "flip_cells",
+]
+
+
+def random_function(
+    n_inputs: int,
+    n_outputs: int,
+    rng: Optional[np.random.Generator] = None,
+    random_distribution: bool = False,
+) -> TruthTable:
+    """A uniformly random truth table, optionally with a random distribution."""
+    rng = np.random.default_rng(rng)
+    probabilities = None
+    if random_distribution:
+        probabilities = rng.random(1 << n_inputs)
+        probabilities /= probabilities.sum()
+    return TruthTable.random(n_inputs, n_outputs, rng, probabilities)
+
+
+def random_partition(
+    n_inputs: int,
+    free_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> InputPartition:
+    """A uniformly random partition with ``|A| = free_size``."""
+    if not 0 < free_size < n_inputs:
+        raise DimensionError(
+            f"free_size must be in (0, {n_inputs}), got {free_size}"
+        )
+    rng = np.random.default_rng(rng)
+    order = rng.permutation(n_inputs)
+    free = sorted(int(v) for v in order[:free_size])
+    bound = sorted(int(v) for v in order[free_size:])
+    return InputPartition(free, bound, n_inputs)
+
+
+def random_column_setting(
+    n_rows: int,
+    n_cols: int,
+    rng: Optional[np.random.Generator] = None,
+) -> ColumnSetting:
+    """A random column-based setting ``(V1, V2, T)``."""
+    rng = np.random.default_rng(rng)
+    pattern1 = rng.integers(0, 2, n_rows, dtype=np.uint8)
+    pattern2 = rng.integers(0, 2, n_rows, dtype=np.uint8)
+    column_types = rng.integers(0, 2, n_cols, dtype=np.uint8)
+    return ColumnSetting(pattern1, pattern2, column_types)
+
+
+def random_column_decomposable_matrix(
+    n_rows: int,
+    n_cols: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[BooleanMatrix, ColumnSetting]:
+    """A matrix satisfying Theorem 2 along with the setting that built it."""
+    rng = np.random.default_rng(rng)
+    setting = random_column_setting(n_rows, n_cols, rng)
+    return BooleanMatrix(setting.reconstruct()), setting
+
+
+def random_decomposable_function(
+    n_inputs: int,
+    n_outputs: int,
+    free_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[TruthTable, Tuple[InputPartition, ...]]:
+    """A multi-output function where every component is exactly decomposable.
+
+    Each component gets its own random partition and random column setting
+    — mirroring the paper's per-component settings.  Returns the table and
+    the per-component partitions (ground truth for decomposability tests).
+    """
+    rng = np.random.default_rng(rng)
+    table = TruthTable.random(n_inputs, n_outputs, rng)
+    partitions = []
+    for k in range(n_outputs):
+        partition = random_partition(n_inputs, free_size, rng)
+        setting = random_column_setting(
+            partition.n_rows, partition.n_cols, rng
+        )
+        table = apply_column_setting(table, k, partition, setting)
+        partitions.append(partition)
+    return table, tuple(partitions)
+
+
+def flip_cells(
+    table: TruthTable,
+    component: int,
+    n_flips: int,
+    rng: Optional[np.random.Generator] = None,
+) -> TruthTable:
+    """Flip ``n_flips`` distinct truth-vector entries of one component.
+
+    Used to manufacture *almost*-decomposable functions whose best
+    approximate decomposition error is bounded by the flipped probability
+    mass.
+    """
+    rng = np.random.default_rng(rng)
+    if n_flips < 0 or n_flips > table.size:
+        raise DimensionError(
+            f"n_flips must be in [0, {table.size}], got {n_flips}"
+        )
+    positions = rng.choice(table.size, size=n_flips, replace=False)
+    vector = table.component(component).copy()
+    vector[positions] ^= 1
+    return table.with_component(component, vector)

@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``decompose``
+    Decompose a named workload (or reproduce it at reduced width) and
+    write the resulting design to JSON.
+``evaluate``
+    Re-evaluate a saved design against its workload: MED, error rate,
+    storage.
+``export-verilog``
+    Emit a saved design as a synthesizable Verilog module.
+``list-workloads``
+    Show the available benchmark workloads.
+
+Examples
+--------
+.. code-block:: bash
+
+    python -m repro decompose --workload cos --n-inputs 9 \\
+        --mode joint --partitions 8 --rounds 2 --out cos.json
+    python -m repro evaluate --design cos.json --workload cos --n-inputs 9
+    python -m repro export-verilog --design cos.json --module cos_lut \\
+        --out cos_lut.v
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.boolean.metrics import error_rate, mean_error_distance
+from repro.core import CoreSolverConfig, FrameworkConfig, IsingDecomposer
+from repro.lut import cascade_cost_report
+from repro.lut.verilog import cascade_to_verilog
+from repro.serialization import load_design, save_design
+from repro.workloads import build_workload, workload_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Ising-model approximate disjoint decomposition (DAC 2024 "
+            "reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dec = sub.add_parser(
+        "decompose", help="decompose a workload and save the design"
+    )
+    dec.add_argument("--workload", required=True,
+                     help=f"one of {', '.join(workload_names())}")
+    dec.add_argument("--n-inputs", type=int, default=9)
+    dec.add_argument("--mode", choices=("separate", "joint"),
+                     default="joint")
+    dec.add_argument("--partitions", type=int, default=8,
+                     help="candidate partitions per component (paper: 1000)")
+    dec.add_argument("--rounds", type=int, default=2,
+                     help="framework rounds (paper: 5)")
+    dec.add_argument("--seed", type=int, default=0)
+    dec.add_argument("--max-iterations", type=int, default=2000)
+    dec.add_argument("--replicas", type=int, default=4)
+    dec.add_argument("--out", type=Path, required=True,
+                     help="output JSON path")
+
+    ev = sub.add_parser(
+        "evaluate", help="evaluate a saved design against its workload"
+    )
+    ev.add_argument("--design", type=Path, required=True)
+    ev.add_argument("--workload", required=True)
+    ev.add_argument("--n-inputs", type=int, default=9)
+
+    vlog = sub.add_parser(
+        "export-verilog", help="emit a saved design as Verilog"
+    )
+    vlog.add_argument("--design", type=Path, required=True)
+    vlog.add_argument("--module", default="approx_lut")
+    vlog.add_argument("--out", type=Path, default=None,
+                      help="output .v path (default: stdout)")
+
+    sub.add_parser("list-workloads", help="list benchmark workloads")
+    return parser
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    workload = build_workload(args.workload, n_inputs=args.n_inputs)
+    config = FrameworkConfig(
+        mode=args.mode,
+        free_size=workload.free_size,
+        n_partitions=args.partitions,
+        n_rounds=args.rounds,
+        seed=args.seed,
+        solver=CoreSolverConfig(
+            max_iterations=args.max_iterations, n_replicas=args.replicas
+        ),
+    )
+    result = IsingDecomposer(config).decompose(workload.table)
+    save_design(result, args.out)
+    print(
+        f"decomposed {args.workload} (n={args.n_inputs}, mode={args.mode}): "
+        f"MED {result.med:.4f}, {result.total_lut_bits} cascade bits "
+        f"(flat {result.flat_lut_bits}), "
+        f"{result.runtime_seconds:.2f}s -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    design = load_design(args.design)
+    workload = build_workload(args.workload, n_inputs=args.n_inputs)
+    if design.n_inputs != workload.table.n_inputs or (
+        design.n_outputs != workload.table.n_outputs
+    ):
+        print(
+            f"error: design is {design.n_inputs}->{design.n_outputs} bits "
+            f"but workload is {workload.table.n_inputs}->"
+            f"{workload.table.n_outputs}",
+            file=sys.stderr,
+        )
+        return 2
+    approx = design.to_truth_table(workload.table.probabilities)
+    report = cascade_cost_report(design)
+    print(f"design:      {args.design}")
+    print(f"MED:         {mean_error_distance(workload.table, approx):.4f}")
+    print(f"error rate:  {error_rate(workload.table, approx):.4f}")
+    print(f"storage:     {report}")
+    return 0
+
+
+def _cmd_export_verilog(args: argparse.Namespace) -> int:
+    design = load_design(args.design)
+    verilog = cascade_to_verilog(design, module_name=args.module)
+    if args.out is None:
+        print(verilog, end="")
+    else:
+        args.out.write_text(verilog)
+        print(f"wrote {args.out} ({design.total_bits} ROM bits)")
+    return 0
+
+
+def _cmd_list_workloads() -> int:
+    for name in workload_names():
+        print(name)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "decompose":
+        return _cmd_decompose(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    if args.command == "export-verilog":
+        return _cmd_export_verilog(args)
+    if args.command == "list-workloads":
+        return _cmd_list_workloads()
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

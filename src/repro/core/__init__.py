@@ -1,0 +1,82 @@
+"""The paper's primary contribution: Ising-model-based approximate
+disjoint decomposition.
+
+Pipeline, bottom to top:
+
+1. :mod:`repro.core.ising_formulation` — rewrite the column-based core
+   COP (optimize ``V1``, ``V2``, ``T`` for one output component under a
+   fixed partition) as a second-order Ising model, in *separate* mode
+   (per-component error rate, Eq. 9) or *joint* mode (whole-word mean
+   error distance, Eq. 16), with exact offset bookkeeping.
+2. :mod:`repro.core.theorem3` — the conditionally-optimal column-type
+   assignment (Theorem 3) used both as an in-flight bSB intervention
+   (Section 3.3.2) and as a standalone alternating-minimization
+   heuristic.
+3. :mod:`repro.core.solver` — :class:`~repro.core.solver.CoreCOPSolver`,
+   gluing formulation + ballistic SB + dynamic stop + intervention.
+4. :mod:`repro.core.framework` —
+   :class:`~repro.core.framework.IsingDecomposer`, the DALTA-style outer
+   loop: ``P`` candidate partitions per component, components optimized
+   most-significant-first, repeated for ``R`` rounds.
+"""
+
+from repro.core.config import CoreSolverConfig, FrameworkConfig
+from repro.core.framework import (
+    ComponentDecomposition,
+    DecompositionResult,
+    IsingDecomposer,
+)
+from repro.core.ising_formulation import (
+    build_core_cop_model,
+    joint_mode_weights,
+    separate_mode_weights,
+    setting_from_spins,
+    spins_from_setting,
+)
+from repro.core.nondisjoint import (
+    NonDisjointDecomposer,
+    build_overlapping_core_cop_model,
+    sample_overlapping_partitions,
+)
+from repro.core.partitions import all_partitions, sample_partitions
+from repro.core.row_ising_formulation import (
+    build_row_cop_polynomial_model,
+    row_setting_from_spins,
+    spins_from_row_setting,
+)
+from repro.core.solver import CoreCOPSolution, CoreCOPSolver
+from repro.core.theorem3 import (
+    alternating_refinement,
+    optimal_column_types,
+    optimal_patterns,
+    setting_cost,
+    theorem3_intervention,
+)
+
+__all__ = [
+    "ComponentDecomposition",
+    "CoreCOPSolution",
+    "CoreCOPSolver",
+    "CoreSolverConfig",
+    "DecompositionResult",
+    "FrameworkConfig",
+    "IsingDecomposer",
+    "NonDisjointDecomposer",
+    "build_overlapping_core_cop_model",
+    "sample_overlapping_partitions",
+    "all_partitions",
+    "alternating_refinement",
+    "build_core_cop_model",
+    "build_row_cop_polynomial_model",
+    "joint_mode_weights",
+    "row_setting_from_spins",
+    "spins_from_row_setting",
+    "optimal_column_types",
+    "optimal_patterns",
+    "sample_partitions",
+    "separate_mode_weights",
+    "setting_cost",
+    "setting_from_spins",
+    "spins_from_setting",
+    "theorem3_intervention",
+]

@@ -1,0 +1,229 @@
+"""Configuration dataclasses for the core solver and framework.
+
+The defaults follow the paper's experimental setup where one exists:
+dynamic-stop parameters ``f = s = 20`` (the paper's n = 9 setting; use
+:meth:`CoreSolverConfig.paper_large_scale` for the n = 16 setting
+``f = s = 10``), energy-variance threshold ``eps = 1e-8``, ``P = 1000``
+candidate partitions and ``R = 5`` rounds for the framework.  Benchmarks
+scale ``P`` down for laptop runtimes; the dataclasses accept the paper
+values unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CoreSolverConfig", "FrameworkConfig"]
+
+_VALID_MODES = ("separate", "joint")
+
+
+@dataclass(frozen=True)
+class CoreSolverConfig:
+    """Parameters of the bSB-based core-COP solver.
+
+    Attributes
+    ----------
+    sample_every:
+        ``f`` — energy sampling period of the dynamic stop (Sec. 3.3.1).
+    window:
+        ``s`` — variance window of the dynamic stop.
+    variance_threshold:
+        ``eps`` — variance threshold (paper: 1e-8).
+    max_iterations:
+        Hard Euler-iteration cap.
+    pump_ramp_iterations:
+        Length of the linear pump ramp.  ``None`` resolves to
+        ``max(100, max_iterations // 4)``.  The dynamic stop never
+        fires before the ramp completes: during the ramp the system is
+        non-stationary by construction, and a small energy variance
+        merely reflects the pre-bifurcation plateau (stopping there
+        returns the un-bifurcated state — a measurable quality loss,
+        see the stop-criterion ablation benchmark).
+    use_dynamic_stop:
+        ``False`` reproduces the fixed-iteration baseline for ablations.
+    use_intervention:
+        Enable the Theorem-3 column-type reset (Sec. 3.3.2).
+    n_replicas:
+        Parallel oscillator networks per solve.
+    dt / a0:
+        bSB Euler step and detuning.
+    polish:
+        Run one alternating-refinement pass (Theorem 3 in both
+        directions) on the decoded setting.  An extension beyond the
+        paper — off by default; benchmarked in the ablations.
+    symmetry_breaking_init:
+        Initialize the ``V2`` oscillators as the negation of the ``V1``
+        oscillators.  The core-COP energy is invariant under exchanging
+        ``(V1, V2)`` together with complementing ``T``, and with
+        identical biases on ``V1`` and ``V2`` the early (pre-bifurcation)
+        dynamics otherwise lock the two pattern blocks together —
+        anti-symmetric initialization breaks this degeneracy and
+        measurably improves solution quality on near-decomposable
+        instances (see the heuristic ablation benchmark).
+    """
+
+    sample_every: int = 20
+    window: int = 20
+    variance_threshold: float = 1e-8
+    max_iterations: int = 2000
+    pump_ramp_iterations: Optional[int] = None
+    use_dynamic_stop: bool = True
+    use_intervention: bool = True
+    n_replicas: int = 4
+    dt: float = 0.25
+    a0: float = 1.0
+    polish: bool = False
+    symmetry_breaking_init: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sample_every <= 0:
+            raise ConfigurationError(
+                f"sample_every must be positive, got {self.sample_every}"
+            )
+        if self.window < 2:
+            raise ConfigurationError(
+                f"window must be >= 2, got {self.window}"
+            )
+        if self.variance_threshold < 0:
+            raise ConfigurationError(
+                "variance_threshold must be non-negative, "
+                f"got {self.variance_threshold}"
+            )
+        if self.max_iterations <= 0:
+            raise ConfigurationError(
+                f"max_iterations must be positive, got {self.max_iterations}"
+            )
+        if self.n_replicas <= 0:
+            raise ConfigurationError(
+                f"n_replicas must be positive, got {self.n_replicas}"
+            )
+        if self.dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {self.dt}")
+        if self.pump_ramp_iterations is not None and (
+            self.pump_ramp_iterations <= 0
+            or self.pump_ramp_iterations > self.max_iterations
+        ):
+            raise ConfigurationError(
+                "pump_ramp_iterations must be in (0, max_iterations], got "
+                f"{self.pump_ramp_iterations}"
+            )
+
+    @property
+    def resolved_ramp_iterations(self) -> int:
+        """The effective pump ramp length (see ``pump_ramp_iterations``)."""
+        if self.pump_ramp_iterations is not None:
+            return self.pump_ramp_iterations
+        return min(self.max_iterations, max(100, self.max_iterations // 4))
+
+    @classmethod
+    def paper_small_scale(cls) -> "CoreSolverConfig":
+        """The paper's n = 9 setting: ``f = s = 20``, ``eps = 1e-8``."""
+        return cls(sample_every=20, window=20, variance_threshold=1e-8)
+
+    @classmethod
+    def paper_large_scale(cls) -> "CoreSolverConfig":
+        """The paper's n = 16 setting: ``f = s = 10``, ``eps = 1e-8``."""
+        return cls(sample_every=10, window=10, variance_threshold=1e-8)
+
+    def with_updates(self, **changes) -> "CoreSolverConfig":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class FrameworkConfig:
+    """Parameters of the DALTA-style outer decomposition loop.
+
+    Attributes
+    ----------
+    mode:
+        ``"separate"`` (per-component ER, Eq. 9) or ``"joint"``
+        (whole-word MED, Eq. 16).
+    free_size:
+        ``|A|`` — number of free-set variables (paper: 4 for n = 9,
+        7 for n = 16).
+    n_partitions:
+        ``P`` — candidate partitions tried per component optimization
+        (paper: 1000).
+    n_rounds:
+        ``R`` — sequential optimization rounds (paper: 5).
+    solver:
+        Core-COP solver configuration.
+    seed:
+        Base RNG seed for partition sampling and the stochastic solver.
+    prescreen_keep:
+        When set, candidate partitions are pre-scored with the cheap
+        alternating heuristic and only the best ``prescreen_keep`` are
+        handed to bSB.  An extension beyond the paper — ``None`` (off)
+        reproduces the published procedure.
+    stop_when_stalled:
+        End early when a full round improves nothing.
+    batched:
+        Solve all ``P`` candidate partitions of a component in one
+        vectorized bSB run (:mod:`repro.core.batch`).  Identical
+        search semantics apart from the stop rule: the batch always
+        integrates the full ``max_iterations`` budget, since a global
+        dynamic stop would couple unrelated instances.
+    """
+
+    mode: str = "joint"
+    free_size: int = 4
+    n_partitions: int = 20
+    n_rounds: int = 5
+    solver: CoreSolverConfig = field(default_factory=CoreSolverConfig)
+    seed: Optional[int] = None
+    prescreen_keep: Optional[int] = None
+    stop_when_stalled: bool = True
+    batched: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in _VALID_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {_VALID_MODES}, got {self.mode!r}"
+            )
+        if self.free_size <= 0:
+            raise ConfigurationError(
+                f"free_size must be positive, got {self.free_size}"
+            )
+        if self.n_partitions <= 0:
+            raise ConfigurationError(
+                f"n_partitions must be positive, got {self.n_partitions}"
+            )
+        if self.n_rounds <= 0:
+            raise ConfigurationError(
+                f"n_rounds must be positive, got {self.n_rounds}"
+            )
+        if self.prescreen_keep is not None and self.prescreen_keep <= 0:
+            raise ConfigurationError(
+                f"prescreen_keep must be positive, got {self.prescreen_keep}"
+            )
+
+    @classmethod
+    def paper_small_scale(cls, mode: str = "joint") -> "FrameworkConfig":
+        """Paper setup for n = 9: ``|A| = 4``, ``P = 1000``, ``R = 5``."""
+        return cls(
+            mode=mode,
+            free_size=4,
+            n_partitions=1000,
+            n_rounds=5,
+            solver=CoreSolverConfig.paper_small_scale(),
+        )
+
+    @classmethod
+    def paper_large_scale(cls, mode: str = "joint") -> "FrameworkConfig":
+        """Paper setup for n = 16: ``|A| = 7``, ``P = 1000``, ``R = 5``."""
+        return cls(
+            mode=mode,
+            free_size=7,
+            n_partitions=1000,
+            n_rounds=5,
+            solver=CoreSolverConfig.paper_large_scale(),
+        )
+
+    def with_updates(self, **changes) -> "FrameworkConfig":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **changes)

@@ -1,0 +1,37 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses mark which
+subsystem rejected the input; they deliberately stay thin — the message
+carries the detail.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class DimensionError(ReproError, ValueError):
+    """An array, truth table, or vector has an incompatible shape."""
+
+
+class PartitionError(ReproError, ValueError):
+    """An input partition is malformed (overlap, gap, or bad indices)."""
+
+
+class DecompositionError(ReproError, ValueError):
+    """A decomposition setting is inconsistent with its Boolean matrix."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """An optimization solver failed or was configured inconsistently."""
+
+
+class InfeasibleError(SolverError):
+    """An ILP/LP instance has no feasible point."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration dataclass holds an invalid combination of values."""

@@ -1,0 +1,24 @@
+"""A small 0-1 integer linear programming solver (Gurobi substitute).
+
+The paper solves DALTA's row-based core COP with Gurobi under a
+wall-clock budget, returning the incumbent at timeout.  This package
+reproduces that contract offline:
+
+* :class:`~repro.ilp.problem.IlpBuilder` /
+  :class:`~repro.ilp.problem.IntegerLinearProgram` — a named-variable
+  model builder that lowers to matrix form;
+* :class:`~repro.ilp.branch_and_bound.BranchAndBoundSolver` — best-first
+  branch and bound over LP relaxations (``scipy.optimize.linprog`` with
+  the HiGHS backend), with rounding-based primal heuristics, a time
+  budget, and anytime incumbents.
+"""
+
+from repro.ilp.branch_and_bound import BranchAndBoundSolver, IlpResult
+from repro.ilp.problem import IlpBuilder, IntegerLinearProgram
+
+__all__ = [
+    "BranchAndBoundSolver",
+    "IlpBuilder",
+    "IlpResult",
+    "IntegerLinearProgram",
+]

@@ -1,0 +1,244 @@
+"""ILP model representation and a named-variable builder.
+
+:class:`IntegerLinearProgram` is the matrix-form instance the
+branch-and-bound solver consumes:
+
+    minimize    c @ x
+    subject to  A_ub @ x <= b_ub
+                A_eq @ x == b_eq
+                lower <= x <= upper
+                x_i integer for i with integrality[i] = True
+
+:class:`IlpBuilder` is the ergonomic layer: register variables by name,
+add constraints as ``{name: coefficient}`` dictionaries, then
+:meth:`~IlpBuilder.build`.  The DALTA-ILP baseline uses the builder to
+write the row-based core COP almost verbatim from its ILP formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+__all__ = ["IntegerLinearProgram", "IlpBuilder"]
+
+
+@dataclass(frozen=True)
+class IntegerLinearProgram:
+    """A mixed 0-1 linear program in matrix form (see module docstring)."""
+
+    objective: np.ndarray
+    a_ub: Optional[np.ndarray] = None
+    b_ub: Optional[np.ndarray] = None
+    a_eq: Optional[np.ndarray] = None
+    b_eq: Optional[np.ndarray] = None
+    lower: Optional[np.ndarray] = None
+    upper: Optional[np.ndarray] = None
+    integrality: Optional[np.ndarray] = None
+    variable_names: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        c = np.asarray(self.objective, dtype=float)
+        if c.ndim != 1:
+            raise DimensionError("objective must be a vector")
+        n = c.shape[0]
+        object.__setattr__(self, "objective", c)
+
+        def check_pair(a, b, label):
+            if (a is None) != (b is None):
+                raise DimensionError(
+                    f"{label}: matrix and rhs must both be given or omitted"
+                )
+            if a is None:
+                return None, None
+            a = np.asarray(a, dtype=float)
+            b = np.asarray(b, dtype=float)
+            if a.ndim != 2 or a.shape[1] != n:
+                raise DimensionError(
+                    f"{label} matrix must have shape (*, {n}), got {a.shape}"
+                )
+            if b.shape != (a.shape[0],):
+                raise DimensionError(
+                    f"{label} rhs must have shape ({a.shape[0]},), got {b.shape}"
+                )
+            return a, b
+
+        a_ub, b_ub = check_pair(self.a_ub, self.b_ub, "inequality")
+        a_eq, b_eq = check_pair(self.a_eq, self.b_eq, "equality")
+        object.__setattr__(self, "a_ub", a_ub)
+        object.__setattr__(self, "b_ub", b_ub)
+        object.__setattr__(self, "a_eq", a_eq)
+        object.__setattr__(self, "b_eq", b_eq)
+
+        lower = (
+            np.zeros(n)
+            if self.lower is None
+            else np.asarray(self.lower, dtype=float)
+        )
+        upper = (
+            np.full(n, np.inf)
+            if self.upper is None
+            else np.asarray(self.upper, dtype=float)
+        )
+        if lower.shape != (n,) or upper.shape != (n,):
+            raise DimensionError(f"bounds must have shape ({n},)")
+        if (lower > upper).any():
+            raise DimensionError("lower bounds exceed upper bounds")
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+        integrality = (
+            np.zeros(n, dtype=bool)
+            if self.integrality is None
+            else np.asarray(self.integrality, dtype=bool)
+        )
+        if integrality.shape != (n,):
+            raise DimensionError(f"integrality must have shape ({n},)")
+        object.__setattr__(self, "integrality", integrality)
+
+        if self.variable_names and len(self.variable_names) != n:
+            raise DimensionError(
+                f"variable_names must have length {n}, "
+                f"got {len(self.variable_names)}"
+            )
+
+    @property
+    def n_variables(self) -> int:
+        """Number of decision variables."""
+        return int(self.objective.shape[0])
+
+    def value(self, x: np.ndarray) -> float:
+        """Objective value of an assignment."""
+        return float(self.objective @ np.asarray(x, dtype=float))
+
+    def is_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+        """Check bounds, constraints, and integrality of an assignment."""
+        arr = np.asarray(x, dtype=float)
+        if arr.shape != (self.n_variables,):
+            return False
+        if (arr < self.lower - tol).any() or (arr > self.upper + tol).any():
+            return False
+        if self.a_ub is not None and (
+            self.a_ub @ arr > self.b_ub + tol
+        ).any():
+            return False
+        if self.a_eq is not None and not np.allclose(
+            self.a_eq @ arr, self.b_eq, atol=tol
+        ):
+            return False
+        frac = np.abs(arr - np.round(arr))
+        return bool((frac[self.integrality] <= tol).all())
+
+
+@dataclass
+class IlpBuilder:
+    """Incremental, name-based construction of an ILP."""
+
+    _names: List[str] = field(default_factory=list)
+    _index: Dict[str, int] = field(default_factory=dict)
+    _objective: Dict[str, float] = field(default_factory=dict)
+    _lower: List[float] = field(default_factory=list)
+    _upper: List[float] = field(default_factory=list)
+    _integer: List[bool] = field(default_factory=list)
+    _ub_rows: List[Tuple[Dict[str, float], float]] = field(default_factory=list)
+    _eq_rows: List[Tuple[Dict[str, float], float]] = field(default_factory=list)
+
+    def add_binary(self, name: str) -> str:
+        """Register a 0/1 variable and return its name."""
+        return self.add_variable(name, lower=0.0, upper=1.0, integer=True)
+
+    def add_variable(
+        self,
+        name: str,
+        lower: float = 0.0,
+        upper: float = np.inf,
+        integer: bool = False,
+    ) -> str:
+        """Register a general variable and return its name."""
+        if name in self._index:
+            raise DimensionError(f"variable {name!r} already declared")
+        self._index[name] = len(self._names)
+        self._names.append(name)
+        self._lower.append(float(lower))
+        self._upper.append(float(upper))
+        self._integer.append(bool(integer))
+        return name
+
+    def set_objective_term(self, name: str, coefficient: float) -> None:
+        """Add ``coefficient * name`` to the (minimized) objective."""
+        if name not in self._index:
+            raise DimensionError(f"unknown variable {name!r}")
+        self._objective[name] = self._objective.get(name, 0.0) + float(
+            coefficient
+        )
+
+    def add_less_equal(
+        self, coefficients: Mapping[str, float], rhs: float
+    ) -> None:
+        """Add ``sum coeff * var <= rhs``."""
+        self._check_names(coefficients)
+        self._ub_rows.append((dict(coefficients), float(rhs)))
+
+    def add_greater_equal(
+        self, coefficients: Mapping[str, float], rhs: float
+    ) -> None:
+        """Add ``sum coeff * var >= rhs`` (stored as a flipped <=)."""
+        flipped = {name: -value for name, value in coefficients.items()}
+        self.add_less_equal(flipped, -float(rhs))
+
+    def add_equal(self, coefficients: Mapping[str, float], rhs: float) -> None:
+        """Add ``sum coeff * var == rhs``."""
+        self._check_names(coefficients)
+        self._eq_rows.append((dict(coefficients), float(rhs)))
+
+    def _check_names(self, coefficients: Mapping[str, float]) -> None:
+        for name in coefficients:
+            if name not in self._index:
+                raise DimensionError(f"unknown variable {name!r}")
+
+    @property
+    def n_variables(self) -> int:
+        """Number of variables declared so far."""
+        return len(self._names)
+
+    def index_of(self, name: str) -> int:
+        """Column index of a variable."""
+        return self._index[name]
+
+    def build(self) -> IntegerLinearProgram:
+        """Lower to matrix form."""
+        n = len(self._names)
+        if n == 0:
+            raise DimensionError("no variables declared")
+        c = np.zeros(n)
+        for name, coefficient in self._objective.items():
+            c[self._index[name]] = coefficient
+
+        def rows_to_matrix(rows):
+            if not rows:
+                return None, None
+            matrix = np.zeros((len(rows), n))
+            rhs = np.zeros(len(rows))
+            for row, (coefficients, value) in enumerate(rows):
+                for name, coefficient in coefficients.items():
+                    matrix[row, self._index[name]] = coefficient
+                rhs[row] = value
+            return matrix, rhs
+
+        a_ub, b_ub = rows_to_matrix(self._ub_rows)
+        a_eq, b_eq = rows_to_matrix(self._eq_rows)
+        return IntegerLinearProgram(
+            objective=c,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=a_eq,
+            b_eq=b_eq,
+            lower=np.array(self._lower),
+            upper=np.array(self._upper),
+            integrality=np.array(self._integer),
+            variable_names=tuple(self._names),
+        )

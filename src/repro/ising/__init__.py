@@ -1,0 +1,60 @@
+"""Ising-model substrate: energy models, QUBO conversions, and solvers.
+
+The Ising model (Eq. 1 of the paper) assigns an energy
+
+    E(sigma) = - sum_i h_i sigma_i - (1/2) sum_ij J_ij sigma_i sigma_j
+
+to spin states ``sigma in {-1, +1}^N``.  This package provides:
+
+* :class:`~repro.ising.model.DenseIsingModel` — explicit ``(h, J)``;
+* :class:`~repro.ising.structured.BipartiteDecompositionModel` — the
+  structured model produced by the column-based core COP, whose coupling
+  matrix is bipartite between the pattern spins and the type spins and
+  therefore admits an ``O(r*c)`` field computation;
+* QUBO conversions (:mod:`repro.ising.qubo`);
+* solvers: ballistic/adiabatic/discrete simulated bifurcation, simulated
+  annealing, and exact brute force (:mod:`repro.ising.solvers`);
+* the paper's dynamic stop criterion (:mod:`repro.ising.stop_criteria`);
+* a small zoo of classic problem formulations for solver validation
+  (:mod:`repro.ising.problems`).
+"""
+
+from repro.ising.model import DenseIsingModel, IsingModel
+from repro.ising.polynomial import PolynomialIsingModel
+from repro.ising.problems import max_cut_model, number_partitioning_model
+from repro.ising.qubo import QuboModel, ising_to_qubo, qubo_to_ising
+from repro.ising.solvers import (
+    AdiabaticSBSolver,
+    BallisticSBSolver,
+    BruteForceSolver,
+    DiscreteSBSolver,
+    SimulatedAnnealingSolver,
+    SolveResult,
+)
+from repro.ising.stop_criteria import (
+    EnergyVarianceStop,
+    FixedIterations,
+    StopCriterion,
+)
+from repro.ising.structured import BipartiteDecompositionModel
+
+__all__ = [
+    "AdiabaticSBSolver",
+    "BallisticSBSolver",
+    "BipartiteDecompositionModel",
+    "BruteForceSolver",
+    "DenseIsingModel",
+    "DiscreteSBSolver",
+    "EnergyVarianceStop",
+    "FixedIterations",
+    "IsingModel",
+    "PolynomialIsingModel",
+    "QuboModel",
+    "SimulatedAnnealingSolver",
+    "SolveResult",
+    "StopCriterion",
+    "ising_to_qubo",
+    "max_cut_model",
+    "number_partitioning_model",
+    "qubo_to_ising",
+]

@@ -1,0 +1,199 @@
+"""Ising energy models.
+
+The abstract :class:`IsingModel` fixes the interface every solver relies
+on: the number of spins, the energy of a spin state (Eq. 1), the *local
+field* vector (the negative energy gradient with respect to each spin,
+which drives both simulated bifurcation and simulated annealing), and an
+additive ``offset`` that restores the constant terms dropped when a COP
+objective is rewritten as an Ising energy — so ``objective(spins)``
+always equals the original COP cost (ER or MED contribution).
+
+:class:`DenseIsingModel` is the explicit ``(h, J)`` realization; the
+structured model used by the core COP lives in
+:mod:`repro.ising.structured`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+__all__ = ["IsingModel", "DenseIsingModel"]
+
+
+class IsingModel(abc.ABC):
+    """Interface of a second-order Ising energy (Eq. 1) with offset.
+
+    Spin arrays use the convention ``shape (..., N)`` with values in
+    ``{-1, +1}`` for energies; solvers may also pass *continuous* position
+    vectors to :meth:`fields` (simulated bifurcation does).
+    """
+
+    #: additive constant restoring the original COP objective
+    offset: float = 0.0
+
+    @property
+    @abc.abstractmethod
+    def n_spins(self) -> int:
+        """Number of spins ``N``."""
+
+    @abc.abstractmethod
+    def energy(self, spins: np.ndarray) -> np.ndarray:
+        """Ising energy of one spin vector or a batch (``shape (..., N)``).
+
+        Returns a scalar for 1-D input, else an array over leading axes.
+        """
+
+    @abc.abstractmethod
+    def fields(self, x: np.ndarray) -> np.ndarray:
+        """Local fields ``f = h + J @ x`` (``-dE/dsigma``), same shape as x.
+
+        ``x`` may be continuous; simulated bifurcation feeds oscillator
+        positions here.
+        """
+
+    @abc.abstractmethod
+    def to_dense(self) -> "DenseIsingModel":
+        """Materialize ``(h, J)`` explicitly (used by SA and brute force)."""
+
+    # -- concrete helpers --------------------------------------------------
+
+    def objective(self, spins: np.ndarray) -> np.ndarray:
+        """Original COP cost: ``energy(spins) + offset``."""
+        return self.energy(spins) + self.offset
+
+    def coupling_rms(self) -> float:
+        """Root-mean-square coupling strength over ordered spin pairs.
+
+        Used to auto-scale the simulated-bifurcation coupling constant
+        ``c0 = 0.5 / (rms * sqrt(N))`` following Goto et al.
+        """
+        dense = self.to_dense()
+        n = dense.n_spins
+        if n < 2:
+            return 0.0
+        total = float((dense.couplings**2).sum())
+        return float(np.sqrt(total / (n * (n - 1))))
+
+    def validate_spins(self, spins: np.ndarray) -> np.ndarray:
+        """Check shape/values of a spin array and return it as float."""
+        arr = np.asarray(spins, dtype=float)
+        if arr.shape[-1] != self.n_spins:
+            raise DimensionError(
+                f"spin array last axis must be {self.n_spins}, "
+                f"got shape {arr.shape}"
+            )
+        if not np.isin(np.unique(arr), (-1.0, 1.0)).all():
+            raise DimensionError("spins must be -1/+1")
+        return arr
+
+
+class DenseIsingModel(IsingModel):
+    """Explicit Ising model with bias vector ``h`` and coupling matrix ``J``.
+
+    Parameters
+    ----------
+    biases:
+        ``h``, shape ``(N,)``.
+    couplings:
+        ``J``, shape ``(N, N)``, symmetric with zero diagonal.
+    offset:
+        Constant added by :meth:`objective`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> model = DenseIsingModel(np.zeros(2), np.array([[0., 1.], [1., 0.]]))
+    >>> float(model.energy(np.array([1, 1])))
+    -1.0
+    """
+
+    def __init__(
+        self,
+        biases: np.ndarray,
+        couplings: np.ndarray,
+        offset: float = 0.0,
+    ) -> None:
+        h = np.asarray(biases, dtype=float)
+        j = np.asarray(couplings, dtype=float)
+        if h.ndim != 1:
+            raise DimensionError(f"biases must be 1-D, got ndim={h.ndim}")
+        n = h.shape[0]
+        if j.shape != (n, n):
+            raise DimensionError(
+                f"couplings must have shape ({n}, {n}), got {j.shape}"
+            )
+        if not np.allclose(j, j.T):
+            raise DimensionError("couplings must be symmetric")
+        if not np.allclose(np.diag(j), 0.0):
+            raise DimensionError("couplings must have a zero diagonal")
+        self._h = np.ascontiguousarray(h)
+        self._j = np.ascontiguousarray(j)
+        self._h.setflags(write=False)
+        self._j.setflags(write=False)
+        self.offset = float(offset)
+
+    @property
+    def n_spins(self) -> int:
+        return int(self._h.shape[0])
+
+    @property
+    def biases(self) -> np.ndarray:
+        """Read-only bias vector ``h``."""
+        return self._h
+
+    @property
+    def couplings(self) -> np.ndarray:
+        """Read-only coupling matrix ``J``."""
+        return self._j
+
+    def energy(self, spins: np.ndarray) -> np.ndarray:
+        sigma = np.asarray(spins, dtype=float)
+        if sigma.shape[-1] != self.n_spins:
+            raise DimensionError(
+                f"spin array last axis must be {self.n_spins}, "
+                f"got shape {sigma.shape}"
+            )
+        linear = sigma @ self._h
+        quadratic = 0.5 * np.einsum(
+            "...i,ij,...j->...", sigma, self._j, sigma
+        )
+        result = -(linear + quadratic)
+        if sigma.ndim == 1:
+            return np.float64(result)
+        return result
+
+    def fields(self, x: np.ndarray) -> np.ndarray:
+        arr = np.asarray(x, dtype=float)
+        if arr.shape[-1] != self.n_spins:
+            raise DimensionError(
+                f"position array last axis must be {self.n_spins}, "
+                f"got shape {arr.shape}"
+            )
+        return self._h + arr @ self._j
+
+    def to_dense(self) -> "DenseIsingModel":
+        return self
+
+    def local_energy_change(
+        self, spins: np.ndarray, index: Optional[int] = None
+    ) -> np.ndarray:
+        """Energy change of flipping spin(s): ``dE_i = 2 sigma_i f_i``.
+
+        With ``index=None``, returns the change for every spin at once.
+        """
+        sigma = np.asarray(spins, dtype=float)
+        f = self.fields(sigma)
+        delta = 2.0 * sigma * f
+        if index is None:
+            return delta
+        return delta[..., index]
+
+    def __repr__(self) -> str:
+        return (
+            f"DenseIsingModel(n_spins={self.n_spins}, offset={self.offset})"
+        )

@@ -1,0 +1,93 @@
+"""Classic Ising problem formulations used to validate the solvers.
+
+These are standard textbook mappings (Lucas 2014).  Their role in this
+repository is *instrumental*: they give the solver zoo ground-truth
+problems whose optima are independently checkable, so regressions in the
+SB/SA implementations are caught away from the decomposition pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.ising.model import DenseIsingModel
+
+__all__ = [
+    "max_cut_model",
+    "max_cut_value",
+    "number_partitioning_model",
+    "partition_imbalance",
+    "random_max_cut_weights",
+]
+
+
+def max_cut_model(weights: np.ndarray) -> DenseIsingModel:
+    """Ising model whose objective equals *minus* the cut weight.
+
+    ``weights`` is a symmetric non-negative ``(n, n)`` adjacency matrix
+    (zero diagonal).  For any spin assignment partitioning vertices by
+    sign, ``model.objective(sigma) == -cut_weight(sigma)``; a ground
+    state is a maximum cut.
+    """
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 2 or w.shape[0] != w.shape[1]:
+        raise DimensionError(f"weights must be square, got shape {w.shape}")
+    if not np.allclose(w, w.T):
+        raise DimensionError("weights must be symmetric")
+    if not np.allclose(np.diag(w), 0.0):
+        raise DimensionError("weights must have zero diagonal")
+    n = w.shape[0]
+    # -cut = (1/4) sum_ij w_ij s_i s_j - W_total/2,  W_total = sum_{i<j} w_ij
+    j = -w / 2.0
+    offset = -float(np.triu(w, 1).sum()) / 2.0
+    return DenseIsingModel(np.zeros(n), j, offset)
+
+
+def max_cut_value(weights: np.ndarray, spins: np.ndarray) -> float:
+    """Cut weight of the sign partition ``spins`` (direct computation)."""
+    w = np.asarray(weights, dtype=float)
+    sigma = np.asarray(spins, dtype=float)
+    cross = (sigma[:, np.newaxis] * sigma[np.newaxis, :]) < 0
+    return float((np.triu(w, 1) * np.triu(cross, 1)).sum())
+
+
+def number_partitioning_model(values: np.ndarray) -> DenseIsingModel:
+    """Ising model whose objective equals the squared subset-sum imbalance.
+
+    For weights ``a_i`` and signs ``sigma``, the objective is
+    ``(sum_i a_i sigma_i)**2``; a zero-objective ground state is a
+    perfect partition.
+    """
+    a = np.asarray(values, dtype=float)
+    if a.ndim != 1:
+        raise DimensionError(f"values must be 1-D, got ndim={a.ndim}")
+    n = a.shape[0]
+    j = -2.0 * np.outer(a, a)
+    np.fill_diagonal(j, 0.0)
+    offset = float((a**2).sum())
+    return DenseIsingModel(np.zeros(n), j, offset)
+
+
+def partition_imbalance(values: np.ndarray, spins: np.ndarray) -> float:
+    """``|sum_i a_i sigma_i|`` — direct imbalance of a sign partition."""
+    a = np.asarray(values, dtype=float)
+    sigma = np.asarray(spins, dtype=float)
+    return float(abs(a @ sigma))
+
+
+def random_max_cut_weights(
+    n_vertices: int,
+    density: float = 0.5,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+) -> np.ndarray:
+    """A random symmetric weighted graph for solver validation."""
+    if not 0.0 < density <= 1.0:
+        raise DimensionError(f"density must be in (0, 1], got {density}")
+    rng = np.random.default_rng(rng)
+    upper = np.triu(rng.random((n_vertices, n_vertices)), 1)
+    mask = np.triu(rng.random((n_vertices, n_vertices)) < density, 1)
+    upper = upper * mask
+    return upper + upper.T

@@ -1,0 +1,90 @@
+"""Parameter schedules for annealing-style solvers.
+
+Simulated bifurcation pumps the oscillator network with a ramping
+amplitude ``a(t)`` that sweeps through the bifurcation point; simulated
+annealing cools a temperature.  Both are tiny callables kept here so the
+solvers stay declarative and the schedules are unit-testable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LinearPump", "GeometricCooling"]
+
+
+class LinearPump:
+    """Linear pump ``a(t) = a0 * min(1, t / ramp_iterations)``.
+
+    This is the schedule used by the bSB reference implementations: the
+    pump rises linearly from 0 to ``a0`` over ``ramp_iterations`` Euler
+    steps and then holds, so runs that outlive the ramp (e.g. under the
+    dynamic stop criterion) stay at the bifurcated fixed point.
+    """
+
+    def __init__(self, a0: float = 1.0, ramp_iterations: int = 1000) -> None:
+        if a0 <= 0:
+            raise ConfigurationError(f"a0 must be positive, got {a0}")
+        if ramp_iterations <= 0:
+            raise ConfigurationError(
+                f"ramp_iterations must be positive, got {ramp_iterations}"
+            )
+        self.a0 = float(a0)
+        self.ramp_iterations = int(ramp_iterations)
+
+    def __call__(self, iteration: int) -> float:
+        """Pump amplitude at (1-based) Euler iteration ``iteration``."""
+        frac = min(1.0, iteration / self.ramp_iterations)
+        return self.a0 * frac
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearPump(a0={self.a0}, "
+            f"ramp_iterations={self.ramp_iterations})"
+        )
+
+
+class GeometricCooling:
+    """Geometric cooling ``T(k) = T0 * alpha^k`` clipped at ``T_min``."""
+
+    def __init__(
+        self, t_initial: float = 10.0, t_final: float = 0.01, n_steps: int = 100
+    ) -> None:
+        if t_initial <= 0 or t_final <= 0:
+            raise ConfigurationError("temperatures must be positive")
+        if t_final > t_initial:
+            raise ConfigurationError(
+                f"t_final ({t_final}) must not exceed t_initial ({t_initial})"
+            )
+        if n_steps <= 0:
+            raise ConfigurationError(f"n_steps must be positive, got {n_steps}")
+        self.t_initial = float(t_initial)
+        self.t_final = float(t_final)
+        self.n_steps = int(n_steps)
+        if n_steps == 1:
+            self._alpha = 1.0
+        else:
+            self._alpha = (t_final / t_initial) ** (1.0 / (n_steps - 1))
+
+    @property
+    def alpha(self) -> float:
+        """Per-step cooling factor."""
+        return self._alpha
+
+    def __call__(self, step: int) -> float:
+        """Temperature at (0-based) annealing step ``step``."""
+        return max(
+            self.t_final, self.t_initial * self._alpha ** min(step, self.n_steps)
+        )
+
+    def temperatures(self) -> np.ndarray:
+        """The full cooling ladder, shape ``(n_steps,)``."""
+        return np.array([self(k) for k in range(self.n_steps)])
+
+    def __repr__(self) -> str:
+        return (
+            f"GeometricCooling(t_initial={self.t_initial}, "
+            f"t_final={self.t_final}, n_steps={self.n_steps})"
+        )

@@ -1,0 +1,30 @@
+"""Ising solvers: simulated bifurcation variants, annealing, brute force.
+
+All solvers share the :class:`~repro.ising.solvers.base.IsingSolver`
+interface — ``solve(model, rng) -> SolveResult`` — so the decomposition
+layer and the benchmarks can swap them freely.
+"""
+
+from repro.ising.solvers.asb import AdiabaticSBSolver
+from repro.ising.solvers.base import IsingSolver, SolveResult
+from repro.ising.solvers.brute_force import BruteForceSolver
+from repro.ising.solvers.bsb import BallisticSBSolver, SBState
+from repro.ising.solvers.dsb import DiscreteSBSolver
+from repro.ising.solvers.mean_field import MeanFieldAnnealingSolver
+from repro.ising.solvers.parallel_tempering import ParallelTemperingSolver
+from repro.ising.solvers.sa import SimulatedAnnealingSolver
+from repro.ising.solvers.tabu import TabuSearchSolver
+
+__all__ = [
+    "AdiabaticSBSolver",
+    "BallisticSBSolver",
+    "BruteForceSolver",
+    "DiscreteSBSolver",
+    "IsingSolver",
+    "MeanFieldAnnealingSolver",
+    "ParallelTemperingSolver",
+    "SBState",
+    "SimulatedAnnealingSolver",
+    "SolveResult",
+    "TabuSearchSolver",
+]

@@ -1,0 +1,84 @@
+"""Shared solver interface and result container."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ising.model import IsingModel
+
+__all__ = ["SolveResult", "IsingSolver", "spins_to_binary", "binary_to_spins"]
+
+
+def spins_to_binary(spins: np.ndarray) -> np.ndarray:
+    """Map spins ``{-1, +1}`` to bits ``{0, 1}`` (``x = (sigma + 1) / 2``)."""
+    return ((np.asarray(spins) + 1) // 2).astype(np.uint8)
+
+
+def binary_to_spins(bits: np.ndarray) -> np.ndarray:
+    """Map bits ``{0, 1}`` to spins ``{-1, +1}`` (``sigma = 2x - 1``)."""
+    return (2 * np.asarray(bits, dtype=np.int8) - 1).astype(float)
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one solver run.
+
+    Attributes
+    ----------
+    spins:
+        Best spin vector found, shape ``(N,)``, values in ``{-1, +1}``.
+    energy:
+        Ising energy of :attr:`spins` (Eq. 1, without offset).
+    objective:
+        ``energy + model.offset`` — the original COP cost.
+    n_iterations:
+        Euler steps / sweeps actually executed.
+    stop_reason:
+        ``"max_iterations"``, ``"variance_converged"``, ``"exhausted"``,
+        or a solver-specific tag.
+    energy_trace:
+        Energies at each sampling point (empty when sampling is off).
+    runtime_seconds:
+        Wall-clock time of the :meth:`IsingSolver.solve` call.
+    """
+
+    spins: np.ndarray
+    energy: float
+    objective: float
+    n_iterations: int
+    stop_reason: str
+    energy_trace: List[float] = field(default_factory=list)
+    runtime_seconds: float = 0.0
+
+    @property
+    def bits(self) -> np.ndarray:
+        """Best assignment as ``{0, 1}`` bits."""
+        return spins_to_binary(self.spins)
+
+    def __repr__(self) -> str:
+        return (
+            f"SolveResult(energy={self.energy:.6g}, "
+            f"objective={self.objective:.6g}, "
+            f"n_iterations={self.n_iterations}, "
+            f"stop_reason={self.stop_reason!r})"
+        )
+
+
+class IsingSolver(abc.ABC):
+    """A heuristic or exact minimizer of an Ising energy."""
+
+    @abc.abstractmethod
+    def solve(
+        self,
+        model: IsingModel,
+        rng: Optional[np.random.Generator] = None,
+    ) -> SolveResult:
+        """Minimize ``model`` and return the best state found.
+
+        ``rng`` seeds any stochastic element; passing the same generator
+        state makes runs reproducible.
+        """

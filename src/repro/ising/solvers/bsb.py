@@ -1,0 +1,257 @@
+"""Ballistic simulated bifurcation (bSB), Goto et al. 2021.
+
+bSB simulates a network of classical oscillators whose potential encodes
+the Ising energy.  Each spin ``i`` has a position ``x_i`` and momentum
+``y_i`` evolved with symplectic Euler steps:
+
+    y_i += dt * ( -(a0 - a(t)) * x_i + c0 * f_i(x) )
+    x_i += dt * a0 * y_i
+
+where ``f(x) = h + J x`` are the local fields and ``a(t)`` is the pump
+ramping from 0 through the bifurcation point to ``a0``.  The *ballistic*
+variant confines positions with perfectly inelastic walls: whenever
+``|x_i| > 1`` the position is clamped to ``sign(x_i)`` and the momentum
+zeroed.  The solution is read out as ``sign(x)``.
+
+This implementation adds the paper's two improvements as composable
+options:
+
+* a :class:`~repro.ising.stop_criteria.StopCriterion` (the dynamic
+  energy-variance stop of Section 3.3.1), and
+* an *intervention hook* invoked at every sampling point with the live
+  :class:`SBState`, which the Theorem-3 heuristic (Section 3.3.2) uses
+  to overwrite the column-type oscillators with their conditionally
+  optimal values.
+
+Multiple replicas evolve in parallel (``n_replicas``); the best sampled
+spin state across replicas and time is returned.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.ising.model import IsingModel
+from repro.ising.schedules import LinearPump
+from repro.ising.solvers.base import IsingSolver, SolveResult
+from repro.ising.stop_criteria import FixedIterations, StopCriterion
+
+__all__ = ["BallisticSBSolver", "SBState", "InterventionHook"]
+
+
+@dataclass
+class SBState:
+    """Mutable view of a simulated-bifurcation run at a sampling point.
+
+    Intervention hooks may modify :attr:`positions` and :attr:`momenta`
+    in place; the solver continues from the modified state.
+    """
+
+    model: IsingModel
+    positions: np.ndarray  # (n_replicas, N)
+    momenta: np.ndarray  # (n_replicas, N)
+    iteration: int
+    best_energy: float
+    best_spins: np.ndarray
+
+    @property
+    def spins(self) -> np.ndarray:
+        """Current sign readout, shape ``(n_replicas, N)``."""
+        return np.where(self.positions >= 0.0, 1.0, -1.0)
+
+
+InterventionHook = Callable[[SBState], None]
+
+
+def _sign_readout(x: np.ndarray) -> np.ndarray:
+    return np.where(x >= 0.0, 1.0, -1.0)
+
+
+class BallisticSBSolver(IsingSolver):
+    """Ballistic simulated bifurcation with dynamic stop and interventions.
+
+    Parameters
+    ----------
+    stop:
+        Stop criterion; defaults to 1000 fixed iterations.
+    dt:
+        Euler step size.
+    a0:
+        Detuning / final pump amplitude.
+    coupling_strength:
+        ``c0``; ``None`` auto-scales to
+        ``0.5 / (coupling_rms * sqrt(N))`` per Goto et al.
+    n_replicas:
+        Independent oscillator networks evolved in parallel.
+    pump:
+        Pump schedule; defaults to a linear ramp over the stop
+        criterion's ``max_iterations``.
+    intervention:
+        Optional hook called at every sampling point (see module doc).
+    initial_amplitude:
+        Positions/momenta are initialized uniformly in
+        ``[-initial_amplitude, +initial_amplitude]``.
+    initializer:
+        Optional callable ``(rng, n_replicas, n_spins, amplitude) ->
+        (x, y)`` overriding the default uniform initialization — used
+        e.g. to break known symmetries of structured models.
+    sample_every_default:
+        Sampling period used when the stop criterion does not request
+        sampling itself (so the energy trace and interventions still run).
+    """
+
+    def __init__(
+        self,
+        stop: Optional[StopCriterion] = None,
+        dt: float = 0.25,
+        a0: float = 1.0,
+        coupling_strength: Optional[float] = None,
+        n_replicas: int = 1,
+        pump: Optional[LinearPump] = None,
+        intervention: Optional[InterventionHook] = None,
+        initial_amplitude: float = 0.1,
+        sample_every_default: int = 50,
+        initializer=None,
+    ) -> None:
+        if dt <= 0:
+            raise SolverError(f"dt must be positive, got {dt}")
+        if n_replicas <= 0:
+            raise SolverError(
+                f"n_replicas must be positive, got {n_replicas}"
+            )
+        if initial_amplitude <= 0:
+            raise SolverError(
+                f"initial_amplitude must be positive, got {initial_amplitude}"
+            )
+        self.stop = stop if stop is not None else FixedIterations(1000)
+        self.dt = float(dt)
+        self.a0 = float(a0)
+        self.coupling_strength = coupling_strength
+        self.n_replicas = int(n_replicas)
+        self.pump = pump
+        self.intervention = intervention
+        self.initial_amplitude = float(initial_amplitude)
+        self.sample_every_default = int(sample_every_default)
+        self.initializer = initializer
+
+    # ------------------------------------------------------------------
+
+    def _resolve_c0(self, model: IsingModel) -> float:
+        if self.coupling_strength is not None:
+            return float(self.coupling_strength)
+        rms = model.coupling_rms()
+        if rms <= 0.0:
+            return 1.0
+        return 0.5 / (rms * np.sqrt(model.n_spins))
+
+    def solve(
+        self,
+        model: IsingModel,
+        rng: Optional[np.random.Generator] = None,
+    ) -> SolveResult:
+        start = time.perf_counter()
+        rng = np.random.default_rng(rng)
+        n = model.n_spins
+        c0 = self._resolve_c0(model)
+        stop = self.stop
+        stop.reset()
+        max_iterations = stop.max_iterations
+        pump = self.pump or LinearPump(self.a0, max_iterations)
+        sample_every = stop.sample_every or self.sample_every_default
+
+        if self.initializer is not None:
+            x, y = self.initializer(
+                rng, self.n_replicas, n, self.initial_amplitude
+            )
+            x = np.asarray(x, dtype=float)
+            y = np.asarray(y, dtype=float)
+            if x.shape != (self.n_replicas, n) or y.shape != x.shape:
+                raise SolverError(
+                    "initializer must return two arrays of shape "
+                    f"({self.n_replicas}, {n})"
+                )
+        else:
+            x = rng.uniform(
+                -self.initial_amplitude, self.initial_amplitude,
+                (self.n_replicas, n),
+            )
+            y = rng.uniform(
+                -self.initial_amplitude, self.initial_amplitude,
+                (self.n_replicas, n),
+            )
+
+        best_energy = np.inf
+        best_spins = _sign_readout(x[0])
+        trace = []
+        stop_reason = "max_iterations"
+        iteration = 0
+
+        for iteration in range(1, max_iterations + 1):
+            a_t = pump(iteration)
+            y += self.dt * (-(self.a0 - a_t) * x + c0 * model.fields(x))
+            x += self.dt * self.a0 * y
+            # perfectly inelastic walls at |x| = 1
+            outside = np.abs(x) > 1.0
+            if outside.any():
+                np.clip(x, -1.0, 1.0, out=x)
+                y[outside] = 0.0
+
+            if iteration % sample_every == 0:
+                spins = _sign_readout(x)
+                energies = np.atleast_1d(model.energy(spins))
+                idx = int(np.argmin(energies))
+                current = float(energies[idx])
+                if current < best_energy:
+                    best_energy = current
+                    best_spins = spins[idx].copy()
+                trace.append(current)
+                if self.intervention is not None:
+                    state = SBState(
+                        model=model,
+                        positions=x,
+                        momenta=y,
+                        iteration=iteration,
+                        best_energy=best_energy,
+                        best_spins=best_spins,
+                    )
+                    self.intervention(state)
+                    spins = _sign_readout(x)
+                    energies = np.atleast_1d(model.energy(spins))
+                    idx = int(np.argmin(energies))
+                    current = float(energies[idx])
+                    if current < best_energy:
+                        best_energy = current
+                        best_spins = spins[idx].copy()
+                if stop.wants_sample(iteration) and stop.observe(current):
+                    stop_reason = "variance_converged"
+                    break
+
+        # final readout in case the last iterations were never sampled
+        spins = _sign_readout(x)
+        energies = np.atleast_1d(model.energy(spins))
+        idx = int(np.argmin(energies))
+        if float(energies[idx]) < best_energy:
+            best_energy = float(energies[idx])
+            best_spins = spins[idx].copy()
+
+        runtime = time.perf_counter() - start
+        return SolveResult(
+            spins=best_spins,
+            energy=best_energy,
+            objective=best_energy + model.offset,
+            n_iterations=iteration,
+            stop_reason=stop_reason,
+            energy_trace=trace,
+            runtime_seconds=runtime,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BallisticSBSolver(stop={self.stop!r}, dt={self.dt}, "
+            f"a0={self.a0}, n_replicas={self.n_replicas})"
+        )

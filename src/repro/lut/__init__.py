@@ -1,0 +1,25 @@
+"""LUT-cascade construction and cost modelling (the Fig. 1 economics).
+
+Computing with memory stores a function's truth table in a lookup table;
+a disjoint decomposition ``g = F(phi(B), A)`` replaces one ``2^n``-bit
+LUT with a cascade of a ``2^|B|``-bit LUT (for ``phi``) feeding a
+``2^(|A|+1)``-bit LUT (for ``F``).  This package turns accepted
+decomposition settings — column-based or row-based — into evaluable
+cascades and reports the storage economics.
+"""
+
+from repro.lut.cascade import (
+    LutCascadeDesign,
+    row_component,
+    build_cascade_design,
+)
+from repro.lut.cost import CostReport, cascade_cost_report, flat_lut_bits
+
+__all__ = [
+    "CostReport",
+    "LutCascadeDesign",
+    "build_cascade_design",
+    "cascade_cost_report",
+    "flat_lut_bits",
+    "row_component",
+]

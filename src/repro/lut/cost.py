@@ -1,0 +1,85 @@
+"""Storage cost model for flat LUTs versus decomposed cascades.
+
+The reproduction's cost unit is the *bit of LUT storage* — the quantity
+Fig. 1 of the paper reasons about (a 5-input function needs 32 bits
+flat, or 16 bits as a cascade).  The report also estimates relative
+read-energy using the common square-root-of-capacity heuristic for SRAM
+array access cost, which is enough to rank designs (absolute energy
+numbers would need a technology model the paper does not use either).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.lut.cascade import LutCascadeDesign
+
+__all__ = ["CostReport", "flat_lut_bits", "cascade_cost_report"]
+
+
+def flat_lut_bits(n_inputs: int, n_outputs: int) -> int:
+    """Bits to store an ``n``-input, ``m``-output function flat."""
+    if n_inputs < 0 or n_outputs <= 0:
+        raise DimensionError(
+            f"invalid signature ({n_inputs} inputs, {n_outputs} outputs)"
+        )
+    return n_outputs * (1 << n_inputs)
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Storage/access economics of a cascade design vs. the flat LUT.
+
+    Attributes
+    ----------
+    flat_bits / cascade_bits:
+        Storage of the two implementations.
+    compression_ratio:
+        ``flat_bits / cascade_bits``.
+    relative_access_cost:
+        Estimated cascade read cost relative to the flat LUT, using the
+        ``sqrt(capacity)`` array-access heuristic summed over the two
+        serial LUT reads of each cascade.
+    per_output_bits:
+        Cascade bits per output component.
+    """
+
+    flat_bits: int
+    cascade_bits: int
+    compression_ratio: float
+    relative_access_cost: float
+    per_output_bits: tuple
+
+    def __str__(self) -> str:
+        return (
+            f"flat {self.flat_bits} bits -> cascade {self.cascade_bits} "
+            f"bits ({self.compression_ratio:.2f}x smaller, "
+            f"~{self.relative_access_cost:.2f}x relative access cost)"
+        )
+
+
+def cascade_cost_report(design: LutCascadeDesign) -> CostReport:
+    """Compute the :class:`CostReport` of a cascade design."""
+    per_output = tuple(
+        design.components[k].lut_bits for k in range(design.n_outputs)
+    )
+    flat_per_output = 1 << design.n_inputs
+    flat_access = design.n_outputs * np.sqrt(flat_per_output)
+    cascade_access = 0.0
+    for k in range(design.n_outputs):
+        component = design.components[k]
+        phi_bits = component.partition.n_cols
+        f_bits = 2 * component.partition.n_rows
+        cascade_access += np.sqrt(phi_bits) + np.sqrt(f_bits)
+    relative = float(cascade_access / flat_access) if flat_access else 1.0
+    return CostReport(
+        flat_bits=design.flat_bits,
+        cascade_bits=design.total_bits,
+        compression_ratio=design.compression_ratio,
+        relative_access_cost=relative,
+        per_output_bits=per_output,
+    )

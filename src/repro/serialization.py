@@ -1,0 +1,207 @@
+"""JSON serialization of decomposition results and LUT designs.
+
+A decomposition run is expensive; its *outcome* — per output, an input
+partition plus a (column- or row-based) setting — is tiny.  This module
+persists that outcome so a design can be re-loaded, re-evaluated,
+turned into a cascade, or emitted as Verilog without re-running any
+solver.
+
+The format is versioned, plain JSON (no pickle — results may be shared
+between machines and reviewed by humans):
+
+.. code-block:: json
+
+    {
+      "format": "repro-decomposition",
+      "version": 1,
+      "n_inputs": 9,
+      "n_outputs": 9,
+      "med": 2.51,
+      "components": {
+        "0": {"partition": {"free": [0,1,2,3], "bound": [4,5,6,7,8]},
+               "kind": "column",
+               "pattern1": "0110...", "pattern2": "...", "column_types": "..."}
+      }
+    }
+
+Bit vectors are stored as compact 0/1 strings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from types import SimpleNamespace
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.boolean.decomposition import ColumnSetting, RowSetting
+from repro.boolean.partition import InputPartition
+from repro.errors import ReproError
+from repro.lut.cascade import LutCascadeDesign, build_cascade_design
+
+__all__ = [
+    "design_to_dict",
+    "design_from_dict",
+    "save_design",
+    "load_design",
+    "result_to_dict",
+]
+
+_FORMAT = "repro-decomposition"
+_VERSION = 1
+
+
+class SerializationError(ReproError, ValueError):
+    """Raised for malformed or incompatible serialized designs."""
+
+
+def _bits_to_string(bits: np.ndarray) -> str:
+    return "".join("1" if b else "0" for b in np.asarray(bits).ravel())
+
+
+def _string_to_bits(text: str) -> np.ndarray:
+    if not set(text) <= {"0", "1"}:
+        raise SerializationError(f"invalid bit string {text[:32]!r}...")
+    return np.fromiter((c == "1" for c in text), dtype=np.uint8,
+                       count=len(text))
+
+
+def _partition_to_dict(partition: InputPartition) -> Dict:
+    return {
+        "free": list(partition.free),
+        "bound": list(partition.bound),
+        "n_inputs": partition.n_inputs,
+    }
+
+
+def _partition_from_dict(data: Dict) -> InputPartition:
+    try:
+        return InputPartition(
+            data["free"], data["bound"], data["n_inputs"]
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed partition entry: {exc}") from exc
+
+
+def _setting_to_dict(setting) -> Dict:
+    if isinstance(setting, ColumnSetting):
+        return {
+            "kind": "column",
+            "pattern1": _bits_to_string(setting.pattern1),
+            "pattern2": _bits_to_string(setting.pattern2),
+            "column_types": _bits_to_string(setting.column_types),
+        }
+    if isinstance(setting, RowSetting):
+        return {
+            "kind": "row",
+            "pattern": _bits_to_string(setting.pattern),
+            "row_types": [int(t) for t in setting.row_types],
+        }
+    raise SerializationError(
+        f"unsupported setting type {type(setting).__name__}"
+    )
+
+
+def _setting_from_dict(data: Dict):
+    kind = data.get("kind")
+    if kind == "column":
+        return ColumnSetting(
+            _string_to_bits(data["pattern1"]),
+            _string_to_bits(data["pattern2"]),
+            _string_to_bits(data["column_types"]),
+        )
+    if kind == "row":
+        return RowSetting(
+            _string_to_bits(data["pattern"]),
+            np.asarray(data["row_types"], dtype=np.int8),
+        )
+    raise SerializationError(f"unknown setting kind {kind!r}")
+
+
+def result_to_dict(result) -> Dict:
+    """Serialize a decomposition result (core or baseline) to a dict.
+
+    Accepts any object with ``exact``, ``med``, and ``components`` (a
+    mapping to objects carrying ``partition`` and ``setting``).
+    """
+    components = {}
+    for index, accepted in result.components.items():
+        components[str(index)] = {
+            "partition": _partition_to_dict(accepted.partition),
+            **_setting_to_dict(accepted.setting),
+            "objective": float(accepted.objective),
+        }
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "n_inputs": result.exact.n_inputs,
+        "n_outputs": result.exact.n_outputs,
+        "med": float(result.med),
+        "components": components,
+    }
+
+
+def design_to_dict(result) -> Dict:
+    """Alias of :func:`result_to_dict` (the design is the payload)."""
+    return result_to_dict(result)
+
+
+class _LoadedComponent:
+    """Duck-typed stand-in for an accepted component decomposition."""
+
+    def __init__(self, partition, setting, objective):
+        self.partition = partition
+        self.setting = setting
+        self.objective = objective
+
+
+class _LoadedResult:
+    """Duck-typed stand-in feeding :func:`build_cascade_design`."""
+
+    def __init__(self, exact_shape, components, med):
+        n_inputs, n_outputs = exact_shape
+        self.exact = SimpleNamespace(n_inputs=n_inputs, n_outputs=n_outputs)
+        self.components = components
+        self.med = med
+
+
+def design_from_dict(data: Dict) -> LutCascadeDesign:
+    """Rebuild an evaluable cascade design from serialized form."""
+    if data.get("format") != _FORMAT:
+        raise SerializationError(
+            f"not a {_FORMAT} document (format={data.get('format')!r})"
+        )
+    if data.get("version") != _VERSION:
+        raise SerializationError(
+            f"unsupported version {data.get('version')!r}"
+        )
+    components = {}
+    for key, entry in data["components"].items():
+        components[int(key)] = _LoadedComponent(
+            _partition_from_dict(entry["partition"]),
+            _setting_from_dict(entry),
+            float(entry.get("objective", float("nan"))),
+        )
+    loaded = _LoadedResult(
+        (int(data["n_inputs"]), int(data["n_outputs"])),
+        components,
+        float(data.get("med", float("nan"))),
+    )
+    return build_cascade_design(loaded)
+
+
+def save_design(result, path: Union[str, Path]) -> None:
+    """Serialize ``result`` to a JSON file."""
+    payload = result_to_dict(result)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_design(path: Union[str, Path]) -> LutCascadeDesign:
+    """Load a JSON file written by :func:`save_design`."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
+    return design_from_dict(data)

@@ -1,0 +1,51 @@
+"""The paper's benchmark workloads.
+
+Six continuous functions (cos, tan, exp, ln, erf, denoise) quantized per
+the paper's two schemes, plus four AxBench-style arithmetic circuits
+(Brent-Kung adder, Forwardk2j, Inversek2j, Multiplier) reimplemented
+bit-exactly.  :mod:`repro.workloads.registry` exposes the named suites
+used by the Table-1 and Figure-4 reproductions.
+"""
+
+from repro.workloads.axbench import (
+    brent_kung_adder,
+    brent_kung_table,
+    forwardk2j_table,
+    inversek2j_table,
+    multiplier_table,
+)
+from repro.workloads.continuous import (
+    CONTINUOUS_FUNCTIONS,
+    continuous_table,
+)
+from repro.workloads.extended import EXTENDED_FUNCTIONS, extended_table
+from repro.workloads.quantization import (
+    QuantizationScheme,
+    quantize_real_function,
+)
+from repro.workloads.registry import (
+    Workload,
+    build_workload,
+    large_scale_suite,
+    small_scale_suite,
+    workload_names,
+)
+
+__all__ = [
+    "CONTINUOUS_FUNCTIONS",
+    "EXTENDED_FUNCTIONS",
+    "QuantizationScheme",
+    "extended_table",
+    "Workload",
+    "brent_kung_adder",
+    "brent_kung_table",
+    "build_workload",
+    "continuous_table",
+    "forwardk2j_table",
+    "inversek2j_table",
+    "large_scale_suite",
+    "multiplier_table",
+    "quantize_real_function",
+    "small_scale_suite",
+    "workload_names",
+]

@@ -1,0 +1,178 @@
+"""Bit-exact reimplementations of the four AxBench-style circuits.
+
+* **Brent-Kung** — an ``n/2 + n/2``-bit adder.  The carry network is
+  implemented as an actual Brent-Kung parallel-prefix tree over
+  generate/propagate pairs (tested against plain integer addition), so
+  the workload is the real circuit, not just its arithmetic meaning.
+  Output width ``n/2 + 1`` — the paper's ``m = 9`` for ``n = 16``.
+* **Multiplier** — an ``n/2 x n/2``-bit unsigned multiplier,
+  output width ``n`` (``m = 16`` for ``n = 16``).
+* **Forwardk2j** — planar 2-link forward kinematics: inputs are the two
+  joint angles (each ``n/2`` bits over ``[0, pi/2]``), output is the
+  end-effector x-coordinate quantized to ``m`` bits.
+* **Inversek2j** — the matching inverse kinematics: inputs are the
+  end-effector coordinates (each ``n/2`` bits over the reachable box),
+  output is the elbow angle ``theta2`` quantized to ``m`` bits, with
+  out-of-workspace points clamped to the nearest reachable pose.
+
+Link lengths follow AxBench's equal-link arm (``l1 = l2 = 0.5``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.boolean.truth_table import TruthTable
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "brent_kung_adder",
+    "brent_kung_table",
+    "multiplier_table",
+    "forwardk2j_table",
+    "inversek2j_table",
+]
+
+_LINK1 = 0.5
+_LINK2 = 0.5
+
+
+def _split_operands(n_inputs: int) -> int:
+    if n_inputs < 2 or n_inputs % 2 != 0:
+        raise ConfigurationError(
+            f"two-operand circuits need an even input width, got {n_inputs}"
+        )
+    return n_inputs // 2
+
+
+def brent_kung_adder(a: int, b: int, width: int) -> int:
+    """Add two ``width``-bit integers through a Brent-Kung prefix tree.
+
+    Computes per-bit generate ``g_i = a_i & b_i`` and propagate
+    ``p_i = a_i ^ b_i``, combines them with the Brent-Kung up-sweep /
+    down-sweep prefix network, and assembles ``sum_i = p_i ^ c_i``.
+    Returns the ``width + 1``-bit sum.
+    """
+    if width <= 0:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    if not (0 <= a < (1 << width) and 0 <= b < (1 << width)):
+        raise ConfigurationError(
+            f"operands must be {width}-bit, got a={a}, b={b}"
+        )
+    g = [(a >> i) & 1 & ((b >> i) & 1) for i in range(width)]
+    p = [((a >> i) & 1) ^ ((b >> i) & 1) for i in range(width)]
+
+    # prefix arrays: after the sweeps, G[i] is the carry-out of bit i
+    big_g = list(g)
+    big_p = list(p)
+
+    # up-sweep: combine nodes at stride 2, 4, 8, ...
+    stride = 1
+    while stride < width:
+        for i in range(2 * stride - 1, width, 2 * stride):
+            j = i - stride
+            big_g[i] = big_g[i] | (big_p[i] & big_g[j])
+            big_p[i] = big_p[i] & big_p[j]
+        stride *= 2
+
+    # down-sweep: fill in the remaining prefixes
+    stride //= 2
+    while stride >= 1:
+        for i in range(3 * stride - 1, width, 2 * stride):
+            j = i - stride
+            big_g[i] = big_g[i] | (big_p[i] & big_g[j])
+            big_p[i] = big_p[i] & big_p[j]
+        stride //= 2
+
+    carries = [0] + big_g[: width - 1]  # carry into bit i
+    total = 0
+    for i in range(width):
+        total |= (p[i] ^ carries[i]) << i
+    total |= big_g[width - 1] << width  # carry out
+    return total
+
+
+def brent_kung_table(
+    n_inputs: int = 16, probabilities: Optional[np.ndarray] = None
+) -> TruthTable:
+    """Truth table of the Brent-Kung adder workload.
+
+    The input word packs operand ``a`` in the high ``n/2`` bits and
+    operand ``b`` in the low ``n/2`` bits.
+    """
+    half = _split_operands(n_inputs)
+    mask = (1 << half) - 1
+
+    def word(index: int) -> int:
+        return brent_kung_adder(index >> half, index & mask, half)
+
+    return TruthTable.from_integer_function(
+        word, n_inputs, half + 1, probabilities
+    )
+
+
+def multiplier_table(
+    n_inputs: int = 16, probabilities: Optional[np.ndarray] = None
+) -> TruthTable:
+    """Truth table of the unsigned ``n/2 x n/2`` multiplier workload."""
+    half = _split_operands(n_inputs)
+    mask = (1 << half) - 1
+    codes = np.arange(1 << n_inputs, dtype=np.int64)
+    words = (codes >> half) * (codes & mask)
+    return TruthTable.from_words(words, n_inputs, n_inputs, probabilities)
+
+
+def _decode_operands(
+    n_inputs: int, lo: float, hi: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Decode both packed operands onto a real interval ``[lo, hi]``."""
+    half = _split_operands(n_inputs)
+    codes = np.arange(1 << n_inputs, dtype=np.int64)
+    mask = (1 << half) - 1
+    scale = (hi - lo) / ((1 << half) - 1)
+    first = lo + (codes >> half) * scale
+    second = lo + (codes & mask) * scale
+    return first, second
+
+
+def forwardk2j_table(
+    n_inputs: int = 16,
+    n_outputs: int = 16,
+    probabilities: Optional[np.ndarray] = None,
+) -> TruthTable:
+    """Forward kinematics: ``(theta1, theta2) -> x`` end-effector coord.
+
+    ``x = l1 cos(theta1) + l2 cos(theta1 + theta2)`` with both angles in
+    ``[0, pi/2]``; output quantized over the exact image
+    ``[-l2, l1 + l2]``.
+    """
+    theta1, theta2 = _decode_operands(n_inputs, 0.0, np.pi / 2)
+    x = _LINK1 * np.cos(theta1) + _LINK2 * np.cos(theta1 + theta2)
+    lo, hi = -_LINK2, _LINK1 + _LINK2
+    levels = (1 << n_outputs) - 1
+    words = np.round((np.clip(x, lo, hi) - lo) / (hi - lo) * levels).astype(
+        np.int64
+    )
+    return TruthTable.from_words(words, n_inputs, n_outputs, probabilities)
+
+
+def inversek2j_table(
+    n_inputs: int = 16,
+    n_outputs: int = 16,
+    probabilities: Optional[np.ndarray] = None,
+) -> TruthTable:
+    """Inverse kinematics: ``(x, y) -> theta2`` elbow angle.
+
+    ``theta2 = arccos((x^2 + y^2 - l1^2 - l2^2) / (2 l1 l2))``; points
+    outside the reachable annulus clamp the cosine into ``[-1, 1]``
+    (AxBench's kernels likewise saturate).  Coordinates span the
+    workspace box ``[0, l1 + l2]``; the output spans ``[0, pi]``.
+    """
+    x, y = _decode_operands(n_inputs, 0.0, _LINK1 + _LINK2)
+    cos_t2 = (x**2 + y**2 - _LINK1**2 - _LINK2**2) / (2 * _LINK1 * _LINK2)
+    theta2 = np.arccos(np.clip(cos_t2, -1.0, 1.0))
+    levels = (1 << n_outputs) - 1
+    words = np.round(theta2 / np.pi * levels).astype(np.int64)
+    return TruthTable.from_words(words, n_inputs, n_outputs, probabilities)

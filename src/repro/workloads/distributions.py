@@ -1,0 +1,137 @@
+"""Input-pattern probability models (the ``p_X`` of Eq. 2).
+
+The error metrics and both core-COP objectives weight every input
+pattern by its occurrence probability.  The paper's experiments use the
+uniform distribution; real deployments rarely do, so the library ships
+the distribution families that actually show up in front of LUT-based
+accelerators:
+
+* :func:`uniform` — the paper's setting;
+* :func:`gaussian_codes` — analog-front-end style inputs concentrated
+  mid-range;
+* :func:`exponential_codes` — dark-heavy / small-magnitude-heavy
+  signals (audio, image luma);
+* :func:`zipf_codes` — heavy-tailed discrete sources;
+* :func:`from_trace` — empirical histogram of an observed input trace,
+  with optional Laplace smoothing;
+* :func:`mixture` — convex combinations of the above.
+
+All functions return a normalized probability vector aligned with the
+truth-table index convention (``x_1`` = MSB).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+__all__ = [
+    "uniform",
+    "gaussian_codes",
+    "exponential_codes",
+    "zipf_codes",
+    "from_trace",
+    "mixture",
+]
+
+
+def _normalize(weights: np.ndarray) -> np.ndarray:
+    total = weights.sum()
+    if total <= 0 or not np.isfinite(total):
+        raise DimensionError("distribution weights must have positive mass")
+    return weights / total
+
+
+def uniform(n_inputs: int) -> np.ndarray:
+    """Equal probability for every input pattern."""
+    if n_inputs < 0:
+        raise DimensionError(f"n_inputs must be non-negative, got {n_inputs}")
+    size = 1 << n_inputs
+    return np.full(size, 1.0 / size)
+
+
+def gaussian_codes(
+    n_inputs: int, center: float = 0.5, sigma: float = 0.15
+) -> np.ndarray:
+    """Gaussian over the code range; ``center`` in [0, 1] of full scale."""
+    if sigma <= 0:
+        raise DimensionError(f"sigma must be positive, got {sigma}")
+    size = 1 << n_inputs
+    positions = np.arange(size) / max(size - 1, 1)
+    weights = np.exp(-0.5 * ((positions - center) / sigma) ** 2)
+    return _normalize(weights)
+
+
+def exponential_codes(n_inputs: int, rate: float = 4.0) -> np.ndarray:
+    """Exponentially decaying mass from code 0 upward."""
+    if rate <= 0:
+        raise DimensionError(f"rate must be positive, got {rate}")
+    size = 1 << n_inputs
+    positions = np.arange(size) / max(size - 1, 1)
+    return _normalize(np.exp(-rate * positions))
+
+
+def zipf_codes(n_inputs: int, exponent: float = 1.2) -> np.ndarray:
+    """Zipf-like mass ``(rank + 1)^-exponent`` over codes in rank order."""
+    if exponent <= 0:
+        raise DimensionError(f"exponent must be positive, got {exponent}")
+    size = 1 << n_inputs
+    ranks = np.arange(1, size + 1, dtype=float)
+    return _normalize(ranks**-exponent)
+
+
+def from_trace(
+    trace: Sequence[int],
+    n_inputs: int,
+    smoothing: float = 0.0,
+) -> np.ndarray:
+    """Empirical distribution of an observed input trace.
+
+    ``smoothing`` adds Laplace mass to every code so unseen patterns keep
+    non-zero probability (useful when the trace is short).
+    """
+    size = 1 << n_inputs
+    arr = np.asarray(list(trace), dtype=np.int64)
+    if arr.size == 0 and smoothing <= 0:
+        raise DimensionError("empty trace with no smoothing")
+    if arr.size and (arr.min() < 0 or arr.max() >= size):
+        raise DimensionError(
+            f"trace values must be in [0, {size}), got range "
+            f"[{arr.min()}, {arr.max()}]"
+        )
+    if smoothing < 0:
+        raise DimensionError(f"smoothing must be non-negative, got {smoothing}")
+    counts = np.bincount(arr, minlength=size).astype(float)
+    return _normalize(counts + smoothing)
+
+
+def mixture(
+    components: Sequence[np.ndarray],
+    weights: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Convex combination of distributions over the same code space."""
+    if not components:
+        raise DimensionError("mixture needs at least one component")
+    mats = [np.asarray(c, dtype=float) for c in components]
+    size = mats[0].shape[0]
+    for component in mats:
+        if component.shape != (size,):
+            raise DimensionError(
+                "mixture components must share one shape, got "
+                f"{[c.shape for c in mats]}"
+            )
+    if weights is None:
+        coeffs = np.full(len(mats), 1.0 / len(mats))
+    else:
+        coeffs = np.asarray(list(weights), dtype=float)
+        if coeffs.shape != (len(mats),):
+            raise DimensionError(
+                f"need {len(mats)} mixture weights, got {coeffs.shape}"
+            )
+        if (coeffs < 0).any():
+            raise DimensionError("mixture weights must be non-negative")
+    stacked = np.stack(mats)
+    return _normalize(coeffs @ stacked)

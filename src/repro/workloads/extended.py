@@ -1,0 +1,81 @@
+"""Extended workload kernels beyond the paper's ten benchmarks.
+
+The paper's suite covers its evaluation; downstream users of an
+approximate-LUT flow keep asking for the same handful of extra
+kernels — activation functions, square roots, reciprocals.  These
+builders reuse the same quantization machinery, so everything in the
+pipeline (decomposers, cascades, Verilog) applies unchanged.
+
+All kernels are registered in :data:`EXTENDED_FUNCTIONS`;
+:func:`extended_table` mirrors
+:func:`repro.workloads.continuous.continuous_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.boolean.truth_table import TruthTable
+from repro.errors import ConfigurationError
+from repro.workloads.continuous import ContinuousFunction
+from repro.workloads.quantization import (
+    QuantizationScheme,
+    quantize_real_function,
+)
+
+__all__ = ["EXTENDED_FUNCTIONS", "extended_table"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    return 0.5 * x * (1.0 + np.tanh(
+        np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)
+    ))
+
+
+def _reciprocal(x: np.ndarray) -> np.ndarray:
+    return 1.0 / x
+
+
+def _rsqrt(x: np.ndarray) -> np.ndarray:
+    return 1.0 / np.sqrt(x)
+
+
+EXTENDED_FUNCTIONS: Dict[str, ContinuousFunction] = {
+    "sigmoid": ContinuousFunction(
+        "sigmoid", _sigmoid, (-6.0, 6.0), (0.0, 1.0)
+    ),
+    "tanh": ContinuousFunction("tanh", np.tanh, (-3.0, 3.0), (-1.0, 1.0)),
+    "gelu": ContinuousFunction("gelu", _gelu, (-4.0, 4.0), (-0.2, 4.0)),
+    "sqrt": ContinuousFunction("sqrt", np.sqrt, (0.0, 4.0), (0.0, 2.0)),
+    "reciprocal": ContinuousFunction(
+        "reciprocal", _reciprocal, (0.5, 2.0), (0.5, 2.0)
+    ),
+    "rsqrt": ContinuousFunction(
+        "rsqrt", _rsqrt, (0.25, 4.0), (0.5, 2.0)
+    ),
+    "sin": ContinuousFunction("sin", np.sin, (0.0, np.pi / 2), (0.0, 1.0)),
+    "log2": ContinuousFunction("log2", np.log2, (1.0, 16.0), (0.0, 4.0)),
+}
+
+
+def extended_table(
+    name: str,
+    scheme: QuantizationScheme,
+    probabilities: Optional[np.ndarray] = None,
+) -> TruthTable:
+    """Quantize one of the extended kernels under a scheme."""
+    if name not in EXTENDED_FUNCTIONS:
+        raise ConfigurationError(
+            f"unknown extended kernel {name!r}; "
+            f"choose from {sorted(EXTENDED_FUNCTIONS)}"
+        )
+    bench = EXTENDED_FUNCTIONS[name]
+    return quantize_real_function(
+        bench.func, scheme, bench.domain, bench.output_range, probabilities
+    )

@@ -1,0 +1,112 @@
+"""Fixed-point quantization of real-valued functions into truth tables.
+
+The paper's LUT workloads quantize a continuous function ``f`` on a
+domain ``[x_lo, x_hi]`` with ``n`` input bits and ``m`` output bits over
+a range ``[y_lo, y_hi]``:
+
+* input code ``i`` decodes to ``x = x_lo + i * (x_hi - x_lo) / (2^n - 1)``
+  (endpoints included);
+* the output word is ``round((clip(f(x)) - y_lo) / (y_hi - y_lo)
+  * (2^m - 1))`` with values clipped into the range.
+
+:class:`QuantizationScheme` captures the bit widths; the paper's two
+schemes are ``n = 9`` (free set 4 / bound set 5) and ``n = 16`` (free
+set 7 / bound set 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.boolean.truth_table import TruthTable
+from repro.errors import ConfigurationError
+
+__all__ = ["QuantizationScheme", "quantize_real_function"]
+
+
+@dataclass(frozen=True)
+class QuantizationScheme:
+    """Bit widths and the paper's matching partition sizes.
+
+    Attributes
+    ----------
+    n_inputs / n_outputs:
+        Total input and output bits.
+    free_size:
+        The paper's free-set size for this scheme (4 when n = 9,
+        7 when n = 16); other widths scale it as ``ceil(n/2) - 1``
+        capped to ``n - 1``.
+    """
+
+    n_inputs: int
+    n_outputs: int
+
+    def __post_init__(self) -> None:
+        if self.n_inputs <= 1:
+            raise ConfigurationError(
+                f"n_inputs must exceed 1, got {self.n_inputs}"
+            )
+        if self.n_outputs <= 0:
+            raise ConfigurationError(
+                f"n_outputs must be positive, got {self.n_outputs}"
+            )
+
+    @property
+    def free_size(self) -> int:
+        """Free-set size |A| matching the paper's schemes."""
+        if self.n_inputs == 9:
+            return 4
+        if self.n_inputs == 16:
+            return 7
+        return max(1, min(self.n_inputs - 1, (self.n_inputs + 1) // 2 - 1))
+
+    @property
+    def bound_size(self) -> int:
+        """Bound-set size |B| = n - |A|."""
+        return self.n_inputs - self.free_size
+
+    @classmethod
+    def paper_small(cls, n_outputs: int = 9) -> "QuantizationScheme":
+        """The paper's first scheme: n = 9 (free 4, bound 5)."""
+        return cls(9, n_outputs)
+
+    @classmethod
+    def paper_large(cls, n_outputs: int = 16) -> "QuantizationScheme":
+        """The paper's second scheme: n = 16 (free 7, bound 9)."""
+        return cls(16, n_outputs)
+
+
+def quantize_real_function(
+    func: Callable[[np.ndarray], np.ndarray],
+    scheme: QuantizationScheme,
+    domain: Tuple[float, float],
+    output_range: Tuple[float, float],
+    probabilities: Optional[np.ndarray] = None,
+) -> TruthTable:
+    """Quantize a vectorized real function into a truth table.
+
+    ``func`` receives the decoded input grid (shape ``(2**n,)``) and
+    must return function values of the same shape; values are clipped
+    into ``output_range`` before encoding.
+    """
+    x_lo, x_hi = float(domain[0]), float(domain[1])
+    y_lo, y_hi = float(output_range[0]), float(output_range[1])
+    if x_hi <= x_lo:
+        raise ConfigurationError(f"empty domain [{x_lo}, {x_hi}]")
+    if y_hi <= y_lo:
+        raise ConfigurationError(f"empty output range [{y_lo}, {y_hi}]")
+
+    size = 1 << scheme.n_inputs
+    codes = np.arange(size)
+    grid = x_lo + codes * (x_hi - x_lo) / (size - 1)
+    values = np.clip(np.asarray(func(grid), dtype=float), y_lo, y_hi)
+    levels = (1 << scheme.n_outputs) - 1
+    words = np.round((values - y_lo) / (y_hi - y_lo) * levels).astype(
+        np.int64
+    )
+    return TruthTable.from_words(
+        words, scheme.n_inputs, scheme.n_outputs, probabilities
+    )

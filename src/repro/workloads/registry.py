@@ -1,0 +1,115 @@
+"""Named workload suites matching the paper's evaluation.
+
+* :func:`small_scale_suite` — the six continuous functions under the
+  first quantization scheme (n = 9, m = 9; free 4 / bound 5): Table 1.
+* :func:`large_scale_suite` — all ten benchmarks under the second
+  scheme (n = 16; m = 16 except Brent-Kung with m = 9; free 7 /
+  bound 9): Figure 4.
+
+Both suites accept a width override so tests and laptop benchmarks can
+run the identical pipeline at reduced scale; the paper's widths are the
+defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.boolean.truth_table import TruthTable
+from repro.errors import ConfigurationError
+from repro.workloads.axbench import (
+    brent_kung_table,
+    forwardk2j_table,
+    inversek2j_table,
+    multiplier_table,
+)
+from repro.workloads.continuous import CONTINUOUS_FUNCTIONS, continuous_table
+from repro.workloads.quantization import QuantizationScheme
+
+__all__ = [
+    "Workload",
+    "workload_names",
+    "build_workload",
+    "small_scale_suite",
+    "large_scale_suite",
+]
+
+CONTINUOUS_NAMES = tuple(CONTINUOUS_FUNCTIONS)
+CIRCUIT_NAMES = ("brent-kung", "forwardk2j", "inversek2j", "multiplier")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named benchmark instance: truth table plus its partition sizes."""
+
+    name: str
+    table: TruthTable
+    free_size: int
+
+    @property
+    def bound_size(self) -> int:
+        """Bound-set size implied by the free size."""
+        return self.table.n_inputs - self.free_size
+
+
+def workload_names() -> List[str]:
+    """All ten benchmark names in the paper's order."""
+    return list(CONTINUOUS_NAMES) + list(CIRCUIT_NAMES)
+
+
+def _circuit_outputs(name: str, n_inputs: int, n_outputs: int) -> int:
+    """Paper's output-width convention: m = n except Brent-Kung."""
+    if name == "brent-kung":
+        return n_inputs // 2 + 1
+    return n_outputs
+
+
+def build_workload(
+    name: str,
+    n_inputs: int = 16,
+    n_outputs: Optional[int] = None,
+    probabilities: Optional[np.ndarray] = None,
+) -> Workload:
+    """Build one benchmark by name at the requested widths."""
+    if n_outputs is None:
+        n_outputs = n_inputs
+    scheme = QuantizationScheme(n_inputs, n_outputs)
+    if name in CONTINUOUS_FUNCTIONS:
+        table = continuous_table(name, scheme, probabilities)
+    elif name == "brent-kung":
+        table = brent_kung_table(n_inputs, probabilities)
+    elif name == "multiplier":
+        table = multiplier_table(n_inputs, probabilities)
+    elif name == "forwardk2j":
+        table = forwardk2j_table(n_inputs, n_outputs, probabilities)
+    elif name == "inversek2j":
+        table = inversek2j_table(n_inputs, n_outputs, probabilities)
+    else:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; choose from {workload_names()}"
+        )
+    return Workload(name=name, table=table, free_size=scheme.free_size)
+
+
+def small_scale_suite(n_inputs: int = 9) -> Dict[str, Workload]:
+    """Table-1 suite: the six continuous functions (paper: n = m = 9)."""
+    return {
+        name: build_workload(name, n_inputs, n_inputs)
+        for name in CONTINUOUS_NAMES
+    }
+
+
+def large_scale_suite(n_inputs: int = 16) -> Dict[str, Workload]:
+    """Figure-4 suite: all ten benchmarks (paper: n = 16).
+
+    Output widths follow the paper: 16 everywhere except Brent-Kung's
+    ``n/2 + 1``.
+    """
+    suite = {}
+    for name in workload_names():
+        n_outputs = _circuit_outputs(name, n_inputs, n_inputs)
+        suite[name] = build_workload(name, n_inputs, n_outputs)
+    return suite

@@ -1,0 +1,140 @@
+"""Tests for the experiment runners (tiny scales for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    ba_method,
+    dalta_method,
+    proposed_method,
+    run_fig4,
+    run_heuristic_ablation,
+    run_stop_ablation,
+    run_table1,
+)
+from repro.core.config import CoreSolverConfig
+from repro.errors import ConfigurationError
+
+TINY_SOLVER = CoreSolverConfig(max_iterations=200, n_replicas=2)
+
+
+@pytest.fixture(scope="module")
+def tiny_table1():
+    return run_table1(
+        mode="joint",
+        methods=[dalta_method(), proposed_method(TINY_SOLVER)],
+        n_inputs=6,
+        n_partitions=2,
+        n_rounds=1,
+        functions=["cos", "ln"],
+    )
+
+
+class TestRunTable1:
+    def test_row_coverage(self, tiny_table1):
+        assert tiny_table1.benchmarks() == ["cos", "ln"]
+        assert tiny_table1.methods() == ["dalta", "proposed"]
+        assert len(tiny_table1.rows) == 4
+
+    def test_cells_and_averages(self, tiny_table1):
+        cell = tiny_table1.cell("cos", "proposed")
+        assert cell.med >= 0 and cell.runtime_seconds > 0
+        averages = tiny_table1.averages()
+        meds = [
+            tiny_table1.cell(b, "proposed").med
+            for b in tiny_table1.benchmarks()
+        ]
+        assert np.isclose(averages["proposed"]["med"], np.mean(meds))
+
+    def test_to_table_renders(self, tiny_table1):
+        text = tiny_table1.to_table()
+        assert "average" in text
+        assert "proposed MED" in text
+
+    def test_missing_cell_raises(self, tiny_table1):
+        with pytest.raises(KeyError):
+            tiny_table1.cell("cos", "ilp")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_table1(functions=["nope"], n_inputs=6)
+
+
+class TestRunFig4:
+    @pytest.fixture(scope="class")
+    def tiny_fig4(self):
+        return run_fig4(
+            n_inputs=6,
+            n_partitions=2,
+            n_rounds=1,
+            benchmarks=["cos", "multiplier"],
+            solver=TINY_SOLVER,
+        )
+
+    def test_ratios_cover_benchmarks(self, tiny_fig4):
+        assert set(tiny_fig4.med_ratios()) == {"cos", "multiplier"}
+        assert set(tiny_fig4.runtime_ratios()) == {"cos", "multiplier"}
+
+    def test_ratios_positive(self, tiny_fig4):
+        for value in tiny_fig4.med_ratios().values():
+            assert value >= 0
+        for value in tiny_fig4.runtime_ratios().values():
+            assert value > 0
+
+    def test_summary_and_chart(self, tiny_fig4):
+        summary = tiny_fig4.summary()
+        assert "med_ratio" in summary and "runtime_ratio" in summary
+        chart = tiny_fig4.to_chart()
+        assert "MED ratio" in chart and "runtime ratio" in chart
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_fig4(benchmarks=["nope"], n_inputs=6)
+
+
+class TestAblations:
+    def test_stop_ablation_variants(self):
+        rows = run_stop_ablation(
+            n_inputs=6, n_instances=2, fixed_budgets=(100,),
+            solver=TINY_SOLVER,
+        )
+        variants = {row.variant for row in rows}
+        assert variants == {"dynamic", "fixed-100"}
+        fixed = [r for r in rows if r.variant == "fixed-100"]
+        assert all(r.n_iterations == 100 for r in fixed)
+
+    def test_heuristic_ablation_variants(self):
+        rows = run_heuristic_ablation(
+            n_inputs=6, n_instances=2, solver=TINY_SOLVER
+        )
+        variants = {row.variant for row in rows}
+        assert variants == {
+            "intervention", "no-intervention", "no-symmetry-init",
+            "intervention+polish",
+        }
+
+    def test_polish_never_worse_per_instance(self):
+        rows = run_heuristic_ablation(
+            n_inputs=6, n_instances=3, solver=TINY_SOLVER
+        )
+        by_instance = {}
+        for row in rows:
+            by_instance.setdefault(row.instance, {})[row.variant] = row
+        for variants in by_instance.values():
+            assert (
+                variants["intervention+polish"].objective
+                <= variants["intervention"].objective + 1e-9
+            )
+
+
+class TestMethodSpecs:
+    def test_ba_method_runs(self):
+        result = run_table1(
+            mode="joint",
+            methods=[ba_method(n_moves=50)],
+            n_inputs=6,
+            n_partitions=1,
+            n_rounds=1,
+            functions=["erf"],
+        )
+        assert result.rows[0].method == "ba"

@@ -1,0 +1,78 @@
+"""Tests for the accuracy-vs-storage sweep utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pareto import DesignPoint, pareto_front, sweep_free_sizes
+from repro.core.config import CoreSolverConfig, FrameworkConfig
+from repro.errors import DimensionError
+from repro.workloads import build_workload
+
+
+def point(free, med, bits):
+    return DesignPoint(
+        free_size=free, med=med, total_lut_bits=bits,
+        compression_ratio=1.0, runtime_seconds=0.0,
+    )
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert point(2, 1.0, 100).dominates(point(3, 2.0, 200))
+        assert point(2, 1.0, 100).dominates(point(3, 1.0, 200))
+        assert not point(2, 1.0, 100).dominates(point(3, 0.5, 200))
+        assert not point(2, 1.0, 100).dominates(point(2, 1.0, 100))
+
+    def test_pareto_front_filters(self):
+        points = [
+            point(1, 5.0, 50),
+            point(2, 2.0, 100),
+            point(3, 2.5, 150),  # dominated by free=2
+            point(4, 1.0, 300),
+        ]
+        front = pareto_front(points)
+        assert [p.free_size for p in front] == [1, 2, 4]
+
+    def test_front_sorted_by_storage(self):
+        points = [point(4, 1.0, 300), point(1, 5.0, 50)]
+        front = pareto_front(points)
+        assert front[0].total_lut_bits <= front[1].total_lut_bits
+
+    def test_empty_rejected(self):
+        with pytest.raises(DimensionError):
+            pareto_front([])
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        workload = build_workload("exp", n_inputs=7)
+        config = FrameworkConfig(
+            mode="joint", n_partitions=3, n_rounds=1, seed=0,
+            solver=CoreSolverConfig(max_iterations=400, n_replicas=2),
+        )
+        return sweep_free_sizes(workload.table, [2, 3, 4], config)
+
+    def test_one_point_per_size(self, sweep):
+        assert [p.free_size for p in sweep] == [2, 3, 4]
+
+    def test_storage_follows_partition_arithmetic(self, sweep):
+        # per output: 2^(7 - free) + 2^(free + 1), times 7 outputs
+        for p in sweep:
+            expected = 7 * ((1 << (7 - p.free_size))
+                            + (1 << (p.free_size + 1)))
+            assert p.total_lut_bits == expected
+
+    def test_meds_finite(self, sweep):
+        assert all(np.isfinite(p.med) for p in sweep)
+
+    def test_front_is_subset(self, sweep):
+        front = pareto_front(sweep)
+        assert set(front) <= set(sweep)
+
+    def test_bad_sizes_rejected(self):
+        workload = build_workload("exp", n_inputs=6)
+        with pytest.raises(DimensionError):
+            sweep_free_sizes(workload.table, [6])
+        with pytest.raises(DimensionError):
+            sweep_free_sizes(workload.table, [])

@@ -1,0 +1,83 @@
+"""Tests for the analysis helpers (stats, tables, figures)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import ascii_bar_chart, ratio_series
+from repro.analysis.stats import geometric_mean, safe_ratio, summarize_ratios
+from repro.analysis.tables import format_markdown_table, format_table
+from repro.errors import DimensionError
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert np.isclose(geometric_mean([1.0, 4.0]), 2.0)
+
+    def test_geometric_mean_validation(self):
+        with pytest.raises(DimensionError):
+            geometric_mean([])
+        with pytest.raises(DimensionError):
+            geometric_mean([1.0, 0.0])
+
+    def test_safe_ratio(self):
+        assert safe_ratio(2.0, 4.0) == 0.5
+        assert safe_ratio(0.0, 0.0) == 1.0
+        assert safe_ratio(1.0, 0.0) == float("inf")
+
+    def test_summarize_ratios(self):
+        summary = summarize_ratios([0.5, 1.0, 2.0])
+        assert np.isclose(summary["geomean"], 1.0)
+        assert summary["min"] == 0.5
+        assert summary["max"] == 2.0
+        assert np.isclose(summary["fraction_below_one"], 1 / 3)
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(DimensionError):
+            summarize_ratios([])
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(DimensionError):
+            format_table(["a"], [[1, 2]])
+
+    def test_markdown_table(self):
+        text = format_markdown_table(["m", "v"], [["x", 1.0]])
+        assert text.splitlines()[0] == "| m | v |"
+        assert "---" in text.splitlines()[1]
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+
+class TestFigures:
+    def test_ratio_series(self):
+        ratios = ratio_series({"a": 1.0, "b": 4.0}, {"a": 2.0, "b": 2.0})
+        assert ratios == {"a": 0.5, "b": 2.0}
+
+    def test_ratio_series_key_mismatch(self):
+        with pytest.raises(DimensionError):
+            ratio_series({"a": 1.0}, {"b": 1.0})
+
+    def test_bar_chart_renders(self):
+        chart = ascii_bar_chart({"cos": 0.9, "tan": 1.2}, title="MED")
+        assert "MED" in chart
+        assert "cos" in chart and "tan" in chart
+        assert "0.900" in chart
+
+    def test_bar_chart_reference_marker(self):
+        chart = ascii_bar_chart({"x": 0.5}, reference=1.0)
+        assert "|" in chart  # value below the reference: marker visible
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(DimensionError):
+            ascii_bar_chart({})
+        with pytest.raises(DimensionError):
+            ascii_bar_chart({"a": 1.0}, width=3)

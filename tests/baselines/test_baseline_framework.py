@@ -1,0 +1,115 @@
+"""Tests for the baseline outer loop (:mod:`repro.baselines.framework`)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ba import BASolver
+from repro.baselines.dalta import DaltaHeuristicSolver
+from repro.baselines.framework import BaselineDecomposer
+from repro.boolean.boolean_matrix import BooleanMatrix
+from repro.boolean.decomposition import has_row_decomposition
+from repro.boolean.metrics import mean_error_distance
+from repro.boolean.random_functions import random_decomposable_function
+from repro.boolean.truth_table import TruthTable
+from repro.core.config import FrameworkConfig
+from repro.errors import DimensionError
+
+
+def fast_config(**overrides):
+    base = dict(
+        mode="joint", free_size=2, n_partitions=4, n_rounds=2, seed=0
+    )
+    base.update(overrides)
+    return FrameworkConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def dalta_result():
+    table = TruthTable.from_integer_function(
+        lambda x: (x * x) % 32, n_inputs=5, n_outputs=5
+    )
+    decomposer = BaselineDecomposer(DaltaHeuristicSolver(), fast_config())
+    return table, decomposer.decompose(table)
+
+
+class TestBaselineDecomposer:
+    def test_all_components_decomposed(self, dalta_result):
+        _, result = dalta_result
+        assert sorted(result.components) == list(range(5))
+
+    def test_all_components_satisfy_theorem1(self, dalta_result):
+        _, result = dalta_result
+        for k, accepted in result.components.items():
+            matrix = BooleanMatrix.from_function(
+                result.approx, k, accepted.partition
+            )
+            assert has_row_decomposition(matrix)
+
+    def test_med_consistent(self, dalta_result):
+        table, result = dalta_result
+        assert np.isclose(
+            result.med, mean_error_distance(table, result.approx)
+        )
+
+    def test_med_trace_monotone(self, dalta_result):
+        _, result = dalta_result
+        trace = result.med_trace
+        assert all(
+            trace[i + 1] <= trace[i] + 1e-12 for i in range(len(trace) - 1)
+        )
+
+    def test_lut_accounting(self, dalta_result):
+        _, result = dalta_result
+        # row-based cascade cost is also c + 2r per component
+        assert result.total_lut_bits == 5 * (8 + 2 * 4)
+        assert result.flat_lut_bits == 5 * 32
+        assert result.compression_ratio == 2.0
+
+    def test_free_size_checked(self):
+        table = TruthTable.random(3, 2, np.random.default_rng(0))
+        decomposer = BaselineDecomposer(
+            DaltaHeuristicSolver(), fast_config(free_size=3)
+        )
+        with pytest.raises(DimensionError):
+            decomposer.decompose(table)
+
+    def test_ba_solver_plugs_in(self):
+        table = TruthTable.from_integer_function(
+            lambda x: (x + 3) % 16, n_inputs=4, n_outputs=4
+        )
+        decomposer = BaselineDecomposer(
+            BASolver(n_moves=100), fast_config(n_partitions=2, n_rounds=1)
+        )
+        result = decomposer.decompose(table)
+        assert sorted(result.components) == list(range(4))
+
+    def test_exactly_decomposable_solved(self, rng):
+        table, _ = random_decomposable_function(5, 2, 2, rng)
+        decomposer = BaselineDecomposer(
+            DaltaHeuristicSolver(),
+            fast_config(n_partitions=10, n_rounds=1),
+        )
+        result = decomposer.decompose(table)
+        assert np.isclose(result.med, 0.0, atol=1e-12)
+
+    def test_deterministic_given_seed(self):
+        table = TruthTable.from_integer_function(
+            lambda x: (x * 3 + 1) % 16, n_inputs=4, n_outputs=4
+        )
+        a = BaselineDecomposer(
+            DaltaHeuristicSolver(), fast_config()
+        ).decompose(table)
+        b = BaselineDecomposer(
+            DaltaHeuristicSolver(), fast_config()
+        ).decompose(table)
+        assert np.isclose(a.med, b.med)
+
+    def test_separate_mode(self):
+        table = TruthTable.from_integer_function(
+            lambda x: (x * 7) % 16, n_inputs=4, n_outputs=4
+        )
+        decomposer = BaselineDecomposer(
+            DaltaHeuristicSolver(), fast_config(mode="separate", n_rounds=1)
+        )
+        result = decomposer.decompose(table)
+        assert sorted(result.components) == list(range(4))

@@ -1,0 +1,120 @@
+"""Tests for the three row-COP inner solvers: DALTA, DALTA-ILP, BA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ba import BASolver
+from repro.baselines.dalta import DaltaHeuristicSolver
+from repro.baselines.dalta_ilp import DaltaIlpSolver, build_row_cop_ilp
+from repro.baselines.row_core_cop import exhaustive_row_cop, row_cop_cost
+from repro.errors import SolverError
+
+
+@pytest.fixture
+def tiny_weights(rng):
+    return rng.normal(size=(4, 6))
+
+
+class TestDaltaHeuristic:
+    def test_objective_includes_constant(self, tiny_weights, rng):
+        base = DaltaHeuristicSolver().solve_weights(tiny_weights, 0.0, rng)
+        shifted = DaltaHeuristicSolver().solve_weights(
+            tiny_weights, 2.5, rng
+        )
+        assert np.isclose(shifted.objective - base.objective, 2.5)
+
+    def test_objective_matches_setting(self, tiny_weights, rng):
+        sol = DaltaHeuristicSolver().solve_weights(tiny_weights, 1.0, rng)
+        assert np.isclose(
+            sol.objective, row_cop_cost(tiny_weights, sol.setting) + 1.0
+        )
+
+    def test_exact_on_decomposable_instances(self, rng):
+        """Separate-mode weights of a decomposable matrix: optimum 0."""
+        from repro.boolean.random_functions import (
+            random_column_decomposable_matrix,
+        )
+
+        matrix, _ = random_column_decomposable_matrix(4, 8, rng)
+        probs = np.full(matrix.values.shape, 1 / 32)
+        weights = probs * (1 - 2 * matrix.values.astype(float))
+        constant = float((probs * matrix.values).sum())
+        sol = DaltaHeuristicSolver().solve_weights(weights, constant, rng)
+        assert np.isclose(sol.objective, 0.0, atol=1e-12)
+
+    def test_candidate_cap_respected(self, rng):
+        solver = DaltaHeuristicSolver(max_row_candidates=2)
+        sol = solver.solve_weights(rng.normal(size=(8, 5)), 0.0, rng)
+        # 2 row candidates + majority + zeros
+        assert sol.n_evaluations <= 4
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            DaltaHeuristicSolver(max_row_candidates=0)
+
+
+class TestBA:
+    def test_never_worse_than_exhaustive(self, rng):
+        weights = rng.normal(size=(3, 5))
+        _, best = exhaustive_row_cop(weights)
+        sol = BASolver(n_moves=300).solve_weights(weights, 0.0, rng)
+        assert sol.objective >= best - 1e-12
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_usually_finds_optimum_on_tiny_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.normal(size=(3, 4))
+        _, best = exhaustive_row_cop(weights)
+        sol = BASolver(n_moves=500, restarts=2).solve_weights(
+            weights, 0.0, np.random.default_rng(seed)
+        )
+        assert np.isclose(sol.objective, best, atol=1e-9)
+
+    def test_deterministic_given_seed(self, tiny_weights):
+        a = BASolver(n_moves=100).solve_weights(
+            tiny_weights, 0.0, np.random.default_rng(1)
+        )
+        b = BASolver(n_moves=100).solve_weights(
+            tiny_weights, 0.0, np.random.default_rng(1)
+        )
+        assert np.isclose(a.objective, b.objective)
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            BASolver(n_moves=0)
+        with pytest.raises(SolverError):
+            BASolver(restarts=0)
+
+
+class TestDaltaIlp:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_matches_exhaustive_optimum(self, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.normal(size=(3, 5))
+        _, best = exhaustive_row_cop(weights)
+        sol = DaltaIlpSolver(time_limit=60).solve_weights(weights, 0.0, rng)
+        assert np.isclose(sol.objective, best, atol=1e-8)
+
+    def test_ilp_sizes(self):
+        problem = build_row_cop_ilp(np.zeros((2, 3)))
+        # c + 4r binaries + 2rc continuous
+        assert problem.n_variables == 3 + 8 + 12
+        assert problem.integrality.sum() == 3 + 8
+
+    def test_time_budget_still_returns_solution(self, rng):
+        weights = rng.normal(size=(8, 12))
+        sol = DaltaIlpSolver(time_limit=0.2).solve_weights(
+            weights, 0.0, rng
+        )
+        assert sol.setting is not None
+        assert np.isclose(
+            sol.objective, row_cop_cost(weights, sol.setting), atol=1e-9
+        )
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(SolverError):
+            build_row_cop_ilp(np.zeros(3))

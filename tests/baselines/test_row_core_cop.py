@@ -1,0 +1,99 @@
+"""Tests for the shared row-based core-COP machinery."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.row_core_cop import (
+    exhaustive_row_cop,
+    majority_pattern,
+    optimal_row_types,
+    row_cop_cost,
+    row_type_costs,
+)
+from repro.boolean.decomposition import RowSetting, RowType
+from repro.errors import DimensionError, SolverError
+
+
+class TestRowTypeCosts:
+    def test_zeros_type_costs_nothing(self, rng):
+        weights = rng.normal(size=(3, 4))
+        costs = row_type_costs(weights, np.zeros(4, dtype=np.uint8))
+        assert np.allclose(costs[:, RowType.ZEROS], 0.0)
+
+    def test_ones_type_is_row_sum(self, rng):
+        weights = rng.normal(size=(3, 4))
+        costs = row_type_costs(weights, np.zeros(4, dtype=np.uint8))
+        assert np.allclose(costs[:, RowType.ONES], weights.sum(axis=1))
+
+    def test_pattern_and_complement_sum_to_ones(self, rng):
+        weights = rng.normal(size=(3, 4))
+        pattern = rng.integers(0, 2, 4)
+        costs = row_type_costs(weights, pattern)
+        assert np.allclose(
+            costs[:, RowType.PATTERN] + costs[:, RowType.COMPLEMENT],
+            costs[:, RowType.ONES],
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            row_type_costs(np.zeros((2, 3)), np.zeros(2))
+
+
+class TestOptimalRowTypes:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_per_row_optimality(self, seed):
+        """No other S achieves a lower cost for the same V."""
+        rng = np.random.default_rng(seed)
+        r, c = int(rng.integers(1, 4)), int(rng.integers(1, 5))
+        weights = rng.normal(size=(r, c))
+        pattern = rng.integers(0, 2, c, dtype=np.uint8)
+        types, cost = optimal_row_types(weights, pattern)
+        for other in itertools.product(range(4), repeat=r):
+            setting = RowSetting(pattern, np.array(other, dtype=np.int8))
+            assert cost <= row_cop_cost(weights, setting) + 1e-12
+
+    def test_cost_matches_reconstruction(self, rng):
+        weights = rng.normal(size=(3, 5))
+        pattern = rng.integers(0, 2, 5, dtype=np.uint8)
+        types, cost = optimal_row_types(weights, pattern)
+        assert np.isclose(
+            cost, row_cop_cost(weights, RowSetting(pattern, types))
+        )
+
+
+class TestExhaustive:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_no_pattern_beats_exhaustive(self, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.normal(size=(3, 5))
+        _, best = exhaustive_row_cop(weights)
+        for _ in range(20):
+            pattern = rng.integers(0, 2, 5, dtype=np.uint8)
+            _, cost = optimal_row_types(weights, pattern)
+            assert best <= cost + 1e-12
+
+    def test_refuses_wide_matrices(self):
+        with pytest.raises(SolverError):
+            exhaustive_row_cop(np.zeros((2, 25)))
+
+
+class TestMajorityPattern:
+    def test_unweighted_majority(self):
+        values = np.array([[1, 0], [1, 0], [0, 1]])
+        probs = np.ones((3, 2))
+        assert np.array_equal(majority_pattern(values, probs), [1, 0])
+
+    def test_weighting_flips_result(self):
+        values = np.array([[1], [0], [0]])
+        probs = np.array([[10.0], [1.0], [1.0]])
+        assert np.array_equal(majority_pattern(values, probs), [1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            majority_pattern(np.zeros((2, 2)), np.zeros((2, 3)))

@@ -1,0 +1,116 @@
+"""Unit tests for :mod:`repro.boolean.boolean_matrix`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.boolean_matrix import BooleanMatrix
+from repro.boolean.partition import InputPartition
+from repro.boolean.truth_table import TruthTable
+from repro.errors import DimensionError
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        m = BooleanMatrix(np.array([[0, 1], [1, 0]]))
+        assert m.n_rows == 2 and m.n_cols == 2
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(DimensionError):
+            BooleanMatrix(np.array([[0, 2]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(DimensionError):
+            BooleanMatrix(np.array([0, 1]))
+
+    def test_rejects_probability_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            BooleanMatrix(np.zeros((2, 2), dtype=int), np.zeros((2, 3)))
+
+    def test_rejects_negative_probabilities(self):
+        with pytest.raises(DimensionError):
+            BooleanMatrix(
+                np.zeros((2, 2), dtype=int), np.array([[0.5, -0.1], [0, 0]])
+            )
+
+    def test_default_probabilities_uniform(self):
+        m = BooleanMatrix(np.zeros((2, 4), dtype=int))
+        assert np.allclose(m.probabilities, 1 / 8)
+
+
+class TestFromFunction:
+    def test_values_match_truth_table(self, small_table, small_partition):
+        m = BooleanMatrix.from_function(small_table, 1, small_partition)
+        component = small_table.component(1)
+        for idx in range(small_table.size):
+            row, col = small_partition.cell_of_index(idx)
+            assert m.values[row, col] == component[idx]
+
+    def test_probabilities_match(self, small_table, small_partition):
+        m = BooleanMatrix.from_function(small_table, 0, small_partition)
+        assert np.isclose(m.probabilities.sum(), 1.0)
+        idx = 13
+        row, col = small_partition.cell_of_index(idx)
+        assert np.isclose(
+            m.probabilities[row, col], small_table.probabilities[idx]
+        )
+
+    def test_partition_size_mismatch_rejected(self, small_table):
+        wrong = InputPartition(free=(0,), bound=(1, 2), n_inputs=3)
+        with pytest.raises(DimensionError):
+            BooleanMatrix.from_function(small_table, 0, wrong)
+
+    def test_to_component_round_trip(self, small_table, small_partition):
+        m = BooleanMatrix.from_function(small_table, 2, small_partition)
+        assert np.array_equal(m.to_component(), small_table.component(2))
+
+    def test_to_component_requires_partition(self):
+        m = BooleanMatrix(np.zeros((2, 2), dtype=int))
+        with pytest.raises(DimensionError):
+            m.to_component()
+
+
+class TestStructureQueries:
+    def test_distinct_counts(self):
+        m = BooleanMatrix(
+            np.array([[0, 0, 1], [0, 0, 1], [1, 1, 0]])
+        )
+        assert m.distinct_row_count() == 2
+        assert m.distinct_column_count() == 2
+
+    def test_weights(self):
+        probs = np.array([[0.1, 0.2], [0.3, 0.4]])
+        m = BooleanMatrix(np.zeros((2, 2), dtype=int), probs)
+        assert np.allclose(m.column_weights(), [0.4, 0.6])
+        assert np.allclose(m.row_weights(), [0.3, 0.7])
+
+    def test_with_values(self):
+        m = BooleanMatrix(np.zeros((2, 2), dtype=int))
+        m2 = m.with_values(np.ones((2, 2), dtype=int))
+        assert m2.values.sum() == 4
+        assert np.allclose(m2.probabilities, m.probabilities)
+
+    def test_equality(self):
+        a = BooleanMatrix(np.eye(2, dtype=int))
+        b = BooleanMatrix(np.eye(2, dtype=int))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_matrix_round_trip_property(seed):
+    """from_function -> to_component is the identity for any partition."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 7))
+    table = TruthTable.random(n, 2, rng)
+    free_size = int(rng.integers(1, n))
+    order = rng.permutation(n)
+    w = InputPartition(
+        sorted(int(v) for v in order[:free_size]),
+        sorted(int(v) for v in order[free_size:]),
+        n,
+    )
+    m = BooleanMatrix.from_function(table, 1, w)
+    assert np.array_equal(m.to_component(), table.component(1))

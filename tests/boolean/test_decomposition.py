@@ -1,0 +1,163 @@
+"""Unit tests for Theorems 1 and 2 (:mod:`repro.boolean.decomposition`)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.decomposition import (
+    ColumnSetting,
+    RowSetting,
+    RowType,
+    column_setting_from_matrix,
+    column_setting_to_row_setting,
+    has_column_decomposition,
+    has_row_decomposition,
+    row_setting_from_matrix,
+    row_setting_to_column_setting,
+)
+from repro.boolean.random_functions import (
+    random_column_decomposable_matrix,
+    random_column_setting,
+)
+from repro.errors import DecompositionError
+
+
+class TestRowSetting:
+    def test_reconstruct_paper_example(self):
+        # Fig. 2: V = (1, 1, 0, 0), S = (PATTERN, ZEROS, ONES, COMPLEMENT)
+        setting = RowSetting(
+            pattern=np.array([1, 1, 0, 0]),
+            row_types=np.array(
+                [RowType.PATTERN, RowType.ZEROS, RowType.ONES,
+                 RowType.COMPLEMENT]
+            ),
+        )
+        expected = np.array(
+            [[1, 1, 0, 0], [0, 0, 0, 0], [1, 1, 1, 1], [0, 0, 1, 1]]
+        )
+        assert np.array_equal(setting.reconstruct(), expected)
+
+    def test_rejects_bad_types(self):
+        with pytest.raises(DecompositionError):
+            RowSetting(np.array([0, 1]), np.array([0, 7]))
+
+    def test_rejects_non_binary_pattern(self):
+        with pytest.raises(DecompositionError):
+            RowSetting(np.array([0, 3]), np.array([0, 0]))
+
+
+class TestColumnSetting:
+    def test_reconstruct_eq3(self):
+        setting = ColumnSetting(
+            pattern1=np.array([1, 0]),
+            pattern2=np.array([0, 1]),
+            column_types=np.array([0, 1, 0]),
+        )
+        expected = np.array([[1, 0, 1], [0, 1, 0]])
+        assert np.array_equal(setting.reconstruct(), expected)
+
+    def test_error_uniform(self):
+        setting = ColumnSetting(
+            np.array([0, 0]), np.array([0, 0]), np.array([0, 0])
+        )
+        exact = np.array([[1, 0], [0, 0]])
+        assert np.isclose(setting.error(exact), 0.25)
+
+    def test_error_shape_mismatch(self):
+        setting = ColumnSetting(np.array([0]), np.array([0]), np.array([0]))
+        with pytest.raises(DecompositionError):
+            setting.error(np.zeros((2, 2), dtype=int))
+
+    def test_pattern_length_mismatch_rejected(self):
+        with pytest.raises(DecompositionError):
+            ColumnSetting(np.array([0, 1]), np.array([0]), np.array([0]))
+
+
+class TestTheorem1:
+    def test_paper_fig2_is_decomposable(self):
+        matrix = np.array(
+            [[1, 1, 0, 0], [0, 0, 0, 0], [1, 1, 1, 1], [0, 0, 1, 1]]
+        )
+        assert has_row_decomposition(matrix)
+        setting = row_setting_from_matrix(matrix)
+        assert np.array_equal(setting.reconstruct(), matrix)
+
+    def test_three_distinct_nonconstant_rows_fail(self):
+        matrix = np.array([[0, 0, 1], [0, 1, 0], [1, 0, 0]])
+        assert not has_row_decomposition(matrix)
+        assert row_setting_from_matrix(matrix) is None
+
+    def test_non_complementary_pair_fails(self):
+        matrix = np.array([[0, 0, 1], [0, 1, 1]])
+        assert not has_row_decomposition(matrix)
+
+    def test_constant_matrix_decomposable(self):
+        assert has_row_decomposition(np.ones((3, 4), dtype=int))
+        assert has_row_decomposition(np.zeros((3, 4), dtype=int))
+
+    def test_extraction_reconstructs(self):
+        matrix = np.array([[0, 1], [1, 0], [1, 1]])
+        setting = row_setting_from_matrix(matrix)
+        assert setting is not None
+        assert np.array_equal(setting.reconstruct(), matrix)
+
+
+class TestTheorem2:
+    def test_paper_fig2_has_two_column_types(self):
+        matrix = np.array(
+            [[1, 1, 0, 0], [0, 0, 0, 0], [1, 1, 1, 1], [0, 0, 1, 1]]
+        )
+        assert has_column_decomposition(matrix)
+        setting = column_setting_from_matrix(matrix)
+        assert np.array_equal(setting.reconstruct(), matrix)
+        # columns of Fig. 2: (1,0,1,0) and (0,0,1,1)
+        assert np.array_equal(setting.pattern1, [1, 0, 1, 0])
+        assert np.array_equal(setting.pattern2, [0, 0, 1, 1])
+        assert np.array_equal(setting.column_types, [0, 0, 1, 1])
+
+    def test_three_column_types_fail(self):
+        matrix = np.array([[0, 1, 0], [0, 0, 1]])
+        assert not has_column_decomposition(matrix)
+        assert column_setting_from_matrix(matrix) is None
+
+    def test_single_column_type(self):
+        matrix = np.array([[1, 1], [0, 0]])
+        setting = column_setting_from_matrix(matrix)
+        assert np.array_equal(setting.column_types, [0, 0])
+        assert np.array_equal(setting.reconstruct(), matrix)
+
+
+class TestEquivalence:
+    """Theorem 1 and Theorem 2 characterize the same matrices."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        n_rows=st.integers(min_value=1, max_value=5),
+        n_cols=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_conditions_agree_on_random_matrices(self, n_rows, n_cols, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(0, 2, size=(n_rows, n_cols))
+        assert has_row_decomposition(matrix) == has_column_decomposition(
+            matrix
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_decomposable_matrices_pass_both(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix, _ = random_column_decomposable_matrix(4, 6, rng)
+        assert has_row_decomposition(matrix)
+        assert has_column_decomposition(matrix)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_conversions_preserve_matrix(self, seed):
+        rng = np.random.default_rng(seed)
+        setting = random_column_setting(4, 5, rng)
+        row = column_setting_to_row_setting(setting)
+        assert np.array_equal(row.reconstruct(), setting.reconstruct())
+        back = row_setting_to_column_setting(row)
+        assert np.array_equal(back.reconstruct(), setting.reconstruct())

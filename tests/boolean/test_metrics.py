@@ -1,0 +1,126 @@
+"""Unit tests for :mod:`repro.boolean.metrics`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.metrics import (
+    error_distance_profile,
+    error_rate,
+    error_rate_per_output,
+    max_error_distance,
+    mean_error_distance,
+    mean_relative_error_distance,
+)
+from repro.boolean.truth_table import TruthTable
+from repro.errors import DimensionError
+
+
+def make_pair():
+    exact = TruthTable.from_words([0, 1, 2, 3], n_inputs=2, n_outputs=2)
+    approx = TruthTable.from_words([0, 1, 3, 3], n_inputs=2, n_outputs=2)
+    return exact, approx
+
+
+class TestErrorRate:
+    def test_identical_tables_zero(self, small_table):
+        assert error_rate(small_table, small_table) == 0.0
+
+    def test_known_value(self):
+        exact, approx = make_pair()
+        assert np.isclose(error_rate(exact, approx), 0.25)
+
+    def test_weighted_by_distribution(self):
+        exact, approx = make_pair()
+        weighted = exact.with_probabilities([0.7, 0.1, 0.1, 0.1])
+        assert np.isclose(error_rate(weighted, approx), 0.1)
+
+    def test_shape_mismatch_rejected(self, small_table):
+        other = TruthTable.random(4, 3, np.random.default_rng(0))
+        with pytest.raises(DimensionError):
+            error_rate(small_table, other)
+
+
+class TestPerOutput:
+    def test_per_output_values(self):
+        exact, approx = make_pair()
+        # only word 2 -> 3 differs, i.e. component 0 flips on one input
+        per = error_rate_per_output(exact, approx)
+        assert np.allclose(per, [0.25, 0.0])
+
+    def test_sums_bound_whole_word_rate(self, small_table, rng):
+        approx = TruthTable.random(5, 3, rng, small_table.probabilities)
+        per = error_rate_per_output(small_table, approx)
+        whole = error_rate(small_table, approx)
+        assert whole <= per.sum() + 1e-12
+        assert whole >= per.max() - 1e-12
+
+
+class TestMeanErrorDistance:
+    def test_known_value(self):
+        exact, approx = make_pair()
+        # |2 - 3| on one of four inputs
+        assert np.isclose(mean_error_distance(exact, approx), 0.25)
+
+    def test_zero_for_identical(self, small_table):
+        assert mean_error_distance(small_table, small_table) == 0.0
+
+    def test_distribution_weighting(self):
+        exact, approx = make_pair()
+        weighted = exact.with_probabilities([0, 0, 1, 0])
+        assert np.isclose(mean_error_distance(weighted, approx), 1.0)
+
+
+class TestMaxAndRelative:
+    def test_max_error_distance(self):
+        exact, approx = make_pair()
+        assert max_error_distance(exact, approx) == 1
+
+    def test_max_ignores_zero_probability_inputs(self):
+        exact, approx = make_pair()
+        weighted = exact.with_probabilities([1, 1, 0, 1])
+        assert max_error_distance(weighted, approx) == 0
+
+    def test_relative_error_distance(self):
+        exact, approx = make_pair()
+        # only input 2 errs: ED 1, exact word 2 -> 0.5; mean over 4 inputs
+        assert np.isclose(
+            mean_relative_error_distance(exact, approx), 0.125
+        )
+
+    def test_profile_shape(self):
+        exact, approx = make_pair()
+        assert error_distance_profile(exact, approx).shape == (4,)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_metric_bounds_property(seed):
+    """0 <= ER <= 1 and 0 <= MED <= max ED <= 2^m - 1 for any pair."""
+    rng = np.random.default_rng(seed)
+    n, m = int(rng.integers(1, 6)), int(rng.integers(1, 5))
+    probs = rng.random(1 << n)
+    exact = TruthTable.random(n, m, rng, probs / probs.sum())
+    approx = TruthTable.random(n, m, rng)
+    er = error_rate(exact, approx)
+    med = mean_error_distance(exact, approx)
+    worst = max_error_distance(exact, approx)
+    assert 0.0 <= er <= 1.0 + 1e-12
+    assert 0.0 <= med <= worst + 1e-12
+    assert worst <= (1 << m) - 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_med_triangle_inequality_property(seed):
+    """MED(A, C) <= MED(A, B) + MED(B, C) under A's distribution."""
+    rng = np.random.default_rng(seed)
+    n, m = 4, 3
+    probs = rng.random(1 << n)
+    a = TruthTable.random(n, m, rng, probs / probs.sum())
+    b = TruthTable.random(n, m, rng, a.probabilities)
+    c = TruthTable.random(n, m, rng, a.probabilities)
+    assert mean_error_distance(a, c) <= (
+        mean_error_distance(a, b) + mean_error_distance(b, c) + 1e-9
+    )

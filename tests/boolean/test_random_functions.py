@@ -1,0 +1,86 @@
+"""Unit tests for :mod:`repro.boolean.random_functions`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.boolean_matrix import BooleanMatrix
+from repro.boolean.decomposition import (
+    has_column_decomposition,
+    has_row_decomposition,
+)
+from repro.boolean.random_functions import (
+    flip_cells,
+    random_column_decomposable_matrix,
+    random_decomposable_function,
+    random_function,
+    random_partition,
+)
+from repro.errors import DimensionError
+
+
+class TestRandomFunction:
+    def test_shapes(self, rng):
+        table = random_function(4, 3, rng)
+        assert table.n_inputs == 4 and table.n_outputs == 3
+
+    def test_random_distribution_normalized(self, rng):
+        table = random_function(4, 2, rng, random_distribution=True)
+        assert np.isclose(table.probabilities.sum(), 1.0)
+        assert not np.allclose(table.probabilities, table.probabilities[0])
+
+    def test_deterministic_given_seed(self):
+        a = random_function(4, 2, np.random.default_rng(42))
+        b = random_function(4, 2, np.random.default_rng(42))
+        assert a == b
+
+
+class TestRandomPartition:
+    def test_sizes(self, rng):
+        w = random_partition(6, 2, rng)
+        assert len(w.free) == 2 and len(w.bound) == 4
+
+    def test_bad_free_size(self, rng):
+        with pytest.raises(DimensionError):
+            random_partition(4, 0, rng)
+        with pytest.raises(DimensionError):
+            random_partition(4, 4, rng)
+
+
+class TestDecomposableGenerators:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_matrix_generator_certifies(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix, setting = random_column_decomposable_matrix(4, 8, rng)
+        assert has_column_decomposition(matrix)
+        assert np.array_equal(setting.reconstruct(), matrix.values)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_function_generator_certifies(self, seed):
+        rng = np.random.default_rng(seed)
+        table, partitions = random_decomposable_function(5, 3, 2, rng)
+        for k, w in enumerate(partitions):
+            matrix = BooleanMatrix.from_function(table, k, w)
+            assert has_column_decomposition(matrix)
+            assert has_row_decomposition(matrix)
+
+
+class TestFlipCells:
+    def test_flip_count(self, small_table, rng):
+        flipped = flip_cells(small_table, 0, 5, rng)
+        diff = (flipped.component(0) != small_table.component(0)).sum()
+        assert diff == 5
+
+    def test_other_components_untouched(self, small_table, rng):
+        flipped = flip_cells(small_table, 0, 5, rng)
+        assert np.array_equal(flipped.component(1), small_table.component(1))
+
+    def test_zero_flips_identity(self, small_table, rng):
+        assert flip_cells(small_table, 1, 0, rng) == small_table
+
+    def test_too_many_flips_rejected(self, small_table, rng):
+        with pytest.raises(DimensionError):
+            flip_cells(small_table, 0, small_table.size + 1, rng)

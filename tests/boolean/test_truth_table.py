@@ -1,0 +1,193 @@
+"""Unit tests for :mod:`repro.boolean.truth_table`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.truth_table import (
+    TruthTable,
+    bits_to_index,
+    index_to_bits,
+    uniform_distribution,
+)
+from repro.errors import DimensionError
+
+
+class TestConstruction:
+    def test_from_outputs_shapes(self):
+        table = TruthTable(np.zeros((8, 2), dtype=int))
+        assert table.n_inputs == 3
+        assert table.n_outputs == 2
+        assert table.size == 8
+
+    def test_single_output_vector_promoted(self):
+        table = TruthTable(np.array([0, 1, 1, 0]))
+        assert table.n_inputs == 2
+        assert table.n_outputs == 1
+
+    def test_rejects_non_power_of_two_rows(self):
+        with pytest.raises(DimensionError):
+            TruthTable(np.zeros((6, 2), dtype=int))
+
+    def test_rejects_non_binary_entries(self):
+        with pytest.raises(DimensionError):
+            TruthTable(np.full((4, 1), 2))
+
+    def test_rejects_zero_outputs(self):
+        with pytest.raises(DimensionError):
+            TruthTable(np.zeros((4, 0), dtype=int))
+
+    def test_rejects_bad_probability_shape(self):
+        with pytest.raises(DimensionError):
+            TruthTable(np.zeros((4, 1), dtype=int), probabilities=[0.5, 0.5])
+
+    def test_rejects_negative_probabilities(self):
+        with pytest.raises(DimensionError):
+            TruthTable(
+                np.zeros((4, 1), dtype=int),
+                probabilities=[0.5, 0.5, 0.5, -0.5],
+            )
+
+    def test_probabilities_normalized(self):
+        table = TruthTable(
+            np.zeros((4, 1), dtype=int), probabilities=[1, 1, 1, 1]
+        )
+        assert np.allclose(table.probabilities, 0.25)
+
+    def test_outputs_are_read_only(self):
+        table = TruthTable(np.zeros((4, 1), dtype=int))
+        with pytest.raises(ValueError):
+            table.outputs[0, 0] = 1
+
+
+class TestFromWords:
+    def test_round_trip_words(self):
+        words = np.array([3, 0, 2, 1])
+        table = TruthTable.from_words(words, n_inputs=2, n_outputs=2)
+        assert np.array_equal(table.words, words)
+
+    def test_bit_order_lsb_is_component_zero(self):
+        table = TruthTable.from_words([2], n_inputs=0, n_outputs=2)
+        # word 2 = binary 10 -> g_1 (component 0) = 0, g_2 (component 1) = 1
+        assert table.outputs[0, 0] == 0
+        assert table.outputs[0, 1] == 1
+
+    def test_rejects_word_overflow(self):
+        with pytest.raises(DimensionError):
+            TruthTable.from_words([4], n_inputs=0, n_outputs=2)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(DimensionError):
+            TruthTable.from_words([0, 1], n_inputs=2, n_outputs=1)
+
+
+class TestFromIntegerFunction:
+    def test_identity(self):
+        table = TruthTable.from_integer_function(
+            lambda x: x, n_inputs=4, n_outputs=4
+        )
+        assert np.array_equal(table.words, np.arange(16))
+
+    def test_evaluate_word_matches_function(self):
+        table = TruthTable.from_integer_function(
+            lambda x: (x * 5) % 8, n_inputs=3, n_outputs=3
+        )
+        for idx in range(8):
+            assert table.evaluate_word(idx) == (idx * 5) % 8
+
+
+class TestFromVectorFunction:
+    def test_msb_convention(self):
+        # g(x1, x2) = x1 (the MSB of the index)
+        table = TruthTable.from_vector_function(
+            lambda bits: [bits[0]], n_inputs=2
+        )
+        assert np.array_equal(table.component(0), [0, 0, 1, 1])
+
+
+class TestAccessors:
+    def test_component_range_check(self, small_table):
+        with pytest.raises(DimensionError):
+            small_table.component(3)
+
+    def test_with_component_replaces_only_target(self, small_table):
+        new_column = 1 - small_table.component(1)
+        updated = small_table.with_component(1, new_column)
+        assert np.array_equal(updated.component(1), new_column)
+        assert np.array_equal(updated.component(0), small_table.component(0))
+        assert np.array_equal(updated.component(2), small_table.component(2))
+
+    def test_with_component_shape_check(self, small_table):
+        with pytest.raises(DimensionError):
+            small_table.with_component(0, np.zeros(3, dtype=int))
+
+    def test_restrict_keeps_order(self, small_table):
+        sub = small_table.restrict([2, 0])
+        assert np.array_equal(sub.component(0), small_table.component(2))
+        assert np.array_equal(sub.component(1), small_table.component(0))
+
+    def test_restrict_empty_rejected(self, small_table):
+        with pytest.raises(DimensionError):
+            small_table.restrict([])
+
+    def test_equality_and_hash(self, small_table):
+        clone = small_table.copy()
+        assert clone == small_table
+        assert hash(clone) == hash(small_table)
+        changed = small_table.with_component(
+            0, 1 - small_table.component(0)
+        )
+        assert changed != small_table
+
+    def test_words_binary_encoding(self):
+        outputs = np.array([[1, 0, 1]])  # g1=1 (w 1), g2=0, g3=1 (w 4)
+        table = TruthTable(outputs)
+        assert table.words[0] == 5
+
+
+class TestBitHelpers:
+    def test_index_to_bits_msb_first(self):
+        assert np.array_equal(index_to_bits(0b101, 3), [1, 0, 1])
+
+    def test_bits_to_index_inverse(self):
+        for idx in range(16):
+            assert bits_to_index(index_to_bits(idx, 4)) == idx
+
+    def test_index_to_bits_range_check(self):
+        with pytest.raises(DimensionError):
+            index_to_bits(8, 3)
+
+    def test_bits_to_index_rejects_non_binary(self):
+        with pytest.raises(DimensionError):
+            bits_to_index([0, 2])
+
+    def test_uniform_distribution_sums_to_one(self):
+        assert np.isclose(uniform_distribution(5).sum(), 1.0)
+
+    def test_uniform_distribution_negative_rejected(self):
+        with pytest.raises(DimensionError):
+            uniform_distribution(-1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_inputs=st.integers(min_value=1, max_value=6),
+    n_outputs=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_words_round_trip_property(n_inputs, n_outputs, seed):
+    """from_words(words) recovers exactly the words it was given."""
+    rng = np.random.default_rng(seed)
+    words = rng.integers(0, 1 << n_outputs, size=1 << n_inputs)
+    table = TruthTable.from_words(words, n_inputs, n_outputs)
+    assert np.array_equal(table.words, words)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_evaluate_matches_outputs_property(seed):
+    rng = np.random.default_rng(seed)
+    table = TruthTable.random(4, 3, rng)
+    indices = rng.integers(0, 16, size=10)
+    assert np.array_equal(table.evaluate(indices), table.outputs[indices])

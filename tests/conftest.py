@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.boolean.partition import InputPartition
+from repro.boolean.truth_table import TruthTable
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_table(rng) -> TruthTable:
+    """A random 5-input, 3-output table with a random distribution."""
+    probabilities = rng.random(32)
+    return TruthTable.random(5, 3, rng, probabilities / probabilities.sum())
+
+
+@pytest.fixture
+def small_partition() -> InputPartition:
+    """A canonical 2/3 partition of 5 variables."""
+    return InputPartition(free=(0, 1), bound=(2, 3, 4), n_inputs=5)
+
+
+@pytest.fixture
+def square_table() -> TruthTable:
+    """The deterministic 6-input squaring table used by integration tests."""
+    return TruthTable.from_integer_function(
+        lambda x: (x * x) % 64, n_inputs=6, n_outputs=6
+    )

@@ -1,0 +1,163 @@
+"""Tests for the batched multi-partition core-COP solver."""
+
+import numpy as np
+import pytest
+
+from repro.boolean.metrics import mean_error_distance
+from repro.boolean.random_functions import random_function
+from repro.boolean.synthesis import apply_column_setting
+from repro.core.batch import BatchedCoreCOPSolver, _StackedBipartiteDynamics
+from repro.core.config import CoreSolverConfig, FrameworkConfig
+from repro.core.framework import IsingDecomposer
+from repro.core.partitions import sample_partitions
+from repro.core.solver import CoreCOPSolver
+from repro.errors import DimensionError
+from repro.ising.structured import BipartiteDecompositionModel
+
+FAST = CoreSolverConfig(max_iterations=600, n_replicas=3)
+
+
+class TestStackedDynamics:
+    """The stacked einsum kernels must agree with the per-model ones."""
+
+    def test_energy_matches_single_models(self, rng):
+        stack = rng.normal(size=(3, 4, 6))
+        dynamics = _StackedBipartiteDynamics(stack, np.zeros(3))
+        spins = rng.choice([-1.0, 1.0], size=(3, 2, dynamics.n_spins))
+        energies = dynamics.energy(spins)
+        for p in range(3):
+            model = BipartiteDecompositionModel(stack[p])
+            for replica in range(2):
+                assert np.isclose(
+                    energies[p, replica], model.energy(spins[p, replica])
+                )
+
+    def test_fields_match_single_models(self, rng):
+        stack = rng.normal(size=(3, 4, 6))
+        dynamics = _StackedBipartiteDynamics(stack, np.zeros(3))
+        x = rng.normal(size=(3, 2, dynamics.n_spins))
+        fields = dynamics.fields(x)
+        for p in range(3):
+            model = BipartiteDecompositionModel(stack[p])
+            for replica in range(2):
+                assert np.allclose(
+                    fields[p, replica], model.fields(x[p, replica])
+                )
+
+    def test_optimal_types_match_theorem3(self, rng):
+        from repro.core.theorem3 import optimal_column_types
+
+        stack = rng.normal(size=(2, 3, 5))
+        dynamics = _StackedBipartiteDynamics(stack, np.zeros(2))
+        v1 = rng.integers(0, 2, (2, 4, 3)).astype(np.uint8)
+        v2 = rng.integers(0, 2, (2, 4, 3)).astype(np.uint8)
+        types = dynamics.optimal_types(v1, v2)
+        for p in range(2):
+            for replica in range(4):
+                expected = optimal_column_types(
+                    4.0 * dynamics.k[p], v1[p, replica], v2[p, replica]
+                )
+                assert np.array_equal(types[p, replica], expected)
+
+    def test_bad_stack_shape(self):
+        with pytest.raises(DimensionError):
+            _StackedBipartiteDynamics(np.zeros((2, 3)), np.zeros(2))
+
+
+class TestSolveCandidates:
+    def test_objectives_are_exact(self, rng):
+        """Every returned objective equals the true error of its setting."""
+        table = random_function(6, 2, rng, random_distribution=True)
+        partitions = sample_partitions(6, 3, 4, rng)
+        solutions = BatchedCoreCOPSolver(FAST).solve_candidates(
+            table, table, 1, partitions, "joint", rng
+        )
+        assert len(solutions) == 4
+        for solution in solutions:
+            approx = apply_column_setting(
+                table, 1, solution.partition, solution.setting
+            )
+            assert np.isclose(
+                solution.objective, mean_error_distance(table, approx)
+            )
+
+    def test_quality_comparable_to_sequential(self, rng):
+        table = random_function(7, 2, rng)
+        partitions = sample_partitions(7, 3, 4, rng)
+        batched = BatchedCoreCOPSolver(FAST).solve_candidates(
+            table, table, 1, partitions, "separate",
+            np.random.default_rng(0),
+        )
+        sequential = CoreCOPSolver(FAST)
+        for solution in batched:
+            reference = sequential.solve(
+                table, table, 1, solution.partition, "separate",
+                np.random.default_rng(0),
+            )
+            # batched and sequential explore differently; demand parity
+            # within a generous factor on each instance
+            assert solution.objective <= reference.objective * 2 + 0.05
+
+    def test_empty_partitions_rejected(self, rng):
+        table = random_function(5, 2, rng)
+        with pytest.raises(DimensionError):
+            BatchedCoreCOPSolver(FAST).solve_candidates(
+                table, table, 0, [], "separate", rng
+            )
+
+    def test_mixed_free_sizes_rejected(self, rng):
+        table = random_function(6, 2, rng)
+        mixed = (
+            sample_partitions(6, 2, 1, rng)
+            + sample_partitions(6, 3, 1, rng)
+        )
+        with pytest.raises(DimensionError):
+            BatchedCoreCOPSolver(FAST).solve_candidates(
+                table, table, 0, mixed, "separate", rng
+            )
+
+    def test_deterministic_given_seed(self, rng):
+        table = random_function(6, 2, rng)
+        partitions = sample_partitions(6, 3, 3, rng)
+        a = BatchedCoreCOPSolver(FAST).solve_candidates(
+            table, table, 0, partitions, "joint", np.random.default_rng(5)
+        )
+        b = BatchedCoreCOPSolver(FAST).solve_candidates(
+            table, table, 0, partitions, "joint", np.random.default_rng(5)
+        )
+        assert [s.objective for s in a] == [s.objective for s in b]
+
+
+class TestFrameworkIntegration:
+    def test_batched_framework_end_to_end(self):
+        from repro.boolean.truth_table import TruthTable
+
+        table = TruthTable.from_integer_function(
+            lambda x: (x * x) % 32, n_inputs=5, n_outputs=5
+        )
+        config = FrameworkConfig(
+            mode="joint", free_size=2, n_partitions=4, n_rounds=1,
+            seed=0, solver=FAST, batched=True,
+        )
+        result = IsingDecomposer(config).decompose(table)
+        assert sorted(result.components) == list(range(5))
+        assert np.isclose(
+            result.med, mean_error_distance(table, result.approx)
+        )
+
+    def test_batched_matches_sequential_quality(self):
+        from repro.workloads import build_workload
+
+        workload = build_workload("exp", n_inputs=8)
+        base = dict(
+            mode="joint", free_size=workload.free_size, n_partitions=4,
+            n_rounds=1, seed=0, solver=FAST,
+        )
+        sequential = IsingDecomposer(
+            FrameworkConfig(**base, batched=False)
+        ).decompose(workload.table)
+        batched = IsingDecomposer(
+            FrameworkConfig(**base, batched=True)
+        ).decompose(workload.table)
+        # same partitions explored (seeded), comparable accuracy
+        assert batched.med <= sequential.med * 1.5 + 0.5

@@ -1,0 +1,65 @@
+"""Unit tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.core.config import CoreSolverConfig, FrameworkConfig
+from repro.errors import ConfigurationError
+
+
+class TestCoreSolverConfig:
+    def test_paper_presets(self):
+        small = CoreSolverConfig.paper_small_scale()
+        assert small.sample_every == 20 and small.window == 20
+        large = CoreSolverConfig.paper_large_scale()
+        assert large.sample_every == 10 and large.window == 10
+        assert small.variance_threshold == 1e-8
+
+    def test_with_updates_is_functional(self):
+        base = CoreSolverConfig()
+        updated = base.with_updates(n_replicas=9)
+        assert updated.n_replicas == 9
+        assert base.n_replicas != 9 or base is not updated
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sample_every": 0},
+            {"window": 1},
+            {"variance_threshold": -1.0},
+            {"max_iterations": 0},
+            {"n_replicas": 0},
+            {"dt": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CoreSolverConfig(**kwargs)
+
+
+class TestFrameworkConfig:
+    def test_paper_presets(self):
+        small = FrameworkConfig.paper_small_scale()
+        assert small.free_size == 4
+        assert small.n_partitions == 1000
+        assert small.n_rounds == 5
+        large = FrameworkConfig.paper_large_scale("separate")
+        assert large.free_size == 7
+        assert large.mode == "separate"
+
+    def test_with_updates(self):
+        config = FrameworkConfig().with_updates(n_partitions=3)
+        assert config.n_partitions == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "both"},
+            {"free_size": 0},
+            {"n_partitions": 0},
+            {"n_rounds": 0},
+            {"prescreen_keep": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FrameworkConfig(**kwargs)

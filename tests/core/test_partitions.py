@@ -1,0 +1,57 @@
+"""Unit tests for :mod:`repro.core.partitions`."""
+
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.core.partitions import all_partitions, sample_partitions
+from repro.errors import PartitionError
+
+
+class TestAllPartitions:
+    def test_count_matches_binomial(self):
+        partitions = list(all_partitions(6, 2))
+        assert len(partitions) == comb(6, 2)
+
+    def test_all_canonical_and_distinct(self):
+        partitions = list(all_partitions(5, 2))
+        frees = [p.free for p in partitions]
+        assert all(tuple(sorted(f)) == f for f in frees)
+        assert len(set(frees)) == len(frees)
+
+    def test_bad_free_size(self):
+        with pytest.raises(PartitionError):
+            list(all_partitions(4, 0))
+        with pytest.raises(PartitionError):
+            list(all_partitions(4, 4))
+
+
+class TestSamplePartitions:
+    def test_requested_count(self, rng):
+        partitions = sample_partitions(8, 3, 10, rng)
+        assert len(partitions) == 10
+
+    def test_distinct(self, rng):
+        partitions = sample_partitions(8, 3, 20, rng)
+        assert len({p.free for p in partitions}) == 20
+
+    def test_exhaustive_when_count_exceeds_total(self, rng):
+        partitions = sample_partitions(5, 2, 1000, rng)
+        assert len(partitions) == comb(5, 2)
+
+    def test_deterministic_with_seed(self):
+        a = sample_partitions(8, 3, 5, np.random.default_rng(1))
+        b = sample_partitions(8, 3, 5, np.random.default_rng(1))
+        assert [p.free for p in a] == [p.free for p in b]
+
+    def test_valid_partitions(self, rng):
+        for p in sample_partitions(7, 4, 8, rng):
+            assert sorted(p.free + p.bound) == list(range(7))
+            assert len(p.free) == 4
+
+    def test_count_validation(self, rng):
+        with pytest.raises(PartitionError):
+            sample_partitions(5, 2, 0, rng)
+        with pytest.raises(PartitionError):
+            sample_partitions(5, 5, 3, rng)

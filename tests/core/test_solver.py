@@ -1,0 +1,133 @@
+"""Tests for :class:`repro.core.solver.CoreCOPSolver`."""
+
+import numpy as np
+import pytest
+
+from repro.boolean.boolean_matrix import BooleanMatrix
+from repro.boolean.decomposition import has_column_decomposition
+from repro.boolean.random_functions import (
+    random_decomposable_function,
+    random_function,
+    random_partition,
+)
+from repro.boolean.synthesis import apply_column_setting
+from repro.boolean.metrics import error_rate_per_output
+from repro.core.config import CoreSolverConfig
+from repro.core.ising_formulation import build_core_cop_model
+from repro.core.solver import CoreCOPSolver
+
+FAST = CoreSolverConfig(max_iterations=600, n_replicas=4)
+
+
+class TestSolve:
+    def test_returns_true_objective(self, rng):
+        table = random_function(6, 3, rng)
+        partition = random_partition(6, 3, rng)
+        solution = CoreCOPSolver(FAST).solve(
+            table, table, 1, partition, "separate", rng
+        )
+        approx = apply_column_setting(
+            table, 1, partition, solution.setting
+        )
+        true_er = error_rate_per_output(table, approx)[1]
+        assert np.isclose(solution.objective, true_er)
+
+    def test_decomposable_instance_solved_exactly(self, rng):
+        """On an exactly decomposable component the solver finds ER = 0."""
+        table, partitions = random_decomposable_function(6, 2, 3, rng)
+        solution = CoreCOPSolver(FAST).solve(
+            table, table, 0, partitions[0], "separate", rng
+        )
+        assert np.isclose(solution.objective, 0.0, atol=1e-12)
+
+    def test_setting_shape_matches_partition(self, rng):
+        table = random_function(5, 2, rng)
+        partition = random_partition(5, 2, rng)
+        solution = CoreCOPSolver(FAST).solve(
+            table, table, 0, partition, "joint", rng
+        )
+        assert solution.setting.n_rows == partition.n_rows
+        assert solution.setting.n_cols == partition.n_cols
+        assert solution.partition == partition
+
+    def test_reconstruction_is_decomposable(self, rng):
+        table = random_function(5, 2, rng)
+        partition = random_partition(5, 2, rng)
+        solution = CoreCOPSolver(FAST).solve(
+            table, table, 0, partition, "separate", rng
+        )
+        approx = apply_column_setting(table, 0, partition, solution.setting)
+        matrix = BooleanMatrix.from_function(approx, 0, partition)
+        assert has_column_decomposition(matrix)
+
+    def test_deterministic_given_seed(self, rng):
+        table = random_function(5, 2, rng)
+        partition = random_partition(5, 2, rng)
+        a = CoreCOPSolver(FAST).solve(
+            table, table, 0, partition, "separate",
+            np.random.default_rng(3),
+        )
+        b = CoreCOPSolver(FAST).solve(
+            table, table, 0, partition, "separate",
+            np.random.default_rng(3),
+        )
+        assert np.isclose(a.objective, b.objective)
+
+
+class TestConfigurationEffects:
+    def test_dynamic_stop_converges_before_cap(self, rng):
+        table = random_function(6, 2, rng)
+        partition = random_partition(6, 3, rng)
+        config = CoreSolverConfig(
+            sample_every=10, window=10, max_iterations=50_000,
+            n_replicas=2,
+        )
+        solution = CoreCOPSolver(config).solve(
+            table, table, 0, partition, "separate", rng
+        )
+        assert solution.solve_result.stop_reason == "variance_converged"
+        assert solution.solve_result.n_iterations < 50_000
+
+    def test_fixed_stop_runs_to_cap(self, rng):
+        table = random_function(5, 2, rng)
+        partition = random_partition(5, 2, rng)
+        config = CoreSolverConfig(
+            use_dynamic_stop=False, max_iterations=200, n_replicas=2
+        )
+        solution = CoreCOPSolver(config).solve(
+            table, table, 0, partition, "separate", rng
+        )
+        assert solution.solve_result.n_iterations == 200
+
+    def test_polish_never_worse(self, rng):
+        """Alternating polish cannot increase the objective."""
+        table = random_function(6, 2, rng)
+        partition = random_partition(6, 3, rng)
+        model = build_core_cop_model(table, table, 0, partition, "separate")
+        plain = CoreCOPSolver(
+            FAST.with_updates(polish=False)
+        ).solve_model(model, np.random.default_rng(0))
+        polished = CoreCOPSolver(
+            FAST.with_updates(polish=True)
+        ).solve_model(model, np.random.default_rng(0))
+        assert polished.objective <= plain.objective + 1e-12
+
+    def test_intervention_improves_or_matches_types(self, rng):
+        """With the Theorem-3 hook, the returned T is optimal for V1/V2."""
+        from repro.core.theorem3 import optimal_column_types, setting_cost
+        from repro.boolean.decomposition import ColumnSetting
+
+        table = random_function(6, 2, rng)
+        partition = random_partition(6, 3, rng)
+        model = build_core_cop_model(table, table, 0, partition, "separate")
+        solution = CoreCOPSolver(
+            FAST.with_updates(use_intervention=True)
+        ).solve_model(model, rng)
+        setting = solution.setting
+        best_t = optimal_column_types(
+            model.weights, setting.pattern1, setting.pattern2
+        )
+        optimal = ColumnSetting(setting.pattern1, setting.pattern2, best_t)
+        assert setting_cost(model.weights, setting) <= setting_cost(
+            model.weights, optimal
+        ) + 1e-12

@@ -1,0 +1,144 @@
+"""Robustness tests: ramp/stop interplay, symmetry breaking, edge cases.
+
+These pin down the two implementation findings documented in DESIGN.md
+(pump-ramp vs dynamic-stop interaction; V1/V2 exchange symmetry) plus
+solver edge cases like degenerate weight matrices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.boolean.random_functions import random_partition
+from repro.core.config import CoreSolverConfig
+from repro.core.ising_formulation import build_core_cop_model
+from repro.core.solver import CoreCOPSolver
+from repro.errors import ConfigurationError, SolverError
+from repro.ising.solvers import BallisticSBSolver
+from repro.ising.stop_criteria import FixedIterations
+from repro.ising.structured import BipartiteDecompositionModel
+from repro.workloads import build_workload
+
+
+class TestRampConfig:
+    def test_default_ramp_is_quarter_of_cap(self):
+        config = CoreSolverConfig(max_iterations=2000)
+        assert config.resolved_ramp_iterations == 500
+
+    def test_minimum_ramp_floor(self):
+        config = CoreSolverConfig(max_iterations=200)
+        assert config.resolved_ramp_iterations == 100
+
+    def test_tiny_cap_clamps_ramp(self):
+        config = CoreSolverConfig(max_iterations=50)
+        assert config.resolved_ramp_iterations == 50
+
+    def test_explicit_ramp_respected(self):
+        config = CoreSolverConfig(max_iterations=1000,
+                                  pump_ramp_iterations=300)
+        assert config.resolved_ramp_iterations == 300
+
+    def test_ramp_exceeding_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreSolverConfig(max_iterations=100, pump_ramp_iterations=200)
+        with pytest.raises(ConfigurationError):
+            CoreSolverConfig(pump_ramp_iterations=0)
+
+    def test_dynamic_stop_waits_for_ramp(self):
+        """The solver must not stop during the pump ramp."""
+        workload = build_workload("cos", n_inputs=8)
+        partition = random_partition(8, 3, np.random.default_rng(0))
+        model = build_core_cop_model(
+            workload.table, workload.table, 7, partition, "joint"
+        )
+        config = CoreSolverConfig(
+            max_iterations=4000, pump_ramp_iterations=600, n_replicas=2
+        )
+        solution = CoreCOPSolver(config).solve_model(
+            model, np.random.default_rng(0)
+        )
+        assert solution.solve_result.n_iterations >= 600
+
+
+class TestSymmetryBreaking:
+    def test_regression_cos_msb_instance(self):
+        """The documented hard instance: must reach the 0.5 optimum."""
+        rng = np.random.default_rng(3)
+        workload = build_workload("cos", n_inputs=9)
+        partition = random_partition(9, 4, rng)
+        model = build_core_cop_model(
+            workload.table, workload.table, 8, partition, "joint"
+        )
+        config = CoreSolverConfig.paper_small_scale().with_updates(
+            max_iterations=2000, n_replicas=4
+        )
+        solution = CoreCOPSolver(config).solve_model(
+            model, np.random.default_rng(0)
+        )
+        assert solution.objective <= 0.5 + 1e-9
+
+    def test_initializer_mirrors_v2(self):
+        initializer = CoreCOPSolver._antisymmetric_initializer(4)
+        x, y = initializer(np.random.default_rng(0), 3, 12, 0.1)
+        assert x.shape == (3, 12) and y.shape == (3, 12)
+        assert np.allclose(x[:, 4:8], -x[:, :4])
+
+    def test_flag_off_uses_default_init(self):
+        """With the flag off the solver still runs and returns validly."""
+        rng = np.random.default_rng(1)
+        model = BipartiteDecompositionModel(rng.normal(size=(4, 8)))
+        config = CoreSolverConfig(
+            max_iterations=300, n_replicas=2, symmetry_breaking_init=False
+        )
+        solution = CoreCOPSolver(config).solve_model(model, rng)
+        assert np.isfinite(solution.objective)
+
+
+class TestBsbInitializer:
+    def test_wrong_shape_rejected(self):
+        rng = np.random.default_rng(0)
+        model = BipartiteDecompositionModel(rng.normal(size=(2, 3)))
+
+        def bad_initializer(rng_, n_replicas, n_spins, amplitude):
+            return np.zeros((1, n_spins)), np.zeros((1, n_spins))
+
+        solver = BallisticSBSolver(
+            stop=FixedIterations(10), n_replicas=2,
+            initializer=bad_initializer,
+        )
+        with pytest.raises(SolverError):
+            solver.solve(model, rng)
+
+
+class TestDegenerateModels:
+    def test_all_zero_weights(self):
+        """A zero weight matrix: every setting is optimal (cost 0)."""
+        model = BipartiteDecompositionModel(np.zeros((3, 4)), offset=0.0)
+        config = CoreSolverConfig(max_iterations=200, n_replicas=2)
+        solution = CoreCOPSolver(config).solve_model(
+            model, np.random.default_rng(0)
+        )
+        assert np.isclose(solution.objective, 0.0)
+
+    def test_single_row_single_column(self):
+        model = BipartiteDecompositionModel(np.array([[1.0]]), offset=0.5)
+        config = CoreSolverConfig(max_iterations=200, n_replicas=2)
+        solution = CoreCOPSolver(config).solve_model(
+            model, np.random.default_rng(0)
+        )
+        # best O_hat = 0 -> cost = offset - W/2 ... objective is exact:
+        assert np.isfinite(solution.objective)
+        assert solution.setting.n_rows == 1
+        assert solution.setting.n_cols == 1
+
+    def test_constant_component_zero_error(self):
+        """A constant output decomposes with zero error trivially."""
+        from repro.boolean.truth_table import TruthTable
+
+        table = TruthTable(np.zeros((32, 2), dtype=int))
+        partition = random_partition(5, 2, np.random.default_rng(0))
+        model = build_core_cop_model(table, table, 0, partition, "separate")
+        config = CoreSolverConfig(max_iterations=300, n_replicas=2)
+        solution = CoreCOPSolver(config).solve_model(
+            model, np.random.default_rng(0)
+        )
+        assert np.isclose(solution.objective, 0.0)

@@ -1,0 +1,156 @@
+"""Tests for Theorem 3 and the alternating refinement / intervention."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.decomposition import ColumnSetting
+from repro.boolean.random_functions import random_column_setting
+from repro.core.theorem3 import (
+    alternating_refinement,
+    optimal_column_types,
+    optimal_patterns,
+    setting_cost,
+    theorem3_intervention,
+)
+from repro.errors import DimensionError
+from repro.ising.structured import BipartiteDecompositionModel
+
+
+class TestOptimalColumnTypes:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_theorem3_is_optimal_per_column(self, seed):
+        """No other T achieves lower cost for the same patterns."""
+        rng = np.random.default_rng(seed)
+        r, c = int(rng.integers(1, 5)), int(rng.integers(1, 5))
+        weights = rng.normal(size=(r, c))
+        v1 = rng.integers(0, 2, r, dtype=np.uint8)
+        v2 = rng.integers(0, 2, r, dtype=np.uint8)
+        best_t = optimal_column_types(weights, v1, v2)
+        best_cost = setting_cost(weights, ColumnSetting(v1, v2, best_t))
+        for bits in itertools.product((0, 1), repeat=c):
+            other = ColumnSetting(v1, v2, np.array(bits, dtype=np.uint8))
+            assert best_cost <= setting_cost(weights, other) + 1e-12
+
+    def test_tie_selects_pattern1(self):
+        weights = np.zeros((2, 3))
+        v1 = np.array([1, 0], dtype=np.uint8)
+        v2 = np.array([0, 1], dtype=np.uint8)
+        assert np.array_equal(
+            optimal_column_types(weights, v1, v2), [0, 0, 0]
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            optimal_column_types(
+                np.zeros((2, 3)), np.zeros(3), np.zeros(2)
+            )
+
+
+class TestOptimalPatterns:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_dual_step_is_optimal_per_bit(self, seed):
+        rng = np.random.default_rng(seed)
+        r, c = int(rng.integers(1, 4)), int(rng.integers(1, 5))
+        weights = rng.normal(size=(r, c))
+        t = rng.integers(0, 2, c, dtype=np.uint8)
+        v1, v2 = optimal_patterns(weights, t)
+        best_cost = setting_cost(weights, ColumnSetting(v1, v2, t))
+        for bits1 in itertools.product((0, 1), repeat=r):
+            for bits2 in itertools.product((0, 1), repeat=r):
+                other = ColumnSetting(
+                    np.array(bits1, dtype=np.uint8),
+                    np.array(bits2, dtype=np.uint8),
+                    t,
+                )
+                assert best_cost <= setting_cost(weights, other) + 1e-12
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            optimal_patterns(np.zeros((2, 3)), np.zeros(2))
+
+
+class TestAlternatingRefinement:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_never_increases_cost(self, seed):
+        rng = np.random.default_rng(seed)
+        r, c = int(rng.integers(1, 6)), int(rng.integers(1, 7))
+        weights = rng.normal(size=(r, c))
+        start = random_column_setting(r, c, rng)
+        refined, cost, rounds = alternating_refinement(weights, start)
+        assert cost <= setting_cost(weights, start) + 1e-12
+        assert rounds >= 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_fixpoint_is_stable(self, seed):
+        """Refining a refined setting changes nothing further."""
+        rng = np.random.default_rng(seed)
+        weights = rng.normal(size=(3, 4))
+        start = random_column_setting(3, 4, rng)
+        refined, cost, _ = alternating_refinement(weights, start)
+        again, cost2, _ = alternating_refinement(weights, refined)
+        assert np.isclose(cost, cost2)
+
+    def test_reaches_exact_optimum_sometimes(self):
+        """On a separable instance the fixpoint is the global optimum."""
+        # all-negative weights: optimum is all-ones O_hat
+        weights = -np.ones((3, 4))
+        start = ColumnSetting(
+            np.zeros(3, dtype=np.uint8),
+            np.zeros(3, dtype=np.uint8),
+            np.zeros(4, dtype=np.uint8),
+        )
+        refined, cost, _ = alternating_refinement(weights, start)
+        assert np.isclose(cost, -12.0)
+
+
+class TestIntervention:
+    def test_hook_resets_type_spins_to_optimal(self, rng):
+        weights = rng.normal(size=(3, 5))
+        model = BipartiteDecompositionModel(weights)
+        hook = theorem3_intervention(model)
+
+        x = rng.uniform(-1, 1, size=(2, model.n_spins))
+        y = rng.uniform(-1, 1, size=(2, model.n_spins))
+        from repro.ising.solvers.bsb import SBState
+
+        state = SBState(
+            model=model, positions=x, momenta=y, iteration=10,
+            best_energy=np.inf, best_spins=np.sign(x[0]),
+        )
+        hook(state)
+        for replica in range(2):
+            v1 = (x[replica, :3] >= 0).astype(np.uint8)
+            v2 = (x[replica, 3:6] >= 0).astype(np.uint8)
+            expected = optimal_column_types(weights, v1, v2)
+            assert np.array_equal(
+                (x[replica, 6:] > 0).astype(np.uint8), expected
+            )
+            assert np.allclose(y[replica, 6:], 0.0)
+
+    def test_intervention_never_hurts_type_assignment(self, rng):
+        """Post-hook energy is <= pre-hook energy for the same patterns."""
+        weights = rng.normal(size=(4, 6))
+        model = BipartiteDecompositionModel(weights)
+        hook = theorem3_intervention(model)
+        from repro.ising.solvers.bsb import SBState
+
+        for _ in range(10):
+            x = rng.uniform(-1, 1, size=(1, model.n_spins))
+            y = np.zeros_like(x)
+            spins_before = np.where(x >= 0, 1.0, -1.0)[0]
+            energy_before = model.energy(spins_before)
+            state = SBState(
+                model=model, positions=x, momenta=y, iteration=1,
+                best_energy=np.inf, best_spins=spins_before,
+            )
+            hook(state)
+            spins_after = np.where(x >= 0, 1.0, -1.0)[0]
+            assert model.energy(spins_after) <= energy_before + 1e-12

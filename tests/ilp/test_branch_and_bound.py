@@ -1,0 +1,121 @@
+"""Unit tests for :mod:`repro.ilp.branch_and_bound`."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleError, SolverError
+from repro.ilp.branch_and_bound import BranchAndBoundSolver
+from repro.ilp.problem import IlpBuilder
+
+
+def knapsack(values, weights, capacity):
+    builder = IlpBuilder()
+    n = len(values)
+    for i in range(n):
+        builder.add_binary(f"x{i}")
+        builder.set_objective_term(f"x{i}", -float(values[i]))
+    builder.add_less_equal(
+        {f"x{i}": float(weights[i]) for i in range(n)}, float(capacity)
+    )
+    return builder.build()
+
+
+def brute_knapsack(values, weights, capacity):
+    best = 0
+    n = len(values)
+    for bits in itertools.product((0, 1), repeat=n):
+        arr = np.array(bits)
+        if arr @ weights <= capacity:
+            best = max(best, int(arr @ values))
+    return best
+
+
+class TestCorrectness:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_knapsack_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 9
+        values = rng.integers(1, 25, n)
+        weights = rng.integers(1, 12, n)
+        capacity = int(weights.sum() // 3) + 1
+        result = BranchAndBoundSolver(time_limit=60).solve(
+            knapsack(values, weights, capacity)
+        )
+        assert result.status == "optimal"
+        assert np.isclose(-result.objective,
+                          brute_knapsack(values, weights, capacity))
+
+    def test_solution_is_feasible_and_integral(self):
+        problem = knapsack([5, 4, 3], [4, 3, 2], 6)
+        result = BranchAndBoundSolver().solve(problem)
+        assert problem.is_feasible(result.x)
+        assert np.allclose(result.x, np.round(result.x))
+
+    def test_equality_constraints(self):
+        builder = IlpBuilder()
+        for i in range(4):
+            builder.add_binary(f"x{i}")
+            builder.set_objective_term(f"x{i}", float(i + 1))
+        builder.add_equal({f"x{i}": 1.0 for i in range(4)}, 2.0)
+        result = BranchAndBoundSolver().solve(builder.build())
+        # choose the two cheapest: x0 and x1 -> 1 + 2 = 3
+        assert result.status == "optimal"
+        assert np.isclose(result.objective, 3.0)
+
+    def test_continuous_variables_allowed(self):
+        builder = IlpBuilder()
+        builder.add_variable("y", lower=0.0, upper=10.0)
+        builder.add_binary("x")
+        builder.set_objective_term("y", 1.0)
+        builder.set_objective_term("x", 1.0)
+        builder.add_greater_equal({"y": 1.0, "x": 5.0}, 2.5)
+        result = BranchAndBoundSolver().solve(builder.build())
+        # either y = 2.5 (cost 2.5) or x = 1 (cost 1) -> optimal x = 1
+        assert result.status == "optimal"
+        assert np.isclose(result.objective, 1.0)
+
+
+class TestInfeasibility:
+    def test_infeasible_detected(self):
+        builder = IlpBuilder()
+        builder.add_binary("x")
+        builder.add_greater_equal({"x": 1.0}, 2.0)
+        result = BranchAndBoundSolver().solve(builder.build())
+        assert result.status == "infeasible"
+        assert result.x is None
+
+    def test_solve_or_raise(self):
+        builder = IlpBuilder()
+        builder.add_binary("x")
+        builder.add_greater_equal({"x": 1.0}, 2.0)
+        with pytest.raises(InfeasibleError):
+            BranchAndBoundSolver().solve_or_raise(builder.build())
+
+
+class TestAnytimeBehavior:
+    def test_node_limit_returns_incumbent(self, rng):
+        n = 14
+        values = rng.integers(1, 30, n)
+        weights = rng.integers(1, 10, n)
+        problem = knapsack(values, weights, int(weights.sum() // 2))
+        result = BranchAndBoundSolver(node_limit=3).solve(problem)
+        assert result.status in ("node_limit", "optimal")
+        if result.x is not None:
+            assert problem.is_feasible(result.x)
+
+    def test_gap_reported(self):
+        problem = knapsack([3, 2, 1], [2, 2, 2], 4)
+        result = BranchAndBoundSolver().solve(problem)
+        assert result.status == "optimal"
+        assert result.gap <= 1e-6
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            BranchAndBoundSolver(time_limit=0)
+        with pytest.raises(SolverError):
+            BranchAndBoundSolver(node_limit=0)

@@ -1,0 +1,112 @@
+"""Unit tests for :mod:`repro.ilp.problem`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.ilp.problem import IlpBuilder, IntegerLinearProgram
+
+
+class TestIntegerLinearProgram:
+    def test_defaults(self):
+        p = IntegerLinearProgram(objective=np.array([1.0, 2.0]))
+        assert p.n_variables == 2
+        assert np.array_equal(p.lower, [0.0, 0.0])
+        assert np.isinf(p.upper).all()
+        assert not p.integrality.any()
+
+    def test_matrix_rhs_pairing_enforced(self):
+        with pytest.raises(DimensionError):
+            IntegerLinearProgram(
+                objective=np.array([1.0]), a_ub=np.array([[1.0]])
+            )
+
+    def test_shape_checks(self):
+        with pytest.raises(DimensionError):
+            IntegerLinearProgram(
+                objective=np.array([1.0, 1.0]),
+                a_ub=np.array([[1.0]]),
+                b_ub=np.array([1.0]),
+            )
+        with pytest.raises(DimensionError):
+            IntegerLinearProgram(
+                objective=np.array([1.0]),
+                lower=np.array([2.0]),
+                upper=np.array([1.0]),
+            )
+
+    def test_value(self):
+        p = IntegerLinearProgram(objective=np.array([2.0, -1.0]))
+        assert p.value(np.array([3.0, 4.0])) == 2.0
+
+    def test_is_feasible(self):
+        p = IntegerLinearProgram(
+            objective=np.array([1.0, 1.0]),
+            a_ub=np.array([[1.0, 1.0]]),
+            b_ub=np.array([1.5]),
+            upper=np.array([1.0, 1.0]),
+            integrality=np.array([True, True]),
+        )
+        assert p.is_feasible(np.array([1.0, 0.0]))
+        assert not p.is_feasible(np.array([1.0, 1.0]))  # constraint
+        assert not p.is_feasible(np.array([0.5, 0.0]))  # integrality
+        assert not p.is_feasible(np.array([-1.0, 0.0]))  # bounds
+
+
+class TestIlpBuilder:
+    def test_binary_variable(self):
+        b = IlpBuilder()
+        b.add_binary("x")
+        p = b.build()
+        assert p.upper[0] == 1.0
+        assert p.integrality[0]
+
+    def test_duplicate_name_rejected(self):
+        b = IlpBuilder()
+        b.add_binary("x")
+        with pytest.raises(DimensionError):
+            b.add_binary("x")
+
+    def test_unknown_name_rejected(self):
+        b = IlpBuilder()
+        b.add_binary("x")
+        with pytest.raises(DimensionError):
+            b.set_objective_term("y", 1.0)
+        with pytest.raises(DimensionError):
+            b.add_less_equal({"y": 1.0}, 0.0)
+
+    def test_objective_terms_accumulate(self):
+        b = IlpBuilder()
+        b.add_binary("x")
+        b.set_objective_term("x", 1.0)
+        b.set_objective_term("x", 2.0)
+        assert b.build().objective[0] == 3.0
+
+    def test_greater_equal_flips(self):
+        b = IlpBuilder()
+        b.add_variable("x", upper=10.0)
+        b.add_greater_equal({"x": 2.0}, 4.0)
+        p = b.build()
+        assert np.allclose(p.a_ub, [[-2.0]])
+        assert np.allclose(p.b_ub, [-4.0])
+
+    def test_equality_rows(self):
+        b = IlpBuilder()
+        b.add_binary("x")
+        b.add_binary("y")
+        b.add_equal({"x": 1.0, "y": 1.0}, 1.0)
+        p = b.build()
+        assert np.allclose(p.a_eq, [[1.0, 1.0]])
+        assert np.allclose(p.b_eq, [1.0])
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(DimensionError):
+            IlpBuilder().build()
+
+    def test_variable_names_preserved(self):
+        b = IlpBuilder()
+        b.add_binary("a")
+        b.add_variable("b")
+        p = b.build()
+        assert p.variable_names == ("a", "b")
+        assert b.index_of("b") == 1

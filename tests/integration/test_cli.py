@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.serialization import load_design
+
+
+@pytest.fixture(scope="module")
+def saved_design(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "cos.json"
+    code = main(
+        [
+            "decompose",
+            "--workload", "cos",
+            "--n-inputs", "6",
+            "--partitions", "2",
+            "--rounds", "1",
+            "--max-iterations", "300",
+            "--replicas", "2",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestDecompose:
+    def test_writes_loadable_design(self, saved_design):
+        design = load_design(saved_design)
+        assert design.n_inputs == 6
+        assert design.n_outputs == 6
+
+    def test_output_message(self, saved_design, capsys):
+        # the fixture already ran; re-run to capture output deterministically
+        code = main(
+            [
+                "decompose",
+                "--workload", "erf",
+                "--n-inputs", "6",
+                "--partitions", "1",
+                "--rounds", "1",
+                "--max-iterations", "200",
+                "--replicas", "2",
+                "--out", str(saved_design.parent / "erf.json"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "MED" in captured.out
+        assert "cascade bits" in captured.out
+
+
+class TestEvaluate:
+    def test_reports_metrics(self, saved_design, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--design", str(saved_design),
+                "--workload", "cos",
+                "--n-inputs", "6",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "MED:" in captured.out
+        assert "error rate:" in captured.out
+
+    def test_shape_mismatch_is_an_error(self, saved_design, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--design", str(saved_design),
+                "--workload", "cos",
+                "--n-inputs", "8",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestExportVerilog:
+    def test_stdout(self, saved_design, capsys):
+        code = main(
+            ["export-verilog", "--design", str(saved_design),
+             "--module", "cos_lut"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "module cos_lut (" in captured.out
+        assert captured.out.rstrip().endswith("endmodule")
+
+    def test_file_output(self, saved_design, tmp_path, capsys):
+        out = tmp_path / "cos.v"
+        code = main(
+            [
+                "export-verilog",
+                "--design", str(saved_design),
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "endmodule" in out.read_text()
+
+
+class TestMisc:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out.split()
+        assert len(out) == 10
+        assert "cos" in out and "multiplier" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

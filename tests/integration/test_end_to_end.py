@@ -1,0 +1,151 @@
+"""End-to-end integration: workloads -> decomposition -> LUT cascade.
+
+These tests exercise the whole pipeline the way a user would, on small
+but real workload instances, and cross-check the core method against
+every baseline on identical configurations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import dalta_ilp_method, proposed_method
+from repro.baselines.dalta import DaltaHeuristicSolver
+from repro.baselines.framework import BaselineDecomposer
+from repro.boolean.metrics import (
+    max_error_distance,
+    mean_error_distance,
+)
+from repro.core.config import CoreSolverConfig, FrameworkConfig
+from repro.core.framework import IsingDecomposer
+from repro.lut import build_cascade_design, cascade_cost_report
+from repro.workloads import build_workload
+
+SOLVER = CoreSolverConfig(max_iterations=500, n_replicas=3)
+
+
+def config_for(workload, **overrides):
+    base = dict(
+        mode="joint",
+        free_size=workload.free_size,
+        n_partitions=4,
+        n_rounds=1,
+        seed=0,
+        solver=SOLVER,
+    )
+    base.update(overrides)
+    return FrameworkConfig(**base)
+
+
+@pytest.mark.parametrize("name", ["cos", "exp", "multiplier"])
+def test_pipeline_produces_working_cascade(name):
+    workload = build_workload(name, n_inputs=8)
+    result = IsingDecomposer(config_for(workload)).decompose(workload.table)
+    design = build_cascade_design(result)
+
+    # the cascade implements the approximation bit-exactly
+    assert np.array_equal(
+        design.to_truth_table().outputs, result.approx.outputs
+    )
+    # and its accuracy against the exact workload matches the report
+    assert np.isclose(
+        mean_error_distance(workload.table, design.to_truth_table()),
+        result.med,
+    )
+    report = cascade_cost_report(design)
+    assert report.compression_ratio > 1.0
+
+
+def test_proposed_core_solver_competitive_per_cop():
+    """The paper's algorithmic claim, tested where it is well-posed: on
+    *identical* core-COP instances (same partition, same weights — the
+    row and column parameterizations describe the same approximation
+    family), the bSB solver should match or beat the DALTA heuristic on
+    most instances and never lose badly in aggregate."""
+    import numpy as np
+
+    from repro.baselines.dalta import DaltaHeuristicSolver
+    from repro.boolean.random_functions import random_partition
+    from repro.core.ising_formulation import build_core_cop_model
+    from repro.core.solver import CoreCOPSolver
+
+    rng = np.random.default_rng(7)
+    solver = CoreCOPSolver(CoreSolverConfig(max_iterations=2000,
+                                            n_replicas=6))
+    dalta = DaltaHeuristicSolver()
+    ours, theirs = [], []
+    for name in ("tan", "exp", "denoise"):
+        workload = build_workload(name, n_inputs=7)
+        for trial in range(3):
+            partition = random_partition(7, workload.free_size, rng)
+            model = build_core_cop_model(
+                workload.table, workload.table,
+                workload.table.n_outputs - 1, partition, "joint",
+            )
+            constant = model.offset - model.weights.sum() / 2
+            theirs.append(
+                dalta.solve_weights(model.weights, constant, rng).objective
+            )
+            ours.append(
+                solver.solve_model(
+                    model, np.random.default_rng(trial)
+                ).objective
+            )
+    # bSB ties or wins on the vast majority of instances; DALTA's
+    # structural candidate pool occasionally contains a global optimum
+    # that local dynamics miss (documented in EXPERIMENTS.md), so the
+    # aggregate bound leaves room for one such instance.
+    ours_total, theirs_total = sum(ours), sum(theirs)
+    assert ours_total <= theirs_total * 1.3 + 0.5
+    wins = sum(o <= t + 1e-12 for o, t in zip(ours, theirs))
+    assert wins >= (2 * len(ours)) // 3
+
+
+@pytest.mark.slow
+def test_proposed_vs_ilp_reference():
+    """DALTA-ILP with a generous budget is the accuracy reference; the
+    proposed solver should come close on a small instance."""
+    workload = build_workload("erf", n_inputs=6)
+    config = config_for(workload, n_partitions=2)
+    ilp = dalta_ilp_method(time_limit=20.0).run(workload.table, config)
+    ours = proposed_method(SOLVER).run(workload.table, config)
+    assert ours.med <= ilp.med * 1.5 + 0.5
+
+
+def test_distribution_aware_decomposition():
+    """Concentrating input mass must steer errors off the hot inputs."""
+    rng = np.random.default_rng(0)
+    workload = build_workload("ln", n_inputs=7)
+    hot = rng.integers(0, 128, size=16)
+    probabilities = np.full(128, 1e-6)
+    probabilities[hot] = 1.0
+    weighted = workload.table.with_probabilities(probabilities)
+
+    result = IsingDecomposer(config_for(workload)).decompose(weighted)
+    uniform_result = IsingDecomposer(config_for(workload)).decompose(
+        workload.table
+    )
+    # weighted MED of the weighted run should beat the uniform run
+    # evaluated under the same weighted distribution
+    weighted_med_of_uniform = mean_error_distance(
+        weighted, uniform_result.approx
+    )
+    assert result.med <= weighted_med_of_uniform + 1e-9
+
+
+def test_joint_mode_controls_worst_case_better():
+    """Joint mode weights MSBs by 2^k, keeping the max ED in check."""
+    workload = build_workload("inversek2j", n_inputs=8)
+    joint = IsingDecomposer(config_for(workload)).decompose(workload.table)
+    worst = max_error_distance(workload.table, joint.approx)
+    # the MSB (weight 128) must not be wrecked: worst-case below half range
+    assert worst < (1 << workload.table.n_outputs) // 2
+
+
+def test_row_and_column_frameworks_report_same_cost_model():
+    workload = build_workload("cos", n_inputs=8)
+    column = IsingDecomposer(config_for(workload)).decompose(workload.table)
+    row = BaselineDecomposer(
+        DaltaHeuristicSolver(), config_for(workload)
+    ).decompose(workload.table)
+    assert column.flat_lut_bits == row.flat_lut_bits
+    assert column.total_lut_bits == row.total_lut_bits

@@ -1,0 +1,170 @@
+"""Cross-module property-based invariants (hypothesis).
+
+These are the load-bearing identities of the reproduction, stated once
+more at the integration level and fuzzed across random functions,
+distributions, partitions, and settings:
+
+1. Ising objective == direct error metric (both modes).
+2. Theorem 1 <-> Theorem 2 equivalence on arbitrary matrices.
+3. Decode(solve(model)) is always a realizable cascade whose measured
+   error equals the reported objective.
+4. QUBO <-> Ising <-> solver consistency.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.boolean_matrix import BooleanMatrix
+from repro.boolean.decomposition import (
+    column_setting_from_matrix,
+    has_column_decomposition,
+    has_row_decomposition,
+)
+from repro.boolean.metrics import error_rate_per_output, mean_error_distance
+from repro.boolean.random_functions import (
+    random_column_setting,
+    random_function,
+    random_partition,
+)
+from repro.boolean.synthesis import (
+    apply_column_setting,
+    component_from_column_setting,
+)
+from repro.core.config import CoreSolverConfig
+from repro.core.ising_formulation import (
+    build_core_cop_model,
+    spins_from_setting,
+)
+from repro.core.solver import CoreCOPSolver
+from repro.core.theorem3 import alternating_refinement
+from repro.ising.qubo import ising_to_qubo
+from repro.ising.solvers import BruteForceSolver
+
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds)
+def test_objective_metric_identity_under_random_distributions(seed):
+    """Invariant 1, fuzzed over modes, shapes, and distributions."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 7))
+    m = int(rng.integers(1, 4))
+    table = random_function(n, m, rng, random_distribution=True)
+    partition = random_partition(n, int(rng.integers(1, n)), rng)
+    k = int(rng.integers(0, m))
+    setting = random_column_setting(
+        partition.n_rows, partition.n_cols, rng
+    )
+    spins = spins_from_setting(setting)
+
+    separate = build_core_cop_model(table, table, k, partition, "separate")
+    approx = apply_column_setting(table, k, partition, setting)
+    assert np.isclose(
+        separate.objective(spins), error_rate_per_output(table, approx)[k]
+    )
+
+    joint = build_core_cop_model(table, table, k, partition, "joint")
+    assert np.isclose(
+        joint.objective(spins), mean_error_distance(table, approx)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_theorem_equivalence_on_structured_noise(seed):
+    """Invariant 2 on matrices that are 'almost' decomposable — the hard
+    region for the checks."""
+    rng = np.random.default_rng(seed)
+    r, c = int(rng.integers(2, 6)), int(rng.integers(2, 6))
+    setting = random_column_setting(r, c, rng)
+    matrix = setting.reconstruct()
+    flips = int(rng.integers(0, 3))
+    for _ in range(flips):
+        i, j = rng.integers(0, r), rng.integers(0, c)
+        matrix[i, j] ^= 1
+    assert has_row_decomposition(matrix) == has_column_decomposition(matrix)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=seeds)
+def test_solver_output_is_always_realizable(seed):
+    """Invariant 3: whatever bSB returns decodes into a cascade whose
+    measured error equals the reported objective."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 7))
+    table = random_function(n, 2, rng, random_distribution=True)
+    partition = random_partition(n, int(rng.integers(1, n)), rng)
+    solver = CoreCOPSolver(CoreSolverConfig(max_iterations=300,
+                                            n_replicas=2))
+    solution = solver.solve(table, table, 1, partition, "separate", rng)
+
+    approx = apply_column_setting(table, 1, partition, solution.setting)
+    matrix = BooleanMatrix.from_function(approx, 1, partition)
+    assert has_column_decomposition(matrix)
+    assert np.isclose(
+        solution.objective, error_rate_per_output(table, approx)[1]
+    )
+    # the cascade agrees with the truth-table route
+    component = component_from_column_setting(partition, solution.setting)
+    assert np.array_equal(component.to_truth_vector(), approx.component(1))
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=seeds)
+def test_core_cop_brute_force_vs_alternating_bounds(seed):
+    """On tiny instances: alternating refinement >= exact optimum, and
+    the exact optimum found via brute force on the Ising model matches
+    the best achievable metric."""
+    rng = np.random.default_rng(seed)
+    table = random_function(4, 2, rng)
+    partition = random_partition(4, 2, rng)  # r=4, c=4 -> 12 spins
+    model = build_core_cop_model(table, table, 0, partition, "separate")
+    exact = BruteForceSolver().solve(model)
+
+    start = random_column_setting(4, 4, rng)
+    refined, _, _ = alternating_refinement(model.weights, start)
+    refined_objective = model.objective(spins_from_setting(refined))
+    assert refined_objective >= exact.objective - 1e-9
+
+    # exact optimum is a valid ER (within [0, 1])
+    assert -1e-9 <= exact.objective <= 1.0 + 1e-9
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=seeds)
+def test_qubo_route_reaches_same_optimum(seed):
+    """Invariant 4: brute-forcing the QUBO form finds the same optimum
+    as brute-forcing the Ising form."""
+    rng = np.random.default_rng(seed)
+    table = random_function(4, 2, rng)
+    partition = random_partition(4, 2, rng)
+    model = build_core_cop_model(table, table, 1, partition, "separate")
+    dense = model.to_dense()
+    qubo = ising_to_qubo(dense)
+
+    ising_best = BruteForceSolver().solve(dense).objective
+    n = qubo.n_variables
+    best = np.inf
+    for code in range(1 << n):
+        x = np.array([(code >> k) & 1 for k in range(n)], dtype=float)
+        best = min(best, float(qubo.value(x)))
+    assert np.isclose(best, ising_best)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds)
+def test_exact_setting_extraction_is_optimal(seed):
+    """For an exactly decomposable matrix the extracted setting has zero
+    error, and no setting has negative error."""
+    rng = np.random.default_rng(seed)
+    from repro.boolean.random_functions import (
+        random_column_decomposable_matrix,
+    )
+
+    matrix, _ = random_column_decomposable_matrix(4, 6, rng)
+    extracted = column_setting_from_matrix(matrix)
+    assert extracted.error(matrix) == 0.0
+    probe = random_column_setting(4, 6, rng)
+    assert probe.error(matrix) >= 0.0

@@ -1,0 +1,61 @@
+"""The public API surface: imports, __all__, and the examples."""
+
+import importlib
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.boolean",
+    "repro.core",
+    "repro.ilp",
+    "repro.ising",
+    "repro.ising.solvers",
+    "repro.lut",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__")
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_top_level_docstring_mentions_paper():
+    import repro
+
+    assert "Ising" in repro.__doc__
+    assert "DAC 2024" in repro.__doc__
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "custom_function.py", "approximate_lut_design.py",
+     "solver_comparison.py", "hardware_export.py"],
+)
+def test_examples_run_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()

@@ -1,0 +1,113 @@
+"""Tests for :mod:`repro.serialization` (round trips both frameworks)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.dalta import DaltaHeuristicSolver
+from repro.baselines.framework import BaselineDecomposer
+from repro.core import CoreSolverConfig, FrameworkConfig, IsingDecomposer
+from repro.lut import build_cascade_design
+from repro.serialization import (
+    SerializationError,
+    design_from_dict,
+    load_design,
+    result_to_dict,
+    save_design,
+)
+from repro.workloads import build_workload
+
+
+def fast_config(workload):
+    return FrameworkConfig(
+        mode="joint",
+        free_size=workload.free_size,
+        n_partitions=3,
+        n_rounds=1,
+        seed=0,
+        solver=CoreSolverConfig(max_iterations=300, n_replicas=2),
+    )
+
+
+@pytest.fixture(scope="module")
+def ising_result():
+    workload = build_workload("cos", n_inputs=6)
+    return IsingDecomposer(fast_config(workload)).decompose(workload.table)
+
+
+@pytest.fixture(scope="module")
+def baseline_result():
+    workload = build_workload("cos", n_inputs=6)
+    return BaselineDecomposer(
+        DaltaHeuristicSolver(), fast_config(workload)
+    ).decompose(workload.table)
+
+
+class TestRoundTrip:
+    def test_column_design_round_trip(self, ising_result, tmp_path):
+        path = tmp_path / "design.json"
+        save_design(ising_result, path)
+        loaded = load_design(path)
+        original = build_cascade_design(ising_result)
+        indices = np.arange(64)
+        assert np.array_equal(
+            loaded.evaluate(indices), original.evaluate(indices)
+        )
+        assert loaded.total_bits == original.total_bits
+
+    def test_row_design_round_trip(self, baseline_result, tmp_path):
+        path = tmp_path / "row.json"
+        save_design(baseline_result, path)
+        loaded = load_design(path)
+        original = build_cascade_design(baseline_result)
+        indices = np.arange(64)
+        assert np.array_equal(
+            loaded.evaluate(indices), original.evaluate(indices)
+        )
+
+    def test_json_is_human_readable(self, ising_result, tmp_path):
+        path = tmp_path / "design.json"
+        save_design(ising_result, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-decomposition"
+        assert data["n_inputs"] == 6
+        assert set(data["components"]) == {str(k) for k in range(6)}
+
+    def test_med_preserved(self, ising_result):
+        data = result_to_dict(ising_result)
+        assert np.isclose(data["med"], ising_result.med)
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self, ising_result):
+        data = result_to_dict(ising_result)
+        data["format"] = "something-else"
+        with pytest.raises(SerializationError):
+            design_from_dict(data)
+
+    def test_wrong_version_rejected(self, ising_result):
+        data = result_to_dict(ising_result)
+        data["version"] = 99
+        with pytest.raises(SerializationError):
+            design_from_dict(data)
+
+    def test_corrupt_bits_rejected(self, ising_result):
+        data = result_to_dict(ising_result)
+        key = next(iter(data["components"]))
+        data["components"][key]["pattern1"] = "01x1"
+        with pytest.raises(SerializationError):
+            design_from_dict(data)
+
+    def test_unknown_kind_rejected(self, ising_result):
+        data = result_to_dict(ising_result)
+        key = next(iter(data["components"]))
+        data["components"][key]["kind"] = "diagonal"
+        with pytest.raises(SerializationError):
+            design_from_dict(data)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_design(path)

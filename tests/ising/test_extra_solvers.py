@@ -1,0 +1,108 @@
+"""Tests for the tabu-search and parallel-tempering solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.ising.model import DenseIsingModel
+from repro.ising.problems import max_cut_model, random_max_cut_weights
+from repro.ising.solvers import (
+    BruteForceSolver,
+    ParallelTemperingSolver,
+    TabuSearchSolver,
+)
+
+
+def ferromagnet(n=8):
+    j = np.ones((n, n)) - np.eye(n)
+    return DenseIsingModel(np.zeros(n), j)
+
+
+SOLVERS = [
+    ("tabu", lambda: TabuSearchSolver(n_steps=500, n_restarts=2)),
+    ("pt", lambda: ParallelTemperingSolver(n_sweeps=100, n_replicas=4)),
+]
+
+
+@pytest.mark.parametrize("name,make", SOLVERS)
+class TestCommonBehavior:
+    def test_ferromagnet_ground_state(self, name, make, rng):
+        result = make().solve(ferromagnet(10), rng)
+        assert np.isclose(result.energy, -45.0)
+
+    def test_objective_consistency(self, name, make, rng):
+        model = max_cut_model(random_max_cut_weights(10, 0.5, 1))
+        result = make().solve(model, rng)
+        assert np.isclose(
+            result.objective, float(model.objective(result.spins))
+        )
+
+    def test_deterministic_given_seed(self, name, make):
+        model = max_cut_model(random_max_cut_weights(10, 0.5, 1))
+        a = make().solve(model, np.random.default_rng(4))
+        b = make().solve(model, np.random.default_rng(4))
+        assert np.isclose(a.energy, b.energy)
+
+    def test_spins_valid(self, name, make, rng):
+        result = make().solve(ferromagnet(7), rng)
+        assert np.isin(result.spins, (-1.0, 1.0)).all()
+
+
+class TestAgainstExact:
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_tabu_reaches_optimum(self, seed):
+        model = max_cut_model(random_max_cut_weights(12, 0.6, seed))
+        exact = BruteForceSolver().solve(model)
+        result = TabuSearchSolver(n_steps=1500, n_restarts=3).solve(
+            model, np.random.default_rng(seed)
+        )
+        assert result.energy <= exact.energy + 0.05 * abs(exact.energy)
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_pt_reaches_optimum(self, seed):
+        model = max_cut_model(random_max_cut_weights(12, 0.6, seed))
+        exact = BruteForceSolver().solve(model)
+        result = ParallelTemperingSolver(
+            n_sweeps=250, n_replicas=6
+        ).solve(model, np.random.default_rng(seed))
+        assert result.energy <= exact.energy + 0.05 * abs(exact.energy)
+
+
+class TestTabuSpecifics:
+    def test_tabu_escapes_local_minimum(self):
+        """Tabu must move uphill when all downhill moves are tabu."""
+        model = ferromagnet(6)
+        result = TabuSearchSolver(n_steps=50, tenure=3).solve(
+            model, np.random.default_rng(0)
+        )
+        # even with a short run it reaches the aligned state from anywhere
+        assert np.isclose(result.energy, -15.0)
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            TabuSearchSolver(n_steps=0)
+        with pytest.raises(SolverError):
+            TabuSearchSolver(tenure=0)
+        with pytest.raises(SolverError):
+            TabuSearchSolver(n_restarts=0)
+
+
+class TestPTSpecifics:
+    def test_trace_records_cold_chain(self):
+        model = ferromagnet(6)
+        result = ParallelTemperingSolver(n_sweeps=40, n_replicas=4).solve(
+            model, np.random.default_rng(0)
+        )
+        assert len(result.energy_trace) == 40
+        # the trace is the running cold-chain energy: last <= first
+        assert result.energy_trace[-1] <= result.energy_trace[0] + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            ParallelTemperingSolver(n_sweeps=0)
+        with pytest.raises(SolverError):
+            ParallelTemperingSolver(n_replicas=1)
+        with pytest.raises(SolverError):
+            ParallelTemperingSolver(t_cold=2.0, t_hot=1.0)
+        with pytest.raises(SolverError):
+            ParallelTemperingSolver(swap_every=0)

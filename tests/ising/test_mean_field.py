@@ -1,0 +1,74 @@
+"""Tests for the mean-field annealing solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.ising.model import DenseIsingModel
+from repro.ising.problems import max_cut_model, random_max_cut_weights
+from repro.ising.solvers import BruteForceSolver
+from repro.ising.solvers.mean_field import MeanFieldAnnealingSolver
+
+
+def ferromagnet(n=8):
+    j = np.ones((n, n)) - np.eye(n)
+    return DenseIsingModel(np.zeros(n), j)
+
+
+class TestMeanField:
+    def test_ferromagnet_ground_state(self, rng):
+        result = MeanFieldAnnealingSolver(n_sweeps=200).solve(
+            ferromagnet(10), rng
+        )
+        assert np.isclose(result.energy, -45.0)
+
+    def test_close_to_exact_on_max_cut(self):
+        model = max_cut_model(random_max_cut_weights(12, 0.6, 2))
+        exact = BruteForceSolver().solve(model)
+        result = MeanFieldAnnealingSolver(
+            n_sweeps=300, n_restarts=4
+        ).solve(model, np.random.default_rng(0))
+        assert result.energy <= exact.energy + 0.10 * abs(exact.energy)
+
+    def test_objective_consistency(self, rng):
+        model = max_cut_model(random_max_cut_weights(9, 0.5, 1))
+        result = MeanFieldAnnealingSolver(n_sweeps=100).solve(model, rng)
+        assert np.isclose(
+            result.objective, float(model.objective(result.spins))
+        )
+
+    def test_deterministic_given_seed(self):
+        model = max_cut_model(random_max_cut_weights(9, 0.5, 1))
+        a = MeanFieldAnnealingSolver(n_sweeps=80).solve(
+            model, np.random.default_rng(6)
+        )
+        b = MeanFieldAnnealingSolver(n_sweeps=80).solve(
+            model, np.random.default_rng(6)
+        )
+        assert np.isclose(a.energy, b.energy)
+
+    def test_works_on_structured_model(self, rng):
+        """MFA only needs fields/energy — structured models plug in."""
+        from repro.ising.structured import BipartiteDecompositionModel
+
+        model = BipartiteDecompositionModel(rng.normal(size=(4, 6)))
+        result = MeanFieldAnnealingSolver(n_sweeps=150).solve(model, rng)
+        assert np.isfinite(result.objective)
+        assert result.spins.shape == (model.n_spins,)
+
+    def test_restarts_counted(self, rng):
+        result = MeanFieldAnnealingSolver(
+            n_sweeps=50, n_restarts=3
+        ).solve(ferromagnet(5), rng)
+        assert result.n_iterations == 150
+        assert len(result.energy_trace) == 3
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            MeanFieldAnnealingSolver(n_sweeps=0)
+        with pytest.raises(SolverError):
+            MeanFieldAnnealingSolver(damping=0.0)
+        with pytest.raises(SolverError):
+            MeanFieldAnnealingSolver(damping=1.5)
+        with pytest.raises(SolverError):
+            MeanFieldAnnealingSolver(n_restarts=0)

@@ -1,0 +1,119 @@
+"""Unit tests for :mod:`repro.ising.model`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError
+from repro.ising.model import DenseIsingModel
+
+
+def random_model(rng, n=6, offset=0.0):
+    j = rng.normal(size=(n, n))
+    j = (j + j.T) / 2
+    np.fill_diagonal(j, 0.0)
+    return DenseIsingModel(rng.normal(size=n), j, offset)
+
+
+class TestValidation:
+    def test_asymmetric_rejected(self):
+        j = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(DimensionError):
+            DenseIsingModel(np.zeros(2), j)
+
+    def test_nonzero_diagonal_rejected(self):
+        j = np.array([[1.0, 0.0], [0.0, 0.0]])
+        with pytest.raises(DimensionError):
+            DenseIsingModel(np.zeros(2), j)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DimensionError):
+            DenseIsingModel(np.zeros(3), np.zeros((2, 2)))
+
+    def test_arrays_read_only(self, rng):
+        model = random_model(rng)
+        with pytest.raises(ValueError):
+            model.biases[0] = 1.0
+
+
+class TestEnergy:
+    def test_eq1_by_hand(self):
+        # E = -h1 s1 - h2 s2 - J12 s1 s2
+        model = DenseIsingModel(
+            np.array([0.5, -1.0]), np.array([[0.0, 2.0], [2.0, 0.0]])
+        )
+        s = np.array([1.0, -1.0])
+        assert np.isclose(model.energy(s), -0.5 - 1.0 + 2.0)
+
+    def test_batch_energy_matches_loop(self, rng):
+        model = random_model(rng)
+        batch = rng.choice([-1.0, 1.0], size=(7, 6))
+        energies = model.energy(batch)
+        for i in range(7):
+            assert np.isclose(energies[i], model.energy(batch[i]))
+
+    def test_objective_adds_offset(self, rng):
+        model = random_model(rng, offset=3.5)
+        s = np.ones(6)
+        assert np.isclose(model.objective(s), model.energy(s) + 3.5)
+
+    def test_global_flip_with_zero_bias_is_symmetric(self, rng):
+        j = rng.normal(size=(5, 5))
+        j = (j + j.T) / 2
+        np.fill_diagonal(j, 0)
+        model = DenseIsingModel(np.zeros(5), j)
+        s = rng.choice([-1.0, 1.0], size=5)
+        assert np.isclose(model.energy(s), model.energy(-s))
+
+    def test_wrong_width_rejected(self, rng):
+        model = random_model(rng)
+        with pytest.raises(DimensionError):
+            model.energy(np.ones(5))
+
+
+class TestFields:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_fields_are_negative_gradient(self, seed):
+        """f_i = -dE/ds_i: flipping spin i changes E by 2 s_i f_i."""
+        rng = np.random.default_rng(seed)
+        model = random_model(rng)
+        s = rng.choice([-1.0, 1.0], size=6)
+        fields = model.fields(s)
+        for i in range(6):
+            flipped = s.copy()
+            flipped[i] = -flipped[i]
+            delta = model.energy(flipped) - model.energy(s)
+            assert np.isclose(delta, 2.0 * s[i] * fields[i])
+
+    def test_local_energy_change_vectorized(self, rng):
+        model = random_model(rng)
+        s = rng.choice([-1.0, 1.0], size=6)
+        deltas = model.local_energy_change(s)
+        for i in range(6):
+            assert np.isclose(deltas[i], model.local_energy_change(s, i))
+
+    def test_fields_batch(self, rng):
+        model = random_model(rng)
+        batch = rng.normal(size=(3, 6))
+        fields = model.fields(batch)
+        for i in range(3):
+            assert np.allclose(fields[i], model.fields(batch[i]))
+
+
+class TestHelpers:
+    def test_coupling_rms(self):
+        j = np.array([[0.0, 2.0], [2.0, 0.0]])
+        model = DenseIsingModel(np.zeros(2), j)
+        # sum J^2 = 8 over N(N-1) = 2 pairs -> rms = 2
+        assert np.isclose(model.coupling_rms(), 2.0)
+
+    def test_validate_spins_rejects_non_spin(self, rng):
+        model = random_model(rng)
+        with pytest.raises(DimensionError):
+            model.validate_spins(np.full(6, 0.5))
+
+    def test_to_dense_is_self(self, rng):
+        model = random_model(rng)
+        assert model.to_dense() is model

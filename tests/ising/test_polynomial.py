@@ -1,0 +1,141 @@
+"""Tests for :mod:`repro.ising.polynomial`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError, SolverError
+from repro.ising.polynomial import PolynomialIsingModel
+from repro.ising.solvers import (
+    BallisticSBSolver,
+    BruteForceSolver,
+    DiscreteSBSolver,
+    SimulatedAnnealingSolver,
+)
+from repro.ising.stop_criteria import FixedIterations
+
+
+def random_polynomial(rng, n=5, max_order=3, n_terms=8):
+    terms = {}
+    for _ in range(n_terms):
+        order = int(rng.integers(1, max_order + 1))
+        idx = tuple(
+            sorted(rng.choice(n, size=order, replace=False).tolist())
+        )
+        terms[idx] = terms.get(idx, 0.0) + float(rng.normal())
+    return PolynomialIsingModel(n, terms, offset=float(rng.normal()))
+
+
+class TestConstruction:
+    def test_constant_folds_into_offset(self):
+        model = PolynomialIsingModel(2, {(): 2.0}, offset=0.5)
+        assert np.isclose(model.offset, 2.5)
+        assert model.order == 0
+
+    def test_duplicate_tuples_accumulate(self):
+        model = PolynomialIsingModel(3, {(0, 1): 1.0, (1, 0): 2.0})
+        assert np.isclose(model.coefficient((0, 1)), 3.0)
+
+    def test_repeated_index_rejected(self):
+        with pytest.raises(DimensionError):
+            PolynomialIsingModel(3, {(1, 1): 1.0})
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DimensionError):
+            PolynomialIsingModel(3, {(0, 5): 1.0})
+
+    def test_order_and_term_counts(self, rng):
+        model = PolynomialIsingModel(
+            4, {(0,): 1.0, (1, 2): 1.0, (0, 1, 3): 1.0}
+        )
+        assert model.order == 3
+        assert model.n_terms == 3
+
+    def test_zero_coefficients_dropped(self):
+        model = PolynomialIsingModel(3, {(0, 1): 0.0, (2,): 1.0})
+        assert model.n_terms == 1
+        assert model.coefficient((0, 1)) == 0.0
+
+
+class TestEnergyAndFields:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_fields_are_negative_gradient(self, seed):
+        rng = np.random.default_rng(seed)
+        model = random_polynomial(rng)
+        x = rng.normal(size=model.n_spins)
+        fields = model.fields(x)
+        eps = 1e-6
+        for i in range(model.n_spins):
+            plus, minus = x.copy(), x.copy()
+            plus[i] += eps
+            minus[i] -= eps
+            numeric = -(model.energy(plus) - model.energy(minus)) / (2 * eps)
+            assert np.isclose(fields[i], numeric, atol=1e-4)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_quadratic_agrees_with_dense(self, seed):
+        """order <= 2 polynomial == the DenseIsingModel it lowers to."""
+        rng = np.random.default_rng(seed)
+        model = random_polynomial(rng, max_order=2)
+        dense = model.to_dense()
+        for _ in range(6):
+            s = rng.choice([-1.0, 1.0], size=model.n_spins)
+            assert np.isclose(model.objective(s), dense.objective(s))
+            assert np.allclose(model.fields(s), dense.fields(s))
+
+    def test_cubic_cannot_densify(self, rng):
+        model = PolynomialIsingModel(4, {(0, 1, 2): 1.0})
+        with pytest.raises(SolverError):
+            model.to_dense()
+
+    def test_batch_shapes(self, rng):
+        model = random_polynomial(rng)
+        batch = rng.normal(size=(4, model.n_spins))
+        assert model.energy(batch).shape == (4,)
+        assert model.fields(batch).shape == (4, model.n_spins)
+
+    def test_wrong_width_rejected(self, rng):
+        model = random_polynomial(rng)
+        with pytest.raises(DimensionError):
+            model.energy(np.ones(model.n_spins + 1))
+        with pytest.raises(DimensionError):
+            model.fields(np.ones(model.n_spins + 1))
+
+
+class TestSolversOnCubicModels:
+    def test_brute_force_works_without_densify(self, rng):
+        model = random_polynomial(rng, n=6, max_order=3)
+        result = BruteForceSolver().solve(model)
+        # verify by enumeration through the model itself
+        best = min(
+            float(model.energy(
+                2.0 * np.array([(i >> k) & 1 for k in range(6)]) - 1
+            ))
+            for i in range(64)
+        )
+        assert np.isclose(result.energy, best)
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: BallisticSBSolver(stop=FixedIterations(2000),
+                                      n_replicas=8),
+            lambda: DiscreteSBSolver(stop=FixedIterations(2000),
+                                     n_replicas=8),
+        ],
+    )
+    def test_higher_order_sb_near_optimal(self, make, rng):
+        """Kanao-Goto higher-order SB: bSB/dSB run on polynomial fields."""
+        model = random_polynomial(rng, n=8, max_order=3, n_terms=12)
+        exact = BruteForceSolver().solve(model)
+        result = make().solve(model, np.random.default_rng(0))
+        span = abs(exact.energy) + 1.0
+        assert result.energy <= exact.energy + 0.1 * span
+
+    def test_sa_rejects_cubic(self, rng):
+        model = PolynomialIsingModel(4, {(0, 1, 2): 1.0})
+        with pytest.raises(SolverError):
+            SimulatedAnnealingSolver(n_sweeps=5).solve(model, rng)

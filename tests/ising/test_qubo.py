@@ -1,0 +1,112 @@
+"""Unit tests for :mod:`repro.ising.qubo`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError
+from repro.ising.model import DenseIsingModel
+from repro.ising.qubo import QuboModel, ising_to_qubo, qubo_to_ising
+
+
+def random_qubo(rng, n=5):
+    return QuboModel(
+        rng.normal(size=(n, n)), rng.normal(size=n), float(rng.normal())
+    )
+
+
+def random_ising(rng, n=5):
+    j = rng.normal(size=(n, n))
+    j = (j + j.T) / 2
+    np.fill_diagonal(j, 0.0)
+    return DenseIsingModel(rng.normal(size=n), j, float(rng.normal()))
+
+
+class TestQuboModel:
+    def test_diagonal_folds_into_linear(self):
+        q = QuboModel(np.diag([2.0, 3.0]), np.zeros(2))
+        # x^T diag(2,3) x = 2 x1 + 3 x2 for binary x
+        assert np.isclose(q.value(np.array([1, 1])), 5.0)
+        assert np.allclose(np.diag(q.quadratic), 0.0)
+
+    def test_lower_triangle_merged(self):
+        mat = np.array([[0.0, 1.0], [2.0, 0.0]])
+        q = QuboModel(mat, np.zeros(2))
+        assert np.isclose(q.value(np.array([1, 1])), 3.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(DimensionError):
+            QuboModel(np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(DimensionError):
+            QuboModel(np.zeros((2, 2)), np.zeros(3))
+
+    def test_batch_value(self, rng):
+        q = random_qubo(rng)
+        batch = rng.integers(0, 2, size=(7, 5))
+        values = q.value(batch)
+        for i in range(7):
+            assert np.isclose(values[i], q.value(batch[i]))
+
+    def test_wrong_width_rejected(self, rng):
+        q = random_qubo(rng)
+        with pytest.raises(DimensionError):
+            q.value(np.zeros(4))
+
+
+class TestConversions:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_qubo_to_ising_preserves_objective(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 7))
+        qubo = random_qubo(rng, n)
+        ising = qubo_to_ising(qubo)
+        for _ in range(8):
+            x = rng.integers(0, 2, n)
+            spins = 2.0 * x - 1.0
+            assert np.isclose(qubo.value(x), ising.objective(spins))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_ising_to_qubo_preserves_objective(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 7))
+        ising = random_ising(rng, n)
+        qubo = ising_to_qubo(ising)
+        for _ in range(8):
+            spins = rng.choice([-1.0, 1.0], size=n)
+            x = (spins + 1) / 2
+            assert np.isclose(qubo.value(x), ising.objective(spins))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_double_round_trip(self, seed):
+        rng = np.random.default_rng(seed)
+        qubo = random_qubo(rng, 4)
+        back = ising_to_qubo(qubo_to_ising(qubo))
+        for _ in range(8):
+            x = rng.integers(0, 2, 4)
+            assert np.isclose(qubo.value(x), back.value(x))
+
+    def test_ground_state_preserved(self, rng):
+        """The argmin is preserved, not just values (sanity check)."""
+        qubo = random_qubo(rng, 4)
+        ising = qubo_to_ising(qubo)
+        best_x = min(
+            (np.array([(i >> k) & 1 for k in range(4)]) for i in range(16)),
+            key=qubo.value,
+        )
+        best_s = min(
+            (
+                2.0 * np.array([(i >> k) & 1 for k in range(4)]) - 1
+                for i in range(16)
+            ),
+            key=lambda s: float(ising.objective(s)),
+        )
+        assert np.array_equal((best_s + 1) / 2, best_x)
+
+    def test_empty_qubo_rejected(self):
+        # QuboModel itself rejects empty linear via shape rules upstream
+        with pytest.raises(Exception):
+            qubo_to_ising(QuboModel(np.zeros((0, 0)), np.zeros(0)))

@@ -1,0 +1,203 @@
+"""Tests for the solver zoo: bSB, dSB, aSB, SA, brute force."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.ising.model import DenseIsingModel
+from repro.ising.problems import (
+    max_cut_model,
+    max_cut_value,
+    number_partitioning_model,
+    partition_imbalance,
+    random_max_cut_weights,
+)
+from repro.ising.solvers import (
+    AdiabaticSBSolver,
+    BallisticSBSolver,
+    BruteForceSolver,
+    DiscreteSBSolver,
+    SimulatedAnnealingSolver,
+)
+from repro.ising.solvers.base import binary_to_spins, spins_to_binary
+from repro.ising.stop_criteria import EnergyVarianceStop, FixedIterations
+
+HEURISTICS = [
+    ("bsb", lambda: BallisticSBSolver(stop=FixedIterations(1500),
+                                      n_replicas=6)),
+    ("dsb", lambda: DiscreteSBSolver(stop=FixedIterations(1500),
+                                     n_replicas=6)),
+    ("asb", lambda: AdiabaticSBSolver(stop=FixedIterations(1500),
+                                      n_replicas=6)),
+    ("sa", lambda: SimulatedAnnealingSolver(n_sweeps=150, n_restarts=2)),
+]
+
+
+def ferromagnet(n=8):
+    """All-equal couplings: ground states are the two aligned states."""
+    j = np.ones((n, n)) - np.eye(n)
+    return DenseIsingModel(np.zeros(n), j)
+
+
+class TestSpinConversions:
+    def test_round_trip(self):
+        bits = np.array([0, 1, 1, 0], dtype=np.uint8)
+        assert np.array_equal(spins_to_binary(binary_to_spins(bits)), bits)
+
+    def test_values(self):
+        assert np.array_equal(binary_to_spins([0, 1]), [-1.0, 1.0])
+        assert np.array_equal(spins_to_binary([-1, 1]), [0, 1])
+
+
+class TestBruteForce:
+    def test_finds_exact_ground_state_of_ferromagnet(self):
+        result = BruteForceSolver().solve(ferromagnet(6))
+        assert np.isclose(result.energy, -15.0)  # -C(6,2) pairs
+        assert np.all(result.spins == result.spins[0])
+
+    def test_refuses_large_instances(self):
+        model = DenseIsingModel(np.zeros(25), np.zeros((25, 25)))
+        with pytest.raises(SolverError):
+            BruteForceSolver().solve(model)
+
+    def test_chunking_equivalent(self, rng):
+        j = rng.normal(size=(8, 8))
+        j = (j + j.T) / 2
+        np.fill_diagonal(j, 0)
+        model = DenseIsingModel(rng.normal(size=8), j)
+        small = BruteForceSolver(chunk_bits=3).solve(model)
+        big = BruteForceSolver(chunk_bits=16).solve(model)
+        assert np.isclose(small.energy, big.energy)
+
+    def test_chunk_bits_validation(self):
+        with pytest.raises(SolverError):
+            BruteForceSolver(chunk_bits=0)
+
+
+@pytest.mark.parametrize("name,make", HEURISTICS)
+class TestHeuristicSolvers:
+    def test_ferromagnet_ground_state(self, name, make, rng):
+        result = make().solve(ferromagnet(10), rng)
+        assert np.isclose(result.energy, -45.0)
+
+    def test_spins_are_valid(self, name, make, rng):
+        model = ferromagnet(7)
+        result = make().solve(model, rng)
+        assert result.spins.shape == (7,)
+        assert np.isin(result.spins, (-1.0, 1.0)).all()
+
+    def test_objective_consistent(self, name, make, rng):
+        model = max_cut_model(random_max_cut_weights(10, 0.5, 3))
+        result = make().solve(model, rng)
+        assert np.isclose(result.objective,
+                          float(model.objective(result.spins)))
+
+    def test_deterministic_given_seed(self, name, make):
+        model = max_cut_model(random_max_cut_weights(10, 0.5, 3))
+        a = make().solve(model, np.random.default_rng(7))
+        b = make().solve(model, np.random.default_rng(7))
+        assert np.isclose(a.energy, b.energy)
+        assert np.array_equal(a.spins, b.spins)
+
+
+class TestAgainstExactOptimum:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bsb_reaches_max_cut_optimum(self, seed):
+        weights = random_max_cut_weights(12, 0.6, seed)
+        model = max_cut_model(weights)
+        exact = BruteForceSolver().solve(model)
+        solver = BallisticSBSolver(stop=FixedIterations(3000), n_replicas=12)
+        result = solver.solve(model, np.random.default_rng(seed))
+        # bSB with restarts should match the exact optimum on n=12
+        assert result.energy <= exact.energy + 1e-9 + 0.05 * abs(exact.energy)
+
+    def test_sa_close_to_optimum(self):
+        weights = random_max_cut_weights(12, 0.6, 5)
+        model = max_cut_model(weights)
+        exact = BruteForceSolver().solve(model)
+        result = SimulatedAnnealingSolver(n_sweeps=300, n_restarts=3).solve(
+            model, np.random.default_rng(0)
+        )
+        assert result.energy <= exact.energy + 0.05 * abs(exact.energy)
+
+
+class TestDynamicStopIntegration:
+    def test_variance_stop_terminates_early(self):
+        model = ferromagnet(10)
+        stop = EnergyVarianceStop(
+            sample_every=10, window=5, threshold=1e-8, max_iterations=50_000
+        )
+        result = BallisticSBSolver(stop=stop, n_replicas=4).solve(
+            model, np.random.default_rng(0)
+        )
+        assert result.stop_reason == "variance_converged"
+        assert result.n_iterations < 50_000
+
+    def test_energy_trace_recorded(self):
+        model = ferromagnet(6)
+        stop = FixedIterations(200, sample_every=20)
+        result = BallisticSBSolver(stop=stop).solve(
+            model, np.random.default_rng(0)
+        )
+        assert len(result.energy_trace) == 10
+
+    def test_intervention_hook_called(self):
+        model = ferromagnet(6)
+        calls = []
+
+        def hook(state):
+            calls.append(state.iteration)
+
+        solver = BallisticSBSolver(
+            stop=FixedIterations(100), intervention=hook,
+            sample_every_default=25,
+        )
+        solver.solve(model, np.random.default_rng(0))
+        assert calls == [25, 50, 75, 100]
+
+
+class TestProblems:
+    def test_max_cut_objective_equals_negative_cut(self, rng):
+        weights = random_max_cut_weights(8, 0.7, rng)
+        model = max_cut_model(weights)
+        for _ in range(10):
+            spins = rng.choice([-1.0, 1.0], size=8)
+            assert np.isclose(
+                model.objective(spins), -max_cut_value(weights, spins)
+            )
+
+    def test_number_partitioning_objective(self, rng):
+        values = rng.integers(1, 20, 8).astype(float)
+        model = number_partitioning_model(values)
+        for _ in range(10):
+            spins = rng.choice([-1.0, 1.0], size=8)
+            assert np.isclose(
+                model.objective(spins),
+                partition_imbalance(values, spins) ** 2,
+            )
+
+    def test_perfect_partition_found(self):
+        values = np.array([4.0, 3.0, 2.0, 1.0, 4.0])  # 4+3 == 2+1+4
+        model = number_partitioning_model(values)
+        result = BruteForceSolver().solve(model)
+        assert np.isclose(result.objective, 0.0)
+
+
+class TestSolverValidation:
+    def test_bsb_bad_params(self):
+        with pytest.raises(SolverError):
+            BallisticSBSolver(dt=0.0)
+        with pytest.raises(SolverError):
+            BallisticSBSolver(n_replicas=0)
+        with pytest.raises(SolverError):
+            BallisticSBSolver(initial_amplitude=0.0)
+
+    def test_asb_bad_bound(self):
+        with pytest.raises(SolverError):
+            AdiabaticSBSolver(position_bound=0.5)
+
+    def test_sa_bad_params(self):
+        with pytest.raises(SolverError):
+            SimulatedAnnealingSolver(n_sweeps=0)
+        with pytest.raises(SolverError):
+            SimulatedAnnealingSolver(n_restarts=0)

@@ -1,0 +1,141 @@
+"""Unit tests for :mod:`repro.ising.stop_criteria` and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ising.schedules import GeometricCooling, LinearPump
+from repro.ising.stop_criteria import EnergyVarianceStop, FixedIterations
+
+
+class TestFixedIterations:
+    def test_never_stops(self):
+        stop = FixedIterations(100)
+        stop.reset()
+        for _ in range(50):
+            assert not stop.observe(1.0)
+
+    def test_no_sampling_by_default(self):
+        stop = FixedIterations(100)
+        assert not stop.wants_sample(50)
+
+    def test_sampling_trace_only(self):
+        stop = FixedIterations(100, sample_every=10)
+        assert stop.wants_sample(10)
+        assert not stop.wants_sample(11)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedIterations(0)
+        with pytest.raises(ConfigurationError):
+            FixedIterations(10, sample_every=0)
+
+
+class TestEnergyVarianceStop:
+    def test_stops_on_constant_energy(self):
+        stop = EnergyVarianceStop(sample_every=5, window=4, threshold=1e-8)
+        stop.reset()
+        decisions = [stop.observe(2.0) for _ in range(6)]
+        # needs a full window first, then constant samples stop it
+        assert decisions[:3] == [False, False, False]
+        assert decisions[3] is True
+
+    def test_does_not_stop_on_varying_energy(self):
+        stop = EnergyVarianceStop(sample_every=5, window=4, threshold=1e-8)
+        stop.reset()
+        for value in (1.0, 5.0, -2.0, 7.0, 1.5, 9.0):
+            assert not stop.observe(value)
+
+    def test_threshold_boundary(self):
+        stop = EnergyVarianceStop(sample_every=1, window=2, threshold=0.5)
+        stop.reset()
+        stop.observe(0.0)
+        # var([0, 1]) = 0.25 < 0.5
+        assert stop.observe(1.0)
+
+    def test_reset_clears_window(self):
+        stop = EnergyVarianceStop(sample_every=1, window=2, threshold=1.0)
+        stop.reset()
+        stop.observe(0.0)
+        stop.reset()
+        assert not stop.observe(0.0)  # window no longer full
+
+    def test_min_iterations_defers_stop(self):
+        stop = EnergyVarianceStop(
+            sample_every=10, window=2, threshold=1.0, min_iterations=100
+        )
+        stop.reset()
+        assert not stop.observe(0.0)
+        assert not stop.observe(0.0)  # 2 samples = iteration 20 < 100
+        for _ in range(8):
+            stop.observe(0.0)
+        assert stop.observe(0.0)  # now past min_iterations
+
+    def test_wants_sample_period(self):
+        stop = EnergyVarianceStop(sample_every=20)
+        assert stop.wants_sample(20) and stop.wants_sample(40)
+        assert not stop.wants_sample(30)
+
+    def test_last_variance(self):
+        stop = EnergyVarianceStop(sample_every=1, window=2, threshold=0.0)
+        stop.reset()
+        assert stop.last_variance is None
+        stop.observe(0.0)
+        stop.observe(2.0)
+        assert np.isclose(stop.last_variance, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyVarianceStop(sample_every=0)
+        with pytest.raises(ConfigurationError):
+            EnergyVarianceStop(window=1)
+        with pytest.raises(ConfigurationError):
+            EnergyVarianceStop(threshold=-1.0)
+        with pytest.raises(ConfigurationError):
+            EnergyVarianceStop(max_iterations=0)
+
+
+class TestLinearPump:
+    def test_ramps_to_a0(self):
+        pump = LinearPump(a0=2.0, ramp_iterations=100)
+        assert pump(0) == 0.0
+        assert np.isclose(pump(50), 1.0)
+        assert np.isclose(pump(100), 2.0)
+
+    def test_holds_after_ramp(self):
+        pump = LinearPump(a0=1.0, ramp_iterations=10)
+        assert pump(1000) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearPump(a0=0.0)
+        with pytest.raises(ConfigurationError):
+            LinearPump(ramp_iterations=0)
+
+
+class TestGeometricCooling:
+    def test_endpoints(self):
+        cooling = GeometricCooling(10.0, 0.1, 5)
+        assert np.isclose(cooling(0), 10.0)
+        assert np.isclose(cooling(4), 0.1)
+
+    def test_monotone_decreasing(self):
+        cooling = GeometricCooling(5.0, 0.01, 50)
+        temps = cooling.temperatures()
+        assert (np.diff(temps) <= 1e-12).all()
+
+    def test_floor_at_t_final(self):
+        cooling = GeometricCooling(5.0, 0.5, 10)
+        assert cooling(10_000) == 0.5
+
+    def test_single_step(self):
+        cooling = GeometricCooling(2.0, 1.0, 1)
+        assert np.isclose(cooling(0), 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GeometricCooling(-1.0, 0.1, 5)
+        with pytest.raises(ConfigurationError):
+            GeometricCooling(1.0, 2.0, 5)
+        with pytest.raises(ConfigurationError):
+            GeometricCooling(1.0, 0.1, 0)

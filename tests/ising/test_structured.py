@@ -1,0 +1,99 @@
+"""Unit tests for :mod:`repro.ising.structured`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError
+from repro.ising.structured import BipartiteDecompositionModel
+
+
+class TestShape:
+    def test_spin_layout(self):
+        model = BipartiteDecompositionModel(np.zeros((3, 5)))
+        assert model.n_rows == 3
+        assert model.n_cols == 5
+        assert model.n_spins == 11
+
+    def test_split_join_round_trip(self, rng):
+        model = BipartiteDecompositionModel(rng.normal(size=(3, 5)))
+        x = rng.normal(size=11)
+        v1, v2, t = model.split(x)
+        assert v1.shape == (3,) and v2.shape == (3,) and t.shape == (5,)
+        assert np.array_equal(model.join(v1, v2, t), x)
+
+    def test_rejects_1d_weights(self):
+        with pytest.raises(DimensionError):
+            BipartiteDecompositionModel(np.zeros(4))
+
+    def test_weights_round_trip(self, rng):
+        w = rng.normal(size=(2, 3))
+        model = BipartiteDecompositionModel(w)
+        assert np.allclose(model.weights, w)
+
+
+class TestAgainstDense:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_energy_matches_dense(self, seed):
+        rng = np.random.default_rng(seed)
+        r, c = int(rng.integers(1, 5)), int(rng.integers(1, 6))
+        model = BipartiteDecompositionModel(
+            rng.normal(size=(r, c)), offset=float(rng.normal())
+        )
+        dense = model.to_dense()
+        spins = rng.choice([-1.0, 1.0], size=model.n_spins)
+        assert np.isclose(model.energy(spins), dense.energy(spins))
+        assert np.isclose(model.objective(spins), dense.objective(spins))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_fields_match_dense(self, seed):
+        rng = np.random.default_rng(seed)
+        r, c = int(rng.integers(1, 5)), int(rng.integers(1, 6))
+        model = BipartiteDecompositionModel(rng.normal(size=(r, c)))
+        dense = model.to_dense()
+        x = rng.normal(size=model.n_spins)  # continuous positions too
+        assert np.allclose(model.fields(x), dense.fields(x))
+
+    def test_coupling_rms_matches_dense(self, rng):
+        model = BipartiteDecompositionModel(rng.normal(size=(4, 7)))
+        assert np.isclose(model.coupling_rms(),
+                          model.to_dense().coupling_rms())
+
+    def test_batch_energy(self, rng):
+        model = BipartiteDecompositionModel(rng.normal(size=(3, 4)))
+        batch = rng.choice([-1.0, 1.0], size=(6, model.n_spins))
+        energies = model.energy(batch)
+        for i in range(6):
+            assert np.isclose(energies[i], model.energy(batch[i]))
+
+    def test_batch_fields(self, rng):
+        model = BipartiteDecompositionModel(rng.normal(size=(3, 4)))
+        batch = rng.normal(size=(6, model.n_spins))
+        fields = model.fields(batch)
+        for i in range(6):
+            assert np.allclose(fields[i], model.fields(batch[i]))
+
+    def test_wrong_width_rejected(self, rng):
+        model = BipartiteDecompositionModel(rng.normal(size=(3, 4)))
+        with pytest.raises(DimensionError):
+            model.energy(np.ones(9))
+        with pytest.raises(DimensionError):
+            model.fields(np.ones(9))
+
+
+class TestBipartiteStructure:
+    def test_dense_couplings_are_bipartite(self, rng):
+        """No V-V or T-T couplings exist (the point of the column view)."""
+        model = BipartiteDecompositionModel(rng.normal(size=(3, 4)))
+        j = model.to_dense().couplings
+        r = model.n_rows
+        assert np.allclose(j[: 2 * r, : 2 * r], 0.0)
+        assert np.allclose(j[2 * r :, 2 * r :], 0.0)
+
+    def test_type_spins_have_zero_bias(self, rng):
+        model = BipartiteDecompositionModel(rng.normal(size=(3, 4)))
+        h = model.to_dense().biases
+        assert np.allclose(h[6:], 0.0)

@@ -1,0 +1,139 @@
+"""Tests for :mod:`repro.lut.cascade` and :mod:`repro.lut.cost`."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dalta import DaltaHeuristicSolver
+from repro.baselines.framework import BaselineDecomposer
+from repro.boolean.decomposition import RowSetting, RowType
+from repro.boolean.partition import InputPartition
+from repro.boolean.random_functions import random_partition
+from repro.boolean.truth_table import TruthTable
+from repro.core.config import CoreSolverConfig, FrameworkConfig
+from repro.core.framework import IsingDecomposer
+from repro.errors import DecompositionError, DimensionError
+from repro.lut import (
+    LutCascadeDesign,
+    build_cascade_design,
+    cascade_cost_report,
+    flat_lut_bits,
+    row_component,
+)
+
+
+def fast_config(**overrides):
+    base = dict(
+        mode="joint", free_size=2, n_partitions=3, n_rounds=1, seed=0,
+        solver=CoreSolverConfig(max_iterations=300, n_replicas=2),
+    )
+    base.update(overrides)
+    return FrameworkConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def demo_table():
+    return TruthTable.from_integer_function(
+        lambda x: (x * 5 + 2) % 32, n_inputs=5, n_outputs=5
+    )
+
+
+class TestRowComponent:
+    def test_row_types_realized(self):
+        w = InputPartition((0,), (1, 2), 3)
+        setting = RowSetting(
+            pattern=np.array([1, 0, 1, 1]),
+            row_types=np.array([RowType.PATTERN, RowType.COMPLEMENT]),
+        )
+        component = row_component(w, setting)
+        # phi = V; F(phi, row 0) = phi, F(phi, row 1) = 1 - phi
+        assert np.array_equal(component.phi, [1, 0, 1, 1])
+        assert np.array_equal(component.f_table[:, 0], [0, 1])
+        assert np.array_equal(component.f_table[:, 1], [1, 0])
+
+    def test_matches_reconstruction(self, rng):
+        w = random_partition(5, 2, rng)
+        pattern = rng.integers(0, 2, w.n_cols, dtype=np.uint8)
+        types = rng.integers(0, 4, w.n_rows).astype(np.int8)
+        setting = RowSetting(pattern, types)
+        component = row_component(w, setting)
+        matrix = setting.reconstruct()
+        vector = component.to_truth_vector()
+        for idx in range(32):
+            row, col = w.cell_of_index(idx)
+            assert vector[idx] == matrix[row, col]
+
+    def test_shape_mismatch(self, rng):
+        w = random_partition(5, 2, rng)
+        setting = RowSetting(
+            np.zeros(4, dtype=np.uint8), np.zeros(2, dtype=np.int8)
+        )
+        with pytest.raises(DecompositionError):
+            row_component(w, setting)
+
+
+class TestBuildCascadeDesign:
+    def test_from_ising_result(self, demo_table):
+        result = IsingDecomposer(fast_config()).decompose(demo_table)
+        design = build_cascade_design(result)
+        rebuilt = design.to_truth_table()
+        assert np.array_equal(rebuilt.outputs, result.approx.outputs)
+
+    def test_from_baseline_result(self, demo_table):
+        result = BaselineDecomposer(
+            DaltaHeuristicSolver(), fast_config()
+        ).decompose(demo_table)
+        design = build_cascade_design(result)
+        rebuilt = design.to_truth_table()
+        assert np.array_equal(rebuilt.outputs, result.approx.outputs)
+
+    def test_evaluate_word(self, demo_table):
+        result = IsingDecomposer(fast_config()).decompose(demo_table)
+        design = build_cascade_design(result)
+        indices = np.arange(32)
+        assert np.array_equal(
+            design.evaluate_word(indices), result.approx.words
+        )
+
+    def test_missing_output_rejected(self, demo_table):
+        result = IsingDecomposer(fast_config()).decompose(demo_table)
+        design = build_cascade_design(result)
+        partial = dict(design.components)
+        partial.pop(0)
+        with pytest.raises(DecompositionError):
+            LutCascadeDesign(partial, 5, 5)
+
+    def test_wrong_input_width_rejected(self, demo_table, rng):
+        result = IsingDecomposer(fast_config()).decompose(demo_table)
+        design = build_cascade_design(result)
+        with pytest.raises(DecompositionError):
+            LutCascadeDesign(design.components, 6, 5)
+
+
+class TestCost:
+    def test_flat_lut_bits(self):
+        assert flat_lut_bits(5, 1) == 32
+        assert flat_lut_bits(16, 16) == 16 * 65536
+        with pytest.raises(DimensionError):
+            flat_lut_bits(-1, 2)
+        with pytest.raises(DimensionError):
+            flat_lut_bits(4, 0)
+
+    def test_cost_report(self, demo_table):
+        result = IsingDecomposer(fast_config()).decompose(demo_table)
+        design = build_cascade_design(result)
+        report = cascade_cost_report(design)
+        assert report.flat_bits == 160
+        assert report.cascade_bits == design.total_bits
+        assert report.compression_ratio > 1.0
+        # at this size sqrt(8)+sqrt(8) == sqrt(32): the heuristic ties
+        assert report.relative_access_cost <= 1.0
+        assert len(report.per_output_bits) == 5
+        assert "x smaller" in str(report)
+
+    def test_fig1_numbers(self):
+        """Fig. 1: a 5-input function, bound {x1,x2,x3}, free {x4,x5}
+        drops from 32 bits to 16 bits (2x)."""
+        assert flat_lut_bits(5, 1) == 32
+        w = InputPartition(free=(3, 4), bound=(0, 1, 2), n_inputs=5)
+        # cascade: 2^3 phi bits + 2 * 2^2 F bits = 16
+        assert w.n_cols + 2 * w.n_rows == 16

@@ -1,0 +1,93 @@
+"""Tests for the AxBench-style circuits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads.axbench import (
+    brent_kung_adder,
+    brent_kung_table,
+    forwardk2j_table,
+    inversek2j_table,
+    multiplier_table,
+)
+
+
+class TestBrentKungAdder:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        width=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_prefix_network_equals_addition(self, width, seed):
+        rng = np.random.default_rng(seed)
+        a = int(rng.integers(0, 1 << width))
+        b = int(rng.integers(0, 1 << width))
+        assert brent_kung_adder(a, b, width) == a + b
+
+    def test_carry_chain_worst_case(self):
+        # all-propagate: 0b1111 + 1 ripples through every prefix level
+        assert brent_kung_adder(0b1111, 1, 4) == 16
+
+    def test_operand_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            brent_kung_adder(4, 0, 2)
+        with pytest.raises(ConfigurationError):
+            brent_kung_adder(0, 0, 0)
+
+    def test_table_words(self):
+        table = brent_kung_table(6)
+        assert table.n_outputs == 4  # 3 + 3 -> 4 bits
+        for idx in (0, 5, 37, 63):
+            a, b = idx >> 3, idx & 7
+            assert table.words[idx] == a + b
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            brent_kung_table(7)
+
+
+class TestMultiplier:
+    def test_words_are_products(self):
+        table = multiplier_table(8)
+        assert table.n_outputs == 8
+        for idx in (0, 17, 100, 255):
+            a, b = idx >> 4, idx & 15
+            assert table.words[idx] == a * b
+
+    def test_paper_width(self):
+        table = multiplier_table(10)
+        assert table.n_outputs == 10
+
+
+class TestKinematics:
+    def test_forward_shapes(self):
+        table = forwardk2j_table(8, 8)
+        assert table.n_inputs == 8 and table.n_outputs == 8
+
+    def test_forward_known_poses(self):
+        table = forwardk2j_table(8, 8)
+        # theta1 = theta2 = 0: x = l1 + l2 = 1.0 = range max
+        assert table.words[0] == 255
+        # theta1 = theta2 = pi/2: x = 0 - l2 = -0.5 = range min
+        assert table.words[-1] == 0
+
+    def test_inverse_shapes(self):
+        table = inversek2j_table(8, 8)
+        assert table.n_inputs == 8 and table.n_outputs == 8
+
+    def test_inverse_known_poses(self):
+        table = inversek2j_table(8, 8)
+        # (x, y) = (1, 1): distance^2 = 2 > (l1+l2)^2 -> clamp, theta2 = 0
+        assert table.words[-1] == 0
+        # (x, y) = (0, 0): cos = (0 - 0.5)/0.5 = -1 -> theta2 = pi (max)
+        assert table.words[0] == 255
+
+    def test_inverse_forward_consistency(self):
+        """For reachable straight-arm poses the inverse recovers theta2=0."""
+        table = inversek2j_table(10, 10)
+        # x = l1 + l2, y = 0 -> packed index: x code max, y code 0
+        idx = ((1 << 5) - 1) << 5
+        assert table.words[idx] == 0

@@ -1,0 +1,112 @@
+"""Tests for :mod:`repro.workloads.distributions`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError
+from repro.workloads.distributions import (
+    exponential_codes,
+    from_trace,
+    gaussian_codes,
+    mixture,
+    uniform,
+    zipf_codes,
+)
+
+FAMILIES = [
+    lambda n: uniform(n),
+    lambda n: gaussian_codes(n),
+    lambda n: exponential_codes(n),
+    lambda n: zipf_codes(n),
+]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_families_are_distributions(family):
+    probs = family(6)
+    assert probs.shape == (64,)
+    assert np.isclose(probs.sum(), 1.0)
+    assert (probs >= 0).all()
+
+
+class TestShapes:
+    def test_gaussian_peaks_at_center(self):
+        probs = gaussian_codes(6, center=0.25)
+        assert np.argmax(probs) == pytest.approx(0.25 * 63, abs=1)
+
+    def test_exponential_is_decreasing(self):
+        probs = exponential_codes(6)
+        assert (np.diff(probs) <= 0).all()
+
+    def test_zipf_heavy_head(self):
+        probs = zipf_codes(8)
+        assert probs[0] > 10 * probs[-1]
+
+    def test_validation(self):
+        with pytest.raises(DimensionError):
+            gaussian_codes(4, sigma=0.0)
+        with pytest.raises(DimensionError):
+            exponential_codes(4, rate=-1.0)
+        with pytest.raises(DimensionError):
+            zipf_codes(4, exponent=0.0)
+        with pytest.raises(DimensionError):
+            uniform(-1)
+
+
+class TestFromTrace:
+    def test_counts(self):
+        probs = from_trace([0, 0, 1, 3], n_inputs=2)
+        assert np.allclose(probs, [0.5, 0.25, 0.0, 0.25])
+
+    def test_smoothing_fills_unseen(self):
+        probs = from_trace([0], n_inputs=2, smoothing=1.0)
+        assert (probs > 0).all()
+        assert probs[0] > probs[1]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DimensionError):
+            from_trace([4], n_inputs=2)
+
+    def test_empty_unsmoothed_rejected(self):
+        with pytest.raises(DimensionError):
+            from_trace([], n_inputs=2)
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(DimensionError):
+            from_trace([0], n_inputs=2, smoothing=-0.5)
+
+
+class TestMixture:
+    def test_equal_weights_default(self):
+        mixed = mixture([uniform(3), exponential_codes(3)])
+        expected = (uniform(3) + exponential_codes(3)) / 2
+        assert np.allclose(mixed, expected / expected.sum())
+
+    def test_explicit_weights(self):
+        mixed = mixture([uniform(2), uniform(2)], weights=[3.0, 1.0])
+        assert np.allclose(mixed, uniform(2))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            mixture([uniform(2), uniform(3)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DimensionError):
+            mixture([])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(DimensionError):
+            mixture([uniform(2), uniform(2)], weights=[1.0, -1.0])
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_trace_round_trip_property(seed):
+    """Sampling from a trace-derived distribution concentrates on it."""
+    rng = np.random.default_rng(seed)
+    trace = rng.integers(0, 16, size=200)
+    probs = from_trace(trace, n_inputs=4)
+    counts = np.bincount(trace, minlength=16)
+    assert np.allclose(probs, counts / counts.sum())

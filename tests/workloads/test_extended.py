@@ -1,0 +1,67 @@
+"""Tests for the extended workload kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.extended import EXTENDED_FUNCTIONS, extended_table
+from repro.workloads.quantization import QuantizationScheme
+
+SCHEME = QuantizationScheme(8, 8)
+
+
+class TestCatalog:
+    def test_expected_kernels_present(self):
+        assert {"sigmoid", "tanh", "gelu", "sqrt", "reciprocal",
+                "rsqrt", "sin", "log2"} <= set(EXTENDED_FUNCTIONS)
+
+    def test_ranges_cover_images(self):
+        for name, bench in EXTENDED_FUNCTIONS.items():
+            xs = np.linspace(bench.domain[0], bench.domain[1], 1001)
+            values = bench.func(xs)
+            lo, hi = bench.output_range
+            assert values.min() >= lo - 1e-6, name
+            assert values.max() <= hi + 1e-6, name
+
+
+class TestTables:
+    @pytest.mark.parametrize("name", sorted(EXTENDED_FUNCTIONS))
+    def test_builds(self, name):
+        table = extended_table(name, SCHEME)
+        assert table.n_inputs == 8 and table.n_outputs == 8
+
+    def test_sigmoid_midpoint(self):
+        table = extended_table("sigmoid", SCHEME)
+        # sigmoid(0) = 0.5 -> mid-scale near the middle code (the grid
+        # midpoint sits at x = +0.024, not exactly 0)
+        mid = table.words[128]
+        assert abs(int(mid) - 127) <= 3
+
+    def test_sqrt_monotone(self):
+        table = extended_table("sqrt", SCHEME)
+        assert (np.diff(table.words.astype(int)) >= 0).all()
+
+    def test_reciprocal_decreasing(self):
+        table = extended_table("reciprocal", SCHEME)
+        assert (np.diff(table.words.astype(int)) <= 0).all()
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ConfigurationError):
+            extended_table("softmax", SCHEME)
+
+    def test_decomposes_end_to_end(self):
+        """An extended kernel flows through the full pipeline."""
+        from repro.core import (
+            CoreSolverConfig,
+            FrameworkConfig,
+            IsingDecomposer,
+        )
+
+        table = extended_table("sigmoid", QuantizationScheme(6, 6))
+        config = FrameworkConfig(
+            mode="joint", free_size=3, n_partitions=2, n_rounds=1,
+            seed=0,
+            solver=CoreSolverConfig(max_iterations=300, n_replicas=2),
+        )
+        result = IsingDecomposer(config).decompose(table)
+        assert sorted(result.components) == list(range(6))

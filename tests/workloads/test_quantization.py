@@ -1,0 +1,82 @@
+"""Tests for :mod:`repro.workloads.quantization`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.quantization import (
+    QuantizationScheme,
+    quantize_real_function,
+)
+
+
+class TestQuantizationScheme:
+    def test_paper_schemes(self):
+        small = QuantizationScheme.paper_small()
+        assert (small.n_inputs, small.n_outputs) == (9, 9)
+        assert small.free_size == 4 and small.bound_size == 5
+        large = QuantizationScheme.paper_large()
+        assert (large.n_inputs, large.n_outputs) == (16, 16)
+        assert large.free_size == 7 and large.bound_size == 9
+
+    def test_scaled_free_size_valid(self):
+        for n in range(2, 20):
+            scheme = QuantizationScheme(n, 4)
+            assert 0 < scheme.free_size < n
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QuantizationScheme(1, 4)
+        with pytest.raises(ConfigurationError):
+            QuantizationScheme(4, 0)
+
+
+class TestQuantizeRealFunction:
+    def test_identity_line_hits_all_levels(self):
+        scheme = QuantizationScheme(4, 4)
+        table = quantize_real_function(
+            lambda x: x, scheme, (0.0, 1.0), (0.0, 1.0)
+        )
+        assert np.array_equal(table.words, np.arange(16))
+
+    def test_endpoints_included(self):
+        scheme = QuantizationScheme(3, 8)
+        table = quantize_real_function(
+            lambda x: x, scheme, (0.0, 7.0), (0.0, 7.0)
+        )
+        assert table.words[0] == 0
+        assert table.words[-1] == 255
+
+    def test_values_clipped_into_range(self):
+        scheme = QuantizationScheme(3, 4)
+        table = quantize_real_function(
+            lambda x: 10.0 * x, scheme, (0.0, 1.0), (0.0, 1.0)
+        )
+        assert table.words.max() == 15
+
+    def test_monotone_function_yields_monotone_words(self):
+        scheme = QuantizationScheme(6, 6)
+        table = quantize_real_function(
+            np.exp, scheme, (0.0, 3.0), (0.0, 21.0)
+        )
+        assert (np.diff(table.words) >= 0).all()
+
+    def test_probabilities_forwarded(self, rng):
+        scheme = QuantizationScheme(3, 3)
+        probs = rng.random(8)
+        table = quantize_real_function(
+            lambda x: x, scheme, (0.0, 1.0), (0.0, 1.0),
+            probabilities=probs,
+        )
+        assert np.allclose(table.probabilities, probs / probs.sum())
+
+    def test_empty_ranges_rejected(self):
+        scheme = QuantizationScheme(3, 3)
+        with pytest.raises(ConfigurationError):
+            quantize_real_function(
+                lambda x: x, scheme, (1.0, 1.0), (0.0, 1.0)
+            )
+        with pytest.raises(ConfigurationError):
+            quantize_real_function(
+                lambda x: x, scheme, (0.0, 1.0), (2.0, 1.0)
+            )

@@ -1,0 +1,52 @@
+"""Tests for the workload registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.registry import (
+    build_workload,
+    large_scale_suite,
+    small_scale_suite,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_ten_names(self):
+        names = workload_names()
+        assert len(names) == 10
+        assert names[:6] == ["cos", "tan", "exp", "ln", "erf", "denoise"]
+        assert set(names[6:]) == {
+            "brent-kung", "forwardk2j", "inversek2j", "multiplier",
+        }
+
+    def test_small_suite_paper_shape(self):
+        suite = small_scale_suite()
+        assert len(suite) == 6
+        for workload in suite.values():
+            assert workload.table.n_inputs == 9
+            assert workload.table.n_outputs == 9
+            assert workload.free_size == 4
+            assert workload.bound_size == 5
+
+    def test_large_suite_paper_shape_reduced(self):
+        suite = large_scale_suite(8)
+        assert len(suite) == 10
+        assert suite["brent-kung"].table.n_outputs == 5  # n/2 + 1
+        assert suite["multiplier"].table.n_outputs == 8
+
+    @pytest.mark.slow
+    def test_large_suite_paper_scale(self):
+        suite = large_scale_suite(16)
+        assert suite["cos"].table.n_inputs == 16
+        assert suite["cos"].table.n_outputs == 16
+        assert suite["brent-kung"].table.n_outputs == 9  # as in the paper
+        assert suite["cos"].free_size == 7
+
+    def test_build_workload_defaults(self):
+        workload = build_workload("erf", n_inputs=8)
+        assert workload.table.n_outputs == 8
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError):
+            build_workload("fft", 8)
