@@ -23,9 +23,27 @@ wins, roughly by how much — rather than absolute numbers, since the
 substrate here is NumPy rather than the authors' C++/Eigen testbed.
 """
 
+import json
 import os
+from pathlib import Path
 
 import pytest
+
+#: repository root — machine-readable benchmark outputs land here
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write one benchmark's machine-readable results to the repo root.
+
+    Benchmarks that feed numbers into docs or acceptance checks (e.g.
+    ``BENCH_kernels.json``) persist them through this helper so every
+    suite produces the same layout: pretty-printed, key-sorted JSON with
+    a trailing newline, committed next to the README.
+    """
+    path = REPO_ROOT / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def _env_int(name: str, default: int) -> int:

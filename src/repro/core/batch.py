@@ -5,9 +5,12 @@ candidate partition.  All of them share one shape (``r x c`` follows
 from ``|A|``/``|B|``, not from the particular partition), so their bSB
 dynamics vectorize perfectly: stack the weight matrices into a
 ``(P, r, c)`` tensor and evolve a ``(P, n_replicas, 2r + c)`` oscillator
-state with batched einsum contractions.  One NumPy call then advances
-*every* candidate's every replica — the software analogue of the
-massive parallelism the paper cites as SB's hardware advantage.
+state with one fused kernel step (:mod:`repro.ising.kernels`).  One
+backend call then advances *every* candidate's every replica — the
+software analogue of the massive parallelism the paper cites as SB's
+hardware advantage.  The stepping backend follows
+:attr:`~repro.core.config.CoreSolverConfig.backend` (``numpy64`` /
+``numpy32`` / ``numba``); decoded spins are always scored in float64.
 
 :class:`BatchedCoreCOPSolver` exposes ``solve_candidates`` returning
 the per-partition best settings; :class:`repro.core.framework
@@ -30,8 +33,9 @@ from repro.boolean.decomposition import ColumnSetting
 from repro.boolean.partition import InputPartition
 from repro.boolean.truth_table import TruthTable
 from repro.core.config import CoreSolverConfig
-from repro.core.ising_formulation import linear_error_terms
+from repro.core.ising_formulation import WeightCache, linear_error_terms
 from repro.errors import DimensionError
+from repro.ising.kernels import make_kernel
 from repro.ising.schedules import LinearPump
 
 __all__ = ["BatchedCoreCOPSolver", "BatchedSolution"]
@@ -51,15 +55,28 @@ class _StackedBipartiteDynamics:
     """Vectorized energies/fields for a stack of bipartite core COPs.
 
     Weight stack ``W`` has shape ``(P, r, c)``; states have shape
-    ``(P, R, N)`` with ``N = 2r + c``.
+    ``(P, R, N)`` with ``N = 2r + c``.  The arithmetic is owned by a
+    backend kernel; energies are always evaluated by the float64
+    reference kernel so objective bookkeeping is dtype-independent.
     """
 
-    def __init__(self, weights: np.ndarray, offsets: np.ndarray) -> None:
+    def __init__(
+        self,
+        weights: np.ndarray,
+        offsets: np.ndarray,
+        backend: Optional[str] = None,
+    ) -> None:
         w = np.asarray(weights, dtype=float)
         if w.ndim != 3:
             raise DimensionError(
                 f"weight stack must be 3-D (P, r, c), got ndim={w.ndim}"
             )
+        self.kernel = make_kernel(w, backend=backend)
+        self._scorer = (
+            self.kernel
+            if self.kernel.dtype == np.float64
+            else make_kernel(w, backend="numpy64")
+        )
         self.k = w / 4.0
         self.a = self.k.sum(axis=2)  # (P, r)
         self.offsets = np.asarray(offsets, dtype=float)
@@ -72,27 +89,16 @@ class _StackedBipartiteDynamics:
 
     def energy(self, spins: np.ndarray) -> np.ndarray:
         """Energies of a ``(P, R, N)`` spin stack, shape ``(P, R)``."""
-        v1, v2, t = self.split(spins)
-        kt = np.einsum("prc,pRc->pRr", self.k, t)
-        linear = np.einsum("pr,pRr->pR", self.a, v1 + v2)
-        cross = ((v2 - v1) * kt).sum(axis=-1)
-        return linear + cross
+        return self._scorer.energy(np.asarray(spins, dtype=float))
 
     def fields(self, x: np.ndarray) -> np.ndarray:
         """Local fields of a ``(P, R, N)`` position stack."""
-        v1, v2, t = self.split(x)
-        kt = np.einsum("prc,pRc->pRr", self.k, t)
-        f_v1 = -self.a[:, np.newaxis, :] + kt
-        f_v2 = -self.a[:, np.newaxis, :] - kt
-        f_t = np.einsum("pRr,prc->pRc", v1 - v2, self.k)
-        return np.concatenate([f_v1, f_v2, f_t], axis=-1)
+        return self._scorer.fields(np.asarray(x, dtype=float))
 
     def coupling_rms(self) -> float:
-        n = self.n_spins
-        if n < 2:
-            return 0.0
-        per_problem = 4.0 * (self.k**2).sum(axis=(1, 2))
-        return float(np.sqrt(per_problem.mean() / (n * (n - 1))))
+        # closed form over the stacked bipartite blocks — never builds
+        # the dense J of any instance
+        return self.kernel.coupling_rms()
 
     def optimal_types(self, v1_bits: np.ndarray,
                       v2_bits: np.ndarray) -> np.ndarray:
@@ -115,7 +121,8 @@ class BatchedCoreCOPSolver:
     config:
         Same knobs as :class:`~repro.core.solver.CoreCOPSolver`; the
         dynamic stop is replaced by the fixed ``max_iterations`` budget
-        (see module docstring).
+        (see module docstring).  ``config.backend`` selects the
+        stepping kernel.
     """
 
     def __init__(self, config: Optional[CoreSolverConfig] = None) -> None:
@@ -129,8 +136,15 @@ class BatchedCoreCOPSolver:
         partitions: Sequence[InputPartition],
         mode: str,
         rng: Optional[np.random.Generator] = None,
+        cache: Optional[WeightCache] = None,
     ) -> List[BatchedSolution]:
-        """Solve the core COP for every partition; one entry each."""
+        """Solve the core COP for every partition; one entry each.
+
+        ``cache`` optionally memoizes the per-partition weight terms
+        (see :class:`~repro.core.ising_formulation.WeightCache`); it
+        never changes the numerics, only skips rebuilding terms another
+        caller (e.g. prescreening) already produced this run.
+        """
         if not partitions:
             raise DimensionError("need at least one candidate partition")
         free_sizes = {len(p.free) for p in partitions}
@@ -146,14 +160,20 @@ class BatchedCoreCOPSolver:
         weight_stack = []
         offsets = []
         for partition in partitions:
-            weights, constant = linear_error_terms(
-                exact_table, approx_table, component, partition, mode
-            )
+            if cache is not None:
+                weights, constant = cache.terms(
+                    exact_table, approx_table, component, partition, mode
+                )
+            else:
+                weights, constant = linear_error_terms(
+                    exact_table, approx_table, component, partition, mode
+                )
             weight_stack.append(weights)
             offsets.append(constant + weights.sum() / 2.0)
         dynamics = _StackedBipartiteDynamics(
-            np.stack(weight_stack), np.array(offsets)
+            np.stack(weight_stack), np.array(offsets), backend=cfg.backend
         )
+        kernel = dynamics.kernel
 
         p = dynamics.n_problems
         reps = cfg.n_replicas
@@ -171,9 +191,10 @@ class BatchedCoreCOPSolver:
         y = rng.uniform(-amplitude, amplitude, (p, reps, n))
         if cfg.symmetry_breaking_init:
             x[..., r : 2 * r] = -x[..., :r]
+        x, y = kernel.prepare_state(x, y)
 
         best_energy = np.full(p, np.inf)
-        best_spins = np.where(x[:, 0, :] >= 0, 1.0, -1.0)
+        best_spins = np.where(x[:, 0, :] >= 0, 1.0, -1.0).astype(float)
 
         def sample(iteration_spins):
             nonlocal best_energy, best_spins
@@ -188,18 +209,16 @@ class BatchedCoreCOPSolver:
                     improved[:, np.newaxis], picked, best_spins
                 )
 
+        def decode(positions):
+            return np.where(positions >= 0, 1.0, -1.0)
+
         sample_every = cfg.sample_every
         for iteration in range(1, cfg.max_iterations + 1):
             a_t = pump(iteration)
-            y += dt * (-(a0 - a_t) * x + c0 * dynamics.fields(x))
-            x += dt * a0 * y
-            outside = np.abs(x) > 1.0
-            if outside.any():
-                np.clip(x, -1.0, 1.0, out=x)
-                y[outside] = 0.0
+            kernel.step(x, y, a_t, dt, a0, c0)
 
             if iteration % sample_every == 0:
-                spins = np.where(x >= 0, 1.0, -1.0)
+                spins = decode(x)
                 sample(spins)
                 if cfg.use_intervention:
                     v1_bits = (x[..., :r] >= 0).astype(np.uint8)
@@ -207,9 +226,13 @@ class BatchedCoreCOPSolver:
                     types = dynamics.optimal_types(v1_bits, v2_bits)
                     x[..., 2 * r :] = 2.0 * types - 1.0
                     y[..., 2 * r :] = 0.0
-                    sample(np.where(x >= 0, 1.0, -1.0))
+                    spins_after = decode(x)
+                    # skip the stack-wide re-score when the overwrite
+                    # did not flip any decoded type spin
+                    if not np.array_equal(spins_after, spins):
+                        sample(spins_after)
 
-        sample(np.where(x >= 0, 1.0, -1.0))
+        sample(decode(x))
 
         elapsed = time.perf_counter() - start
         solutions = []

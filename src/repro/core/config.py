@@ -16,9 +16,14 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 
-__all__ = ["CoreSolverConfig", "FrameworkConfig"]
+__all__ = ["CoreSolverConfig", "FrameworkConfig", "SWEEP_AUTO_CHUNKS"]
 
 _VALID_MODES = ("separate", "joint")
+
+#: default chunk count of the candidate sweep (``sweep_chunk_size=None``);
+#: a fixed constant so the chunk structure — and with it the per-chunk
+#: RNG spawn — never depends on how many workers happen to run the chunks
+SWEEP_AUTO_CHUNKS = 8
 
 
 @dataclass(frozen=True)
@@ -64,6 +69,14 @@ class CoreSolverConfig:
         anti-symmetric initialization breaks this degeneracy and
         measurably improves solution quality on near-decomposable
         instances (see the heuristic ablation benchmark).
+    backend:
+        Compute-kernel backend for the fused bSB step
+        (:mod:`repro.ising.kernels`): ``"numpy64"`` (reference,
+        bit-for-bit the historical inline loop), ``"numpy32"``
+        (float32 stepping, float64 scoring), or ``"numba"`` (JIT;
+        silently degrades to ``numpy64`` when numba is missing).
+        ``None`` resolves through the ``REPRO_SB_BACKEND`` environment
+        variable, which — when set — overrides this field too.
     """
 
     sample_every: int = 20
@@ -78,6 +91,7 @@ class CoreSolverConfig:
     a0: float = 1.0
     polish: bool = False
     symmetry_breaking_init: bool = True
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.sample_every <= 0:
@@ -111,6 +125,14 @@ class CoreSolverConfig:
                 "pump_ramp_iterations must be in (0, max_iterations], got "
                 f"{self.pump_ramp_iterations}"
             )
+        if self.backend is not None:
+            from repro.ising.kernels import known_backends
+
+            if self.backend not in known_backends():
+                raise ConfigurationError(
+                    f"backend must be one of {known_backends()} or None, "
+                    f"got {self.backend!r}"
+                )
 
     @property
     def resolved_ramp_iterations(self) -> int:
@@ -168,6 +190,19 @@ class FrameworkConfig:
         search semantics apart from the stop rule: the batch always
         integrates the full ``max_iterations`` budget, since a global
         dynamic stop would couple unrelated instances.
+    n_workers:
+        Process-level parallelism of the candidate sweep.  Each
+        component's candidate partitions are split into chunks (see
+        ``sweep_chunk_size``) solved as independent core-COP batches;
+        with ``n_workers > 1`` the chunks fan out over a
+        ``ProcessPoolExecutor``.  Chunking and per-chunk RNG spawning
+        are *independent of the worker count*, so any ``n_workers``
+        under one seed selects identical partitions and settings.
+    sweep_chunk_size:
+        Partitions per sweep chunk.  ``None`` auto-splits into
+        :data:`SWEEP_AUTO_CHUNKS` equal chunks (fewer when ``P`` is
+        small).  Must not depend on ``n_workers`` — it is part of the
+        seeded search definition.
     """
 
     mode: str = "joint"
@@ -179,6 +214,8 @@ class FrameworkConfig:
     prescreen_keep: Optional[int] = None
     stop_when_stalled: bool = True
     batched: bool = False
+    n_workers: int = 1
+    sweep_chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in _VALID_MODES:
@@ -201,6 +238,28 @@ class FrameworkConfig:
             raise ConfigurationError(
                 f"prescreen_keep must be positive, got {self.prescreen_keep}"
             )
+        if self.n_workers <= 0:
+            raise ConfigurationError(
+                f"n_workers must be positive, got {self.n_workers}"
+            )
+        if self.sweep_chunk_size is not None and self.sweep_chunk_size <= 0:
+            raise ConfigurationError(
+                "sweep_chunk_size must be positive, got "
+                f"{self.sweep_chunk_size}"
+            )
+
+    def resolved_chunk_count(self, n_partitions: int) -> int:
+        """Number of sweep chunks for ``n_partitions`` candidates.
+
+        Deterministic and independent of ``n_workers`` by design (the
+        chunk structure feeds the per-chunk RNG spawn, so it is part of
+        the seeded search semantics, not a scheduling detail).
+        """
+        if n_partitions <= 0:
+            return 0
+        if self.sweep_chunk_size is not None:
+            return -(-n_partitions // self.sweep_chunk_size)
+        return min(n_partitions, SWEEP_AUTO_CHUNKS)
 
     @classmethod
     def paper_small_scale(cls, mode: str = "joint") -> "FrameworkConfig":

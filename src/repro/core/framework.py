@@ -20,13 +20,26 @@ Mode semantics (Section 2.4):
 Every component ends up with a recorded setting after round one, so the
 result always describes a fully decomposed (LUT-cascade realizable)
 approximation.
+
+Candidate sweep parallelism
+---------------------------
+
+Candidate solves within one component share no state, so the sweep is
+embarrassingly parallel.  The partitions are split into a deterministic
+number of chunks (:meth:`FrameworkConfig.resolved_chunk_count`), each
+chunk receives its own child generator via ``Generator.spawn``, and the
+chunks run either inline or — with ``FrameworkConfig.n_workers > 1`` —
+across a ``ProcessPoolExecutor``.  Because neither the chunk structure
+nor the spawned seeds depend on the worker count, every ``n_workers``
+value selects bit-identical partitions and settings under one seed.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,8 +54,9 @@ from repro.boolean.synthesis import (
     component_from_column_setting,
 )
 from repro.boolean.truth_table import TruthTable
-from repro.core.config import FrameworkConfig
-from repro.core.ising_formulation import build_core_cop_model
+from repro.core.batch import BatchedCoreCOPSolver
+from repro.core.config import CoreSolverConfig, FrameworkConfig
+from repro.core.ising_formulation import WeightCache
 from repro.core.partitions import sample_partitions
 from repro.core.solver import CoreCOPSolution, CoreCOPSolver
 from repro.ising.solvers.base import SolveResult
@@ -51,6 +65,75 @@ from repro.boolean.random_functions import random_column_setting
 from repro.errors import DimensionError
 
 __all__ = ["IsingDecomposer", "DecompositionResult", "ComponentDecomposition"]
+
+
+def _solve_partition_chunk(
+    payload: Tuple[
+        TruthTable,
+        TruthTable,
+        int,
+        Tuple[InputPartition, ...],
+        str,
+        CoreSolverConfig,
+        bool,
+        np.random.Generator,
+    ],
+    cache: Optional[WeightCache] = None,
+) -> Tuple[float, InputPartition, ColumnSetting, int]:
+    """Best (objective, partition, setting, iterations) of one chunk.
+
+    Module-level so it pickles into pool workers; the same function runs
+    inline when ``n_workers == 1``, guaranteeing identical numerics.
+    ``cache`` only ever short-cuts term construction (bitwise invisible,
+    see :class:`WeightCache`), so inline callers may pass the run cache
+    while pool workers run cold.
+    """
+    exact, approx, component, partitions, mode, solver_cfg, batched, rng = (
+        payload
+    )
+    if batched:
+        solutions = BatchedCoreCOPSolver(solver_cfg).solve_candidates(
+            exact, approx, component, partitions, mode, rng, cache=cache
+        )
+        best = min(solutions, key=lambda s: s.objective)
+        return (
+            best.objective,
+            best.partition,
+            best.setting,
+            solver_cfg.max_iterations,
+        )
+    solver = CoreCOPSolver(solver_cfg)
+    best: Optional[CoreCOPSolution] = None
+    for partition in partitions:
+        if cache is not None:
+            model = cache.model(exact, approx, component, partition, mode)
+            solution = solver.solve_model(model, rng)
+            solution.partition = partition
+        else:
+            solution = solver.solve(
+                exact, approx, component, partition, mode, rng
+            )
+        if best is None or solution.objective < best.objective:
+            best = solution
+    return (
+        best.objective,
+        best.partition,
+        best.setting,
+        best.solve_result.n_iterations,
+    )
+
+
+def _split_chunks(
+    partitions: Sequence[InputPartition], n_chunks: int
+) -> List[Tuple[InputPartition, ...]]:
+    """Split candidates into ``n_chunks`` contiguous, size-balanced runs."""
+    n = len(partitions)
+    n_chunks = max(1, min(n_chunks, n))
+    bounds = [n * i // n_chunks for i in range(n_chunks + 1)]
+    return [
+        tuple(partitions[bounds[i] : bounds[i + 1]])
+        for i in range(n_chunks)
+    ]
 
 
 @dataclass
@@ -165,6 +248,9 @@ class IsingDecomposer:
     def __init__(self, config: Optional[FrameworkConfig] = None) -> None:
         self.config = config if config is not None else FrameworkConfig()
         self._solver = CoreCOPSolver(self.config.solver)
+        # run-level weight-term memoization; refreshed per decompose()
+        self._cache = WeightCache()
+        self._executor: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
 
@@ -191,7 +277,7 @@ class IsingDecomposer:
             return partitions
         scored = []
         for partition in partitions:
-            model = build_core_cop_model(
+            model = self._cache.model(
                 exact, approx, component, partition, self.config.mode
             )
             seed_setting = random_column_setting(
@@ -210,43 +296,64 @@ class IsingDecomposer:
         partition_rng: np.random.Generator,
         solver_rng: np.random.Generator,
     ) -> CoreCOPSolution:
-        """Best setting for one component over fresh candidate partitions."""
+        """Best setting for one component over fresh candidate partitions.
+
+        The candidates are split into deterministic chunks, each chunk
+        solved by :func:`_solve_partition_chunk` with its own spawned
+        child generator — inline, or across the process pool when the
+        framework runs with ``n_workers > 1``.  The chunk structure and
+        the spawn sequence never depend on the worker count, so the
+        selected setting is identical for any ``n_workers``.
+        """
+        start = time.perf_counter()
+        cfg = self.config
         partitions = self._candidate_partitions(exact.n_inputs, partition_rng)
         partitions = self._prescreen(
             exact, approx, component, partitions, solver_rng
         )
-        if self.config.batched:
-            from repro.core.batch import BatchedCoreCOPSolver
-
-            solutions = BatchedCoreCOPSolver(
-                self.config.solver
-            ).solve_candidates(
-                exact, approx, component, partitions,
-                self.config.mode, solver_rng,
+        chunks = _split_chunks(
+            partitions, cfg.resolved_chunk_count(len(partitions))
+        )
+        chunk_rngs = solver_rng.spawn(len(chunks))
+        payloads = [
+            (
+                exact,
+                approx,
+                component,
+                chunk,
+                cfg.mode,
+                cfg.solver,
+                cfg.batched,
+                chunk_rng,
             )
-            winner = min(solutions, key=lambda s: s.objective)
-            return CoreCOPSolution(
-                setting=winner.setting,
-                objective=winner.objective,
-                partition=winner.partition,
-                solve_result=SolveResult(
-                    spins=np.empty(0),
-                    energy=winner.objective,
-                    objective=winner.objective,
-                    n_iterations=self.config.solver.max_iterations,
-                    stop_reason="batched_fixed_budget",
+            for chunk, chunk_rng in zip(chunks, chunk_rngs)
+        ]
+        if self._executor is not None and len(chunks) > 1:
+            results = list(
+                self._executor.map(_solve_partition_chunk, payloads)
+            )
+        else:
+            results = [
+                _solve_partition_chunk(payload, cache=self._cache)
+                for payload in payloads
+            ]
+        best = min(results, key=lambda item: item[0])
+        objective, partition, setting, n_iterations = best
+        return CoreCOPSolution(
+            setting=setting,
+            objective=objective,
+            partition=partition,
+            solve_result=SolveResult(
+                spins=np.empty(0),
+                energy=objective,
+                objective=objective,
+                n_iterations=n_iterations,
+                stop_reason=(
+                    "batched_fixed_budget" if cfg.batched else "chunk_best"
                 ),
-                runtime_seconds=winner.runtime_seconds * len(solutions),
-            )
-        best: Optional[CoreCOPSolution] = None
-        for partition in partitions:
-            solution = self._solver.solve(
-                exact, approx, component, partition, self.config.mode,
-                solver_rng,
-            )
-            if best is None or solution.objective < best.objective:
-                best = solution
-        return best
+            ),
+            runtime_seconds=time.perf_counter() - start,
+        )
 
     def _baseline_error(
         self, exact: TruthTable, approx: TruthTable, component: int
@@ -280,36 +387,56 @@ class IsingDecomposer:
         med_trace: List[float] = []
         n_solves = 0
         rounds_used = 0
+        # fresh memoization per run: separate-mode terms stay valid
+        # throughout; joint-mode entries are dropped whenever the
+        # approximation changes (below)
+        self._cache = WeightCache()
+        executor: Optional[ProcessPoolExecutor] = None
+        if self.config.n_workers > 1:
+            executor = ProcessPoolExecutor(
+                max_workers=self.config.n_workers
+            )
+        self._executor = executor
 
-        for round_index in range(self.config.n_rounds):
-            rounds_used = round_index + 1
-            any_accepted = False
-            # most significant output first (highest weight 2**k)
-            for component in reversed(range(exact.n_outputs)):
-                solution = self._optimize_component(
-                    exact, approx, component, partition_rng, solver_rng
-                )
-                n_solves += self.config.n_partitions
-                baseline = self._baseline_error(exact, approx, component)
-                must_accept = component not in components
-                if must_accept or solution.objective < baseline - 1e-12:
-                    approx = apply_column_setting(
-                        approx, component, solution.partition,
-                        solution.setting,
+        try:
+            for round_index in range(self.config.n_rounds):
+                rounds_used = round_index + 1
+                any_accepted = False
+                # most significant output first (highest weight 2**k)
+                for component in reversed(range(exact.n_outputs)):
+                    solution = self._optimize_component(
+                        exact, approx, component, partition_rng, solver_rng
                     )
-                    components[component] = ComponentDecomposition(
-                        component=component,
-                        partition=solution.partition,
-                        setting=solution.setting,
-                        objective=solution.objective,
-                        n_solver_iterations=(
-                            solution.solve_result.n_iterations
-                        ),
+                    n_solves += self.config.n_partitions
+                    baseline = self._baseline_error(
+                        exact, approx, component
                     )
-                    any_accepted = True
-            med_trace.append(mean_error_distance(exact, approx))
-            if self.config.stop_when_stalled and not any_accepted:
-                break
+                    must_accept = component not in components
+                    if must_accept or solution.objective < baseline - 1e-12:
+                        approx = apply_column_setting(
+                            approx, component, solution.partition,
+                            solution.setting,
+                        )
+                        # joint-mode weight terms bake in the current
+                        # approximation; the accepted setting changed it
+                        self._cache.invalidate_joint()
+                        components[component] = ComponentDecomposition(
+                            component=component,
+                            partition=solution.partition,
+                            setting=solution.setting,
+                            objective=solution.objective,
+                            n_solver_iterations=(
+                                solution.solve_result.n_iterations
+                            ),
+                        )
+                        any_accepted = True
+                med_trace.append(mean_error_distance(exact, approx))
+                if self.config.stop_when_stalled and not any_accepted:
+                    break
+        finally:
+            self._executor = None
+            if executor is not None:
+                executor.shutdown()
 
         runtime = time.perf_counter() - start
         return DecompositionResult(

@@ -46,6 +46,7 @@ __all__ = [
     "build_core_cop_model",
     "setting_from_spins",
     "spins_from_setting",
+    "WeightCache",
 ]
 
 
@@ -131,6 +132,26 @@ def joint_mode_weights(
     return weights, offset
 
 
+def _mode_terms(
+    exact_table: TruthTable,
+    approx_table: TruthTable,
+    component: int,
+    partition: InputPartition,
+    mode: str,
+) -> Tuple[np.ndarray, float]:
+    """Shared dispatch: weight matrix ``W`` and *spin* offset per mode."""
+    if mode == "separate":
+        matrix = BooleanMatrix.from_function(exact_table, component, partition)
+        return separate_mode_weights(matrix)
+    if mode == "joint":
+        return joint_mode_weights(
+            exact_table, approx_table, component, partition
+        )
+    raise ConfigurationError(
+        f"mode must be 'separate' or 'joint', got {mode!r}"
+    )
+
+
 def build_core_cop_model(
     exact_table: TruthTable,
     approx_table: TruthTable,
@@ -144,17 +165,9 @@ def build_core_cop_model(
     ``"joint"`` (Eq. 16, objective = whole-word MED with the other
     components frozen at ``approx_table``).
     """
-    if mode == "separate":
-        matrix = BooleanMatrix.from_function(exact_table, component, partition)
-        weights, offset = separate_mode_weights(matrix)
-    elif mode == "joint":
-        weights, offset = joint_mode_weights(
-            exact_table, approx_table, component, partition
-        )
-    else:
-        raise ConfigurationError(
-            f"mode must be 'separate' or 'joint', got {mode!r}"
-        )
+    weights, offset = _mode_terms(
+        exact_table, approx_table, component, partition, mode
+    )
     return BipartiteDecompositionModel(weights, offset)
 
 
@@ -177,19 +190,102 @@ def linear_error_terms(
     Note the constant (and ``W``'s total) is partition-independent: it
     is a sum over all input patterns, merely laid out differently.
     """
-    if mode == "separate":
-        matrix = BooleanMatrix.from_function(exact_table, component, partition)
-        weights, spin_offset = separate_mode_weights(matrix)
-    elif mode == "joint":
-        weights, spin_offset = joint_mode_weights(
-            exact_table, approx_table, component, partition
-        )
-    else:
-        raise ConfigurationError(
-            f"mode must be 'separate' or 'joint', got {mode!r}"
-        )
+    weights, spin_offset = _mode_terms(
+        exact_table, approx_table, component, partition, mode
+    )
     constant = spin_offset - float(weights.sum()) / 2.0
     return weights, constant
+
+
+class WeightCache:
+    """Per-run memoization of the core-COP weight terms.
+
+    Inside one framework run, :meth:`~repro.core.framework
+    .IsingDecomposer.decompose`-driven code rebuilds the Boolean matrix
+    and probability terms for the *same* ``(component, partition,
+    mode)`` several times — prescreening then solving, and re-visits of
+    a partition across rounds.  The cache keys the truth-table-derived
+    terms on exactly that triple.
+
+    Validity rules (enforced by the owner, not the cache):
+
+    * ``separate``-mode terms depend only on the immutable exact table,
+      so they stay valid for the whole run;
+    * ``joint``-mode terms also depend on the current approximation —
+      call :meth:`invalidate_joint` whenever the approximation changes
+      (the framework does so after every accepted setting).
+
+    Cached entries are the exact ``(weights, spin_offset)`` pair the
+    uncached builders produce, so memoization is bitwise invisible:
+    cached and cold paths yield identical models and objectives.  The
+    cache is process-local; parallel sweep workers simply run cold.
+    """
+
+    def __init__(self) -> None:
+        self._store = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _lookup(
+        self,
+        exact_table: TruthTable,
+        approx_table: TruthTable,
+        component: int,
+        partition: InputPartition,
+        mode: str,
+    ) -> Tuple[np.ndarray, float]:
+        key = (mode, component, partition)
+        cached = self._store.get(key)
+        if cached is None:
+            self.misses += 1
+            cached = _mode_terms(
+                exact_table, approx_table, component, partition, mode
+            )
+            cached[0].setflags(write=False)
+            self._store[key] = cached
+        else:
+            self.hits += 1
+        return cached
+
+    def model(
+        self,
+        exact_table: TruthTable,
+        approx_table: TruthTable,
+        component: int,
+        partition: InputPartition,
+        mode: str,
+    ) -> BipartiteDecompositionModel:
+        """Memoized :func:`build_core_cop_model`."""
+        weights, spin_offset = self._lookup(
+            exact_table, approx_table, component, partition, mode
+        )
+        return BipartiteDecompositionModel(weights, spin_offset)
+
+    def terms(
+        self,
+        exact_table: TruthTable,
+        approx_table: TruthTable,
+        component: int,
+        partition: InputPartition,
+        mode: str,
+    ) -> Tuple[np.ndarray, float]:
+        """Memoized :func:`linear_error_terms`."""
+        weights, spin_offset = self._lookup(
+            exact_table, approx_table, component, partition, mode
+        )
+        constant = spin_offset - float(weights.sum()) / 2.0
+        return weights, constant
+
+    def invalidate_joint(self) -> None:
+        """Drop every joint-mode entry (the approximation changed)."""
+        self._store = {
+            key: value
+            for key, value in self._store.items()
+            if key[0] != "joint"
+        }
+
+    def __len__(self) -> int:
+        return len(self._store)
 
 
 def setting_from_spins(

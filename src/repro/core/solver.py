@@ -145,6 +145,7 @@ class CoreCOPSolver:
             intervention=intervention,
             initializer=initializer,
             pump=LinearPump(cfg.a0, cfg.resolved_ramp_iterations),
+            backend=cfg.backend,
         )
         result = sb.solve(model, rng)
         setting = setting_from_spins(

@@ -1,0 +1,35 @@
+"""Fused multi-backend simulated-bifurcation kernels.
+
+See :mod:`repro.ising.kernels.base` for the backend contract and the
+selection rules (``CoreSolverConfig.backend`` / ``REPRO_SB_BACKEND``).
+Importing this package registers every backend usable in the current
+environment; unavailable optional backends (``numba``) degrade to
+``numpy64`` at resolution time.
+"""
+
+from repro.ising.kernels.base import (
+    DEFAULT_BACKEND,
+    ENV_BACKEND,
+    BipartiteSBKernel,
+    available_backends,
+    known_backends,
+    make_kernel,
+    register_backend,
+    resolve_backend,
+)
+from repro.ising.kernels.numpy_backend import NumPyBipartiteKernel
+from repro.ising.kernels import numba_backend  # noqa: F401  (registration)
+from repro.ising.kernels.numba_backend import NUMBA_AVAILABLE
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ENV_BACKEND",
+    "NUMBA_AVAILABLE",
+    "BipartiteSBKernel",
+    "NumPyBipartiteKernel",
+    "available_backends",
+    "known_backends",
+    "make_kernel",
+    "register_backend",
+    "resolve_backend",
+]

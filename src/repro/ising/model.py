@@ -71,6 +71,16 @@ class IsingModel(abc.ABC):
 
         Used to auto-scale the simulated-bifurcation coupling constant
         ``c0 = 0.5 / (rms * sqrt(N))`` following Goto et al.
+
+        .. warning::
+           This default **materializes the dense** ``(N, N)`` coupling
+           matrix via :meth:`to_dense` just to compute one scalar —
+           ``O(N^2)`` memory and time.  Structured models on hot paths
+           must override it with a closed form:
+           :class:`~repro.ising.structured.BipartiteDecompositionModel`
+           and the stacked batch dynamics both do, and the kernel
+           equivalence tests assert those paths never fall through to
+           this implementation.
         """
         dense = self.to_dense()
         n = dense.n_spins

@@ -23,6 +23,8 @@ The class also records the additive offset that makes
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.errors import DimensionError
@@ -57,6 +59,7 @@ class BipartiteDecompositionModel(IsingModel):
         self._a = self._k.sum(axis=1)
         self._a.setflags(write=False)
         self.offset = float(offset)
+        self._reference_kernel = None
 
     # ------------------------------------------------------------------
     # Shape bookkeeping
@@ -92,8 +95,28 @@ class BipartiteDecompositionModel(IsingModel):
         return np.concatenate([v1, v2, t], axis=-1)
 
     # ------------------------------------------------------------------
-    # IsingModel interface
+    # IsingModel interface (delegated to the reference compute kernel)
     # ------------------------------------------------------------------
+
+    def make_kernel(self, backend: Optional[str] = None):
+        """Build a fused SB kernel for this model's couplings.
+
+        ``backend`` resolves through
+        :func:`repro.ising.kernels.resolve_backend` (``REPRO_SB_BACKEND``
+        wins, then the argument, then ``numpy64``).  Solvers that find
+        this method drive their dynamics through the kernel instead of
+        calling :meth:`fields` per iteration.
+        """
+        from repro.ising.kernels import make_kernel
+
+        return make_kernel(self.weights, backend=backend)
+
+    @property
+    def _kernel(self):
+        """Lazily built ``numpy64`` reference kernel backing energy/fields."""
+        if self._reference_kernel is None:
+            self._reference_kernel = self.make_kernel("numpy64")
+        return self._reference_kernel
 
     def energy(self, spins: np.ndarray) -> np.ndarray:
         sigma = np.asarray(spins, dtype=float)
@@ -102,11 +125,7 @@ class BipartiteDecompositionModel(IsingModel):
                 f"spin array last axis must be {self.n_spins}, "
                 f"got shape {sigma.shape}"
             )
-        v1, v2, t = self.split(sigma)
-        kt = t @ self._k.T  # (..., r)
-        linear = (v1 + v2) @ self._a
-        cross = ((v2 - v1) * kt).sum(axis=-1)
-        result = linear + cross
+        result = self._kernel.energy(sigma)
         if sigma.ndim == 1:
             return np.float64(result)
         return result
@@ -118,12 +137,7 @@ class BipartiteDecompositionModel(IsingModel):
                 f"position array last axis must be {self.n_spins}, "
                 f"got shape {arr.shape}"
             )
-        v1, v2, t = self.split(arr)
-        kt = t @ self._k.T  # (..., r)
-        f_v1 = -self._a + kt
-        f_v2 = -self._a - kt
-        f_t = (v1 - v2) @ self._k  # (..., c)
-        return np.concatenate([f_v1, f_v2, f_t], axis=-1)
+        return self._kernel.fields(arr)
 
     def to_dense(self) -> DenseIsingModel:
         r, c = self.n_rows, self.n_cols
@@ -139,6 +153,8 @@ class BipartiteDecompositionModel(IsingModel):
         return DenseIsingModel(h, j, self.offset)
 
     def coupling_rms(self) -> float:
+        # closed form over the bipartite blocks — never densifies J
+        # (the O(N^2) base-class default must stay unreachable here)
         n = self.n_spins
         if n < 2:
             return 0.0
