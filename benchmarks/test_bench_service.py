@@ -1,0 +1,145 @@
+"""Service-layer benchmark: queue throughput and artifact-cache value.
+
+Drives the durable service end to end with a realistic traffic mix — a
+batch of jobs where popular problems repeat (duplicates dominate real
+LUT-serving traffic: the same kernel/width/config is requested over and
+over) — and measures:
+
+* jobs/second through the submit → schedule → solve → persist pipeline,
+* the artifact cache hit rate on that mix,
+* service overhead vs calling ``IsingDecomposer`` directly (the queue,
+  store, and hashing should cost a small fraction of solve time),
+* per-job latency split between cache hits and real solves.
+
+Writes ``BENCH_service.json`` at the repo root.  Scale knobs:
+``REPRO_BENCH_SVC_JOBS`` (default 12 jobs), ``REPRO_BENCH_SVC_WORKERS``
+(default 4), ``REPRO_BENCH_P`` / ``REPRO_BENCH_R`` as everywhere else.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import write_bench_json
+from repro.core import CoreSolverConfig, FrameworkConfig, IsingDecomposer
+from repro.service import DecompositionService, JobSpec, SchedulerPolicy
+from repro.workloads import build_workload
+
+#: unique problems in the mix; each repeats until the batch is full
+UNIQUE_WORKLOADS = ("cos", "tan", "erf", "exp")
+N_INPUTS = 6
+
+
+def _config(bench_scale):
+    return FrameworkConfig(
+        mode="joint",
+        free_size=2,
+        n_partitions=bench_scale["n_partitions"],
+        n_rounds=bench_scale["n_rounds"],
+        seed=7,
+        solver=CoreSolverConfig(max_iterations=400, n_replicas=2),
+    )
+
+
+def test_service_throughput(benchmark, bench_scale, tmp_path):
+    n_jobs = int(os.environ.get("REPRO_BENCH_SVC_JOBS", 12))
+    n_workers = int(os.environ.get("REPRO_BENCH_SVC_WORKERS", 4))
+    config = _config(bench_scale)
+    specs = [
+        JobSpec(
+            workload=UNIQUE_WORKLOADS[i % len(UNIQUE_WORKLOADS)],
+            n_inputs=N_INPUTS,
+            config=config,
+        )
+        for i in range(n_jobs)
+    ]
+
+    # baseline: the same *unique* problems solved directly, no service
+    direct_start = time.perf_counter()
+    for name in UNIQUE_WORKLOADS:
+        table = build_workload(name, n_inputs=N_INPUTS).table
+        IsingDecomposer(config).decompose(table)
+    direct_seconds = time.perf_counter() - direct_start
+
+    def run_service():
+        service = DecompositionService(
+            tmp_path / f"svc-{time.monotonic_ns()}",
+            n_workers=n_workers,
+            policy=SchedulerPolicy(
+                retry_backoff_seconds=0.01, poll_interval_seconds=0.005
+            ),
+        )
+        submit_start = time.perf_counter()
+        jobs = service.submit_batch(specs)
+        submit_seconds = time.perf_counter() - submit_start
+        serve_start = time.perf_counter()
+        service.run_until_drained(timeout=600)
+        serve_seconds = time.perf_counter() - serve_start
+        return service, jobs, submit_seconds, serve_seconds
+
+    service, jobs, submit_seconds, serve_seconds = benchmark.pedantic(
+        run_service, rounds=1, iterations=1
+    )
+
+    summary = service.status()
+    records = [service.job(job.id) for job in jobs]
+    assert summary["jobs"]["failed"] == 0
+    assert summary["jobs"]["done"] == n_jobs
+
+    hits = [r for r in records if r.cache_hit]
+    solves = [r for r in records if not r.cache_hit]
+    hit_latency = (
+        sum(r.runtime_seconds for r in hits) / len(hits) if hits else None
+    )
+    solve_latency = (
+        sum(r.runtime_seconds for r in solves) / len(solves)
+        if solves
+        else None
+    )
+    total_seconds = submit_seconds + serve_seconds
+    payload = {
+        "mix": {
+            "n_jobs": n_jobs,
+            "n_unique_problems": len(UNIQUE_WORKLOADS),
+            "n_workers": n_workers,
+            "n_inputs": N_INPUTS,
+            "n_partitions": config.n_partitions,
+            "n_rounds": config.n_rounds,
+        },
+        "throughput": {
+            "jobs_per_second": n_jobs / total_seconds,
+            "submit_seconds": submit_seconds,
+            "serve_seconds": serve_seconds,
+            "direct_unique_solve_seconds": direct_seconds,
+            "service_overhead_ratio": total_seconds / direct_seconds,
+        },
+        "cache": {
+            "hit_rate": summary["cache"]["hit_rate"],
+            "hits": summary["cache"]["hits"],
+            "misses": summary["cache"]["misses"],
+            "mean_hit_latency_seconds": hit_latency,
+            "mean_solve_latency_seconds": solve_latency,
+        },
+        "retries": summary["retries"],
+    }
+    path = write_bench_json("BENCH_service.json", payload)
+    print(
+        f"\n[service] {n_jobs} jobs ({len(UNIQUE_WORKLOADS)} unique) on "
+        f"{n_workers} workers: {payload['throughput']['jobs_per_second']:.2f}"
+        f" jobs/s, cache hit rate {payload['cache']['hit_rate']:.2f}, "
+        f"overhead {payload['throughput']['service_overhead_ratio']:.2f}x "
+        f"direct"
+    )
+    print(f"[service] wrote {path}")
+
+    # the cache must absorb every duplicate: exactly one solve per
+    # unique problem
+    assert summary["cache"]["misses"] == len(UNIQUE_WORKLOADS)
+    assert summary["cache"]["hit_rate"] == pytest.approx(
+        (n_jobs - len(UNIQUE_WORKLOADS)) / n_jobs, abs=1e-3
+    )
+    # durable queueing + hashing + persistence must not dominate solve
+    # time on a duplicate-heavy mix: the whole batch should cost less
+    # than twice the direct unique solves
+    assert payload["throughput"]["service_overhead_ratio"] < 2.0

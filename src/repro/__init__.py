@@ -27,6 +27,7 @@ Package map
 ``repro.lut``        LUT-cascade construction and cost model
 ``repro.workloads``  the 10 paper benchmarks
 ``repro.analysis``   Table-1 / Figure-4 / ablation experiment harness
+``repro.service``    durable job queue + content-addressed design cache
 """
 
 from repro.boolean import (

@@ -12,6 +12,22 @@ Commands
     Emit a saved design as a synthesizable Verilog module.
 ``list-workloads``
     Show the available benchmark workloads.
+``submit``
+    Enqueue a decomposition job into a service directory.
+``serve``
+    Run the service worker pool over a service directory (drains the
+    queue by default; ``--forever`` keeps serving).
+``status``
+    Show the service job table and telemetry summary.
+``fetch``
+    Write a finished job's design JSON (same format ``decompose``
+    emits, so ``evaluate``/``export-verilog`` consume it directly).
+
+Error handling: every subcommand catches the library's
+:class:`~repro.errors.ReproError` hierarchy (including
+:class:`~repro.serialization.SerializationError`) and missing input
+files, printing a one-line ``error: ...`` to stderr and exiting with
+code 1 — a traceback from the CLI is a bug, not an error message.
 
 Examples
 --------
@@ -22,23 +38,79 @@ Examples
     python -m repro evaluate --design cos.json --workload cos --n-inputs 9
     python -m repro export-verilog --design cos.json --module cos_lut \\
         --out cos_lut.v
+
+    # service layer: durable queue + artifact cache in ./svc
+    python -m repro submit --service-dir svc --workload cos --n-inputs 9
+    python -m repro serve --service-dir svc --workers 4
+    python -m repro status --service-dir svc
+    python -m repro fetch --service-dir svc --job job-ab12cd34ef56 \\
+        --out cos.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from repro.boolean.metrics import error_rate, mean_error_distance
 from repro.core import CoreSolverConfig, FrameworkConfig, IsingDecomposer
+from repro.errors import ReproError
 from repro.lut import cascade_cost_report
 from repro.lut.verilog import cascade_to_verilog
 from repro.serialization import load_design, save_design
+from repro.service import (
+    DecompositionService,
+    JobSpec,
+    SchedulerPolicy,
+    format_job_table,
+)
 from repro.workloads import build_workload, workload_names
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    """Framework/solver flags shared by ``decompose`` and ``submit``."""
+    parser.add_argument("--workload", required=True,
+                        help=f"one of {', '.join(workload_names())}")
+    parser.add_argument("--n-inputs", type=int, default=9)
+    parser.add_argument("--mode", choices=("separate", "joint"),
+                        default="joint")
+    parser.add_argument("--partitions", type=int, default=8,
+                        help="candidate partitions per component "
+                             "(paper: 1000)")
+    parser.add_argument("--rounds", type=int, default=2,
+                        help="framework rounds (paper: 5)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-iterations", type=int, default=2000)
+    parser.add_argument("--replicas", type=int, default=4)
+    parser.add_argument("--solve-workers", type=int, default=1,
+                        help="process-parallel sweep workers per job "
+                             "(FrameworkConfig.n_workers)")
+
+
+def _config_from_args(args: argparse.Namespace) -> FrameworkConfig:
+    workload = build_workload(args.workload, n_inputs=args.n_inputs)
+    return FrameworkConfig(
+        mode=args.mode,
+        free_size=workload.free_size,
+        n_partitions=args.partitions,
+        n_rounds=args.rounds,
+        seed=args.seed,
+        n_workers=args.solve_workers,
+        solver=CoreSolverConfig(
+            max_iterations=args.max_iterations, n_replicas=args.replicas
+        ),
+    )
+
+
+def _add_service_dir(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--service-dir", type=Path, required=True,
+                        help="service state directory (job store + "
+                             "artifact cache)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,18 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     dec = sub.add_parser(
         "decompose", help="decompose a workload and save the design"
     )
-    dec.add_argument("--workload", required=True,
-                     help=f"one of {', '.join(workload_names())}")
-    dec.add_argument("--n-inputs", type=int, default=9)
-    dec.add_argument("--mode", choices=("separate", "joint"),
-                     default="joint")
-    dec.add_argument("--partitions", type=int, default=8,
-                     help="candidate partitions per component (paper: 1000)")
-    dec.add_argument("--rounds", type=int, default=2,
-                     help="framework rounds (paper: 5)")
-    dec.add_argument("--seed", type=int, default=0)
-    dec.add_argument("--max-iterations", type=int, default=2000)
-    dec.add_argument("--replicas", type=int, default=4)
+    _add_config_arguments(dec)
     dec.add_argument("--out", type=Path, required=True,
                      help="output JSON path")
 
@@ -86,21 +147,53 @@ def build_parser() -> argparse.ArgumentParser:
                       help="output .v path (default: stdout)")
 
     sub.add_parser("list-workloads", help="list benchmark workloads")
+
+    subm = sub.add_parser(
+        "submit", help="enqueue a decomposition job in a service dir"
+    )
+    _add_service_dir(subm)
+    _add_config_arguments(subm)
+    subm.add_argument("--timeout", type=float, default=None,
+                      help="per-attempt wall-clock budget in seconds")
+    subm.add_argument("--max-attempts", type=int, default=3,
+                      help="total attempts before the job fails")
+
+    serve = sub.add_parser(
+        "serve", help="run the service worker pool over a service dir"
+    )
+    _add_service_dir(serve)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="concurrent service workers")
+    serve.add_argument("--forever", action="store_true",
+                       help="keep serving after the queue drains "
+                            "(default: drain and exit)")
+    serve.add_argument("--lease-seconds", type=float, default=60.0,
+                       help="heartbeat lease before a worker counts as "
+                            "crashed")
+    serve.add_argument("--retry-backoff", type=float, default=0.25,
+                       help="base retry backoff in seconds")
+
+    stat = sub.add_parser(
+        "status", help="show service jobs and telemetry"
+    )
+    _add_service_dir(stat)
+    stat.add_argument("--job", default=None, help="show one job only")
+    stat.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the raw telemetry summary as JSON")
+
+    fetch = sub.add_parser(
+        "fetch", help="write a finished job's design JSON"
+    )
+    _add_service_dir(fetch)
+    fetch.add_argument("--job", required=True, help="job id to fetch")
+    fetch.add_argument("--out", type=Path, default=None,
+                       help="output JSON path (default: stdout)")
     return parser
 
 
 def _cmd_decompose(args: argparse.Namespace) -> int:
     workload = build_workload(args.workload, n_inputs=args.n_inputs)
-    config = FrameworkConfig(
-        mode=args.mode,
-        free_size=workload.free_size,
-        n_partitions=args.partitions,
-        n_rounds=args.rounds,
-        seed=args.seed,
-        solver=CoreSolverConfig(
-            max_iterations=args.max_iterations, n_replicas=args.replicas
-        ),
-    )
+    config = _config_from_args(args)
     result = IsingDecomposer(config).decompose(workload.table)
     save_design(result, args.out)
     print(
@@ -151,18 +244,115 @@ def _cmd_list_workloads() -> int:
     return 0
 
 
+def _cmd_submit(args: argparse.Namespace) -> int:
+    service = DecompositionService(args.service_dir)
+    spec = JobSpec(
+        workload=args.workload,
+        n_inputs=args.n_inputs,
+        config=_config_from_args(args),
+        timeout_seconds=args.timeout,
+        max_attempts=args.max_attempts,
+    )
+    job = service.submit(spec)
+    cached = " (artifact cached — serve resolves it instantly)" if (
+        job.artifact_key in service.artifacts
+    ) else ""
+    print(f"submitted {job.id}: {spec.describe()} "
+          f"key={job.artifact_key[:12]}...{cached}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    policy = SchedulerPolicy(
+        lease_seconds=args.lease_seconds,
+        retry_backoff_seconds=args.retry_backoff,
+    )
+    service = DecompositionService(
+        args.service_dir, n_workers=args.workers, policy=policy
+    )
+    depth = service.store.pending()
+    print(f"serving {args.service_dir} with {args.workers} worker(s), "
+          f"{depth} job(s) pending")
+    if args.forever:
+        pool = service.serve_forever()
+        try:
+            while not pool.wait(3600):
+                pass
+        except KeyboardInterrupt:
+            pool.stop()
+        return 0
+    service.run_until_drained()
+    summary = service.status()
+    jobs = summary["jobs"]
+    cache = summary["cache"]
+    print(
+        f"drained: {jobs['done']} done, {jobs['failed']} failed; "
+        f"cache hit rate "
+        f"{cache['hit_rate'] if cache['hit_rate'] is not None else 'n/a'}"
+    )
+    return 0 if jobs["failed"] == 0 else 3
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    service = DecompositionService(args.service_dir)
+    if args.job is not None:
+        job = service.job(args.job)
+        print(format_job_table([job]))
+        return 0
+    if args.as_json:
+        print(json.dumps(service.status(), indent=2, sort_keys=True))
+        return 0
+    jobs = service.jobs()
+    print(format_job_table(jobs))
+    summary = service.status()
+    print()
+    print(f"queue depth:    {summary['queue']['depth']}")
+    print(f"cache hit rate: {summary['cache']['hit_rate']}")
+    print(f"retries:        {summary['retries']['total']}")
+    print(f"throughput:     {summary['timing']['jobs_per_second']} jobs/s")
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    service = DecompositionService(args.service_dir)
+    if args.out is None:
+        print(json.dumps(service.fetch_design_dict(args.job), indent=2,
+                         sort_keys=True))
+        return 0
+    service.write_design(args.job, args.out)
+    job = service.job(args.job)
+    print(f"wrote {args.out} (job {job.id}, MED "
+          f"{job.med if job.med is not None else 'n/a'})")
+    return 0
+
+
+_DISPATCH = {
+    "decompose": _cmd_decompose,
+    "evaluate": _cmd_evaluate,
+    "export-verilog": _cmd_export_verilog,
+    "submit": _cmd_submit,
+    "serve": _cmd_serve,
+    "status": _cmd_status,
+    "fetch": _cmd_fetch,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "decompose":
-        return _cmd_decompose(args)
-    if args.command == "evaluate":
-        return _cmd_evaluate(args)
-    if args.command == "export-verilog":
-        return _cmd_export_verilog(args)
     if args.command == "list-workloads":
         return _cmd_list_workloads()
-    raise AssertionError(f"unhandled command {args.command!r}")
+    handler = _DISPATCH.get(args.command)
+    if handler is None:
+        raise AssertionError(f"unhandled command {args.command!r}")
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: no such file: {exc.filename or exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -11,7 +11,7 @@ values unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Optional
 
 from repro.errors import ConfigurationError
@@ -19,6 +19,22 @@ from repro.errors import ConfigurationError
 __all__ = ["CoreSolverConfig", "FrameworkConfig", "SWEEP_AUTO_CHUNKS"]
 
 _VALID_MODES = ("separate", "joint")
+
+
+def _checked_fields(cls, data: dict) -> dict:
+    """Validate that ``data`` holds only fields of ``cls``."""
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"{cls.__name__} payload must be a mapping, "
+            f"got {type(data).__name__}"
+        )
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {cls.__name__} fields: {', '.join(unknown)}"
+        )
+    return dict(data)
 
 #: default chunk count of the candidate sweep (``sweep_chunk_size=None``);
 #: a fixed constant so the chunk structure — and with it the per-chunk
@@ -141,6 +157,15 @@ class CoreSolverConfig:
             return self.pump_ramp_iterations
         return min(self.max_iterations, max(100, self.max_iterations // 4))
 
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoreSolverConfig":
+        """Rebuild from :meth:`to_dict` output; rejects unknown keys."""
+        return cls(**_checked_fields(cls, data))
+
     @classmethod
     def paper_small_scale(cls) -> "CoreSolverConfig":
         """The paper's n = 9 setting: ``f = s = 20``, ``eps = 1e-8``."""
@@ -260,6 +285,40 @@ class FrameworkConfig:
         if self.sweep_chunk_size is not None:
             return -(-n_partitions // self.sweep_chunk_size)
         return min(n_partitions, SWEEP_AUTO_CHUNKS)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        data = asdict(self)
+        data["solver"] = self.solver.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FrameworkConfig":
+        """Rebuild from :meth:`to_dict` output; rejects unknown keys."""
+        payload = _checked_fields(cls, data)
+        if "solver" in payload and not isinstance(
+            payload["solver"], CoreSolverConfig
+        ):
+            payload["solver"] = CoreSolverConfig.from_dict(payload["solver"])
+        return cls(**payload)
+
+    def semantic_dict(self) -> dict:
+        """The fields that define the *seeded search*, scheduling removed.
+
+        Two configs with equal semantic dicts produce bit-identical
+        decompositions of the same table: ``n_workers`` only schedules
+        the deterministic sweep chunks, so it is dropped, and the
+        solver ``backend`` is resolved (including the
+        ``REPRO_SB_BACKEND`` override) because the backend *does*
+        change float32-path numerics.  This is the payload the
+        service's content-addressed artifact store hashes.
+        """
+        from repro.ising.kernels import resolve_backend
+
+        data = self.to_dict()
+        data.pop("n_workers")
+        data["solver"]["backend"] = resolve_backend(self.solver.backend)
+        return data
 
     @classmethod
     def paper_small_scale(cls, mode: str = "joint") -> "FrameworkConfig":

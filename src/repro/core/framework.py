@@ -39,7 +39,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -62,9 +62,24 @@ from repro.core.solver import CoreCOPSolution, CoreCOPSolver
 from repro.ising.solvers.base import SolveResult
 from repro.core.theorem3 import alternating_refinement
 from repro.boolean.random_functions import random_column_setting
-from repro.errors import DimensionError
+from repro.errors import DimensionError, OperationCancelled
 
-__all__ = ["IsingDecomposer", "DecompositionResult", "ComponentDecomposition"]
+__all__ = [
+    "IsingDecomposer",
+    "DecompositionResult",
+    "ComponentDecomposition",
+    "ProgressHook",
+    "CancelHook",
+]
+
+#: Called with a progress-event dict after every component optimization
+#: and completed round; return value ignored.  Events never perturb the
+#: RNG streams, so observed runs stay bit-identical to unobserved ones.
+ProgressHook = Callable[[Dict], None]
+
+#: Polled between component optimizations; returning ``True`` aborts the
+#: run by raising :class:`~repro.errors.OperationCancelled`.
+CancelHook = Callable[[], bool]
 
 
 def _solve_partition_chunk(
@@ -364,8 +379,36 @@ class IsingDecomposer:
 
     # ------------------------------------------------------------------
 
-    def decompose(self, table: TruthTable) -> DecompositionResult:
-        """Run the full ``R``-round, MSB-first decomposition of ``table``."""
+    def decompose(
+        self,
+        table: TruthTable,
+        *,
+        progress: Optional[ProgressHook] = None,
+        should_cancel: Optional[CancelHook] = None,
+    ) -> DecompositionResult:
+        """Run the full ``R``-round, MSB-first decomposition of ``table``.
+
+        Parameters
+        ----------
+        table:
+            The exact function to decompose.
+        progress:
+            Optional :data:`ProgressHook`; receives
+            ``{"event": "component", "round", "component", "accepted",
+            "objective"}`` after every component optimization and
+            ``{"event": "round", "round", "med"}`` after every completed
+            round.  The service layer uses this for heartbeats/lease
+            renewal.  Hooks observe only — they cannot perturb the
+            seeded search, so results are identical with or without one.
+        should_cancel:
+            Optional :data:`CancelHook`, polled before every component
+            optimization.  Returning ``True`` raises
+            :class:`~repro.errors.OperationCancelled` (cooperative
+            cancellation: in-flight solver chunks finish, nothing is
+            left running).  Because each run starts from its seed, a
+            cancelled run can simply be re-executed — determinism makes
+            resume-from-scratch exact.
+        """
         if table.n_inputs <= self.config.free_size:
             raise DimensionError(
                 f"free_size {self.config.free_size} must be smaller than "
@@ -404,6 +447,11 @@ class IsingDecomposer:
                 any_accepted = False
                 # most significant output first (highest weight 2**k)
                 for component in reversed(range(exact.n_outputs)):
+                    if should_cancel is not None and should_cancel():
+                        raise OperationCancelled(
+                            f"decomposition cancelled in round "
+                            f"{round_index + 1} before component {component}"
+                        )
                     solution = self._optimize_component(
                         exact, approx, component, partition_rng, solver_rng
                     )
@@ -430,7 +478,28 @@ class IsingDecomposer:
                             ),
                         )
                         any_accepted = True
+                    if progress is not None:
+                        progress(
+                            {
+                                "event": "component",
+                                "round": round_index + 1,
+                                "component": component,
+                                "accepted": (
+                                    must_accept
+                                    or solution.objective < baseline - 1e-12
+                                ),
+                                "objective": float(solution.objective),
+                            }
+                        )
                 med_trace.append(mean_error_distance(exact, approx))
+                if progress is not None:
+                    progress(
+                        {
+                            "event": "round",
+                            "round": round_index + 1,
+                            "med": float(med_trace[-1]),
+                        }
+                    )
                 if self.config.stop_when_stalled and not any_accepted:
                     break
         finally:

@@ -35,3 +35,26 @@ class InfeasibleError(SolverError):
 
 class ConfigurationError(ReproError, ValueError):
     """A configuration dataclass holds an invalid combination of values."""
+
+
+class OperationCancelled(ReproError, RuntimeError):
+    """A cooperative cancellation hook asked a running operation to stop.
+
+    Raised by long-running entry points (e.g.
+    :meth:`repro.core.framework.IsingDecomposer.decompose`) when the
+    caller-supplied ``should_cancel`` callback returns true; the service
+    layer maps it to a job timeout/cancellation rather than a crash.
+    """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The decomposition service rejected a request or job transition."""
+
+
+class JobNotFound(ServiceError, KeyError):
+    """A job id does not exist in the service's job store."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr-quotes its argument; keep the plain
+        # "no such job: <id>" message readable at the CLI boundary.
+        return "no such job: " + "".join(str(arg) for arg in self.args)

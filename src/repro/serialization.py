@@ -13,7 +13,7 @@ between machines and reviewed by humans):
 
     {
       "format": "repro-decomposition",
-      "version": 1,
+      "schema_version": 2,
       "n_inputs": 9,
       "n_outputs": 9,
       "med": 2.51,
@@ -25,6 +25,15 @@ between machines and reviewed by humans):
     }
 
 Bit vectors are stored as compact 0/1 strings.
+
+Versioning
+----------
+Documents carry an explicit ``schema_version`` (current: 2).  Version-1
+documents used a ``version`` key instead; they are still read.  A
+document with neither key, or with a version this build does not know,
+is rejected up front with :class:`SerializationError` — the artifact
+store depends on that early check to evolve its on-disk format safely
+instead of failing deep inside design reconstruction.
 """
 
 from __future__ import annotations
@@ -42,6 +51,8 @@ from repro.errors import ReproError
 from repro.lut.cascade import LutCascadeDesign, build_cascade_design
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "SerializationError",
     "design_to_dict",
     "design_from_dict",
     "save_design",
@@ -50,7 +61,26 @@ __all__ = [
 ]
 
 _FORMAT = "repro-decomposition"
-_VERSION = 1
+#: current on-disk schema version (written as ``schema_version``)
+SCHEMA_VERSION = 2
+#: versions this build can read; 1 is the legacy ``version``-keyed form
+_READABLE_VERSIONS = (1, 2)
+
+
+def _document_version(data: Dict):
+    """Extract and validate the document's declared schema version."""
+    version = data.get("schema_version", data.get("version"))
+    if version is None:
+        raise SerializationError(
+            "document declares no schema_version (nor legacy 'version'); "
+            "refusing to guess the on-disk format"
+        )
+    if version not in _READABLE_VERSIONS:
+        raise SerializationError(
+            f"unsupported schema_version {version!r}; this build reads "
+            f"versions {list(_READABLE_VERSIONS)}"
+        )
+    return version
 
 
 class SerializationError(ReproError, ValueError):
@@ -135,7 +165,7 @@ def result_to_dict(result) -> Dict:
         }
     return {
         "format": _FORMAT,
-        "version": _VERSION,
+        "schema_version": SCHEMA_VERSION,
         "n_inputs": result.exact.n_inputs,
         "n_outputs": result.exact.n_outputs,
         "med": float(result.med),
@@ -173,10 +203,7 @@ def design_from_dict(data: Dict) -> LutCascadeDesign:
         raise SerializationError(
             f"not a {_FORMAT} document (format={data.get('format')!r})"
         )
-    if data.get("version") != _VERSION:
-        raise SerializationError(
-            f"unsupported version {data.get('version')!r}"
-        )
+    _document_version(data)
     components = {}
     for key, entry in data["components"].items():
         components[int(key)] = _LoadedComponent(

@@ -1,0 +1,48 @@
+"""repro.service — a durable, crash-tolerant decomposition job service.
+
+The software analogue of a hardware Ising dispatch layer: problem
+instances are *submitted* as durable jobs, *scheduled* onto a worker
+pool with bounded retries and cooperative timeouts, and their finished
+designs land in a *content-addressed artifact cache* so duplicate
+submissions never re-solve.
+
+Module map
+----------
+``spec``       :class:`JobSpec` + :func:`artifact_key` (content hashing)
+``artifacts``  :class:`ArtifactStore` — on-disk design cache
+``jobstore``   :class:`JobStore` — SQLite job journal (the durable truth)
+``scheduler``  :class:`Scheduler`/:class:`SchedulerPolicy` — retries,
+               backoff, leases, orphan recovery
+``worker``     :class:`JobExecutor` + :class:`WorkerPool`
+``telemetry``  :func:`service_summary` — derived structured metrics
+``service``    :class:`DecompositionService` — the façade the CLI's
+               ``serve``/``submit``/``status``/``fetch`` commands wrap
+
+Determinism guarantee: a job's spec pins its seed and semantic config;
+every attempt replays the identical seeded search, so returned designs
+are bit-for-bit independent of worker count, retry history, crashes,
+and cache hits.
+"""
+
+from repro.service.artifacts import ArtifactStore
+from repro.service.jobstore import JobRecord, JobStore
+from repro.service.scheduler import Scheduler, SchedulerPolicy
+from repro.service.service import DecompositionService
+from repro.service.spec import JobSpec, artifact_key
+from repro.service.telemetry import format_job_table, service_summary
+from repro.service.worker import JobExecutor, WorkerPool
+
+__all__ = [
+    "ArtifactStore",
+    "DecompositionService",
+    "JobExecutor",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "Scheduler",
+    "SchedulerPolicy",
+    "WorkerPool",
+    "artifact_key",
+    "format_job_table",
+    "service_summary",
+]

@@ -1,0 +1,157 @@
+"""Content-addressed, on-disk store of finished decomposition designs.
+
+Artifacts are keyed by :func:`repro.service.spec.artifact_key` — a
+SHA-256 over (truth table bits, input distribution, semantic framework
+config) — and stored as one JSON envelope per key:
+
+.. code-block:: json
+
+    {
+      "format": "repro-artifact",
+      "schema_version": 1,
+      "key": "<sha256 hex>",
+      "design": { ... repro.serialization design document ... },
+      "meta": {"med": 2.51, "runtime_seconds": 1.2, "n_cop_solves": 120}
+    }
+
+The ``design`` member is exactly a :mod:`repro.serialization` document,
+so a fetched artifact round-trips through ``design_from_dict`` /
+``load_design`` and the existing ``evaluate`` / ``export-verilog``
+tooling unchanged.
+
+Writes are atomic (temp file + ``os.replace``) and *idempotent by
+construction*: two workers racing on the same key write byte-identical
+design payloads (content addressing guarantees the result is determined
+by the key), so the last rename simply wins.  Keys are fanned out into
+256 two-hex-character subdirectories to keep directory listings flat
+under production volumes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from repro.errors import ServiceError
+from repro.lut.cascade import LutCascadeDesign
+from repro.serialization import (
+    SerializationError,
+    design_from_dict,
+    result_to_dict,
+)
+
+__all__ = ["ArtifactStore", "ARTIFACT_SCHEMA_VERSION"]
+
+ARTIFACT_SCHEMA_VERSION = 1
+_FORMAT = "repro-artifact"
+
+
+class ArtifactStore:
+    """Directory-backed artifact cache; safe for concurrent writers."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """Where the envelope for ``key`` lives (may not exist yet)."""
+        if len(key) < 3:
+            raise ServiceError(f"implausible artifact key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The stored envelope for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"corrupt artifact {path}: {exc}"
+            ) from exc
+        if data.get("format") != _FORMAT:
+            raise SerializationError(
+                f"{path} is not a {_FORMAT} envelope "
+                f"(format={data.get('format')!r})"
+            )
+        if data.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+            raise SerializationError(
+                f"{path}: unsupported artifact schema_version "
+                f"{data.get('schema_version')!r}"
+            )
+        return data
+
+    def load_design(self, key: str) -> LutCascadeDesign:
+        """Rebuild the cached design for ``key`` (must exist)."""
+        envelope = self.get(key)
+        if envelope is None:
+            raise ServiceError(f"no artifact stored under key {key}")
+        return design_from_dict(envelope["design"])
+
+    def put(self, key: str, result, meta: Optional[Dict] = None) -> Dict:
+        """Persist a decomposition ``result`` under ``key``; returns the
+        envelope.  ``result`` may be a framework result object or an
+        already-serialized design dict.
+        """
+        design = result if isinstance(result, dict) else (
+            result_to_dict(result)
+        )
+        envelope = {
+            "format": _FORMAT,
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "key": key,
+            "created_at": time.time(),
+            "design": design,
+            "meta": dict(meta or {}),
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(envelope, indent=2, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        return envelope
+
+    # ------------------------------------------------------------------
+
+    def keys(self) -> Iterator[str]:
+        """All stored artifact keys."""
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def stats(self) -> Dict:
+        """Aggregate store statistics for telemetry."""
+        n, total_bytes = 0, 0
+        for shard in self.root.iterdir():
+            if not shard.is_dir():
+                continue
+            for entry in shard.glob("*.json"):
+                n += 1
+                total_bytes += entry.stat().st_size
+        return {"n_artifacts": n, "total_bytes": total_bytes}

@@ -1,0 +1,371 @@
+"""Durable job store: a SQLite journal of decomposition jobs.
+
+The store is the single source of truth for the service — submission,
+scheduling, worker leases, retries, and telemetry all read and write the
+one ``jobs`` table, so any process that can open the database file can
+submit, serve, or inspect (the CLI's ``submit`` / ``serve`` / ``status``
+commands are separate processes by design).
+
+Job lifecycle::
+
+    queued ──claim──▶ running ──complete──▶ done
+      ▲                  │
+      │   retry (attempts < max_attempts,
+      └──── backoff) ────┤
+                         └──fail──▶ failed
+
+``running`` jobs carry a *lease* that the worker renews via progress
+heartbeats; a lease that expires without completion marks the worker as
+crashed, and :meth:`JobStore.recover_orphans` atomically returns the job
+to ``queued`` (or ``failed`` once its attempt budget is exhausted).
+Claiming uses ``BEGIN IMMEDIATE`` so exactly one worker wins each job
+even across processes.
+
+Every mutation is a short transaction on a per-call connection (WAL
+mode), which keeps the store safe under thread pools, process pools, and
+abrupt worker death — the crash-tolerance the service advertises is
+exactly SQLite's.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import JobNotFound, ServiceError
+from repro.service.spec import JobSpec
+
+__all__ = ["JobStore", "JobRecord", "JOB_STATES"]
+
+JOB_STATES = ("queued", "running", "done", "failed")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id              TEXT PRIMARY KEY,
+    artifact_key    TEXT NOT NULL,
+    spec            TEXT NOT NULL,
+    state           TEXT NOT NULL CHECK (state IN
+                        ('queued', 'running', 'done', 'failed')),
+    attempts        INTEGER NOT NULL DEFAULT 0,
+    max_attempts    INTEGER NOT NULL,
+    not_before      REAL NOT NULL DEFAULT 0,
+    lease_expires   REAL,
+    worker          TEXT,
+    cache_hit       INTEGER NOT NULL DEFAULT 0,
+    error           TEXT,
+    created_at      REAL NOT NULL,
+    started_at      REAL,
+    finished_at     REAL,
+    runtime_seconds REAL,
+    med             REAL
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs (state, not_before);
+CREATE INDEX IF NOT EXISTS idx_jobs_key ON jobs (artifact_key);
+"""
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Immutable snapshot of one row of the ``jobs`` table."""
+
+    id: str
+    artifact_key: str
+    spec: JobSpec
+    state: str
+    attempts: int
+    max_attempts: int
+    not_before: float
+    lease_expires: Optional[float]
+    worker: Optional[str]
+    cache_hit: bool
+    error: Optional[str]
+    created_at: float
+    started_at: Optional[float]
+    finished_at: Optional[float]
+    runtime_seconds: Optional[float]
+    med: Optional[float]
+
+    @property
+    def retries(self) -> int:
+        """Executed retries (attempts beyond the first)."""
+        return max(0, self.attempts - 1)
+
+
+def _record_from_row(row: sqlite3.Row) -> JobRecord:
+    return JobRecord(
+        id=row["id"],
+        artifact_key=row["artifact_key"],
+        spec=JobSpec.from_dict(json.loads(row["spec"])),
+        state=row["state"],
+        attempts=row["attempts"],
+        max_attempts=row["max_attempts"],
+        not_before=row["not_before"],
+        lease_expires=row["lease_expires"],
+        worker=row["worker"],
+        cache_hit=bool(row["cache_hit"]),
+        error=row["error"],
+        created_at=row["created_at"],
+        started_at=row["started_at"],
+        finished_at=row["finished_at"],
+        runtime_seconds=row["runtime_seconds"],
+        med=row["med"],
+    )
+
+
+class JobStore:
+    """SQLite-backed durable job journal (see module docs)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        return conn
+
+    @contextmanager
+    def _txn(self, immediate: bool = False):
+        conn = self._connect()
+        try:
+            if immediate:
+                conn.execute("BEGIN IMMEDIATE")
+            yield conn
+            conn.commit()
+        except BaseException:
+            conn.rollback()
+            raise
+        finally:
+            conn.close()
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        spec: JobSpec,
+        artifact_key: str,
+        now: Optional[float] = None,
+    ) -> JobRecord:
+        """Enqueue a new job; returns its freshly-created record."""
+        now = time.time() if now is None else now
+        job_id = f"job-{uuid.uuid4().hex[:12]}"
+        with self._txn() as conn:
+            conn.execute(
+                "INSERT INTO jobs (id, artifact_key, spec, state, "
+                "max_attempts, created_at) VALUES (?, ?, ?, 'queued', ?, ?)",
+                (
+                    job_id,
+                    artifact_key,
+                    json.dumps(spec.to_dict(), sort_keys=True),
+                    spec.max_attempts,
+                    now,
+                ),
+            )
+        return self.get(job_id)
+
+    # -- scheduling ----------------------------------------------------
+
+    def claim(
+        self,
+        worker: str,
+        lease_seconds: float,
+        now: Optional[float] = None,
+    ) -> Optional[JobRecord]:
+        """Atomically move the oldest eligible queued job to running.
+
+        Returns ``None`` when nothing is eligible (empty queue, or all
+        queued jobs still inside their retry-backoff window).
+
+        Duplicate submissions are *single-flighted*: a queued job whose
+        artifact key is already running is never claimed — it waits for
+        the in-flight twin, then resolves instantly from the artifact
+        cache instead of burning a second solve.  (If the twin fails
+        permanently, the key stops being in flight and the waiter runs
+        itself.)
+        """
+        now = time.time() if now is None else now
+        with self._txn(immediate=True) as conn:
+            row = conn.execute(
+                "SELECT id FROM jobs WHERE state = 'queued' AND "
+                "not_before <= ? AND artifact_key NOT IN "
+                "(SELECT artifact_key FROM jobs WHERE state = 'running') "
+                "ORDER BY created_at, id LIMIT 1",
+                (now,),
+            ).fetchone()
+            if row is None:
+                return None
+            conn.execute(
+                "UPDATE jobs SET state = 'running', attempts = attempts + 1,"
+                " worker = ?, started_at = ?, lease_expires = ?, error = NULL"
+                " WHERE id = ?",
+                (worker, now, now + lease_seconds, row["id"]),
+            )
+            job_id = row["id"]
+        return self.get(job_id)
+
+    def heartbeat(
+        self,
+        job_id: str,
+        lease_seconds: float,
+        now: Optional[float] = None,
+    ) -> None:
+        """Renew a running job's lease (driven by progress hooks)."""
+        now = time.time() if now is None else now
+        with self._txn() as conn:
+            conn.execute(
+                "UPDATE jobs SET lease_expires = ? "
+                "WHERE id = ? AND state = 'running'",
+                (now + lease_seconds, job_id),
+            )
+
+    def recover_orphans(self, now: Optional[float] = None) -> List[str]:
+        """Requeue running jobs whose lease expired (crashed workers).
+
+        A job whose attempt budget is already spent moves to ``failed``
+        instead.  Returns the ids of every transitioned job.
+        """
+        now = time.time() if now is None else now
+        with self._txn(immediate=True) as conn:
+            rows = conn.execute(
+                "SELECT id, attempts, max_attempts FROM jobs "
+                "WHERE state = 'running' AND lease_expires < ?",
+                (now,),
+            ).fetchall()
+            recovered = []
+            for row in rows:
+                if row["attempts"] >= row["max_attempts"]:
+                    conn.execute(
+                        "UPDATE jobs SET state = 'failed', finished_at = ?, "
+                        "error = ?, lease_expires = NULL WHERE id = ?",
+                        (
+                            now,
+                            "worker lost (lease expired, attempts "
+                            "exhausted)",
+                            row["id"],
+                        ),
+                    )
+                else:
+                    conn.execute(
+                        "UPDATE jobs SET state = 'queued', "
+                        "lease_expires = NULL, worker = NULL, "
+                        "error = 'worker lost (lease expired)' "
+                        "WHERE id = ?",
+                        (row["id"],),
+                    )
+                recovered.append(row["id"])
+        return recovered
+
+    # -- completion ----------------------------------------------------
+
+    def complete(
+        self,
+        job_id: str,
+        *,
+        med: Optional[float] = None,
+        runtime_seconds: Optional[float] = None,
+        cache_hit: bool = False,
+        now: Optional[float] = None,
+    ) -> None:
+        """Mark a running job done (optionally resolved from the cache)."""
+        now = time.time() if now is None else now
+        self._transition(
+            job_id,
+            "UPDATE jobs SET state = 'done', finished_at = ?, med = ?, "
+            "runtime_seconds = ?, cache_hit = ?, error = NULL, "
+            "lease_expires = NULL WHERE id = ? AND state = 'running'",
+            (now, med, runtime_seconds, int(cache_hit), job_id),
+        )
+
+    def retry(
+        self,
+        job_id: str,
+        error: str,
+        not_before: float,
+    ) -> None:
+        """Return a failed attempt to the queue with a backoff gate."""
+        self._transition(
+            job_id,
+            "UPDATE jobs SET state = 'queued', error = ?, not_before = ?, "
+            "lease_expires = NULL, worker = NULL "
+            "WHERE id = ? AND state = 'running'",
+            (error, not_before, job_id),
+        )
+
+    def fail(
+        self, job_id: str, error: str, now: Optional[float] = None
+    ) -> None:
+        """Permanently fail a running job (attempt budget exhausted)."""
+        now = time.time() if now is None else now
+        self._transition(
+            job_id,
+            "UPDATE jobs SET state = 'failed', error = ?, finished_at = ?, "
+            "lease_expires = NULL WHERE id = ? AND state = 'running'",
+            (error, now, job_id),
+        )
+
+    def _transition(self, job_id: str, sql: str, params) -> None:
+        with self._txn(immediate=True) as conn:
+            cursor = conn.execute(sql, params)
+            if cursor.rowcount == 0:
+                row = conn.execute(
+                    "SELECT state FROM jobs WHERE id = ?", (job_id,)
+                ).fetchone()
+                if row is None:
+                    raise JobNotFound(job_id)
+                raise ServiceError(
+                    f"job {job_id} is {row['state']!r}; transition refused"
+                )
+
+    # -- inspection ----------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord:
+        """Fetch one job by id; raises :class:`JobNotFound`."""
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise JobNotFound(job_id)
+        return _record_from_row(row)
+
+    def list_jobs(self, state: Optional[str] = None) -> List[JobRecord]:
+        """All jobs (optionally filtered by state), oldest first."""
+        if state is not None and state not in JOB_STATES:
+            raise ServiceError(
+                f"unknown job state {state!r}; states: {JOB_STATES}"
+            )
+        query = "SELECT * FROM jobs"
+        params: tuple = ()
+        if state is not None:
+            query += " WHERE state = ?"
+            params = (state,)
+        query += " ORDER BY created_at, id"
+        with self._txn() as conn:
+            rows = conn.execute(query, params).fetchall()
+        return [_record_from_row(row) for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state (all states present, zero-filled)."""
+        with self._txn() as conn:
+            rows = conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        counts = {state: 0 for state in JOB_STATES}
+        for row in rows:
+            counts[row["state"]] = row["n"]
+        return counts
+
+    def pending(self) -> int:
+        """Jobs still owed a result (queued or running)."""
+        counts = self.counts()
+        return counts["queued"] + counts["running"]

@@ -1,0 +1,130 @@
+"""Scheduling policy: claims, bounded retries with backoff, recovery.
+
+The :class:`Scheduler` is the thin brain between the durable
+:class:`~repro.service.jobstore.JobStore` and the workers: it decides
+*when* a queued job may run (retry-backoff gates), *how long* a silent
+worker keeps its lease, and *whether* a failed attempt retries or the
+job is declared dead.  It holds no state of its own beyond the policy —
+everything durable lives in the store, so any number of scheduler
+instances (threads or processes) can drive the same queue.
+
+Backoff is exponential and deterministic:
+``retry_backoff_seconds * backoff_multiplier ** (attempts - 1)``.
+Determinism matters here too — the *result* of a job never depends on
+its retry history (each attempt replays the same seeded search), so
+backoff only shapes load, never answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.service.jobstore import JobRecord, JobStore
+
+__all__ = ["Scheduler", "SchedulerPolicy"]
+
+
+@dataclass(frozen=True)
+class SchedulerPolicy:
+    """Tunable scheduling knobs.
+
+    Attributes
+    ----------
+    lease_seconds:
+        How long a claimed job may go without a heartbeat before it is
+        considered orphaned by a crashed worker.
+    retry_backoff_seconds:
+        Base delay before a failed attempt re-enters the queue.
+    backoff_multiplier:
+        Exponential growth factor of the retry delay.
+    poll_interval_seconds:
+        Worker sleep between claim attempts on an empty queue.
+    """
+
+    lease_seconds: float = 60.0
+    retry_backoff_seconds: float = 0.25
+    backoff_multiplier: float = 2.0
+    poll_interval_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.lease_seconds <= 0:
+            raise ConfigurationError(
+                f"lease_seconds must be positive, got {self.lease_seconds}"
+            )
+        if self.retry_backoff_seconds < 0:
+            raise ConfigurationError(
+                "retry_backoff_seconds must be non-negative, got "
+                f"{self.retry_backoff_seconds}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                "backoff_multiplier must be >= 1, got "
+                f"{self.backoff_multiplier}"
+            )
+        if self.poll_interval_seconds <= 0:
+            raise ConfigurationError(
+                "poll_interval_seconds must be positive, got "
+                f"{self.poll_interval_seconds}"
+            )
+
+    def backoff_for(self, attempts: int) -> float:
+        """Delay before attempt ``attempts + 1`` may start."""
+        exponent = max(0, attempts - 1)
+        return self.retry_backoff_seconds * (
+            self.backoff_multiplier ** exponent
+        )
+
+
+class Scheduler:
+    """Policy-applying façade over the job store (see module docs)."""
+
+    def __init__(
+        self, store: JobStore, policy: Optional[SchedulerPolicy] = None
+    ) -> None:
+        self.store = store
+        self.policy = policy if policy is not None else SchedulerPolicy()
+
+    # ------------------------------------------------------------------
+
+    def claim(
+        self, worker: str, now: Optional[float] = None
+    ) -> Optional[JobRecord]:
+        """Claim the next runnable job for ``worker`` (or ``None``)."""
+        return self.store.claim(
+            worker, lease_seconds=self.policy.lease_seconds, now=now
+        )
+
+    def heartbeat(self, job: JobRecord, now: Optional[float] = None) -> None:
+        """Renew ``job``'s lease; workers call this from progress hooks."""
+        self.store.heartbeat(
+            job.id, lease_seconds=self.policy.lease_seconds, now=now
+        )
+
+    def complete(self, job: JobRecord, **kwargs) -> None:
+        """Record a successful attempt (see :meth:`JobStore.complete`)."""
+        self.store.complete(job.id, **kwargs)
+
+    def record_failure(
+        self,
+        job: JobRecord,
+        error: str,
+        now: float,
+    ) -> str:
+        """Route a failed attempt: retry with backoff, or fail for good.
+
+        Returns the resulting state (``"queued"`` or ``"failed"``).
+        ``job`` must be the claimed record — its ``attempts`` already
+        counts the attempt that just failed.
+        """
+        if job.attempts < job.max_attempts:
+            delay = self.policy.backoff_for(job.attempts)
+            self.store.retry(job.id, error=error, not_before=now + delay)
+            return "queued"
+        self.store.fail(job.id, error=error, now=now)
+        return "failed"
+
+    def recover_orphans(self, now: Optional[float] = None) -> List[str]:
+        """Requeue/fail jobs abandoned by crashed workers."""
+        return self.store.recover_orphans(now=now)

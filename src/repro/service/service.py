@@ -1,0 +1,143 @@
+"""The service façade: one object tying store, cache, and workers.
+
+:class:`DecompositionService` owns a *service directory*::
+
+    <root>/
+      jobs.sqlite3        durable job store (queue + journal + telemetry)
+      artifacts/          content-addressed design cache
+
+Because all state is on disk, the façade is process-oblivious: one
+process may ``submit`` while another runs ``serve`` and a third polls
+``status`` — the CLI maps each subcommand onto a fresh façade over the
+same directory.  Library users typically drive one instance in-process:
+
+>>> from repro.core import FrameworkConfig
+>>> from repro.service import DecompositionService, JobSpec
+>>> service = DecompositionService("/tmp/svc-doc-example", n_workers=2)
+>>> spec = JobSpec(workload="cos", n_inputs=6,
+...                config=FrameworkConfig(n_partitions=2, n_rounds=1,
+...                                       seed=7))
+>>> job = service.submit(spec)
+>>> service.run_until_drained()
+>>> service.job(job.id).state
+'done'
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ServiceError
+from repro.lut.cascade import LutCascadeDesign
+from repro.serialization import design_from_dict
+from repro.service.artifacts import ArtifactStore
+from repro.service.jobstore import JobRecord, JobStore
+from repro.service.scheduler import Scheduler, SchedulerPolicy
+from repro.service.spec import JobSpec, artifact_key
+from repro.service.telemetry import service_summary
+from repro.service.worker import DecomposeFn, JobExecutor, WorkerPool
+
+__all__ = ["DecompositionService"]
+
+
+class DecompositionService:
+    """Durable decomposition job service over a directory (module docs)."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        n_workers: int = 1,
+        policy: Optional[SchedulerPolicy] = None,
+        decompose_fn: Optional[DecomposeFn] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.store = JobStore(self.root / "jobs.sqlite3")
+        self.artifacts = ArtifactStore(self.root / "artifacts")
+        self.scheduler = Scheduler(self.store, policy)
+        self.executor = JobExecutor(self.artifacts, decompose_fn)
+        self.pool = WorkerPool(
+            self.scheduler, self.executor, n_workers=n_workers
+        )
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Enqueue one job; duplicates are welcome (the artifact cache
+        dedups them at execution time, the second solve never happens).
+        """
+        key = artifact_key(spec.build_table(), spec.config)
+        return self.store.submit(spec, artifact_key=key)
+
+    def submit_batch(self, specs: Sequence[JobSpec]) -> List[JobRecord]:
+        """Enqueue many jobs, preserving order."""
+        return [self.submit(spec) for spec in specs]
+
+    # -- serving -------------------------------------------------------
+
+    def run_until_drained(self, timeout: Optional[float] = None) -> None:
+        """Serve until the queue is empty; recovers orphans first."""
+        self.scheduler.recover_orphans()
+        self.pool.run_until_drained(timeout=timeout)
+
+    def serve_forever(self) -> WorkerPool:
+        """Start background serving; call ``.stop()`` on the returned
+        pool (or let the process exit — threads are daemonic).
+        """
+        self.scheduler.recover_orphans()
+        self.pool.start()
+        return self.pool
+
+    # -- inspection / fetch --------------------------------------------
+
+    def job(self, job_id: str) -> JobRecord:
+        """Current record of one job."""
+        return self.store.get(job_id)
+
+    def jobs(self, state: Optional[str] = None) -> List[JobRecord]:
+        """All job records, oldest first."""
+        return self.store.list_jobs(state)
+
+    def status(self) -> Dict:
+        """Structured telemetry summary (see ``service.telemetry``)."""
+        return service_summary(self.store, self.artifacts)
+
+    def fetch_envelope(self, job_id: str) -> Dict:
+        """The finished job's artifact envelope (design + metadata)."""
+        job = self.store.get(job_id)
+        if job.state != "done":
+            raise ServiceError(
+                f"job {job_id} is {job.state!r}, not done"
+                + (f" ({job.error})" if job.error else "")
+            )
+        envelope = self.artifacts.get(job.artifact_key)
+        if envelope is None:
+            raise ServiceError(
+                f"job {job_id} is done but its artifact "
+                f"{job.artifact_key} is missing from the store"
+            )
+        return envelope
+
+    def fetch_design_dict(self, job_id: str) -> Dict:
+        """The finished job's design document
+        (:mod:`repro.serialization` format).
+        """
+        return self.fetch_envelope(job_id)["design"]
+
+    def fetch_design(self, job_id: str) -> LutCascadeDesign:
+        """The finished job's design, rebuilt and evaluable."""
+        return design_from_dict(self.fetch_design_dict(job_id))
+
+    def write_design(self, job_id: str, path: Union[str, Path]) -> Path:
+        """Write the finished job's design document as a JSON file that
+        ``repro evaluate`` / ``export-verilog`` / ``load_design`` read.
+        """
+        path = Path(path)
+        path.write_text(
+            json.dumps(
+                self.fetch_design_dict(job_id), indent=2, sort_keys=True
+            )
+        )
+        return path

@@ -1,0 +1,187 @@
+"""Job specifications and canonical artifact keying.
+
+A :class:`JobSpec` is everything the service needs to (re-)execute a
+decomposition: the problem (a named workload at a width, or an inline
+truth table), the :class:`~repro.core.config.FrameworkConfig`, and the
+service-level execution policy (timeout, retry budget).  Specs are plain
+JSON — the job store persists them verbatim, so a crashed worker's job
+can be replayed by any process that can read the store.
+
+Content addressing
+------------------
+:func:`artifact_key` maps (truth table, config) to a SHA-256 hex digest
+of a canonical JSON payload.  The payload contains exactly the inputs
+that determine the seeded search result bit-for-bit:
+
+* the packed output bits of the exact truth table,
+* the input-distribution probabilities (raw float64 bytes — the MED
+  objective is defined against them),
+* :meth:`FrameworkConfig.semantic_dict` — every framework/solver field
+  except ``n_workers`` (pure scheduling), with the SB backend resolved
+  because float32 stepping changes numerics.
+
+Two submissions with equal keys are guaranteed to produce identical
+designs, so the artifact store may return one's result for the other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.boolean.truth_table import TruthTable
+from repro.core.config import FrameworkConfig
+from repro.errors import ServiceError
+
+__all__ = ["JobSpec", "artifact_key", "table_to_dict", "table_from_dict"]
+
+
+def table_to_dict(table: TruthTable) -> Dict:
+    """Serialize a truth table (packed bits + distribution) to JSON."""
+    packed = np.packbits(table.outputs.astype(np.uint8).ravel())
+    return {
+        "n_inputs": table.n_inputs,
+        "n_outputs": table.n_outputs,
+        "outputs_hex": packed.tobytes().hex(),
+        "probabilities": [float(p) for p in table.probabilities],
+    }
+
+
+def table_from_dict(data: Dict) -> TruthTable:
+    """Rebuild a truth table serialized by :func:`table_to_dict`."""
+    try:
+        n_inputs = int(data["n_inputs"])
+        n_outputs = int(data["n_outputs"])
+        packed = np.frombuffer(
+            bytes.fromhex(data["outputs_hex"]), dtype=np.uint8
+        )
+        n_bits = (1 << n_inputs) * n_outputs
+        outputs = np.unpackbits(packed, count=n_bits).reshape(
+            1 << n_inputs, n_outputs
+        )
+        return TruthTable(outputs, data.get("probabilities"))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ServiceError(f"malformed inline table payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of service work: a problem plus how to run it.
+
+    Attributes
+    ----------
+    config:
+        The full framework configuration, seed included.  The seed is
+        part of the spec — every retry of the job replays the identical
+        seeded search, which is what makes results independent of the
+        retry history.
+    workload:
+        Name of a registered workload (``repro.workloads``); exclusive
+        with ``table``.
+    n_inputs:
+        Width for the named workload.
+    table:
+        Inline truth table as produced by :func:`table_to_dict`, for
+        problems outside the benchmark registry; exclusive with
+        ``workload``.
+    timeout_seconds:
+        Per-attempt wall-clock budget enforced via the framework's
+        cooperative cancellation hook (``None`` — no timeout).
+    max_attempts:
+        Total execution attempts (first try + retries) before the job
+        is declared failed.
+    """
+
+    config: FrameworkConfig = field(default_factory=FrameworkConfig)
+    workload: Optional[str] = None
+    n_inputs: int = 9
+    table: Optional[Dict] = None
+    timeout_seconds: Optional[float] = None
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if (self.workload is None) == (self.table is None):
+            raise ServiceError(
+                "spec needs exactly one problem source: a workload name "
+                "or an inline table"
+            )
+        if self.max_attempts <= 0:
+            raise ServiceError(
+                f"max_attempts must be positive, got {self.max_attempts}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ServiceError(
+                f"timeout_seconds must be positive, got "
+                f"{self.timeout_seconds}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def build_table(self) -> TruthTable:
+        """Materialize the exact truth table this job decomposes."""
+        if self.table is not None:
+            return table_from_dict(self.table)
+        from repro.workloads import build_workload
+
+        return build_workload(self.workload, n_inputs=self.n_inputs).table
+
+    def describe(self) -> str:
+        """Short human-readable problem label for status displays."""
+        if self.workload is not None:
+            return f"{self.workload}/n={self.n_inputs}"
+        return f"inline/n={self.table.get('n_inputs', '?')}"
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON form (inverse of :meth:`from_dict`)."""
+        return {
+            "config": self.config.to_dict(),
+            "workload": self.workload,
+            "n_inputs": self.n_inputs,
+            "table": self.table,
+            "timeout_seconds": self.timeout_seconds,
+            "max_attempts": self.max_attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobSpec":
+        """Rebuild a spec persisted by :meth:`to_dict`."""
+        try:
+            return cls(
+                config=FrameworkConfig.from_dict(data["config"]),
+                workload=data.get("workload"),
+                n_inputs=int(data.get("n_inputs", 9)),
+                table=data.get("table"),
+                timeout_seconds=data.get("timeout_seconds"),
+                max_attempts=int(data.get("max_attempts", 3)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed job spec: {exc}") from exc
+
+
+def artifact_key(table: TruthTable, config: FrameworkConfig) -> str:
+    """Content-address a (problem, config) pair; see the module docs.
+
+    The heavy arrays are digested separately (hex SHA-256 of their raw
+    bytes) and embedded in a canonical sorted-keys JSON payload, whose
+    digest is the key.  Float probabilities are hashed from their IEEE
+    float64 bytes — no decimal round-tripping, so equality is exact.
+    """
+    outputs = np.packbits(table.outputs.astype(np.uint8).ravel())
+    probabilities = np.ascontiguousarray(table.probabilities, dtype="<f8")
+    payload = {
+        "format": "repro-artifact-key",
+        "key_version": 1,
+        "n_inputs": table.n_inputs,
+        "n_outputs": table.n_outputs,
+        "outputs_sha256": hashlib.sha256(outputs.tobytes()).hexdigest(),
+        "probabilities_sha256": hashlib.sha256(
+            probabilities.tobytes()
+        ).hexdigest(),
+        "config": config.semantic_dict(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -1,0 +1,131 @@
+"""Service telemetry: a structured summary derived from durable state.
+
+Telemetry is *computed*, not accumulated: everything is derived from the
+job store rows and the artifact directory on demand.  That makes the
+numbers correct across processes (``repro status`` sees exactly what
+``repro serve`` produced, even after a crash) and means there is no
+second, driftable source of truth to keep consistent.
+
+The summary layout (all times in seconds)::
+
+    {
+      "jobs": {"queued": 0, "running": 1, "done": 7, "failed": 0,
+               "total": 8},
+      "cache": {"hits": 3, "misses": 4, "hit_rate": 0.4286,
+                "n_artifacts": 4, "total_bytes": 51234},
+      "retries": {"total": 2, "jobs_retried": 1, "max_attempts_seen": 3},
+      "timing": {"solve_seconds_total": ..., "solve_seconds_mean": ...,
+                 "solve_seconds_max": ..., "wall_seconds": ...,
+                 "jobs_per_second": ...},
+      "queue": {"depth": 0, "oldest_waiting_seconds": null}
+    }
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.service.artifacts import ArtifactStore
+from repro.service.jobstore import JobRecord, JobStore
+
+__all__ = ["service_summary", "format_job_table"]
+
+
+def _round(value: Optional[float], digits: int = 4) -> Optional[float]:
+    return None if value is None else round(float(value), digits)
+
+
+def service_summary(
+    store: JobStore,
+    artifacts: Optional[ArtifactStore] = None,
+    now: Optional[float] = None,
+) -> Dict:
+    """Build the structured telemetry summary (see module docs)."""
+    now = time.time() if now is None else now
+    jobs = store.list_jobs()
+    counts = {state: 0 for state in ("queued", "running", "done", "failed")}
+    for job in jobs:
+        counts[job.state] += 1
+    done = [job for job in jobs if job.state == "done"]
+    hits = sum(1 for job in done if job.cache_hit)
+    solved = [
+        job.runtime_seconds
+        for job in done
+        if not job.cache_hit and job.runtime_seconds is not None
+    ]
+    retries_per_job = [job.retries for job in jobs]
+    finished = [job for job in jobs if job.finished_at is not None]
+    first_start = min(
+        (job.started_at for job in jobs if job.started_at is not None),
+        default=None,
+    )
+    last_finish = max(
+        (job.finished_at for job in finished), default=None
+    )
+    wall = (
+        None
+        if first_start is None or last_finish is None
+        else max(0.0, last_finish - first_start)
+    )
+    waiting = [
+        now - job.created_at for job in jobs if job.state == "queued"
+    ]
+    summary = {
+        "jobs": {**counts, "total": len(jobs)},
+        "cache": {
+            "hits": hits,
+            "misses": len(done) - hits,
+            "hit_rate": _round(hits / len(done)) if done else None,
+        },
+        "retries": {
+            "total": sum(retries_per_job),
+            "jobs_retried": sum(1 for r in retries_per_job if r > 0),
+            "max_attempts_seen": max(
+                (job.attempts for job in jobs), default=0
+            ),
+        },
+        "timing": {
+            "solve_seconds_total": _round(sum(solved)) if solved else None,
+            "solve_seconds_mean": (
+                _round(sum(solved) / len(solved)) if solved else None
+            ),
+            "solve_seconds_max": _round(max(solved)) if solved else None,
+            "wall_seconds": _round(wall),
+            "jobs_per_second": (
+                _round(len(finished) / wall) if wall else None
+            ),
+        },
+        "queue": {
+            "depth": counts["queued"] + counts["running"],
+            "oldest_waiting_seconds": (
+                _round(max(waiting)) if waiting else None
+            ),
+        },
+    }
+    if artifacts is not None:
+        summary["cache"].update(artifacts.stats())
+    return summary
+
+
+def format_job_table(jobs: Sequence[JobRecord]) -> str:
+    """Fixed-width text table of jobs for the ``status`` CLI."""
+    header = (
+        f"{'id':<17} {'state':<8} {'problem':<16} {'att':>3} "
+        f"{'cache':>5} {'med':>8} {'runtime':>8}  error"
+    )
+    lines = [header, "-" * len(header)]
+    for job in jobs:
+        med = "-" if job.med is None else f"{job.med:.4f}"
+        runtime = (
+            "-"
+            if job.runtime_seconds is None
+            else f"{job.runtime_seconds:.2f}s"
+        )
+        error = "" if not job.error else f" {job.error}"
+        lines.append(
+            f"{job.id:<17} {job.state:<8} {job.spec.describe():<16} "
+            f"{job.attempts:>3} {('yes' if job.cache_hit else 'no'):>5} "
+            f"{med:>8} {runtime:>8} {error}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,243 @@
+"""Workers: claim jobs, execute them, keep the lease alive.
+
+Execution path of one job:
+
+1. re-check the artifact store — a duplicate submitted while an
+   identical job was in flight resolves here without solving (recorded
+   as a cache hit);
+2. otherwise run the seeded search through
+   :meth:`~repro.core.framework.IsingDecomposer.decompose`, with
+
+   * the framework *progress hook* renewing the job's lease (so a live
+     long job is distinguishable from a crashed worker), and
+   * the framework *cancel hook* enforcing the per-attempt timeout
+     cooperatively (the attempt stops at the next component boundary
+     and counts against the retry budget);
+
+3. persist the design under its content key and mark the job done.
+
+Determinism contract: the job spec pins the seed and the semantic
+config, and ``decompose`` replays the identical search on every
+attempt, so the stored design is bit-for-bit independent of which
+worker ran the job, how many retries it took, and whether it was served
+from the cache.
+
+The pool itself is a set of daemon threads sharing one scheduler.  The
+heavy numerics release the GIL inside BLAS (and jobs may additionally
+fan out their candidate sweep over processes via
+``FrameworkConfig.n_workers``), so threads are the right weight here;
+crash-tolerance against *process* death is the job store's lease
+mechanism, exercised by the orphan-recovery tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.framework import IsingDecomposer
+from repro.errors import OperationCancelled
+from repro.serialization import result_to_dict
+from repro.service.artifacts import ArtifactStore
+from repro.service.jobstore import JobRecord
+from repro.service.scheduler import Scheduler
+from repro.service.spec import JobSpec
+
+__all__ = ["JobExecutor", "WorkerPool", "ExecutionOutcome"]
+
+#: Signature of a pluggable decompose function: ``(spec, table,
+#: progress, should_cancel) -> DecompositionResult``.  The default runs
+#: the real framework; tests inject wrappers to simulate crashes.
+DecomposeFn = Callable[..., object]
+
+
+def _default_decompose(spec: JobSpec, table, progress, should_cancel):
+    return IsingDecomposer(spec.config).decompose(
+        table, progress=progress, should_cancel=should_cancel
+    )
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """What one successful job execution produced."""
+
+    design: Dict
+    med: Optional[float]
+    runtime_seconds: float
+    cache_hit: bool
+
+
+class JobExecutor:
+    """Executes one claimed job against the artifact store."""
+
+    def __init__(
+        self,
+        artifacts: ArtifactStore,
+        decompose_fn: Optional[DecomposeFn] = None,
+    ) -> None:
+        self.artifacts = artifacts
+        self._decompose = (
+            decompose_fn if decompose_fn is not None else _default_decompose
+        )
+
+    def execute(
+        self,
+        job: JobRecord,
+        *,
+        heartbeat: Optional[Callable[[], None]] = None,
+    ) -> ExecutionOutcome:
+        """Run ``job`` to an outcome (raises on crash/timeout).
+
+        Timeouts raise :class:`~repro.errors.OperationCancelled`; any
+        other exception is a worker crash.  The caller owns the job
+        store transition either way.
+        """
+        start = time.monotonic()
+        cached = self.artifacts.get(job.artifact_key)
+        if cached is not None:
+            return ExecutionOutcome(
+                design=cached["design"],
+                med=cached["meta"].get("med"),
+                runtime_seconds=time.monotonic() - start,
+                cache_hit=True,
+            )
+        spec = job.spec
+        table = spec.build_table()
+        deadline = (
+            None
+            if spec.timeout_seconds is None
+            else start + spec.timeout_seconds
+        )
+
+        def progress(event: Dict) -> None:
+            if heartbeat is not None:
+                heartbeat()
+
+        def should_cancel() -> bool:
+            return deadline is not None and time.monotonic() > deadline
+
+        if should_cancel():
+            raise OperationCancelled(
+                f"timeout of {spec.timeout_seconds}s expired before the "
+                "attempt started"
+            )
+        result = self._decompose(spec, table, progress, should_cancel)
+        runtime = time.monotonic() - start
+        meta = {
+            "med": float(result.med),
+            "runtime_seconds": runtime,
+            "n_cop_solves": getattr(result, "n_cop_solves", None),
+            "problem": spec.describe(),
+        }
+        envelope = self.artifacts.put(job.artifact_key, result, meta)
+        return ExecutionOutcome(
+            design=envelope["design"],
+            med=float(result.med),
+            runtime_seconds=runtime,
+            cache_hit=False,
+        )
+
+
+class WorkerPool:
+    """N looping worker threads draining one scheduler's queue."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        executor: JobExecutor,
+        n_workers: int = 1,
+        name: str = "svc",
+    ) -> None:
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        self.scheduler = scheduler
+        self.executor = executor
+        self.n_workers = n_workers
+        self.name = name
+        self._stop = threading.Event()
+        self._threads: list = []
+
+    # ------------------------------------------------------------------
+
+    def _run_one(self, worker_name: str, job: JobRecord) -> None:
+        def heartbeat() -> None:
+            self.scheduler.heartbeat(job)
+
+        try:
+            outcome = self.executor.execute(job, heartbeat=heartbeat)
+        except OperationCancelled as exc:
+            self.scheduler.record_failure(
+                job, error=f"timeout: {exc}", now=time.time()
+            )
+        except Exception as exc:  # worker crash — never kills the pool
+            self.scheduler.record_failure(
+                job,
+                error=f"{type(exc).__name__}: {exc}",
+                now=time.time(),
+            )
+        else:
+            self.scheduler.complete(
+                job,
+                med=outcome.med,
+                runtime_seconds=outcome.runtime_seconds,
+                cache_hit=outcome.cache_hit,
+            )
+
+    def _loop(self, worker_name: str, drain: bool) -> None:
+        poll = self.scheduler.policy.poll_interval_seconds
+        while not self._stop.is_set():
+            self.scheduler.recover_orphans()
+            job = self.scheduler.claim(worker_name)
+            if job is None:
+                if drain and self.scheduler.store.pending() == 0:
+                    return
+                # backoff gates may hold queued jobs; keep polling
+                self._stop.wait(poll)
+                continue
+            self._run_one(worker_name, job)
+
+    # ------------------------------------------------------------------
+
+    def run_until_drained(self, timeout: Optional[float] = None) -> None:
+        """Process jobs until the queue is empty (all threads joined)."""
+        self._spawn(drain=True)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            thread.join(remaining)
+        self._threads = []
+
+    def start(self) -> None:
+        """Start serving forever (until :meth:`stop`)."""
+        self._spawn(drain=False)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until :meth:`stop` is requested (or ``timeout``)."""
+        return self._stop.wait(timeout)
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Ask all workers to stop after their current job."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = []
+        self._stop.clear()
+
+    def _spawn(self, drain: bool) -> None:
+        if self._threads:
+            raise RuntimeError("worker pool already running")
+        self._stop.clear()
+        for index in range(self.n_workers):
+            worker_name = f"{self.name}-worker-{index}"
+            thread = threading.Thread(
+                target=self._loop,
+                args=(worker_name, drain),
+                name=worker_name,
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)

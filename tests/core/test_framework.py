@@ -158,3 +158,67 @@ class TestExtensions:
         result = IsingDecomposer(config).decompose(table)
         if np.isclose(result.med, 0.0):
             assert result.rounds_used < 5
+
+
+class TestHooks:
+    """Progress/cancellation hooks (service-layer integration points)."""
+
+    def _table(self):
+        return TruthTable.from_integer_function(
+            lambda x: (x * 7 + 1) % 16, n_inputs=4, n_outputs=4
+        )
+
+    def test_progress_events_cover_components_and_rounds(self):
+        events = []
+        config = fast_config(n_rounds=1, stop_when_stalled=False)
+        IsingDecomposer(config).decompose(
+            self._table(), progress=events.append
+        )
+        kinds = [event["event"] for event in events]
+        assert kinds.count("component") == 4
+        assert kinds.count("round") == 1
+        assert all(event["round"] == 1 for event in events)
+        round_event = [e for e in events if e["event"] == "round"][0]
+        assert round_event["med"] >= 0.0
+        # round one must accept every component
+        component_events = [e for e in events if e["event"] == "component"]
+        assert all(e["accepted"] for e in component_events)
+
+    def test_hooks_do_not_perturb_results(self):
+        table = self._table()
+        observed = IsingDecomposer(fast_config()).decompose(
+            table, progress=lambda event: None, should_cancel=lambda: False
+        )
+        plain = IsingDecomposer(fast_config()).decompose(table)
+        assert np.array_equal(observed.approx.outputs, plain.approx.outputs)
+        assert observed.med == plain.med
+        for k in plain.components:
+            assert np.array_equal(
+                observed.components[k].setting.pattern1,
+                plain.components[k].setting.pattern1,
+            )
+            assert observed.components[k].partition.free == (
+                plain.components[k].partition.free
+            )
+
+    def test_cancellation_raises_operation_cancelled(self):
+        from repro.errors import OperationCancelled
+
+        with pytest.raises(OperationCancelled, match="cancelled"):
+            IsingDecomposer(fast_config()).decompose(
+                self._table(), should_cancel=lambda: True
+            )
+
+    def test_cancellation_mid_run(self):
+        from repro.errors import OperationCancelled
+
+        calls = {"n": 0}
+
+        def cancel_after_two():
+            calls["n"] += 1
+            return calls["n"] > 2
+
+        with pytest.raises(OperationCancelled):
+            IsingDecomposer(
+                fast_config(n_rounds=3, stop_when_stalled=False)
+            ).decompose(self._table(), should_cancel=cancel_after_two)

@@ -1,10 +1,19 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import main
 from repro.serialization import load_design
+
+FAST = [
+    "--partitions", "2",
+    "--rounds", "1",
+    "--max-iterations", "200",
+    "--replicas", "2",
+]
 
 
 @pytest.fixture(scope="module")
@@ -115,3 +124,135 @@ class TestMisc:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestErrorExitCodes:
+    """Every failure is one line on stderr + non-zero exit, never a
+    traceback."""
+
+    def test_unknown_workload_is_clean_error(self, capsys, tmp_path):
+        code = main(
+            ["decompose", "--workload", "nope", "--n-inputs", "6",
+             "--out", str(tmp_path / "x.json")]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_missing_design_file_is_clean_error(self, capsys, tmp_path):
+        code = main(
+            ["evaluate", "--design", str(tmp_path / "missing.json"),
+             "--workload", "cos", "--n-inputs", "6"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+
+    def test_corrupt_design_is_clean_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(
+            ["export-verilog", "--design", str(bad)]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_unknown_schema_version_is_clean_error(self, capsys,
+                                                   saved_design, tmp_path):
+        data = json.loads(saved_design.read_text())
+        data["schema_version"] = 99
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps(data))
+        code = main(
+            ["evaluate", "--design", str(stale),
+             "--workload", "cos", "--n-inputs", "6"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "schema_version" in captured.err
+
+    def test_invalid_config_is_clean_error(self, capsys, tmp_path):
+        code = main(
+            ["decompose", "--workload", "cos", "--n-inputs", "6",
+             "--partitions", "-1", "--out", str(tmp_path / "x.json")]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+
+    def test_fetch_unknown_job_is_clean_error(self, capsys, tmp_path):
+        code = main(
+            ["fetch", "--service-dir", str(tmp_path / "svc"),
+             "--job", "job-doesnotexist"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+
+
+class TestServiceCommands:
+    """submit -> serve -> status -> fetch over one service directory."""
+
+    @pytest.fixture(scope="class")
+    def service_dir(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("svc")
+        for _ in range(2):  # exact duplicate: must dedup via the cache
+            code = main(
+                ["submit", "--service-dir", str(root),
+                 "--workload", "cos", "--n-inputs", "6", *FAST]
+            )
+            assert code == 0
+        assert main(
+            ["serve", "--service-dir", str(root), "--workers", "2"]
+        ) == 0
+        return root
+
+    def test_submit_reports_job_and_key(self, service_dir, capsys):
+        code = main(
+            ["submit", "--service-dir", str(service_dir),
+             "--workload", "cos", "--n-inputs", "6", *FAST]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "submitted job-" in captured.out
+        assert "artifact cached" in captured.out  # duplicate of drained job
+        # drain the extra submission so later assertions see a quiet queue
+        assert main(["serve", "--service-dir", str(service_dir)]) == 0
+
+    def test_status_table_and_summary(self, service_dir, capsys):
+        assert main(["status", "--service-dir", str(service_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        assert "cache hit rate:" in out
+
+    def test_status_json_summary(self, service_dir, capsys):
+        assert main(
+            ["status", "--service-dir", str(service_dir), "--json"]
+        ) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["jobs"]["failed"] == 0
+        assert summary["jobs"]["done"] >= 2
+        assert summary["cache"]["hits"] >= 1  # the duplicate deduped
+
+    def test_fetch_writes_evaluable_design(self, service_dir, tmp_path,
+                                           capsys):
+        from repro.service import DecompositionService
+
+        job = DecompositionService(service_dir).jobs("done")[0]
+        out = tmp_path / "fetched.json"
+        code = main(
+            ["fetch", "--service-dir", str(service_dir),
+             "--job", job.id, "--out", str(out)]
+        )
+        assert code == 0
+        design = load_design(out)
+        assert design.n_inputs == 6
+        capsys.readouterr()
+        assert main(
+            ["evaluate", "--design", str(out),
+             "--workload", "cos", "--n-inputs", "6"]
+        ) == 0
+        assert "MED:" in capsys.readouterr().out

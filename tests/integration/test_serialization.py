@@ -10,6 +10,7 @@ from repro.baselines.framework import BaselineDecomposer
 from repro.core import CoreSolverConfig, FrameworkConfig, IsingDecomposer
 from repro.lut import build_cascade_design
 from repro.serialization import (
+    SCHEMA_VERSION,
     SerializationError,
     design_from_dict,
     load_design,
@@ -86,11 +87,30 @@ class TestValidation:
         with pytest.raises(SerializationError):
             design_from_dict(data)
 
-    def test_wrong_version_rejected(self, ising_result):
+    def test_unknown_schema_version_rejected(self, ising_result):
         data = result_to_dict(ising_result)
-        data["version"] = 99
-        with pytest.raises(SerializationError):
+        data["schema_version"] = 99
+        with pytest.raises(SerializationError, match="schema_version"):
             design_from_dict(data)
+
+    def test_missing_schema_version_rejected(self, ising_result):
+        data = result_to_dict(ising_result)
+        del data["schema_version"]
+        with pytest.raises(SerializationError, match="schema_version"):
+            design_from_dict(data)
+
+    def test_legacy_version_key_still_read(self, ising_result):
+        # version-1 documents predate the schema_version key
+        data = result_to_dict(ising_result)
+        del data["schema_version"]
+        data["version"] = 1
+        design = design_from_dict(data)
+        assert design.n_inputs == ising_result.exact.n_inputs
+
+    def test_documents_declare_current_schema_version(self, ising_result):
+        assert result_to_dict(ising_result)["schema_version"] == (
+            SCHEMA_VERSION
+        )
 
     def test_corrupt_bits_rejected(self, ising_result):
         data = result_to_dict(ising_result)

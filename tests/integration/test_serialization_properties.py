@@ -1,0 +1,191 @@
+"""Property-style round-trip tests for :mod:`repro.serialization`.
+
+The artifact store's content-addressed caching rests on serialization
+being *lossless*: the document written for a design must reconstruct a
+bit-identical evaluable cascade (bits, partitions, settings, MED).
+These tests drive the round trip with hypothesis-generated partitions
+and settings — column- and row-based — and with real solver results in
+both separate and joint mode.
+"""
+
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.decomposition import ColumnSetting, RowSetting
+from repro.boolean.partition import InputPartition
+from repro.core import CoreSolverConfig, FrameworkConfig, IsingDecomposer
+from repro.lut import build_cascade_design
+from repro.serialization import (
+    design_from_dict,
+    load_design,
+    result_to_dict,
+    save_design,
+)
+from repro.workloads import build_workload
+
+# -- strategies --------------------------------------------------------
+
+
+@st.composite
+def partitions(draw, min_inputs=2, max_inputs=6):
+    """A random disjoint free/bound split of ``n`` inputs."""
+    n = draw(st.integers(min_inputs, max_inputs))
+    free_count = draw(st.integers(1, n - 1))
+    variables = draw(st.permutations(list(range(n))))
+    return InputPartition(
+        sorted(variables[:free_count]), sorted(variables[free_count:]), n
+    )
+
+
+def bits(length):
+    return st.lists(
+        st.integers(0, 1), min_size=length, max_size=length
+    ).map(lambda values: np.asarray(values, dtype=np.uint8))
+
+
+@st.composite
+def column_components(draw):
+    """(partition, ColumnSetting) with matching shapes."""
+    partition = draw(partitions())
+    return partition, ColumnSetting(
+        draw(bits(partition.n_rows)),
+        draw(bits(partition.n_rows)),
+        draw(bits(partition.n_cols)),
+    )
+
+
+@st.composite
+def row_components(draw):
+    """(partition, RowSetting) with matching shapes."""
+    partition = draw(partitions())
+    row_types = draw(
+        st.lists(
+            st.integers(0, 3),
+            min_size=partition.n_rows,
+            max_size=partition.n_rows,
+        )
+    )
+    return partition, RowSetting(
+        draw(bits(partition.n_cols)), np.asarray(row_types, dtype=np.int8)
+    )
+
+
+def synthetic_result(parts_and_settings, n_inputs):
+    """A duck-typed result: one component per (partition, setting)."""
+    components = {
+        index: SimpleNamespace(
+            partition=partition, setting=setting, objective=float(index)
+        )
+        for index, (partition, setting) in enumerate(parts_and_settings)
+    }
+    return SimpleNamespace(
+        exact=SimpleNamespace(
+            n_inputs=n_inputs, n_outputs=len(components)
+        ),
+        components=components,
+        med=1.25,
+    )
+
+
+# -- properties --------------------------------------------------------
+
+
+class TestSettingRoundTripProperties:
+    @given(column_components())
+    @settings(max_examples=60, deadline=None)
+    def test_column_design_survives_json(self, part_and_setting):
+        partition, setting = part_and_setting
+        result = synthetic_result([(partition, setting)],
+                                  partition.n_inputs)
+        document = json.loads(json.dumps(result_to_dict(result)))
+        loaded = design_from_dict(document)
+        original = build_cascade_design(result)
+        indices = np.arange(1 << partition.n_inputs)
+        assert np.array_equal(
+            loaded.evaluate(indices), original.evaluate(indices)
+        )
+        assert loaded.total_bits == original.total_bits
+        component = loaded.components[0]
+        assert list(component.partition.free) == list(partition.free)
+        assert list(component.partition.bound) == list(partition.bound)
+
+    @given(row_components())
+    @settings(max_examples=60, deadline=None)
+    def test_row_design_survives_json(self, part_and_setting):
+        partition, setting = part_and_setting
+        result = synthetic_result([(partition, setting)],
+                                  partition.n_inputs)
+        document = json.loads(json.dumps(result_to_dict(result)))
+        loaded = design_from_dict(document)
+        original = build_cascade_design(result)
+        indices = np.arange(1 << partition.n_inputs)
+        assert np.array_equal(
+            loaded.evaluate(indices), original.evaluate(indices)
+        )
+
+    @given(column_components())
+    @settings(max_examples=60, deadline=None)
+    def test_document_round_trip_is_stable(self, part_and_setting):
+        # serializing is deterministic and idempotent at the dict level:
+        # the same result always yields the identical document (this is
+        # what makes artifact-store writes idempotent across workers)
+        partition, setting = part_and_setting
+        result = synthetic_result([(partition, setting)],
+                                  partition.n_inputs)
+        first = json.dumps(result_to_dict(result), sort_keys=True)
+        second = json.dumps(result_to_dict(result), sort_keys=True)
+        assert first == second
+
+    @given(st.lists(column_components(), min_size=1, max_size=3))
+    @settings(max_examples=25, deadline=None)
+    def test_multi_component_documents(self, parts_and_settings):
+        # normalize all components to one input width (partitions of
+        # differing n would describe inconsistent designs)
+        n_inputs = parts_and_settings[0][0].n_inputs
+        same_width = [
+            (partition, setting)
+            for partition, setting in parts_and_settings
+            if partition.n_inputs == n_inputs
+        ]
+        result = synthetic_result(same_width, n_inputs)
+        loaded = design_from_dict(result_to_dict(result))
+        assert loaded.n_outputs == len(same_width)
+        assert loaded.total_bits == build_cascade_design(result).total_bits
+
+
+@pytest.mark.parametrize("mode", ["separate", "joint"])
+def test_solver_result_file_round_trip(mode, tmp_path):
+    """End-to-end: a real solver run in each mode survives the file."""
+    workload = build_workload("tan", n_inputs=6)
+    config = FrameworkConfig(
+        mode=mode,
+        free_size=workload.free_size,
+        n_partitions=2,
+        n_rounds=1,
+        seed=11,
+        solver=CoreSolverConfig(max_iterations=200, n_replicas=2),
+    )
+    result = IsingDecomposer(config).decompose(workload.table)
+    path = tmp_path / f"{mode}.json"
+    save_design(result, path)
+    loaded = load_design(path)
+    original = build_cascade_design(result)
+    indices = np.arange(64)
+    assert np.array_equal(
+        loaded.evaluate(indices), original.evaluate(indices)
+    )
+    document = json.loads(path.read_text())
+    assert np.isclose(document["med"], result.med)
+    for index, accepted in result.components.items():
+        entry = document["components"][str(index)]
+        assert entry["partition"]["free"] == list(
+            accepted.partition.free
+        )
+        assert entry["pattern1"] == "".join(
+            str(b) for b in accepted.setting.pattern1
+        )

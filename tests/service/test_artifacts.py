@@ -1,0 +1,106 @@
+"""Tests for the content-addressed artifact store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import IsingDecomposer
+from repro.errors import ServiceError
+from repro.serialization import SerializationError, result_to_dict
+from repro.service import ArtifactStore
+from repro.service.spec import artifact_key
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def solved():
+    """One real decomposition result plus its key."""
+    from repro.core import CoreSolverConfig, FrameworkConfig
+
+    config = FrameworkConfig(
+        mode="joint", free_size=2, n_partitions=2, n_rounds=1, seed=3,
+        solver=CoreSolverConfig(max_iterations=200, n_replicas=2),
+    )
+    table = build_workload("cos", n_inputs=6).table
+    result = IsingDecomposer(config).decompose(table)
+    return artifact_key(table, config), result
+
+
+class TestArtifactStore:
+    def test_miss_then_hit(self, tmp_path, solved):
+        key, result = solved
+        store = ArtifactStore(tmp_path)
+        assert store.get(key) is None
+        assert key not in store
+        store.put(key, result, {"med": result.med})
+        assert key in store
+        envelope = store.get(key)
+        assert envelope["key"] == key
+        assert envelope["design"] == result_to_dict(result)
+        assert envelope["meta"]["med"] == result.med
+
+    def test_cached_design_is_evaluable(self, tmp_path, solved):
+        key, result = solved
+        store = ArtifactStore(tmp_path)
+        store.put(key, result)
+        from repro.lut import build_cascade_design
+
+        indices = np.arange(64)
+        assert np.array_equal(
+            store.load_design(key).evaluate(indices),
+            build_cascade_design(result).evaluate(indices),
+        )
+
+    def test_put_is_idempotent(self, tmp_path, solved):
+        key, result = solved
+        store = ArtifactStore(tmp_path)
+        first = store.put(key, result)
+        second = store.put(key, result)
+        assert first["design"] == second["design"]
+        assert store.get(key)["design"] == first["design"]
+        assert len(store) == 1
+
+    def test_accepts_predumped_design_dict(self, tmp_path, solved):
+        key, result = solved
+        store = ArtifactStore(tmp_path)
+        store.put(key, result_to_dict(result))
+        assert store.get(key)["design"] == result_to_dict(result)
+
+    def test_load_design_missing_key(self, tmp_path):
+        with pytest.raises(ServiceError, match="no artifact"):
+            ArtifactStore(tmp_path).load_design("0" * 64)
+
+    def test_corrupt_envelope_rejected(self, tmp_path, solved):
+        key, result = solved
+        store = ArtifactStore(tmp_path)
+        store.put(key, result)
+        store.path_for(key).write_text("{broken")
+        with pytest.raises(SerializationError, match="corrupt"):
+            store.get(key)
+
+    def test_foreign_schema_rejected(self, tmp_path, solved):
+        key, result = solved
+        store = ArtifactStore(tmp_path)
+        envelope = store.put(key, result)
+        envelope["schema_version"] = 99
+        store.path_for(key).write_text(json.dumps(envelope))
+        with pytest.raises(SerializationError, match="schema_version"):
+            store.get(key)
+
+    def test_keys_and_stats(self, tmp_path, solved):
+        key, result = solved
+        store = ArtifactStore(tmp_path)
+        store.put(key, result)
+        other = "f" * 64
+        store.put(other, result_to_dict(result))
+        assert sorted(store.keys()) == sorted([key, other])
+        stats = store.stats()
+        assert stats["n_artifacts"] == 2
+        assert stats["total_bytes"] > 0
+
+    def test_sharded_layout(self, tmp_path, solved):
+        key, result = solved
+        store = ArtifactStore(tmp_path)
+        store.put(key, result)
+        assert store.path_for(key).parent.name == key[:2]

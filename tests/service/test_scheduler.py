@@ -1,0 +1,86 @@
+"""Tests for scheduling policy: backoff shape, retry routing, leases."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import JobSpec, JobStore, Scheduler, SchedulerPolicy
+
+
+KEY = "c" * 64
+
+
+@pytest.fixture
+def scheduler(tmp_path):
+    return Scheduler(
+        JobStore(tmp_path / "jobs.sqlite3"),
+        SchedulerPolicy(
+            lease_seconds=10.0,
+            retry_backoff_seconds=0.5,
+            backoff_multiplier=2.0,
+        ),
+    )
+
+
+class TestPolicy:
+    def test_backoff_is_exponential(self):
+        policy = SchedulerPolicy(retry_backoff_seconds=0.5,
+                                 backoff_multiplier=2.0)
+        assert policy.backoff_for(1) == 0.5
+        assert policy.backoff_for(2) == 1.0
+        assert policy.backoff_for(3) == 2.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lease_seconds": 0},
+            {"retry_backoff_seconds": -1},
+            {"backoff_multiplier": 0.5},
+            {"poll_interval_seconds": 0},
+        ],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SchedulerPolicy(**kwargs)
+
+
+class TestRetryRouting:
+    def _submit(self, scheduler, fast_config, max_attempts=3):
+        spec = JobSpec(workload="cos", n_inputs=6, config=fast_config,
+                       max_attempts=max_attempts)
+        return scheduler.store.submit(spec, KEY, now=100.0)
+
+    def test_failure_with_budget_left_requeues(self, scheduler,
+                                               fast_config):
+        job = self._submit(scheduler, fast_config)
+        claimed = scheduler.claim("w", now=101.0)
+        state = scheduler.record_failure(claimed, "boom", now=101.5)
+        assert state == "queued"
+        record = scheduler.store.get(job.id)
+        assert record.state == "queued"
+        # gated by backoff_for(1) = 0.5s past the failure time
+        assert record.not_before == pytest.approx(102.0)
+
+    def test_backoff_grows_per_attempt(self, scheduler, fast_config):
+        self._submit(scheduler, fast_config)
+        claimed = scheduler.claim("w", now=101.0)
+        scheduler.record_failure(claimed, "boom", now=101.0)
+        claimed = scheduler.claim("w", now=102.0)
+        assert claimed.attempts == 2
+        scheduler.record_failure(claimed, "boom", now=102.0)
+        record = scheduler.store.get(claimed.id)
+        assert record.not_before == pytest.approx(103.0)  # 2 ** 1 * 0.5
+
+    def test_exhausted_budget_fails(self, scheduler, fast_config):
+        job = self._submit(scheduler, fast_config, max_attempts=1)
+        claimed = scheduler.claim("w", now=101.0)
+        state = scheduler.record_failure(claimed, "boom", now=101.5)
+        assert state == "failed"
+        assert scheduler.store.get(job.id).state == "failed"
+        assert scheduler.claim("w", now=200.0) is None
+
+    def test_heartbeat_and_recovery_flow(self, scheduler, fast_config):
+        job = self._submit(scheduler, fast_config)
+        claimed = scheduler.claim("w", now=101.0)
+        scheduler.heartbeat(claimed, now=109.0)  # lease now ends at 119
+        assert scheduler.recover_orphans(now=115.0) == []
+        assert scheduler.recover_orphans(now=120.0) == [job.id]

@@ -1,0 +1,138 @@
+"""Tests for job specs and content-addressed artifact keying."""
+
+import numpy as np
+import pytest
+
+from repro.boolean.truth_table import TruthTable
+from repro.core import FrameworkConfig
+from repro.errors import ServiceError
+from repro.service.spec import (
+    JobSpec,
+    artifact_key,
+    table_from_dict,
+    table_to_dict,
+)
+from repro.workloads import build_workload
+
+
+@pytest.fixture
+def table():
+    return build_workload("cos", n_inputs=6).table
+
+
+class TestArtifactKey:
+    def test_deterministic(self, table, fast_config):
+        assert artifact_key(table, fast_config) == artifact_key(
+            table, fast_config
+        )
+
+    def test_worker_count_does_not_change_key(self, table, fast_config):
+        # n_workers schedules the deterministic sweep; same result, same key
+        scaled = fast_config.with_updates(n_workers=8)
+        assert artifact_key(table, scaled) == artifact_key(
+            table, fast_config
+        )
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 4},
+            {"mode": "separate"},
+            {"n_partitions": 3},
+            {"n_rounds": 2},
+            {"free_size": 3},
+            {"sweep_chunk_size": 1},
+        ],
+    )
+    def test_semantic_changes_change_key(self, table, fast_config, change):
+        changed = fast_config.with_updates(**change)
+        assert artifact_key(table, changed) != artifact_key(
+            table, fast_config
+        )
+
+    def test_solver_changes_change_key(self, table, fast_config):
+        changed = fast_config.with_updates(
+            solver=fast_config.solver.with_updates(max_iterations=300)
+        )
+        assert artifact_key(table, changed) != artifact_key(
+            table, fast_config
+        )
+
+    def test_different_tables_different_keys(self, table, fast_config):
+        other = build_workload("erf", n_inputs=6).table
+        assert artifact_key(other, fast_config) != artifact_key(
+            table, fast_config
+        )
+
+    def test_distribution_is_part_of_the_key(self, table, fast_config):
+        # MED is defined against p_X — a different distribution is a
+        # different problem even with identical output bits
+        skewed = np.linspace(1.0, 2.0, table.size)
+        reweighted = TruthTable(table.outputs, skewed)
+        assert artifact_key(reweighted, fast_config) != artifact_key(
+            table, fast_config
+        )
+
+
+class TestJobSpec:
+    def test_round_trip(self, fast_config):
+        spec = JobSpec(
+            workload="cos",
+            n_inputs=6,
+            config=fast_config,
+            timeout_seconds=12.5,
+            max_attempts=5,
+        )
+        loaded = JobSpec.from_dict(spec.to_dict())
+        assert loaded == spec
+        assert loaded.config == fast_config
+
+    def test_inline_table_round_trip(self, table, fast_config):
+        spec = JobSpec(table=table_to_dict(table), config=fast_config)
+        rebuilt = JobSpec.from_dict(spec.to_dict()).build_table()
+        assert np.array_equal(rebuilt.outputs, table.outputs)
+        assert np.allclose(rebuilt.probabilities, table.probabilities)
+
+    def test_workload_and_table_are_exclusive(self, table, fast_config):
+        with pytest.raises(ServiceError):
+            JobSpec(
+                workload="cos", table=table_to_dict(table),
+                config=fast_config,
+            )
+        with pytest.raises(ServiceError):
+            JobSpec(config=fast_config)
+
+    def test_invalid_budgets_rejected(self, fast_config):
+        with pytest.raises(ServiceError):
+            JobSpec(workload="cos", config=fast_config, max_attempts=0)
+        with pytest.raises(ServiceError):
+            JobSpec(workload="cos", config=fast_config,
+                    timeout_seconds=-1.0)
+
+    def test_malformed_spec_payload(self):
+        with pytest.raises(ServiceError):
+            JobSpec.from_dict({"workload": "cos"})  # no config
+
+    def test_malformed_inline_table(self):
+        with pytest.raises(ServiceError):
+            table_from_dict({"n_inputs": 4, "outputs_hex": "zz"})
+
+
+class TestConfigDictRoundTrip:
+    def test_framework_config_round_trip(self, fast_config):
+        assert FrameworkConfig.from_dict(fast_config.to_dict()) == (
+            fast_config
+        )
+
+    def test_unknown_fields_rejected(self, fast_config):
+        from repro.errors import ConfigurationError
+
+        data = fast_config.to_dict()
+        data["frobnicate"] = True
+        with pytest.raises(ConfigurationError, match="frobnicate"):
+            FrameworkConfig.from_dict(data)
+
+    def test_semantic_dict_drops_scheduling(self, fast_config):
+        semantic = fast_config.semantic_dict()
+        assert "n_workers" not in semantic
+        assert semantic["solver"]["backend"] is not None
