@@ -1,0 +1,186 @@
+"""Observability overhead: the disabled path must be near-free.
+
+The bSB solve loop carries probe hooks (``repro.obs.probe``) on its
+hottest path.  When no ``repro.obs.observe`` context is active the probe
+resolves to ``None`` and every hook collapses to one ``is None`` check
+per iteration — this benchmark pins that claim with a number.
+
+Three variants of the same seeded solve (r=128, c=512 bipartite core
+COP, 16 replicas) are timed min-of-repeats:
+
+* ``baseline_frozen`` — a frozen replica of the pre-observability solve
+  loop with no probe checks at all (the "what we would have shipped
+  without obs" floor),
+* ``obs_disabled`` — the shipped :class:`BallisticSBSolver.solve` with
+  the default null tracer / no probe factory (the production default),
+* ``obs_enabled`` — the shipped solver under an active
+  :class:`~repro.obs.probe.RecordingSolverProbe` (informational only).
+
+Writes ``BENCH_obs.json`` at the repo root and **gates** the disabled
+path at < 3% overhead vs the frozen baseline.  All three variants must
+decode bit-identical best spins from the same seed (RNG neutrality).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_bench_json
+from repro.ising.schedules import LinearPump
+from repro.ising.solvers.bsb import BallisticSBSolver, _sign_readout
+from repro.ising.stop_criteria import FixedIterations
+from repro.ising.structured import BipartiteDecompositionModel
+from repro.obs.probe import RecordingSolverProbe
+
+N_ROWS = 128
+N_COLS = 512
+N_REPLICAS = 16
+N_ITERATIONS = 300
+SAMPLE_EVERY = 50
+SEED = 2024
+TIMING_REPEATS = 5
+MAX_DISABLED_OVERHEAD = 0.03
+
+
+def _frozen_pre_obs_solve(model, rng):
+    """The solve loop exactly as it ran before the obs layer existed.
+
+    Same kernel, same pump, same sampling cadence and same RNG draws as
+    ``BallisticSBSolver.solve`` — but with no probe hooks, no per-step
+    timing conditionals and no ``trace_every`` gate.
+    """
+    n = model.n_spins
+    c0 = 0.5 / (model.coupling_rms() * np.sqrt(n))
+    pump = LinearPump(1.0, N_ITERATIONS)
+    amplitude = 0.1
+    x = rng.uniform(-amplitude, amplitude, (N_REPLICAS, n))
+    y = rng.uniform(-amplitude, amplitude, (N_REPLICAS, n))
+    kernel = model.make_kernel(None)
+    x, y = kernel.prepare_state(x, y)
+
+    best_energy = np.inf
+    best_spins = _sign_readout(x[0])
+    trace = []
+    for iteration in range(1, N_ITERATIONS + 1):
+        kernel.step(x, y, pump(iteration), 0.25, 1.0, c0)
+        if iteration % SAMPLE_EVERY == 0:
+            spins = _sign_readout(x)
+            energies = np.atleast_1d(model.energy(spins))
+            idx = int(np.argmin(energies))
+            current = float(energies[idx])
+            if current < best_energy:
+                best_energy = current
+                best_spins = spins[idx].copy()
+            trace.append(current)
+    spins = _sign_readout(x)
+    energies = np.atleast_1d(model.energy(spins))
+    idx = int(np.argmin(energies))
+    if float(energies[idx]) < best_energy:
+        best_energy = float(energies[idx])
+        best_spins = spins[idx].copy()
+    return best_spins, best_energy, trace
+
+
+def _make_solver(probe=None):
+    return BallisticSBSolver(
+        stop=FixedIterations(N_ITERATIONS),
+        n_replicas=N_REPLICAS,
+        sample_every_default=SAMPLE_EVERY,
+        probe=probe,
+    )
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(SEED)
+    weights = rng.normal(size=(N_ROWS, N_COLS)) / np.sqrt(N_COLS)
+    return BipartiteDecompositionModel(weights)
+
+
+def _time_variant(run):
+    best_seconds = np.inf
+    result = None
+    for _ in range(TIMING_REPEATS):
+        t0 = time.perf_counter()
+        result = run()
+        best_seconds = min(best_seconds, time.perf_counter() - t0)
+    return N_ITERATIONS / best_seconds, result
+
+
+def test_obs_disabled_overhead(benchmark, model):
+    def sweep():
+        results = {}
+        results["baseline_frozen"] = _time_variant(
+            lambda: _frozen_pre_obs_solve(
+                model, np.random.default_rng(SEED)
+            )
+        )
+        results["obs_disabled"] = _time_variant(
+            lambda: _make_solver().solve(
+                model, rng=np.random.default_rng(SEED)
+            )
+        )
+        results["obs_enabled"] = _time_variant(
+            lambda: _make_solver(probe=RecordingSolverProbe()).solve(
+                model, rng=np.random.default_rng(SEED)
+            )
+        )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    baseline_rate, (frozen_spins, frozen_energy, frozen_trace) = results[
+        "baseline_frozen"
+    ]
+    disabled_rate, disabled = results["obs_disabled"]
+    enabled_rate, enabled = results["obs_enabled"]
+    disabled_overhead = baseline_rate / disabled_rate - 1.0
+    enabled_overhead = baseline_rate / enabled_rate - 1.0
+
+    payload = {
+        "instance": {
+            "n_rows": N_ROWS,
+            "n_cols": N_COLS,
+            "n_replicas": N_REPLICAS,
+            "n_iterations": N_ITERATIONS,
+            "sample_every": SAMPLE_EVERY,
+        },
+        "variants": {
+            "baseline_frozen": {"iters_per_second": baseline_rate},
+            "obs_disabled": {
+                "iters_per_second": disabled_rate,
+                "overhead_vs_baseline": disabled_overhead,
+            },
+            "obs_enabled": {
+                "iters_per_second": enabled_rate,
+                "overhead_vs_baseline": enabled_overhead,
+            },
+        },
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+    }
+    print(f"\n[obs] r={N_ROWS} c={N_COLS} replicas={N_REPLICAS}")
+    for name, entry in payload["variants"].items():
+        overhead = entry.get("overhead_vs_baseline")
+        suffix = (
+            "" if overhead is None else f" ({overhead * 100:+5.2f}%)"
+        )
+        print(
+            f"[obs] {name:>16}: {entry['iters_per_second']:8.1f} it/s"
+            f"{suffix}"
+        )
+
+    path = write_bench_json("BENCH_obs.json", payload)
+    print(f"[obs] wrote {path}")
+
+    # RNG neutrality: all three variants replay the identical search
+    assert np.array_equal(disabled.spins, frozen_spins)
+    assert disabled.energy == frozen_energy
+    assert disabled.energy_trace == frozen_trace
+    assert np.array_equal(enabled.spins, disabled.spins)
+    assert enabled.energy == disabled.energy
+    assert enabled.energy_trace == disabled.energy_trace
+
+    # the gate: hooks-present-but-disabled must be within 3% of the
+    # hook-free loop
+    assert disabled_overhead < MAX_DISABLED_OVERHEAD

@@ -54,8 +54,9 @@ from repro.ising import (
     SimulatedAnnealingSolver,
 )
 from repro.lut import LutCascadeDesign, build_cascade_design
+from repro._version import package_version
 
-__version__ = "1.0.0"
+__version__ = package_version()
 
 __all__ = [
     "BallisticSBSolver",

@@ -1,0 +1,27 @@
+"""Single source of the package version string.
+
+Kept free of any ``repro`` imports so low-level modules (logging setup,
+exporters, artifact envelopes) can stamp provenance without import
+cycles.  The installed distribution metadata wins when present; source
+checkouts running off ``PYTHONPATH=src`` fall back to the pinned
+constant (which mirrors ``pyproject.toml``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["__version__", "package_version"]
+
+#: fallback for uninstalled source checkouts; keep in sync with pyproject
+__version__ = "1.0.0"
+
+
+def package_version() -> str:
+    """The installed ``repro`` version, or the source fallback."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - py<3.8 has no stdlib metadata
+        return __version__
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return __version__

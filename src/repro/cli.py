@@ -22,6 +22,15 @@ Commands
 ``fetch``
     Write a finished job's design JSON (same format ``decompose``
     emits, so ``evaluate``/``export-verilog`` consume it directly).
+``trace report``
+    Summarize a trace recorded with ``--trace-out``: per-stage time
+    breakdown, stop-iteration histogram, intervention counts.
+
+Global flags: ``--version`` prints the package version; ``-v``/``-q``
+raise/lower logging verbosity (default WARNING on stderr); ``decompose``
+and ``serve`` accept ``--trace-out PATH`` to record an execution trace
+(Chrome ``trace_event`` JSON, or JSONL when the path ends ``.jsonl``).
+Tracing never changes results — the recorded search is bit-identical.
 
 Error handling: every subcommand catches the library's
 :class:`~repro.errors.ReproError` hierarchy (including
@@ -55,11 +64,20 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro._version import package_version
 from repro.boolean.metrics import error_rate, mean_error_distance
 from repro.core import CoreSolverConfig, FrameworkConfig, IsingDecomposer
 from repro.errors import ReproError
 from repro.lut import cascade_cost_report
 from repro.lut.verilog import cascade_to_verilog
+from repro.obs import (
+    configure_logging,
+    load_trace,
+    observe,
+    render_report,
+    summarize_trace,
+    write_trace,
+)
 from repro.serialization import load_design, save_design
 from repro.service import (
     DecompositionService,
@@ -67,6 +85,7 @@ from repro.service import (
     SchedulerPolicy,
     format_job_table,
 )
+from repro.service.telemetry import prometheus_exposition
 from repro.workloads import build_workload, workload_names
 
 __all__ = ["main", "build_parser"]
@@ -122,6 +141,18 @@ def build_parser() -> argparse.ArgumentParser:
             "reproduction)"
         ),
     )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {package_version()}",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise logging verbosity (-v INFO, -vv DEBUG)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="lower logging verbosity (errors only)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     dec = sub.add_parser(
@@ -130,6 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(dec)
     dec.add_argument("--out", type=Path, required=True,
                      help="output JSON path")
+    dec.add_argument("--trace-out", type=Path, default=None,
+                     help="record an execution trace to this path "
+                          "(Chrome trace_event JSON; .jsonl for an "
+                          "event log)")
 
     ev = sub.add_parser(
         "evaluate", help="evaluate a saved design against its workload"
@@ -172,6 +207,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "crashed")
     serve.add_argument("--retry-backoff", type=float, default=0.25,
                        help="base retry backoff in seconds")
+    serve.add_argument("--trace-out", type=Path, default=None,
+                       help="record a service execution trace to this "
+                            "path (drain mode; Chrome trace_event JSON, "
+                            ".jsonl for an event log)")
 
     stat = sub.add_parser(
         "status", help="show service jobs and telemetry"
@@ -180,6 +219,8 @@ def build_parser() -> argparse.ArgumentParser:
     stat.add_argument("--job", default=None, help="show one job only")
     stat.add_argument("--json", action="store_true", dest="as_json",
                       help="emit the raw telemetry summary as JSON")
+    stat.add_argument("--prometheus", action="store_true",
+                      help="emit the Prometheus text exposition instead")
 
     fetch = sub.add_parser(
         "fetch", help="write a finished job's design JSON"
@@ -188,13 +229,33 @@ def build_parser() -> argparse.ArgumentParser:
     fetch.add_argument("--job", required=True, help="job id to fetch")
     fetch.add_argument("--out", type=Path, default=None,
                        help="output JSON path (default: stdout)")
+
+    trace = sub.add_parser(
+        "trace", help="inspect traces recorded with --trace-out"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    report = trace_sub.add_parser(
+        "report", help="summarize a recorded trace"
+    )
+    report.add_argument("trace_file", type=Path,
+                        help="trace written by --trace-out (Chrome "
+                             "JSON or JSONL)")
+    report.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the structured summary as JSON")
     return parser
 
 
 def _cmd_decompose(args: argparse.Namespace) -> int:
     workload = build_workload(args.workload, n_inputs=args.n_inputs)
     config = _config_from_args(args)
-    result = IsingDecomposer(config).decompose(workload.table)
+    if args.trace_out is not None:
+        with observe(
+            metadata={"command": "decompose", "workload": args.workload}
+        ) as tracer:
+            result = IsingDecomposer(config).decompose(workload.table)
+        write_trace(tracer, args.trace_out)
+    else:
+        result = IsingDecomposer(config).decompose(workload.table)
     save_design(result, args.out)
     print(
         f"decomposed {args.workload} (n={args.n_inputs}, mode={args.mode}): "
@@ -202,6 +263,9 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         f"(flat {result.flat_lut_bits}), "
         f"{result.runtime_seconds:.2f}s -> {args.out}"
     )
+    if args.trace_out is not None:
+        print(f"trace -> {args.trace_out} "
+              f"(summarize with: repro trace report {args.trace_out})")
     return 0
 
 
@@ -281,7 +345,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except KeyboardInterrupt:
             pool.stop()
         return 0
-    service.run_until_drained()
+    if args.trace_out is not None:
+        with observe(
+            metadata={
+                "command": "serve",
+                "service_dir": str(args.service_dir),
+            }
+        ) as tracer:
+            service.run_until_drained()
+        write_trace(tracer, args.trace_out)
+        print(f"trace -> {args.trace_out}")
+    else:
+        service.run_until_drained()
     summary = service.status()
     jobs = summary["jobs"]
     cache = summary["cache"]
@@ -295,6 +370,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_status(args: argparse.Namespace) -> int:
     service = DecompositionService(args.service_dir)
+    if args.prometheus:
+        print(
+            prometheus_exposition(service.store, service.artifacts),
+            end="",
+        )
+        return 0
     if args.job is not None:
         job = service.job(args.job)
         print(format_job_table([job]))
@@ -326,6 +407,16 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    events, metadata = load_trace(args.trace_file)
+    summary = summarize_trace(events, metadata)
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_report(summary))
+    return 0
+
+
 _DISPATCH = {
     "decompose": _cmd_decompose,
     "evaluate": _cmd_evaluate,
@@ -334,12 +425,14 @@ _DISPATCH = {
     "serve": _cmd_serve,
     "status": _cmd_status,
     "fetch": _cmd_fetch,
+    "trace": _cmd_trace_report,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     if args.command == "list-workloads":
         return _cmd_list_workloads()
     handler = _DISPATCH.get(args.command)

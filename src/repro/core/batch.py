@@ -37,6 +37,7 @@ from repro.core.ising_formulation import WeightCache, linear_error_terms
 from repro.errors import DimensionError
 from repro.ising.kernels import make_kernel
 from repro.ising.schedules import LinearPump
+from repro.obs.tracing import get_tracer
 
 __all__ = ["BatchedCoreCOPSolver", "BatchedSolution"]
 
@@ -156,23 +157,33 @@ class BatchedCoreCOPSolver:
         start = time.perf_counter()
         rng = np.random.default_rng(rng)
         cfg = self.config
+        tracer = get_tracer()
 
-        weight_stack = []
-        offsets = []
-        for partition in partitions:
-            if cache is not None:
-                weights, constant = cache.terms(
-                    exact_table, approx_table, component, partition, mode
-                )
-            else:
-                weights, constant = linear_error_terms(
-                    exact_table, approx_table, component, partition, mode
-                )
-            weight_stack.append(weights)
-            offsets.append(constant + weights.sum() / 2.0)
-        dynamics = _StackedBipartiteDynamics(
-            np.stack(weight_stack), np.array(offsets), backend=cfg.backend
-        )
+        with tracer.span(
+            "weight_build",
+            category="stage",
+            component=component,
+            n_partitions=len(partitions),
+        ):
+            weight_stack = []
+            offsets = []
+            for partition in partitions:
+                if cache is not None:
+                    weights, constant = cache.terms(
+                        exact_table, approx_table, component, partition,
+                        mode,
+                    )
+                else:
+                    weights, constant = linear_error_terms(
+                        exact_table, approx_table, component, partition,
+                        mode,
+                    )
+                weight_stack.append(weights)
+                offsets.append(constant + weights.sum() / 2.0)
+            dynamics = _StackedBipartiteDynamics(
+                np.stack(weight_stack), np.array(offsets),
+                backend=cfg.backend,
+            )
         kernel = dynamics.kernel
 
         p = dynamics.n_problems
@@ -213,45 +224,60 @@ class BatchedCoreCOPSolver:
             return np.where(positions >= 0, 1.0, -1.0)
 
         sample_every = cfg.sample_every
-        for iteration in range(1, cfg.max_iterations + 1):
-            a_t = pump(iteration)
-            kernel.step(x, y, a_t, dt, a0, c0)
+        with tracer.span(
+            "sb_solve",
+            category="stage",
+            component=component,
+            n_problems=p,
+            n_replicas=reps,
+            n_spins=n,
+            backend=kernel.name,
+            batched=True,
+        ):
+            for iteration in range(1, cfg.max_iterations + 1):
+                a_t = pump(iteration)
+                kernel.step(x, y, a_t, dt, a0, c0)
 
-            if iteration % sample_every == 0:
-                spins = decode(x)
-                sample(spins)
-                if cfg.use_intervention:
-                    v1_bits = (x[..., :r] >= 0).astype(np.uint8)
-                    v2_bits = (x[..., r : 2 * r] >= 0).astype(np.uint8)
-                    types = dynamics.optimal_types(v1_bits, v2_bits)
-                    x[..., 2 * r :] = 2.0 * types - 1.0
-                    y[..., 2 * r :] = 0.0
-                    spins_after = decode(x)
-                    # skip the stack-wide re-score when the overwrite
-                    # did not flip any decoded type spin
-                    if not np.array_equal(spins_after, spins):
-                        sample(spins_after)
+                if iteration % sample_every == 0:
+                    spins = decode(x)
+                    sample(spins)
+                    if cfg.use_intervention:
+                        v1_bits = (x[..., :r] >= 0).astype(np.uint8)
+                        v2_bits = (
+                            x[..., r : 2 * r] >= 0
+                        ).astype(np.uint8)
+                        types = dynamics.optimal_types(v1_bits, v2_bits)
+                        x[..., 2 * r :] = 2.0 * types - 1.0
+                        y[..., 2 * r :] = 0.0
+                        spins_after = decode(x)
+                        # skip the stack-wide re-score when the
+                        # overwrite did not flip any decoded type spin
+                        if not np.array_equal(spins_after, spins):
+                            sample(spins_after)
 
-        sample(decode(x))
+            sample(decode(x))
 
         elapsed = time.perf_counter() - start
         solutions = []
-        for index, partition in enumerate(partitions):
-            spins = best_spins[index]
-            bits = ((spins + 1) // 2).astype(np.uint8)
-            setting = ColumnSetting(
-                bits[:r], bits[r : 2 * r], bits[2 * r :]
-            )
-            objective = float(
-                best_energy[index] + dynamics.offsets[index]
-            )
-            solutions.append(
-                BatchedSolution(
-                    partition=partition,
-                    setting=setting,
-                    objective=objective,
+        with tracer.span(
+            "decode", category="stage", component=component, batched=True
+        ):
+            for index, partition in enumerate(partitions):
+                spins = best_spins[index]
+                bits = ((spins + 1) // 2).astype(np.uint8)
+                setting = ColumnSetting(
+                    bits[:r], bits[r : 2 * r], bits[2 * r :]
                 )
-            )
+                objective = float(
+                    best_energy[index] + dynamics.offsets[index]
+                )
+                solutions.append(
+                    BatchedSolution(
+                        partition=partition,
+                        setting=setting,
+                        objective=objective,
+                    )
+                )
         # annotate the shared wall clock so callers can report it
         for solution in solutions:
             solution.runtime_seconds = elapsed / len(solutions)

@@ -93,6 +93,13 @@ class CoreSolverConfig:
         silently degrades to ``numpy64`` when numba is missing).
         ``None`` resolves through the ``REPRO_SB_BACKEND`` environment
         variable, which — when set — overrides this field too.
+    trace_every:
+        Keep every ``trace_every``-th sampled energy in the solver's
+        ``energy_trace`` (1, the default, keeps every sample — the
+        historical behavior).  Purely observational: sampling,
+        interventions, and the dynamic stop are unaffected, so
+        ``trace_every`` is excluded from :meth:`FrameworkConfig.
+        semantic_dict` and does not change artifact keys.
     """
 
     sample_every: int = 20
@@ -108,6 +115,7 @@ class CoreSolverConfig:
     polish: bool = False
     symmetry_breaking_init: bool = True
     backend: Optional[str] = None
+    trace_every: int = 1
 
     def __post_init__(self) -> None:
         if self.sample_every <= 0:
@@ -140,6 +148,10 @@ class CoreSolverConfig:
             raise ConfigurationError(
                 "pump_ramp_iterations must be in (0, max_iterations], got "
                 f"{self.pump_ramp_iterations}"
+            )
+        if self.trace_every < 1:
+            raise ConfigurationError(
+                f"trace_every must be >= 1, got {self.trace_every}"
             )
         if self.backend is not None:
             from repro.ising.kernels import known_backends
@@ -307,9 +319,10 @@ class FrameworkConfig:
 
         Two configs with equal semantic dicts produce bit-identical
         decompositions of the same table: ``n_workers`` only schedules
-        the deterministic sweep chunks, so it is dropped, and the
-        solver ``backend`` is resolved (including the
-        ``REPRO_SB_BACKEND`` override) because the backend *does*
+        the deterministic sweep chunks, so it is dropped; the solver's
+        ``trace_every`` only thins the retained energy trace, so it is
+        dropped too; and the solver ``backend`` is resolved (including
+        the ``REPRO_SB_BACKEND`` override) because the backend *does*
         change float32-path numerics.  This is the payload the
         service's content-addressed artifact store hashes.
         """
@@ -317,6 +330,7 @@ class FrameworkConfig:
 
         data = self.to_dict()
         data.pop("n_workers")
+        data["solver"].pop("trace_every")
         data["solver"]["backend"] = resolve_backend(self.solver.backend)
         return data
 

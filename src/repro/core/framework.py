@@ -63,6 +63,8 @@ from repro.ising.solvers.base import SolveResult
 from repro.core.theorem3 import alternating_refinement
 from repro.boolean.random_functions import random_column_setting
 from repro.errors import DimensionError, OperationCancelled
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import get_tracer
 
 __all__ = [
     "IsingDecomposer",
@@ -322,10 +324,22 @@ class IsingDecomposer:
         """
         start = time.perf_counter()
         cfg = self.config
-        partitions = self._candidate_partitions(exact.n_inputs, partition_rng)
-        partitions = self._prescreen(
-            exact, approx, component, partitions, solver_rng
-        )
+        tracer = get_tracer()
+        with tracer.span(
+            "partition_enumeration", category="stage", component=component
+        ):
+            partitions = self._candidate_partitions(
+                exact.n_inputs, partition_rng
+            )
+        with tracer.span(
+            "prescreen",
+            category="stage",
+            component=component,
+            n_candidates=len(partitions),
+        ):
+            partitions = self._prescreen(
+                exact, approx, component, partitions, solver_rng
+            )
         chunks = _split_chunks(
             partitions, cfg.resolved_chunk_count(len(partitions))
         )
@@ -343,15 +357,25 @@ class IsingDecomposer:
             )
             for chunk, chunk_rng in zip(chunks, chunk_rngs)
         ]
-        if self._executor is not None and len(chunks) > 1:
-            results = list(
-                self._executor.map(_solve_partition_chunk, payloads)
-            )
-        else:
-            results = [
-                _solve_partition_chunk(payload, cache=self._cache)
-                for payload in payloads
-            ]
+        with tracer.span(
+            "candidate_sweep",
+            category="stage",
+            component=component,
+            n_partitions=len(partitions),
+            n_chunks=len(chunks),
+            # pool workers are separate processes with the default
+            # (null) tracer, so kernel-level spans cover the inline path
+            parallel=self._executor is not None and len(chunks) > 1,
+        ):
+            if self._executor is not None and len(chunks) > 1:
+                results = list(
+                    self._executor.map(_solve_partition_chunk, payloads)
+                )
+            else:
+                results = [
+                    _solve_partition_chunk(payload, cache=self._cache)
+                    for payload in payloads
+                ]
         best = min(results, key=lambda item: item[0])
         objective, partition, setting, n_iterations = best
         return CoreCOPSolution(
@@ -440,68 +464,116 @@ class IsingDecomposer:
                 max_workers=self.config.n_workers
             )
         self._executor = executor
+        tracer = get_tracer()
+        metrics = get_metrics()
 
         try:
-            for round_index in range(self.config.n_rounds):
-                rounds_used = round_index + 1
-                any_accepted = False
-                # most significant output first (highest weight 2**k)
-                for component in reversed(range(exact.n_outputs)):
-                    if should_cancel is not None and should_cancel():
-                        raise OperationCancelled(
-                            f"decomposition cancelled in round "
-                            f"{round_index + 1} before component {component}"
+            with tracer.span(
+                "decompose",
+                category="framework",
+                n_inputs=exact.n_inputs,
+                n_outputs=exact.n_outputs,
+                mode=self.config.mode,
+                n_partitions=self.config.n_partitions,
+                n_rounds=self.config.n_rounds,
+            ):
+                for round_index in range(self.config.n_rounds):
+                    rounds_used = round_index + 1
+                    any_accepted = False
+                    with tracer.span(
+                        "round", category="framework",
+                        round=round_index + 1,
+                    ):
+                        # most significant output first (weight 2**k)
+                        for component in reversed(range(exact.n_outputs)):
+                            if should_cancel is not None and should_cancel():
+                                raise OperationCancelled(
+                                    f"decomposition cancelled in round "
+                                    f"{round_index + 1} before component "
+                                    f"{component}"
+                                )
+                            with tracer.span(
+                                "component", category="framework",
+                                round=round_index + 1, component=component,
+                            ):
+                                solution = self._optimize_component(
+                                    exact, approx, component,
+                                    partition_rng, solver_rng,
+                                )
+                                n_solves += self.config.n_partitions
+                                baseline = self._baseline_error(
+                                    exact, approx, component
+                                )
+                                must_accept = component not in components
+                                accepted = (
+                                    must_accept
+                                    or solution.objective
+                                    < baseline - 1e-12
+                                )
+                                if accepted:
+                                    with tracer.span(
+                                        "synthesis_verify",
+                                        category="stage",
+                                        component=component,
+                                    ):
+                                        approx = apply_column_setting(
+                                            approx, component,
+                                            solution.partition,
+                                            solution.setting,
+                                        )
+                                        # joint-mode weight terms bake in
+                                        # the current approximation; the
+                                        # accepted setting changed it
+                                        self._cache.invalidate_joint()
+                                    components[component] = (
+                                        ComponentDecomposition(
+                                            component=component,
+                                            partition=solution.partition,
+                                            setting=solution.setting,
+                                            objective=solution.objective,
+                                            n_solver_iterations=(
+                                                solution.solve_result
+                                                .n_iterations
+                                            ),
+                                        )
+                                    )
+                                    any_accepted = True
+                                metrics.counter(
+                                    "framework_component_optimizations"
+                                    "_total",
+                                    help="component optimizations run",
+                                ).inc()
+                                if accepted:
+                                    metrics.counter(
+                                        "framework_settings_accepted"
+                                        "_total",
+                                        help="accepted column settings",
+                                    ).inc()
+                            if progress is not None:
+                                progress(
+                                    {
+                                        "event": "component",
+                                        "round": round_index + 1,
+                                        "component": component,
+                                        "accepted": accepted,
+                                        "objective": float(
+                                            solution.objective
+                                        ),
+                                    }
+                                )
+                        med_trace.append(
+                            mean_error_distance(exact, approx)
                         )
-                    solution = self._optimize_component(
-                        exact, approx, component, partition_rng, solver_rng
-                    )
-                    n_solves += self.config.n_partitions
-                    baseline = self._baseline_error(
-                        exact, approx, component
-                    )
-                    must_accept = component not in components
-                    if must_accept or solution.objective < baseline - 1e-12:
-                        approx = apply_column_setting(
-                            approx, component, solution.partition,
-                            solution.setting,
-                        )
-                        # joint-mode weight terms bake in the current
-                        # approximation; the accepted setting changed it
-                        self._cache.invalidate_joint()
-                        components[component] = ComponentDecomposition(
-                            component=component,
-                            partition=solution.partition,
-                            setting=solution.setting,
-                            objective=solution.objective,
-                            n_solver_iterations=(
-                                solution.solve_result.n_iterations
-                            ),
-                        )
-                        any_accepted = True
                     if progress is not None:
                         progress(
                             {
-                                "event": "component",
+                                "event": "round",
                                 "round": round_index + 1,
-                                "component": component,
-                                "accepted": (
-                                    must_accept
-                                    or solution.objective < baseline - 1e-12
-                                ),
-                                "objective": float(solution.objective),
+                                "med": float(med_trace[-1]),
                             }
                         )
-                med_trace.append(mean_error_distance(exact, approx))
-                if progress is not None:
-                    progress(
-                        {
-                            "event": "round",
-                            "round": round_index + 1,
-                            "med": float(med_trace[-1]),
-                        }
-                    )
-                if self.config.stop_when_stalled and not any_accepted:
-                    break
+                    if self.config.stop_when_stalled and not any_accepted:
+                        break
         finally:
             self._executor = None
             if executor is not None:

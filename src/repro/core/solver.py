@@ -39,6 +39,7 @@ from repro.ising.solvers.base import SolveResult
 from repro.ising.solvers.bsb import BallisticSBSolver
 from repro.ising.stop_criteria import EnergyVarianceStop, FixedIterations
 from repro.ising.structured import BipartiteDecompositionModel
+from repro.obs.tracing import get_tracer
 
 __all__ = ["CoreCOPSolver", "CoreCOPSolution"]
 
@@ -146,14 +147,27 @@ class CoreCOPSolver:
             initializer=initializer,
             pump=LinearPump(cfg.a0, cfg.resolved_ramp_iterations),
             backend=cfg.backend,
+            trace_every=cfg.trace_every,
         )
-        result = sb.solve(model, rng)
-        setting = setting_from_spins(
-            result.spins, model.n_rows, model.n_cols
-        )
-        if cfg.polish:
-            setting, _, _ = alternating_refinement(model.weights, setting)
-        objective = float(model.objective(spins_from_setting(setting)))
+        tracer = get_tracer()
+        with tracer.span(
+            "sb_solve",
+            category="stage",
+            n_spins=model.n_spins,
+            n_replicas=cfg.n_replicas,
+        ):
+            result = sb.solve(model, rng)
+        with tracer.span("decode", category="stage"):
+            setting = setting_from_spins(
+                result.spins, model.n_rows, model.n_cols
+            )
+            if cfg.polish:
+                setting, _, _ = alternating_refinement(
+                    model.weights, setting
+                )
+            objective = float(
+                model.objective(spins_from_setting(setting))
+            )
         runtime = time.perf_counter() - start
         return CoreCOPSolution(
             setting=setting,
@@ -174,9 +188,12 @@ class CoreCOPSolver:
     ) -> CoreCOPSolution:
         """Formulate and solve one core COP instance (see module docstring)."""
         start = time.perf_counter()
-        model = build_core_cop_model(
-            exact_table, approx_table, component, partition, mode
-        )
+        with get_tracer().span(
+            "weight_build", category="stage", component=component
+        ):
+            model = build_core_cop_model(
+                exact_table, approx_table, component, partition, mode
+            )
         solution = self.solve_model(model, rng)
         solution.partition = partition
         solution.runtime_seconds = time.perf_counter() - start

@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import abc
 import os
-import warnings
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, DimensionError
+from repro.obs.logconfig import get_logger
+
+logger = get_logger("repro.ising.kernels")
 
 __all__ = [
     "BipartiteSBKernel",
@@ -103,12 +105,11 @@ def resolve_backend(backend: Optional[str] = None) -> str:
     if requested in _REGISTRY:
         return requested
     if requested in _UNAVAILABLE:
-        warnings.warn(
-            f"SB backend {requested!r} is unavailable "
-            f"({_UNAVAILABLE[requested]}); falling back to "
-            f"{DEFAULT_BACKEND!r}",
-            RuntimeWarning,
-            stacklevel=2,
+        logger.warning(
+            "SB backend %r is unavailable (%s); falling back to %r",
+            requested,
+            _UNAVAILABLE[requested],
+            DEFAULT_BACKEND,
         )
         return DEFAULT_BACKEND
     raise ConfigurationError(

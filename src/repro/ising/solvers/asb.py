@@ -48,6 +48,7 @@ class AdiabaticSBSolver(IsingSolver):
         initial_amplitude: float = 0.1,
         position_bound: float = 3.0,
         sample_every_default: int = 50,
+        trace_every: int = 1,
     ) -> None:
         if dt <= 0:
             raise SolverError(f"dt must be positive, got {dt}")
@@ -66,6 +67,11 @@ class AdiabaticSBSolver(IsingSolver):
         self.initial_amplitude = float(initial_amplitude)
         self.position_bound = float(position_bound)
         self.sample_every_default = int(sample_every_default)
+        if trace_every < 1:
+            raise SolverError(
+                f"trace_every must be >= 1, got {trace_every}"
+            )
+        self.trace_every = int(trace_every)
 
     def _resolve_c0(self, model: IsingModel) -> float:
         if self.coupling_strength is not None:
@@ -102,6 +108,7 @@ class AdiabaticSBSolver(IsingSolver):
         best_energy = np.inf
         best_spins = np.where(x[0] >= 0, 1.0, -1.0)
         trace = []
+        n_samples = 0
         stop_reason = "max_iterations"
         iteration = 0
 
@@ -124,7 +131,9 @@ class AdiabaticSBSolver(IsingSolver):
                 if current < best_energy:
                     best_energy = current
                     best_spins = spins[idx].copy()
-                trace.append(current)
+                if n_samples % self.trace_every == 0:
+                    trace.append(current)
+                n_samples += 1
                 if stop.wants_sample(iteration) and stop.observe(current):
                     stop_reason = "variance_converged"
                     break

@@ -40,6 +40,7 @@ from repro.ising.model import IsingModel
 from repro.ising.schedules import LinearPump
 from repro.ising.solvers.base import IsingSolver, SolveResult
 from repro.ising.stop_criteria import FixedIterations, StopCriterion
+from repro.obs.probe import SolverProbe, make_probe
 
 __all__ = ["BallisticSBSolver", "SBState", "InterventionHook"]
 
@@ -111,6 +112,17 @@ class BallisticSBSolver(IsingSolver):
         ``numpy64``; models without kernels use the generic inline path.
         Energy sampling always scores decoded spins in float64 through
         ``model.energy``, whatever the stepping dtype.
+    trace_every:
+        Keep every ``trace_every``-th sampled energy in
+        ``SolveResult.energy_trace`` (1, the default, keeps all samples
+        — the historical behavior).  Sampling, interventions, and the
+        stop criterion are unaffected; only the retained trace thins.
+    probe:
+        Optional :class:`~repro.obs.probe.SolverProbe` observing this
+        run.  ``None`` (default) consults the process-global probe
+        factory (:func:`repro.obs.probe.make_probe`), which is itself
+        ``None`` unless ``repro.obs.observe`` is active.  Probes are
+        RNG-neutral: results are bit-identical with probes on or off.
     """
 
     def __init__(
@@ -126,9 +138,15 @@ class BallisticSBSolver(IsingSolver):
         sample_every_default: int = 50,
         initializer=None,
         backend: Optional[str] = None,
+        trace_every: int = 1,
+        probe: Optional[SolverProbe] = None,
     ) -> None:
         if dt <= 0:
             raise SolverError(f"dt must be positive, got {dt}")
+        if trace_every < 1:
+            raise SolverError(
+                f"trace_every must be >= 1, got {trace_every}"
+            )
         if n_replicas <= 0:
             raise SolverError(
                 f"n_replicas must be positive, got {n_replicas}"
@@ -148,6 +166,8 @@ class BallisticSBSolver(IsingSolver):
         self.sample_every_default = int(sample_every_default)
         self.initializer = initializer
         self.backend = backend
+        self.trace_every = int(trace_every)
+        self.probe = probe
 
     # ------------------------------------------------------------------
 
@@ -204,14 +224,26 @@ class BallisticSBSolver(IsingSolver):
             kernel = maker(self.backend)
             x, y = kernel.prepare_state(x, y)
 
+        probe = self.probe if self.probe is not None else make_probe()
+        if probe is not None:
+            probe.on_begin(
+                n_spins=n,
+                n_replicas=self.n_replicas,
+                max_iterations=max_iterations,
+                backend=kernel.name if kernel is not None else "inline",
+                dtype=str(kernel.dtype) if kernel is not None else "float64",
+            )
+
         best_energy = np.inf
         best_spins = _sign_readout(x[0])
         trace = []
+        n_samples = 0
         stop_reason = "max_iterations"
         iteration = 0
 
         for iteration in range(1, max_iterations + 1):
             a_t = pump(iteration)
+            step_t0 = time.perf_counter() if probe is not None else 0.0
             if kernel is not None:
                 kernel.step(x, y, a_t, self.dt, self.a0, c0)
             else:
@@ -224,6 +256,8 @@ class BallisticSBSolver(IsingSolver):
                 if outside.any():
                     np.clip(x, -1.0, 1.0, out=x)
                     y[outside] = 0.0
+            if probe is not None:
+                probe.on_step(time.perf_counter() - step_t0)
 
             if iteration % sample_every == 0:
                 spins = _sign_readout(x)
@@ -233,7 +267,11 @@ class BallisticSBSolver(IsingSolver):
                 if current < best_energy:
                     best_energy = current
                     best_spins = spins[idx].copy()
-                trace.append(current)
+                if n_samples % self.trace_every == 0:
+                    trace.append(current)
+                n_samples += 1
+                if probe is not None:
+                    probe.on_sample(iteration, current, best_energy)
                 if self.intervention is not None:
                     state = SBState(
                         model=model,
@@ -245,11 +283,14 @@ class BallisticSBSolver(IsingSolver):
                     )
                     self.intervention(state)
                     spins_after = _sign_readout(x)
+                    changed = not np.array_equal(spins_after, spins)
+                    if probe is not None:
+                        probe.on_intervention(iteration, changed)
                     # re-score only when the hook actually changed the
                     # decoded state; an unchanged readout has unchanged
                     # energies, so the second evaluation would be a
                     # no-op over every replica
-                    if not np.array_equal(spins_after, spins):
+                    if changed:
                         spins = spins_after
                         energies = np.atleast_1d(model.energy(spins))
                         idx = int(np.argmin(energies))
@@ -257,9 +298,18 @@ class BallisticSBSolver(IsingSolver):
                         if current < best_energy:
                             best_energy = current
                             best_spins = spins[idx].copy()
-                if stop.wants_sample(iteration) and stop.observe(current):
-                    stop_reason = "variance_converged"
-                    break
+                if stop.wants_sample(iteration):
+                    stopped = stop.observe(current)
+                    if probe is not None:
+                        probe.on_stop_observation(
+                            iteration,
+                            getattr(stop, "last_variance", None),
+                            getattr(stop, "threshold", None),
+                            stopped,
+                        )
+                    if stopped:
+                        stop_reason = "variance_converged"
+                        break
 
         # final readout in case the last iterations were never sampled
         spins = _sign_readout(x)
@@ -270,6 +320,12 @@ class BallisticSBSolver(IsingSolver):
             best_spins = spins[idx].copy()
 
         runtime = time.perf_counter() - start
+        if probe is not None:
+            probe.on_end(
+                n_iterations=iteration,
+                stop_reason=stop_reason,
+                best_energy=best_energy,
+            )
         return SolveResult(
             spins=best_spins,
             energy=best_energy,

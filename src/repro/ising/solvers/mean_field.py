@@ -55,6 +55,7 @@ class MeanFieldAnnealingSolver(IsingSolver):
         damping: float = 0.5,
         schedule: Optional[GeometricCooling] = None,
         n_restarts: int = 1,
+        trace_every: int = 1,
     ) -> None:
         if n_sweeps <= 0:
             raise SolverError(f"n_sweeps must be positive, got {n_sweeps}")
@@ -66,6 +67,11 @@ class MeanFieldAnnealingSolver(IsingSolver):
         self.damping = float(damping)
         self.schedule = schedule
         self.n_restarts = int(n_restarts)
+        if trace_every < 1:
+            raise SolverError(
+                f"trace_every must be >= 1, got {trace_every}"
+            )
+        self.trace_every = int(trace_every)
 
     def _resolve_schedule(self, model, rng) -> GeometricCooling:
         if self.schedule is not None:
@@ -93,7 +99,7 @@ class MeanFieldAnnealingSolver(IsingSolver):
         trace = []
         sweeps_done = 0
 
-        for _ in range(self.n_restarts):
+        for restart in range(self.n_restarts):
             magnetization = rng.uniform(-0.1, 0.1, n)
             for sweep in range(self.n_sweeps):
                 temperature = schedule(sweep)
@@ -106,7 +112,8 @@ class MeanFieldAnnealingSolver(IsingSolver):
                 sweeps_done += 1
             spins = np.where(magnetization >= 0.0, 1.0, -1.0)
             energy = float(model.energy(spins))
-            trace.append(energy)
+            if restart % self.trace_every == 0:
+                trace.append(energy)
             if energy < best_energy:
                 best_energy = energy
                 best_spins = spins

@@ -46,6 +46,7 @@ class ParallelTemperingSolver(IsingSolver):
         t_cold: float = 0.05,
         t_hot: float = 5.0,
         swap_every: int = 2,
+        trace_every: int = 1,
     ) -> None:
         if n_sweeps <= 0:
             raise SolverError(f"n_sweeps must be positive, got {n_sweeps}")
@@ -62,6 +63,11 @@ class ParallelTemperingSolver(IsingSolver):
         self.t_cold = float(t_cold)
         self.t_hot = float(t_hot)
         self.swap_every = int(swap_every)
+        if trace_every < 1:
+            raise SolverError(
+                f"trace_every must be >= 1, got {trace_every}"
+            )
+        self.trace_every = int(trace_every)
 
     def solve(
         self,
@@ -119,7 +125,8 @@ class ParallelTemperingSolver(IsingSolver):
                         energies[[a, b]] = energies[[b, a]]
 
             cold = float(energies.min())
-            trace.append(cold)
+            if (sweep - 1) % self.trace_every == 0:
+                trace.append(cold)
             if cold < best_energy:
                 best_energy = cold
                 best_spins = sigma[int(np.argmin(energies))].copy()

@@ -53,6 +53,7 @@ class SimulatedAnnealingSolver(IsingSolver):
         schedule: Optional[GeometricCooling] = None,
         n_restarts: int = 1,
         auto_scale_temperature: bool = True,
+        trace_every: int = 1,
     ) -> None:
         if n_sweeps <= 0:
             raise SolverError(f"n_sweeps must be positive, got {n_sweeps}")
@@ -62,6 +63,11 @@ class SimulatedAnnealingSolver(IsingSolver):
         self.schedule = schedule
         self.n_restarts = int(n_restarts)
         self.auto_scale_temperature = bool(auto_scale_temperature)
+        if trace_every < 1:
+            raise SolverError(
+                f"trace_every must be >= 1, got {trace_every}"
+            )
+        self.trace_every = int(trace_every)
 
     def _resolve_schedule(
         self, dense, rng: np.random.Generator
@@ -115,7 +121,8 @@ class SimulatedAnnealingSolver(IsingSolver):
                         sigma[i] = -sigma[i]
                         fields += 2.0 * j[:, i] * sigma[i]
                         energy += delta
-                trace.append(energy)
+                if total_sweeps % self.trace_every == 0:
+                    trace.append(energy)
                 total_sweeps += 1
             # incremental energy can drift over long runs; recompute exactly
             energy = float(dense.energy(sigma))

@@ -45,6 +45,7 @@ class TabuSearchSolver(IsingSolver):
         n_steps: int = 2000,
         tenure: Optional[int] = None,
         n_restarts: int = 1,
+        trace_every: int = 1,
     ) -> None:
         if n_steps <= 0:
             raise SolverError(f"n_steps must be positive, got {n_steps}")
@@ -55,6 +56,11 @@ class TabuSearchSolver(IsingSolver):
         self.n_steps = int(n_steps)
         self.tenure = tenure
         self.n_restarts = int(n_restarts)
+        if trace_every < 1:
+            raise SolverError(
+                f"trace_every must be >= 1, got {trace_every}"
+            )
+        self.trace_every = int(trace_every)
 
     def solve(
         self,
@@ -98,7 +104,8 @@ class TabuSearchSolver(IsingSolver):
                 if energy < chain_best - 1e-12:
                     chain_best = energy
                     chain_best_spins = sigma.copy()
-                trace.append(energy)
+                if (steps_done + step - 1) % self.trace_every == 0:
+                    trace.append(energy)
             steps_done += self.n_steps
 
             # exact re-evaluation guards against float drift

@@ -1,0 +1,168 @@
+"""Trace and metrics exporters: JSONL, Chrome ``trace_event``, Prometheus.
+
+Three consumers, three formats, one native event stream
+(:meth:`repro.obs.tracing.Tracer.events`):
+
+* :func:`write_jsonl` — an append-friendly structured event log (one
+  JSON object per line, header record first) for ad-hoc ``jq``-style
+  analysis and log shipping;
+* :func:`chrome_trace_dict` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` JSON object format, loadable as-is in
+  ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_
+  (spans become complete ``"X"`` events, instants become ``"i"``);
+* :func:`prometheus_text` — the Prometheus text exposition (version
+  0.0.4) of a :class:`~repro.obs.metrics.MetricsRegistry`, used by the
+  service telemetry surface.
+
+Every trace export carries a provenance header (package version plus
+any tracer metadata), satisfying the artifact-traceability requirement
+shared with the service's design envelopes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro._version import package_version
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "trace_header",
+    "jsonl_lines",
+    "write_jsonl",
+    "chrome_trace_dict",
+    "write_chrome_trace",
+    "write_trace",
+    "prometheus_text",
+]
+
+
+def trace_header(metadata: Optional[Dict] = None) -> Dict:
+    """The provenance header stamped into every trace export."""
+    header = {
+        "format": "repro-trace",
+        "repro_version": package_version(),
+        "time_unit": "us",
+    }
+    header.update(metadata or {})
+    return header
+
+
+# -- JSONL -------------------------------------------------------------
+
+
+def jsonl_lines(
+    events: Sequence[Dict], metadata: Optional[Dict] = None
+) -> List[str]:
+    """Serialize events as JSONL: one header line, then one line each."""
+    lines = [json.dumps({"type": "header", **trace_header(metadata)},
+                        sort_keys=True)]
+    lines.extend(json.dumps(event, sort_keys=True) for event in events)
+    return lines
+
+
+def write_jsonl(
+    tracer: Tracer, path: Union[str, Path]
+) -> Path:
+    """Write a tracer's events as a JSONL structured event log."""
+    path = Path(path)
+    lines = jsonl_lines(tracer.events(), tracer.metadata)
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+# -- Chrome trace_event ------------------------------------------------
+
+
+def _chrome_event(event: Dict) -> Dict:
+    common = {
+        "name": event["name"],
+        "cat": event["cat"],
+        "ts": event["ts_us"],
+        "pid": event["pid"],
+        "tid": event["tid"],
+        "args": dict(event.get("args") or {}),
+    }
+    # span/parent linkage survives the format change inside args, so a
+    # loaded trace can still be joined back to job ids and round spans
+    common["args"]["span_id"] = event.get("span_id")
+    if event.get("parent_id") is not None:
+        common["args"]["parent_id"] = event["parent_id"]
+    if event["type"] == "span":
+        common["ph"] = "X"
+        common["dur"] = event["dur_us"]
+    else:
+        common["ph"] = "i"
+        common["s"] = "t"  # thread-scoped instant
+    return common
+
+
+def chrome_trace_dict(
+    events: Sequence[Dict], metadata: Optional[Dict] = None
+) -> Dict:
+    """Events as a Chrome ``trace_event`` JSON object (not yet a file)."""
+    return {
+        "traceEvents": [_chrome_event(event) for event in events],
+        "displayTimeUnit": "ms",
+        "otherData": trace_header(metadata),
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: Union[str, Path]) -> Path:
+    """Write a tracer's events as Chrome/Perfetto-loadable JSON."""
+    path = Path(path)
+    payload = chrome_trace_dict(tracer.events(), tracer.metadata)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_trace(tracer: Tracer, path: Union[str, Path]) -> Path:
+    """Write a trace file, format selected by suffix.
+
+    ``.jsonl`` writes the structured event log; anything else writes
+    the Chrome ``trace_event`` JSON (the ``--trace-out`` default).
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return write_jsonl(tracer, path)
+    return write_chrome_trace(tracer, path)
+
+
+# -- Prometheus text exposition ----------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry, prefix: str = "repro_") -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, metric in registry.metrics().items():
+        full = prefix + name
+        if metric.help:
+            lines.append(f"# HELP {full} {metric.help}")
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {full} counter")
+            lines.append(f"{full} {_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {full} histogram")
+            snap = metric.snapshot()
+            for bound, cumulative in snap["buckets"].items():
+                label = bound if bound == "+Inf" else _format_value(
+                    float(bound)
+                )
+                lines.append(
+                    f'{full}_bucket{{le="{label}"}} {cumulative}'
+                )
+            lines.append(f"{full}_sum {_format_value(snap['sum'])}")
+            lines.append(f"{full}_count {snap['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,254 @@
+"""Deterministic in-process metrics: counters, gauges, histograms.
+
+The registry is the aggregate counterpart of the tracer's event stream:
+cheap enough to leave always-on (increments happen per job / per solve,
+never per Euler iteration), thread-safe, and **deterministic in shape**
+— histogram bucket boundaries are fixed at creation time and snapshots
+are key-sorted, so two runs of the same workload produce structurally
+identical output regardless of thread interleaving.
+
+Exposition formats live in :mod:`repro.obs.exporters`
+(:func:`~repro.obs.exporters.prometheus_text` renders a registry in the
+Prometheus text format the service surfaces).
+
+>>> from repro.obs.metrics import MetricsRegistry
+>>> registry = MetricsRegistry()
+>>> registry.counter("jobs_total").inc()
+>>> registry.histogram("stop_iteration", buckets=(100, 500)).observe(420)
+>>> registry.snapshot()["jobs_total"]["value"]
+1.0
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "STOP_ITERATION_BUCKETS",
+    "get_metrics",
+    "set_metrics",
+]
+
+#: fixed bucket boundaries for solver stop-iteration histograms; chosen
+#: to resolve both laptop-scale budgets (hundreds) and the paper-scale
+#: ``max_iterations`` caps (thousands) with deterministic output
+STOP_ITERATION_BUCKETS: Tuple[float, ...] = (
+    50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0,
+)
+
+
+class Counter:
+    """Monotonically increasing float counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, capacity, ...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict:
+        return {"kind": self.kind, "value": self._value}
+
+
+class Histogram:
+    """Fixed-boundary histogram (Prometheus-style cumulative exposition).
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an
+    implicit ``+Inf`` bucket always exists.  Boundaries are part of the
+    metric's identity — re-registering the same name with different
+    boundaries is an error, so output shape is deterministic.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, buckets: Sequence[float], help: str = ""
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError(
+                f"histogram {name} needs at least one bucket boundary"
+            )
+        if any(not math.isfinite(b) for b in bounds):
+            raise ConfigurationError(
+                f"histogram {name} boundaries must be finite, got {bounds}"
+            )
+        if list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError(
+                f"histogram {name} boundaries must be strictly "
+                f"increasing, got {bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # + the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            counts = list(self._counts)
+            total, acc = self._count, self._sum
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, n in zip(self.buckets, counts):
+            running += n
+            cumulative[repr(bound)] = running
+        cumulative["+Inf"] = total
+        return {
+            "kind": self.kind,
+            "buckets": cumulative,
+            "count": total,
+            "sum": acc,
+        }
+
+
+class MetricsRegistry:
+    """Named metric instruments with get-or-create registration."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def _register(self, name: str, kind: type, factory):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {kind.__name__}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = STOP_ITERATION_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        metric = self._register(
+            name, Histogram, lambda: Histogram(name, buckets, help)
+        )
+        if metric.buckets != tuple(float(b) for b in buckets):
+            raise ConfigurationError(
+                f"histogram {name!r} already registered with boundaries "
+                f"{metric.buckets}"
+            )
+        return metric
+
+    def metrics(self) -> Dict[str, object]:
+        """Name-sorted view of the registered instruments."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return dict(items)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Deterministic (name-sorted) dict of every metric's state."""
+        return {
+            name: metric.snapshot()
+            for name, metric in self.metrics().items()
+        }
+
+    def clear(self) -> None:
+        """Drop every instrument (test isolation helper)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: process-global default registry (always-on; increments are cheap)
+_GLOBAL = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _GLOBAL
+
+
+def set_metrics(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Swap the global registry (``None`` installs a fresh empty one)."""
+    global _GLOBAL
+    _GLOBAL = registry if registry is not None else MetricsRegistry()
+    return _GLOBAL

@@ -1,0 +1,246 @@
+"""Solver probes: per-run instrumentation of the bSB/kernel step loop.
+
+The paper's two dynamic contributions — the energy-variance stop
+(Sec. 3.3.1) and the Theorem-3 intervention (Sec. 3.3.2) — are runtime
+*behaviors*; final MED numbers cannot tell whether the stop fired on the
+pre-bifurcation plateau or how often an intervention actually flipped
+the decoded types.  A :class:`SolverProbe` hooks the solver's sampling
+points and records exactly that:
+
+* a **downsampled energy trace** (every ``trace_every``-th sample, so
+  paper-scale runs never accumulate unbounded Python lists),
+* **stop-criterion observations** — the window variance vs. ``eps`` at
+  each sampling decision,
+* **Theorem-3 intervention events**, with whether the overwrite changed
+  the decoded state,
+* the **resolved kernel backend / dtype** and the accumulated
+  per-step kernel wall time.
+
+Probes are *observers*: they never draw random numbers, never touch
+solver state, and may therefore be attached or detached without
+changing any decoded design (asserted bit-for-bit in the test suite).
+The disabled path is a single ``probe is None`` check in the solver
+loop — see ``benchmarks/test_bench_obs_overhead.py`` for the <3%
+overhead gate.
+
+The process-global *probe factory* mirrors the tracer: by default
+:func:`make_probe` returns ``None`` (solvers skip all probe work);
+:func:`repro.obs.observe` installs a factory building
+:class:`RecordingSolverProbe` instances bound to the active tracer and
+metrics registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import (
+    STOP_ITERATION_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "SolverProbe",
+    "RecordingSolverProbe",
+    "get_probe_factory",
+    "set_probe_factory",
+    "make_probe",
+]
+
+
+class SolverProbe:
+    """Observer protocol for one iterative solver run (all no-ops).
+
+    Subclasses override the hooks they care about; every hook must be
+    side-effect-free with respect to solver state and RNG streams.
+    """
+
+    def on_begin(
+        self,
+        *,
+        n_spins: int,
+        n_replicas: int,
+        max_iterations: int,
+        backend: str,
+        dtype: str,
+    ) -> None:
+        """Called once before the first Euler iteration."""
+
+    def on_step(self, seconds: float) -> None:
+        """Called after every kernel/inline step with its wall time."""
+
+    def on_sample(
+        self, iteration: int, energy: float, best_energy: float
+    ) -> None:
+        """Called at every sampling point with the replica-best energy."""
+
+    def on_stop_observation(
+        self,
+        iteration: int,
+        variance: Optional[float],
+        threshold: Optional[float],
+        stopped: bool,
+    ) -> None:
+        """Called when the stop criterion consumed a sample."""
+
+    def on_intervention(self, iteration: int, changed: bool) -> None:
+        """Called after an intervention hook ran at a sampling point."""
+
+    def on_end(
+        self, *, n_iterations: int, stop_reason: str, best_energy: float
+    ) -> None:
+        """Called once after the final readout."""
+
+
+class RecordingSolverProbe(SolverProbe):
+    """Probe that records a run and feeds the tracer/metrics on end.
+
+    Parameters
+    ----------
+    tracer:
+        Destination for the per-run instant event (``sb_probe``) and
+        intervention markers; ``None`` records in memory only.
+    metrics:
+        Registry receiving the stop-iteration histogram and
+        intervention counters; ``None`` skips metrics.
+    trace_every:
+        Keep every ``trace_every``-th sampled energy (1 = all samples).
+    """
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace_every: int = 1,
+    ) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+        self.trace_every = max(1, int(trace_every))
+        self.backend: Optional[str] = None
+        self.dtype: Optional[str] = None
+        self.n_spins = 0
+        self.n_replicas = 0
+        self.max_iterations = 0
+        self.energy_trace: List[Tuple[int, float]] = []
+        self.stop_observations: List[Dict] = []
+        self.interventions: List[Tuple[int, bool]] = []
+        self.kernel_step_seconds = 0.0
+        self.kernel_steps = 0
+        self.n_iterations = 0
+        self.stop_reason: Optional[str] = None
+        self.best_energy: Optional[float] = None
+        self._n_samples = 0
+
+    # -- hooks ---------------------------------------------------------
+
+    def on_begin(
+        self, *, n_spins, n_replicas, max_iterations, backend, dtype
+    ) -> None:
+        self.n_spins = int(n_spins)
+        self.n_replicas = int(n_replicas)
+        self.max_iterations = int(max_iterations)
+        self.backend = backend
+        self.dtype = dtype
+
+    def on_step(self, seconds: float) -> None:
+        self.kernel_step_seconds += seconds
+        self.kernel_steps += 1
+
+    def on_sample(self, iteration, energy, best_energy) -> None:
+        self._n_samples += 1
+        if (self._n_samples - 1) % self.trace_every == 0:
+            self.energy_trace.append((int(iteration), float(energy)))
+
+    def on_stop_observation(
+        self, iteration, variance, threshold, stopped
+    ) -> None:
+        self.stop_observations.append(
+            {
+                "iteration": int(iteration),
+                "variance": None if variance is None else float(variance),
+                "threshold": None if threshold is None else float(threshold),
+                "stopped": bool(stopped),
+            }
+        )
+
+    def on_intervention(self, iteration, changed) -> None:
+        self.interventions.append((int(iteration), bool(changed)))
+        if self.tracer is not None:
+            self.tracer.instant(
+                "theorem3_intervention",
+                category="solver",
+                iteration=int(iteration),
+                changed=bool(changed),
+            )
+
+    def on_end(self, *, n_iterations, stop_reason, best_energy) -> None:
+        self.n_iterations = int(n_iterations)
+        self.stop_reason = stop_reason
+        self.best_energy = float(best_energy)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "sb_probe", category="solver", **self.summary()
+            )
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "solver_stop_iteration",
+                buckets=STOP_ITERATION_BUCKETS,
+                help="bSB iterations at stop, per solve",
+            ).observe(self.n_iterations)
+            self.metrics.counter(
+                "solver_runs_total", help="iterative solver runs"
+            ).inc()
+            self.metrics.counter(
+                "solver_interventions_total",
+                help="Theorem-3 intervention invocations",
+            ).inc(len(self.interventions))
+            self.metrics.counter(
+                "solver_interventions_changed_total",
+                help="interventions that changed the decoded state",
+            ).inc(sum(1 for _, changed in self.interventions if changed))
+
+    # -- reporting -----------------------------------------------------
+
+    def summary(self) -> Dict:
+        """Compact per-run record (also the ``sb_probe`` event args)."""
+        n_changed = sum(1 for _, changed in self.interventions if changed)
+        return {
+            "backend": self.backend,
+            "dtype": self.dtype,
+            "n_spins": self.n_spins,
+            "n_replicas": self.n_replicas,
+            "max_iterations": self.max_iterations,
+            "n_iterations": self.n_iterations,
+            "stop_reason": self.stop_reason,
+            "best_energy": self.best_energy,
+            "n_samples": self._n_samples,
+            "n_trace_points": len(self.energy_trace),
+            "n_stop_observations": len(self.stop_observations),
+            "n_interventions": len(self.interventions),
+            "n_interventions_changed": n_changed,
+            "kernel_steps": self.kernel_steps,
+            "kernel_step_seconds": self.kernel_step_seconds,
+        }
+
+
+#: ``None`` (the default) means "no probe" — solvers skip all hooks
+ProbeFactory = Callable[[], SolverProbe]
+_FACTORY: Optional[ProbeFactory] = None
+
+
+def get_probe_factory() -> Optional[ProbeFactory]:
+    """The installed probe factory, or ``None`` when probing is off."""
+    return _FACTORY
+
+
+def set_probe_factory(factory: Optional[ProbeFactory]) -> None:
+    """Install (or clear, with ``None``) the process-global factory."""
+    global _FACTORY
+    _FACTORY = factory
+
+
+def make_probe() -> Optional[SolverProbe]:
+    """A fresh probe from the installed factory, or ``None``."""
+    factory = _FACTORY
+    return None if factory is None else factory()

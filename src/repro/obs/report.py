@@ -1,0 +1,209 @@
+"""Trace-file summarization behind ``repro trace report``.
+
+Reads a trace written by ``--trace-out`` — either the Chrome
+``trace_event`` JSON object or the JSONL event log — and reduces it to
+the three views the paper's knobs are tuned with:
+
+* **stage time breakdown** — wall time per framework stage (partition
+  enumeration, weight build, SB solve, decode, synthesis/verify), the
+  software analogue of the FPGA pipeline occupancy plots;
+* **stop-iteration histogram** — where the Sec. 3.3.1 dynamic stop
+  actually fired, against the fixed
+  :data:`~repro.obs.metrics.STOP_ITERATION_BUCKETS` boundaries;
+* **intervention counts** — how often the Theorem-3 reset ran and how
+  often it changed the decoded state.
+
+The loader is format-agnostic: both exports round-trip the same native
+events (see :mod:`repro.obs.exporters`), so the report code works on a
+normalized stream.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+from repro.obs.metrics import STOP_ITERATION_BUCKETS
+
+__all__ = ["load_trace", "summarize_trace", "render_report"]
+
+
+class TraceFormatError(ReproError, ValueError):
+    """Raised when a trace file is not one of the known formats."""
+
+
+def _normalize_chrome(payload: Dict) -> Tuple[List[Dict], Dict]:
+    events = []
+    for raw in payload.get("traceEvents", []):
+        kind = "span" if raw.get("ph") == "X" else "instant"
+        events.append(
+            {
+                "type": kind,
+                "name": raw.get("name", ""),
+                "cat": raw.get("cat", ""),
+                "ts_us": float(raw.get("ts", 0.0)),
+                "dur_us": float(raw.get("dur", 0.0)),
+                "args": dict(raw.get("args") or {}),
+            }
+        )
+    return events, dict(payload.get("otherData") or {})
+
+
+def load_trace(path: Union[str, Path]) -> Tuple[List[Dict], Dict]:
+    """Load a trace file; returns ``(events, header_metadata)``.
+
+    Accepts the Chrome ``trace_event`` object format and the JSONL
+    event log; raises :class:`TraceFormatError` for anything else.
+    """
+    path = Path(path)
+    text = path.read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in text:
+        try:
+            return _normalize_chrome(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"corrupt trace {path}: {exc}") from exc
+    events: List[Dict] = []
+    metadata: Dict = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"{path}:{line_no} is not JSON ({exc})"
+            ) from exc
+        if record.get("type") == "header":
+            metadata = {
+                key: value
+                for key, value in record.items()
+                if key != "type"
+            }
+        else:
+            record.setdefault("dur_us", 0.0)
+            record.setdefault("args", {})
+            events.append(record)
+    if not events and not metadata:
+        raise TraceFormatError(
+            f"{path} holds neither a Chrome trace nor a JSONL event log"
+        )
+    return events, metadata
+
+
+def _stop_histogram(iterations: Sequence[int]) -> Dict[str, int]:
+    counts = {f"<= {int(bound)}": 0 for bound in STOP_ITERATION_BUCKETS}
+    counts["> %d" % int(STOP_ITERATION_BUCKETS[-1])] = 0
+    for value in iterations:
+        for bound in STOP_ITERATION_BUCKETS:
+            if value <= bound:
+                counts[f"<= {int(bound)}"] += 1
+                break
+        else:
+            counts["> %d" % int(STOP_ITERATION_BUCKETS[-1])] += 1
+    return counts
+
+
+def summarize_trace(
+    events: Sequence[Dict], metadata: Optional[Dict] = None
+) -> Dict:
+    """Reduce a normalized event stream to the report structure."""
+    stages: Dict[str, Dict] = {}
+    stop_iterations: List[int] = []
+    stop_reasons: Dict[str, int] = {}
+    interventions = 0
+    interventions_changed = 0
+    solver_runs = 0
+    kernel_seconds = 0.0
+    wall_us = 0.0
+    for event in events:
+        wall_us = max(wall_us, event["ts_us"] + event.get("dur_us", 0.0))
+        if event["type"] == "span" and event["cat"] == "stage":
+            entry = stages.setdefault(
+                event["name"],
+                {"count": 0, "total_ms": 0.0, "max_ms": 0.0},
+            )
+            duration_ms = event["dur_us"] / 1000.0
+            entry["count"] += 1
+            entry["total_ms"] += duration_ms
+            entry["max_ms"] = max(entry["max_ms"], duration_ms)
+        elif event["name"] == "sb_probe":
+            args = event["args"]
+            solver_runs += 1
+            if args.get("n_iterations") is not None:
+                stop_iterations.append(int(args["n_iterations"]))
+            reason = args.get("stop_reason")
+            if reason:
+                stop_reasons[reason] = stop_reasons.get(reason, 0) + 1
+            interventions += int(args.get("n_interventions", 0))
+            interventions_changed += int(
+                args.get("n_interventions_changed", 0)
+            )
+            kernel_seconds += float(args.get("kernel_step_seconds", 0.0))
+    for entry in stages.values():
+        entry["mean_ms"] = entry["total_ms"] / entry["count"]
+    return {
+        "metadata": dict(metadata or {}),
+        "n_events": len(events),
+        "wall_ms": wall_us / 1000.0,
+        "stages": dict(sorted(stages.items())),
+        "solver": {
+            "runs": solver_runs,
+            "stop_iteration_histogram": _stop_histogram(stop_iterations),
+            "stop_reasons": dict(sorted(stop_reasons.items())),
+            "kernel_step_seconds": kernel_seconds,
+        },
+        "interventions": {
+            "total": interventions,
+            "changed": interventions_changed,
+        },
+    }
+
+
+def render_report(summary: Dict) -> str:
+    """Human-readable text rendering of :func:`summarize_trace`."""
+    lines: List[str] = []
+    meta = summary["metadata"]
+    version = meta.get("repro_version", "?")
+    lines.append(
+        f"trace: {summary['n_events']} events, "
+        f"{summary['wall_ms']:.1f} ms wall (repro {version})"
+    )
+    lines.append("")
+    lines.append("stage time breakdown")
+    header = f"  {'stage':<22} {'count':>6} {'total ms':>10} " \
+             f"{'mean ms':>9} {'max ms':>9}"
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    if not summary["stages"]:
+        lines.append("  (no stage spans recorded)")
+    for name, entry in summary["stages"].items():
+        lines.append(
+            f"  {name:<22} {entry['count']:>6} {entry['total_ms']:>10.2f} "
+            f"{entry['mean_ms']:>9.3f} {entry['max_ms']:>9.3f}"
+        )
+    solver = summary["solver"]
+    lines.append("")
+    lines.append(
+        f"solver runs: {solver['runs']}  "
+        f"(kernel step time {solver['kernel_step_seconds']:.3f}s)"
+    )
+    if solver["stop_reasons"]:
+        reasons = ", ".join(
+            f"{reason}: {count}"
+            for reason, count in solver["stop_reasons"].items()
+        )
+        lines.append(f"stop reasons: {reasons}")
+    lines.append("stop iteration histogram")
+    for bucket, count in solver["stop_iteration_histogram"].items():
+        bar = "#" * min(count, 50)
+        lines.append(f"  {bucket:>8}: {count:>5} {bar}")
+    inter = summary["interventions"]
+    lines.append("")
+    lines.append(
+        f"theorem-3 interventions: {inter['total']} "
+        f"({inter['changed']} changed the decoded state)"
+    )
+    return "\n".join(lines)

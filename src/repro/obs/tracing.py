@@ -1,0 +1,263 @@
+"""Lightweight nested-span tracer with a near-zero disabled path.
+
+The tracer answers one question the coarse end-of-run summaries cannot:
+*where did the time go, structurally* — per framework stage, per
+component, per bSB solve — without perturbing the seeded search.  Design
+constraints, in order:
+
+1. **Zero-cost when off.**  The process-global default is a
+   :class:`NullTracer` whose :meth:`~NullTracer.span` returns one shared
+   no-op context manager: a disabled probe point costs an attribute
+   lookup and a method call, nothing more.  The kernel hot loop guards
+   its per-step timing with a plain ``is None`` check on top of that
+   (see :mod:`repro.obs.probe` and the ``BENCH_obs.json`` gate).
+2. **RNG-neutral.**  Spans observe; they never touch ``numpy.random``
+   or mutate solver state, so designs are bit-identical with tracing on
+   or off (asserted end-to-end in the test suite).
+3. **Thread-safe, monotonic.**  Timestamps come from
+   :func:`time.perf_counter` relative to the tracer's epoch; the span
+   stack is thread-local (service workers are threads), the finished
+   event list is lock-protected.
+
+Events are plain dicts (the native form the exporters consume)::
+
+    {"type": "span",    "name": ..., "cat": ..., "span_id": 3,
+     "parent_id": 1, "ts_us": 120.5, "dur_us": 88.0,
+     "pid": 1234, "tid": 5678, "args": {...}}
+    {"type": "instant", "name": ..., "cat": ..., "span_id": 7,
+     "parent_id": 3, "ts_us": 130.1, "pid": ..., "tid": ..., "args": {...}}
+
+Usage::
+
+    from repro.obs import get_tracer, tracing, Tracer
+
+    tracer = Tracer()
+    with tracing(tracer):            # installs as the process default
+        with get_tracer().span("sb_solve", category="stage", r=8) as sp:
+            ...
+            sp.set_args(n_iterations=420)
+    events = tracer.events()
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+]
+
+
+class _NullSpan:
+    """Shared do-nothing span; the whole disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set_args(self, **args) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op returning instantly."""
+
+    enabled = False
+
+    def span(self, name: str, category: str = "app", **args) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, category: str = "app", **args) -> None:
+        return None
+
+    def events(self) -> List[Dict]:
+        return []
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """An open span; finalizes itself into its tracer on ``__exit__``."""
+
+    __slots__ = (
+        "_tracer", "name", "category", "span_id", "parent_id",
+        "_start_us", "args",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str,
+        args: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.args = args
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self._start_us = 0.0
+
+    def set_args(self, **args) -> None:
+        """Attach (or override) span arguments while the span is open."""
+        self.args.update(args)
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self.span_id = tracer._next_id()
+        self.parent_id = tracer._current_span_id()
+        tracer._push(self.span_id)
+        self._start_us = tracer._now_us()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        tracer = self._tracer
+        end_us = tracer._now_us()
+        tracer._pop()
+        tracer._record(
+            {
+                "type": "span",
+                "name": self.name,
+                "cat": self.category,
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
+                "ts_us": self._start_us,
+                "dur_us": end_us - self._start_us,
+                "pid": tracer.pid,
+                "tid": threading.get_ident(),
+                "args": self.args,
+            }
+        )
+
+
+class Tracer:
+    """Recording tracer: nested spans + instant events, in memory.
+
+    Parameters
+    ----------
+    metadata:
+        Provenance attached to every export (the trace *header*); the
+        :func:`repro.obs.observe` helper stamps the package version and
+        a creation label here.
+    """
+
+    enabled = True
+
+    def __init__(self, metadata: Optional[Dict[str, Any]] = None) -> None:
+        self.metadata: Dict[str, Any] = dict(metadata or {})
+        self.pid = os.getpid()
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._events: List[Dict] = []
+        self._counter = 0
+        self._local = threading.local()
+
+    # -- internal plumbing --------------------------------------------
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._epoch) * 1e6
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._counter += 1
+            return self._counter
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _current_span_id(self) -> Optional[int]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span_id: int) -> None:
+        self._stack().append(span_id)
+
+    def _pop(self) -> None:
+        stack = self._stack()
+        if stack:
+            stack.pop()
+
+    def _record(self, event: Dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    # -- public API ----------------------------------------------------
+
+    def span(self, name: str, category: str = "app", **args) -> _Span:
+        """Open a nested span (use as a context manager)."""
+        return _Span(self, name, category, args)
+
+    def instant(self, name: str, category: str = "app", **args) -> None:
+        """Record a point-in-time event under the current span."""
+        self._record(
+            {
+                "type": "instant",
+                "name": name,
+                "cat": category,
+                "span_id": self._next_id(),
+                "parent_id": self._current_span_id(),
+                "ts_us": self._now_us(),
+                "pid": self.pid,
+                "tid": threading.get_ident(),
+                "args": args,
+            }
+        )
+
+    def events(self) -> List[Dict]:
+        """Snapshot of all finished events (chronological record order)."""
+        with self._lock:
+            return list(self._events)
+
+    def __repr__(self) -> str:
+        return f"Tracer(n_events={len(self._events)})"
+
+
+#: the process-global active tracer; NEVER ``None`` (null object pattern)
+_ACTIVE: "NullTracer | Tracer" = NULL_TRACER
+
+
+def get_tracer():
+    """The active tracer — a :class:`NullTracer` unless one is installed."""
+    return _ACTIVE
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` process-wide (``None`` restores the null tracer)."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Temporarily install ``tracer`` as the process-global tracer."""
+    previous = _ACTIVE
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

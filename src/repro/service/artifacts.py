@@ -36,6 +36,7 @@ import time
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Union
 
+from repro._version import package_version
 from repro.errors import ServiceError
 from repro.lut.cascade import LutCascadeDesign
 from repro.serialization import (
@@ -109,6 +110,7 @@ class ArtifactStore:
         envelope = {
             "format": _FORMAT,
             "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "repro_version": package_version(),
             "key": key,
             "created_at": time.time(),
             "design": design,

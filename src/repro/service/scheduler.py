@@ -21,7 +21,12 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import get_tracer
 from repro.service.jobstore import JobRecord, JobStore
+
+logger = get_logger("repro.service.scheduler")
 
 __all__ = ["Scheduler", "SchedulerPolicy"]
 
@@ -92,19 +97,37 @@ class Scheduler:
         self, worker: str, now: Optional[float] = None
     ) -> Optional[JobRecord]:
         """Claim the next runnable job for ``worker`` (or ``None``)."""
-        return self.store.claim(
+        job = self.store.claim(
             worker, lease_seconds=self.policy.lease_seconds, now=now
         )
+        if job is not None:
+            get_tracer().instant(
+                "job_claimed",
+                category="service",
+                job_id=job.id,
+                worker=worker,
+                attempt=job.attempts,
+            )
+            get_metrics().counter(
+                "scheduler_claims_total", help="jobs claimed by workers"
+            ).inc()
+        return job
 
     def heartbeat(self, job: JobRecord, now: Optional[float] = None) -> None:
         """Renew ``job``'s lease; workers call this from progress hooks."""
         self.store.heartbeat(
             job.id, lease_seconds=self.policy.lease_seconds, now=now
         )
+        get_metrics().counter(
+            "scheduler_heartbeats_total", help="lease renewals"
+        ).inc()
 
     def complete(self, job: JobRecord, **kwargs) -> None:
         """Record a successful attempt (see :meth:`JobStore.complete`)."""
         self.store.complete(job.id, **kwargs)
+        get_tracer().instant(
+            "job_completed", category="service", job_id=job.id
+        )
 
     def record_failure(
         self,
@@ -121,10 +144,51 @@ class Scheduler:
         if job.attempts < job.max_attempts:
             delay = self.policy.backoff_for(job.attempts)
             self.store.retry(job.id, error=error, not_before=now + delay)
+            get_tracer().instant(
+                "job_retry",
+                category="service",
+                job_id=job.id,
+                attempt=job.attempts,
+                backoff_seconds=delay,
+            )
+            get_metrics().counter(
+                "scheduler_retries_total",
+                help="failed attempts requeued with backoff",
+            ).inc()
             return "queued"
         self.store.fail(job.id, error=error, now=now)
+        logger.warning(
+            "job %s failed permanently after %d attempts: %s",
+            job.id, job.attempts, error,
+        )
+        get_tracer().instant(
+            "job_failed",
+            category="service",
+            job_id=job.id,
+            attempts=job.attempts,
+        )
+        get_metrics().counter(
+            "scheduler_failures_total",
+            help="jobs failed after exhausting retries",
+        ).inc()
         return "failed"
 
     def recover_orphans(self, now: Optional[float] = None) -> List[str]:
         """Requeue/fail jobs abandoned by crashed workers."""
-        return self.store.recover_orphans(now=now)
+        recovered = self.store.recover_orphans(now=now)
+        if recovered:
+            logger.warning(
+                "recovered %d orphaned job(s): %s",
+                len(recovered), ", ".join(recovered),
+            )
+            for job_id in recovered:
+                get_tracer().instant(
+                    "job_orphan_recovered",
+                    category="service",
+                    job_id=job_id,
+                )
+            get_metrics().counter(
+                "scheduler_orphans_recovered_total",
+                help="jobs reclaimed from crashed workers",
+            ).inc(len(recovered))
+        return recovered

@@ -26,10 +26,16 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional, Sequence
 
+from repro.obs.exporters import prometheus_text
+from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.service.artifacts import ArtifactStore
 from repro.service.jobstore import JobRecord, JobStore
 
-__all__ = ["service_summary", "format_job_table"]
+__all__ = [
+    "service_summary",
+    "format_job_table",
+    "prometheus_exposition",
+]
 
 
 def _round(value: Optional[float], digits: int = 4) -> Optional[float]:
@@ -106,6 +112,61 @@ def service_summary(
     if artifacts is not None:
         summary["cache"].update(artifacts.stats())
     return summary
+
+
+def prometheus_exposition(
+    store: JobStore,
+    artifacts: Optional[ArtifactStore] = None,
+    now: Optional[float] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> str:
+    """Prometheus text exposition of the service state.
+
+    Combines the durable-state summary (re-derived from the job store
+    and artifact directory, exported as gauges under ``repro_service_*``)
+    with the in-process counters/histograms of ``registry`` (default:
+    the global registry — scheduler/worker/solver metrics).
+    """
+    summary = service_summary(store, artifacts, now=now)
+    derived = MetricsRegistry()
+    for state, count in summary["jobs"].items():
+        derived.gauge(
+            f"service_jobs_{state}",
+            help=f"jobs currently in state {state}"
+            if state != "total" else "all jobs ever submitted",
+        ).set(count)
+    cache = summary["cache"]
+    derived.gauge(
+        "service_cache_hits", help="done jobs served from cache"
+    ).set(cache["hits"])
+    derived.gauge(
+        "service_cache_misses", help="done jobs actually solved"
+    ).set(cache["misses"])
+    if cache.get("n_artifacts") is not None:
+        derived.gauge(
+            "service_artifacts", help="stored artifact count"
+        ).set(cache["n_artifacts"])
+    if cache.get("total_bytes") is not None:
+        derived.gauge(
+            "service_artifact_bytes", help="stored artifact bytes"
+        ).set(cache["total_bytes"])
+    derived.gauge(
+        "service_retries", help="total executed retries"
+    ).set(summary["retries"]["total"])
+    derived.gauge(
+        "service_queue_depth", help="queued plus running jobs"
+    ).set(summary["queue"]["depth"])
+    solve_total = summary["timing"]["solve_seconds_total"]
+    if solve_total is not None:
+        derived.gauge(
+            "service_solve_seconds_total",
+            help="cumulative non-cached solve wall time",
+        ).set(solve_total)
+    text = prometheus_text(derived)
+    process = prometheus_text(
+        registry if registry is not None else get_metrics()
+    )
+    return text + process
 
 
 def format_job_table(jobs: Sequence[JobRecord]) -> str:

@@ -39,11 +39,16 @@ from typing import Callable, Dict, Optional
 
 from repro.core.framework import IsingDecomposer
 from repro.errors import OperationCancelled
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import get_tracer
 from repro.serialization import result_to_dict
 from repro.service.artifacts import ArtifactStore
 from repro.service.jobstore import JobRecord
 from repro.service.scheduler import Scheduler
 from repro.service.spec import JobSpec
+
+logger = get_logger("repro.service.worker")
 
 __all__ = ["JobExecutor", "WorkerPool", "ExecutionOutcome"]
 
@@ -95,8 +100,16 @@ class JobExecutor:
         store transition either way.
         """
         start = time.monotonic()
-        cached = self.artifacts.get(job.artifact_key)
+        tracer = get_tracer()
+        with tracer.span(
+            "artifact_cache_check", category="service", job_id=job.id
+        ):
+            cached = self.artifacts.get(job.artifact_key)
         if cached is not None:
+            get_metrics().counter(
+                "service_cache_hits_total",
+                help="jobs resolved from the artifact cache",
+            ).inc()
             return ExecutionOutcome(
                 design=cached["design"],
                 med=cached["meta"].get("med"),
@@ -123,7 +136,13 @@ class JobExecutor:
                 f"timeout of {spec.timeout_seconds}s expired before the "
                 "attempt started"
             )
-        result = self._decompose(spec, table, progress, should_cancel)
+        with tracer.span(
+            "job_decompose",
+            category="service",
+            job_id=job.id,
+            artifact_key=job.artifact_key,
+        ):
+            result = self._decompose(spec, table, progress, should_cancel)
         runtime = time.monotonic() - start
         meta = {
             "med": float(result.med),
@@ -131,7 +150,10 @@ class JobExecutor:
             "n_cop_solves": getattr(result, "n_cop_solves", None),
             "problem": spec.describe(),
         }
-        envelope = self.artifacts.put(job.artifact_key, result, meta)
+        with tracer.span(
+            "artifact_put", category="service", job_id=job.id
+        ):
+            envelope = self.artifacts.put(job.artifact_key, result, meta)
         return ExecutionOutcome(
             design=envelope["design"],
             med=float(result.med),
@@ -165,25 +187,55 @@ class WorkerPool:
         def heartbeat() -> None:
             self.scheduler.heartbeat(job)
 
-        try:
-            outcome = self.executor.execute(job, heartbeat=heartbeat)
-        except OperationCancelled as exc:
-            self.scheduler.record_failure(
-                job, error=f"timeout: {exc}", now=time.time()
-            )
-        except Exception as exc:  # worker crash — never kills the pool
-            self.scheduler.record_failure(
-                job,
-                error=f"{type(exc).__name__}: {exc}",
-                now=time.time(),
-            )
-        else:
-            self.scheduler.complete(
-                job,
-                med=outcome.med,
-                runtime_seconds=outcome.runtime_seconds,
-                cache_hit=outcome.cache_hit,
-            )
+        metrics = get_metrics()
+        with get_tracer().span(
+            "job",
+            category="service",
+            job_id=job.id,
+            worker=worker_name,
+            attempt=job.attempts,
+        ) as span:
+            try:
+                outcome = self.executor.execute(job, heartbeat=heartbeat)
+            except OperationCancelled as exc:
+                logger.warning("job %s timed out: %s", job.id, exc)
+                span.set_args(outcome="timeout")
+                metrics.counter(
+                    "service_jobs_timeout_total",
+                    help="job attempts ended by timeout",
+                ).inc()
+                self.scheduler.record_failure(
+                    job, error=f"timeout: {exc}", now=time.time()
+                )
+            except Exception as exc:  # worker crash — never kills the pool
+                logger.warning(
+                    "job %s crashed: %s: %s",
+                    job.id, type(exc).__name__, exc,
+                )
+                span.set_args(outcome="crashed")
+                metrics.counter(
+                    "service_jobs_crashed_total",
+                    help="job attempts ended by a worker crash",
+                ).inc()
+                self.scheduler.record_failure(
+                    job,
+                    error=f"{type(exc).__name__}: {exc}",
+                    now=time.time(),
+                )
+            else:
+                span.set_args(
+                    outcome="completed", cache_hit=outcome.cache_hit
+                )
+                metrics.counter(
+                    "service_jobs_completed_total",
+                    help="jobs completed successfully",
+                ).inc()
+                self.scheduler.complete(
+                    job,
+                    med=outcome.med,
+                    runtime_seconds=outcome.runtime_seconds,
+                    cache_hit=outcome.cache_hit,
+                )
 
     def _loop(self, worker_name: str, drain: bool) -> None:
         poll = self.scheduler.policy.poll_interval_seconds

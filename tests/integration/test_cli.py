@@ -126,6 +126,104 @@ class TestMisc:
             main(["frobnicate"])
 
 
+class TestObservability:
+    """--version, --trace-out, trace report, status --prometheus."""
+
+    @pytest.fixture(scope="class")
+    def traced(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("obs")
+        trace = root / "run.trace.json"
+        code = main(
+            ["decompose", "--workload", "cos", "--n-inputs", "4",
+             *FAST, "--out", str(root / "cos.json"),
+             "--trace-out", str(trace)]
+        )
+        assert code == 0
+        return trace
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_trace_out_writes_chrome_trace(self, traced):
+        payload = json.loads(traced.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["traceEvents"]
+        assert {e["ph"] for e in payload["traceEvents"]} <= {"X", "i"}
+        assert payload["otherData"]["format"] == "repro-trace"
+        assert payload["otherData"]["workload"] == "cos"
+
+    def test_trace_report_renders_stage_breakdown(self, traced, capsys):
+        assert main(["trace", "report", str(traced)]) == 0
+        out = capsys.readouterr().out
+        assert "stage time breakdown" in out
+        assert "sb_solve" in out
+        assert "stop iteration histogram" in out
+
+    def test_trace_report_json(self, traced, capsys):
+        assert main(["trace", "report", str(traced), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["solver"]["runs"] > 0
+        assert "sb_solve" in summary["stages"]
+
+    def test_trace_report_missing_file_is_clean_error(self, capsys,
+                                                      tmp_path):
+        code = main(["trace", "report", str(tmp_path / "missing.json")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+
+    def test_trace_report_corrupt_file_is_clean_error(self, capsys,
+                                                      tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        code = main(["trace", "report", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_status_prometheus(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        assert main(
+            ["submit", "--service-dir", str(root),
+             "--workload", "cos", "--n-inputs", "4", *FAST]
+        ) == 0
+        assert main(["serve", "--service-dir", str(root)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["status", "--service-dir", str(root), "--prometheus"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_service_jobs_done gauge" in out
+        assert "repro_service_jobs_done 1" in out
+        assert "repro_service_queue_depth 0" in out
+
+    def test_serve_trace_out(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        trace = tmp_path / "svc.trace.jsonl"
+        assert main(
+            ["submit", "--service-dir", str(root),
+             "--workload", "erf", "--n-inputs", "4", *FAST]
+        ) == 0
+        assert main(
+            ["serve", "--service-dir", str(root),
+             "--trace-out", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        lines = trace.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "header"
+        names = {json.loads(line)["name"] for line in lines[1:]}
+        assert {"job", "job_claimed", "job_completed"} <= names
+        assert main(["trace", "report", str(trace)]) == 0
+        assert "solver runs" in capsys.readouterr().out
+
+
 class TestErrorExitCodes:
     """Every failure is one line on stderr + non-zero exit, never a
     traceback."""

@@ -249,14 +249,21 @@ class TestRegistry:
     @pytest.mark.skipif(
         NUMBA_AVAILABLE, reason="numba installed; no fallback to test"
     )
-    def test_missing_numba_falls_back_with_warning(
-        self, monkeypatch, rng
+    def test_missing_numba_falls_back_with_log_warning(
+        self, monkeypatch, rng, caplog
     ):
         monkeypatch.delenv(ENV_BACKEND, raising=False)
-        with pytest.warns(RuntimeWarning, match="numba"):
+        with caplog.at_level("WARNING", logger="repro.ising.kernels"):
             assert resolve_backend("numba") == DEFAULT_BACKEND
-        with pytest.warns(RuntimeWarning, match="numba"):
+        assert any(
+            "numba" in record.getMessage() for record in caplog.records
+        )
+        caplog.clear()
+        with caplog.at_level("WARNING", logger="repro.ising.kernels"):
             kernel = make_kernel(rng.normal(size=(2, 3)), backend="numba")
+        assert any(
+            "numba" in record.getMessage() for record in caplog.records
+        )
         assert kernel.dtype == np.float64
 
     @pytest.mark.skipif(

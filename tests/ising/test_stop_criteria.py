@@ -95,6 +95,69 @@ class TestEnergyVarianceStop:
             EnergyVarianceStop(max_iterations=0)
 
 
+class TestEnergyVarianceStopEdgeCases:
+    """Boundary behavior the observability layer reports on."""
+
+    def test_last_variance_none_until_window_full(self):
+        stop = EnergyVarianceStop(sample_every=1, window=3, threshold=0.0)
+        stop.reset()
+        assert stop.last_variance is None
+        stop.observe(1.0)
+        assert stop.last_variance is None
+        stop.observe(2.0)
+        assert stop.last_variance is None  # 2 of 3 samples
+        stop.observe(3.0)
+        assert stop.last_variance is not None
+
+    def test_variance_exactly_at_threshold_does_not_stop(self):
+        # the criterion is Var < eps, strictly: equality keeps running
+        stop = EnergyVarianceStop(sample_every=1, window=2, threshold=1.0)
+        stop.reset()
+        stop.observe(0.0)
+        assert not stop.observe(2.0)  # var([0, 2]) == 1.0 == threshold
+        assert stop.last_variance == 1.0
+
+    def test_variance_just_below_threshold_stops(self):
+        stop = EnergyVarianceStop(sample_every=1, window=2, threshold=1.0)
+        stop.reset()
+        stop.observe(0.0)
+        assert stop.observe(2.0 - 1e-9)
+
+    def test_fixed_iterations_sample_every_none_never_samples(self):
+        stop = FixedIterations(100)
+        assert stop.sample_every is None
+        assert not any(stop.wants_sample(i) for i in range(1, 101))
+
+    def test_no_state_leaks_between_runs_with_reset(self):
+        stop = EnergyVarianceStop(sample_every=1, window=3, threshold=1e-8)
+        stop.reset()
+        decisions_first = [stop.observe(5.0) for _ in range(4)]
+        assert decisions_first[-1] is True
+        stop.reset()
+        assert stop.last_variance is None
+        # a fresh run must refill the whole window before stopping again
+        decisions_second = [stop.observe(5.0) for _ in range(4)]
+        assert decisions_second == decisions_first
+
+    def test_without_reset_stale_window_leaks(self):
+        # documents why solvers MUST call reset(): stale samples from a
+        # previous run would trigger an immediate (wrong) stop
+        stop = EnergyVarianceStop(sample_every=1, window=3, threshold=1e-8)
+        stop.reset()
+        for _ in range(4):
+            stop.observe(5.0)
+        assert stop.observe(5.0)  # window still full from the "old run"
+
+    def test_min_iterations_counts_samples_not_iterations(self):
+        stop = EnergyVarianceStop(
+            sample_every=10, window=2, threshold=1.0, min_iterations=25
+        )
+        stop.reset()
+        assert not stop.observe(0.0)  # window not full
+        assert not stop.observe(0.0)  # 2 samples -> iteration 20 < 25
+        assert stop.observe(0.0)  # 3 samples -> iteration 30 >= 25
+
+
 class TestLinearPump:
     def test_ramps_to_a0(self):
         pump = LinearPump(a0=2.0, ramp_iterations=100)

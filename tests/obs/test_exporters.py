@@ -1,0 +1,122 @@
+"""Unit tests for :mod:`repro.obs.exporters`."""
+
+import json
+
+from repro._version import package_version
+from repro.obs.exporters import (
+    chrome_trace_dict,
+    jsonl_lines,
+    prometheus_text,
+    trace_header,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def traced_run():
+    tracer = Tracer(metadata={"command": "test"})
+    with tracer.span("decompose", category="framework", n_inputs=4):
+        with tracer.span("sb_solve", category="stage", n_spins=16):
+            tracer.instant("sb_probe", category="solver", n_iterations=100)
+    return tracer
+
+
+class TestTraceHeader:
+    def test_carries_version_and_metadata(self):
+        header = trace_header({"workload": "cos"})
+        assert header["format"] == "repro-trace"
+        assert header["repro_version"] == package_version()
+        assert header["time_unit"] == "us"
+        assert header["workload"] == "cos"
+
+
+class TestJsonl:
+    def test_header_line_first_then_one_event_per_line(self):
+        tracer = traced_run()
+        lines = jsonl_lines(tracer.events(), tracer.metadata)
+        assert len(lines) == 1 + 3
+        header = json.loads(lines[0])
+        assert header["type"] == "header"
+        assert header["command"] == "test"
+        types = [json.loads(line)["type"] for line in lines[1:]]
+        assert types.count("span") == 2
+        assert types.count("instant") == 1
+
+    def test_write_round_trips(self, tmp_path):
+        tracer = traced_run()
+        path = write_jsonl(tracer, tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert all(json.loads(line) for line in lines)
+        assert len(lines) == 4
+
+
+class TestChromeTrace:
+    def test_structural_validity(self):
+        tracer = traced_run()
+        payload = chrome_trace_dict(tracer.events(), tracer.metadata)
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["format"] == "repro-trace"
+        for event in payload["traceEvents"]:
+            assert event["ph"] in ("X", "i")
+            assert {"name", "cat", "ts", "pid", "tid", "args"} <= set(event)
+            if event["ph"] == "X":
+                assert "dur" in event and event["dur"] >= 0.0
+            else:
+                assert event["s"] == "t"
+
+    def test_span_linkage_survives_in_args(self):
+        tracer = traced_run()
+        payload = chrome_trace_dict(tracer.events(), tracer.metadata)
+        by_name = {e["name"]: e for e in payload["traceEvents"]}
+        outer = by_name["decompose"]["args"]["span_id"]
+        assert by_name["sb_solve"]["args"]["parent_id"] == outer
+        assert "parent_id" not in by_name["decompose"]["args"]
+
+    def test_write_is_loadable_json(self, tmp_path):
+        tracer = traced_run()
+        path = write_chrome_trace(tracer, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == 3
+
+
+class TestWriteTrace:
+    def test_suffix_selects_format(self, tmp_path):
+        tracer = traced_run()
+        chrome = write_trace(tracer, tmp_path / "t.json")
+        jsonl = write_trace(tracer, tmp_path / "t.jsonl")
+        assert "traceEvents" in json.loads(chrome.read_text())
+        first = json.loads(jsonl.read_text().splitlines()[0])
+        assert first["type"] == "header"
+
+
+class TestPrometheusText:
+    def test_counter_gauge_histogram_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", help="all jobs").inc(3)
+        registry.gauge("queue_depth").set(2)
+        hist = registry.histogram("iters", buckets=(10.0, 100.0))
+        hist.observe(5)
+        hist.observe(500)
+        text = prometheus_text(registry)
+        assert "# HELP repro_jobs_total all jobs" in text
+        assert "# TYPE repro_jobs_total counter" in text
+        assert "repro_jobs_total 3" in text
+        assert "repro_queue_depth 2" in text
+        assert 'repro_iters_bucket{le="10"} 1' in text
+        assert 'repro_iters_bucket{le="100"} 1' in text
+        assert 'repro_iters_bucket{le="+Inf"} 2' in text
+        assert "repro_iters_sum 505" in text
+        assert "repro_iters_count 2" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_prefix_is_configurable(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        assert "svc_x 1" in prometheus_text(registry, prefix="svc_")

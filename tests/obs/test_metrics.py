@@ -1,0 +1,143 @@
+"""Unit tests for :mod:`repro.obs.metrics`."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    STOP_ITERATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("jobs_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        counter = Counter("jobs_total")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1.0)
+
+    def test_snapshot(self):
+        counter = Counter("jobs_total")
+        counter.inc()
+        assert counter.snapshot() == {"kind": "counter", "value": 1.0}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec(3.0)
+        assert gauge.value == 4.0
+        assert gauge.snapshot() == {"kind": "gauge", "value": 4.0}
+
+
+class TestHistogram:
+    def test_cumulative_snapshot(self):
+        hist = Histogram("iters", buckets=(10.0, 100.0))
+        for value in (5, 7, 50, 5000):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["buckets"] == {"10.0": 2, "100.0": 3, "+Inf": 4}
+        assert snap["count"] == 4
+        assert snap["sum"] == 5062.0
+
+    def test_value_on_boundary_falls_in_lower_bucket(self):
+        hist = Histogram("iters", buckets=(10.0, 100.0))
+        hist.observe(10.0)  # le="10.0" is inclusive, Prometheus-style
+        assert hist.snapshot()["buckets"]["10.0"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("bad", buckets=())
+        with pytest.raises(ConfigurationError):
+            Histogram("bad", buckets=(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("bad", buckets=(5.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("bad", buckets=(1.0, float("inf")))
+
+    def test_thread_safety(self):
+        hist = Histogram("iters", buckets=(0.5,))
+
+        def worker():
+            for _ in range(1000):
+                hist.observe(1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert hist.count == 4000
+        assert hist.snapshot()["buckets"]["+Inf"] == 4000
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("a")
+
+    def test_histogram_boundary_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        registry.histogram("h", buckets=(1.0, 2.0))  # identical is fine
+        with pytest.raises(ConfigurationError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_snapshot_is_name_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc()
+        assert list(registry.snapshot()) == ["alpha", "zeta"]
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.clear()
+        assert registry.snapshot() == {}
+
+    def test_default_buckets_are_stop_iteration_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("solver_stop_iteration")
+        assert hist.buckets == STOP_ITERATION_BUCKETS
+
+
+class TestGlobalRegistry:
+    def test_set_metrics_swaps_and_restores(self):
+        original = get_metrics()
+        fresh = MetricsRegistry()
+        try:
+            assert set_metrics(fresh) is fresh
+            assert get_metrics() is fresh
+        finally:
+            set_metrics(original)
+        assert get_metrics() is original
+
+    def test_set_metrics_none_installs_fresh(self):
+        original = get_metrics()
+        try:
+            replacement = set_metrics(None)
+            assert replacement is get_metrics()
+            assert replacement is not original
+            assert replacement.snapshot() == {}
+        finally:
+            set_metrics(original)

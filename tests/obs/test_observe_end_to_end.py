@@ -1,0 +1,134 @@
+"""End-to-end observability acceptance: tracing never changes results.
+
+The ISSUE-level guarantee: running the full decomposition (and the
+service pipeline on top of it) under ``repro.obs.observe`` produces
+**bit-identical designs** to the same seeded run without observability —
+same approximations, same MED, same content-addressed artifact key.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro._version import package_version
+from repro.boolean.truth_table import TruthTable
+from repro.core import CoreSolverConfig, FrameworkConfig, IsingDecomposer
+from repro.obs import observe, write_trace
+from repro.obs.report import load_trace, summarize_trace
+from repro.serialization import result_to_dict
+from repro.service import DecompositionService, JobSpec
+from repro.service.spec import artifact_key
+
+
+def fast_config(**overrides):
+    base = dict(
+        mode="joint",
+        free_size=2,
+        n_partitions=3,
+        n_rounds=1,
+        seed=5,
+        solver=CoreSolverConfig(max_iterations=200, n_replicas=2),
+    )
+    base.update(overrides)
+    return FrameworkConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return TruthTable.from_integer_function(
+        lambda x: (3 * x + 1) % 16, n_inputs=4, n_outputs=4
+    )
+
+
+class TestDecomposeBitIdentical:
+    def test_observed_run_matches_unobserved(self, table, tmp_path):
+        baseline = IsingDecomposer(fast_config()).decompose(table)
+        with observe(metadata={"test": "e2e"}) as tracer:
+            observed = IsingDecomposer(fast_config()).decompose(table)
+
+        assert observed.med == baseline.med
+        assert np.array_equal(
+            observed.approx.outputs, baseline.approx.outputs
+        )
+        assert result_to_dict(observed) == result_to_dict(baseline)
+
+        # while proving neutrality the trace still captured the run
+        events = tracer.events()
+        stage_names = {
+            e["name"] for e in events
+            if e["type"] == "span" and e["cat"] == "stage"
+        }
+        assert "sb_solve" in stage_names
+        assert "decode" in stage_names
+        assert "partition_enumeration" in stage_names
+        framework = {
+            e["name"] for e in events if e["cat"] == "framework"
+        }
+        assert {"decompose", "round", "component"} <= framework
+        assert any(e["name"] == "sb_probe" for e in events)
+
+        # and the export loads as a structurally valid Chrome trace
+        path = write_trace(tracer, tmp_path / "e2e.json")
+        payload = json.loads(path.read_text())
+        assert {e["ph"] for e in payload["traceEvents"]} <= {"X", "i"}
+        summary = summarize_trace(*load_trace(path))
+        assert summary["solver"]["runs"] > 0
+
+    def test_trace_every_thins_solver_trace_without_changing_design(
+        self, table
+    ):
+        dense = IsingDecomposer(fast_config()).decompose(table)
+        thinned = IsingDecomposer(
+            fast_config(solver=CoreSolverConfig(
+                max_iterations=200, n_replicas=2, trace_every=4,
+            ))
+        ).decompose(table)
+        assert result_to_dict(thinned) == result_to_dict(dense)
+
+    def test_trace_every_is_semantically_neutral(self):
+        # trace_every shapes memory, not answers: identical artifact keys
+        plain = fast_config()
+        thinned = fast_config(
+            solver=CoreSolverConfig(
+                max_iterations=200, n_replicas=2, trace_every=4,
+            )
+        )
+        assert plain.semantic_dict() == thinned.semantic_dict()
+
+
+class TestServiceRoundTripBitIdentical:
+    def test_same_artifact_key_and_design_with_observe(self, tmp_path):
+        spec = JobSpec(workload="cos", n_inputs=4, config=fast_config())
+        key = artifact_key(spec.build_table(), spec.config)
+
+        bare = DecompositionService(tmp_path / "bare")
+        bare.submit(spec)
+        bare.run_until_drained(timeout=120)
+
+        with observe() as tracer:
+            traced = DecompositionService(tmp_path / "traced")
+            traced.submit(spec)
+            traced.run_until_drained(timeout=120)
+
+        bare_env = bare.artifacts.get(key)
+        traced_env = traced.artifacts.get(key)
+        assert bare_env is not None and traced_env is not None
+        assert bare_env["design"] == traced_env["design"]
+        assert bare_env["key"] == traced_env["key"] == key
+        assert traced_env["repro_version"] == package_version()
+
+        # the service layers show up in the trace
+        events = tracer.events()
+        service_spans = {
+            e["name"] for e in events
+            if e["type"] == "span" and e["cat"] == "service"
+        }
+        assert {"job", "job_decompose", "artifact_put"} <= service_spans
+        instants = {e["name"] for e in events if e["type"] == "instant"}
+        assert {"job_claimed", "job_completed"} <= instants
+        job_span = next(
+            e for e in events
+            if e["type"] == "span" and e["name"] == "job"
+        )
+        assert job_span["args"]["outcome"] == "completed"

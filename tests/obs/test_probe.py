@@ -1,0 +1,159 @@
+"""Unit tests for :mod:`repro.obs.probe`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.ising.model import DenseIsingModel
+from repro.ising.solvers.bsb import BallisticSBSolver
+from repro.ising.stop_criteria import EnergyVarianceStop, FixedIterations
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import (
+    RecordingSolverProbe,
+    SolverProbe,
+    get_probe_factory,
+    make_probe,
+    set_probe_factory,
+)
+from repro.obs.tracing import Tracer
+
+
+def small_model(seed=0, n=8):
+    rng = np.random.default_rng(seed)
+    j = rng.normal(size=(n, n))
+    j = (j + j.T) / 2.0
+    np.fill_diagonal(j, 0.0)
+    return DenseIsingModel(biases=rng.normal(size=n), couplings=j)
+
+
+class TestFactory:
+    def test_default_factory_is_none(self):
+        assert get_probe_factory() is None
+        assert make_probe() is None
+
+    def test_installed_factory_builds_fresh_probes(self):
+        set_probe_factory(RecordingSolverProbe)
+        try:
+            first, second = make_probe(), make_probe()
+            assert isinstance(first, RecordingSolverProbe)
+            assert first is not second
+        finally:
+            set_probe_factory(None)
+        assert make_probe() is None
+
+
+class TestRecordingSolverProbe:
+    def test_records_run_lifecycle(self):
+        probe = RecordingSolverProbe()
+        solver = BallisticSBSolver(
+            stop=FixedIterations(200, sample_every=20),
+            n_replicas=2,
+            probe=probe,
+        )
+        result = solver.solve(small_model(), rng=np.random.default_rng(1))
+        assert probe.backend == "inline"
+        assert probe.dtype == "float64"
+        assert probe.n_spins == 8
+        assert probe.n_replicas == 2
+        assert probe.kernel_steps == 200
+        assert probe.kernel_step_seconds > 0.0
+        assert probe.n_iterations == result.n_iterations
+        assert probe.stop_reason == result.stop_reason
+        assert probe.best_energy == result.energy
+        # one (iteration, energy) pair per sampling point
+        iterations = [i for i, _ in probe.energy_trace]
+        assert iterations == list(range(20, 201, 20))
+        assert [e for _, e in probe.energy_trace] == result.energy_trace
+
+    def test_trace_every_downsamples_probe_trace_only(self):
+        probe = RecordingSolverProbe(trace_every=3)
+        solver = BallisticSBSolver(
+            stop=FixedIterations(200, sample_every=20),
+            n_replicas=2,
+            probe=probe,
+        )
+        result = solver.solve(small_model(), rng=np.random.default_rng(1))
+        assert [i for i, _ in probe.energy_trace] == [20, 80, 140, 200]
+        # the solver's own trace is untouched by the probe's thinning
+        assert len(result.energy_trace) == 10
+
+    def test_stop_observations_record_variance_vs_threshold(self):
+        probe = RecordingSolverProbe()
+        solver = BallisticSBSolver(
+            stop=EnergyVarianceStop(
+                sample_every=10, window=3, threshold=1e-6,
+                max_iterations=2000,
+            ),
+            n_replicas=2,
+            probe=probe,
+        )
+        solver.solve(small_model(), rng=np.random.default_rng(2))
+        assert probe.stop_observations
+        # the first observations precede a full window: variance is None
+        assert probe.stop_observations[0]["variance"] is None
+        assert all(
+            obs["threshold"] == 1e-6 for obs in probe.stop_observations
+        )
+        if probe.stop_reason == "variance_converged":
+            last = probe.stop_observations[-1]
+            assert last["stopped"] is True
+            assert last["variance"] < 1e-6
+
+    def test_emits_tracer_events_and_metrics(self):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        probe = RecordingSolverProbe(tracer=tracer, metrics=registry)
+        solver = BallisticSBSolver(
+            stop=FixedIterations(100, sample_every=50),
+            n_replicas=1,
+            intervention=lambda state: None,
+            probe=probe,
+        )
+        solver.solve(small_model(), rng=np.random.default_rng(3))
+        names = [e["name"] for e in tracer.events()]
+        assert names.count("sb_probe") == 1
+        assert names.count("theorem3_intervention") == 2
+        sb = [e for e in tracer.events() if e["name"] == "sb_probe"][0]
+        assert sb["cat"] == "solver"
+        assert sb["args"] == probe.summary()
+        snapshot = registry.snapshot()
+        assert snapshot["solver_runs_total"]["value"] == 1.0
+        assert snapshot["solver_interventions_total"]["value"] == 2.0
+        assert snapshot["solver_stop_iteration"]["count"] == 1
+
+    def test_probe_never_perturbs_the_search(self):
+        model = small_model(seed=7)
+
+        def run(probe):
+            return BallisticSBSolver(
+                stop=EnergyVarianceStop(
+                    sample_every=10, window=3, max_iterations=1000
+                ),
+                n_replicas=4,
+                probe=probe,
+            ).solve(model, rng=np.random.default_rng(11))
+
+        bare = run(None)
+        probed = run(RecordingSolverProbe(tracer=Tracer()))
+        assert np.array_equal(bare.spins, probed.spins)
+        assert bare.energy == probed.energy
+        assert bare.n_iterations == probed.n_iterations
+        assert bare.energy_trace == probed.energy_trace
+
+
+class TestSolverValidation:
+    def test_trace_every_must_be_positive(self):
+        with pytest.raises(SolverError):
+            BallisticSBSolver(trace_every=0)
+
+    def test_base_probe_hooks_are_noops(self):
+        probe = SolverProbe()
+        probe.on_begin(
+            n_spins=1, n_replicas=1, max_iterations=1,
+            backend="inline", dtype="float64",
+        )
+        probe.on_step(0.0)
+        probe.on_sample(1, 0.0, 0.0)
+        probe.on_stop_observation(1, None, None, False)
+        probe.on_intervention(1, False)
+        probe.on_end(n_iterations=1, stop_reason="x", best_energy=0.0)

@@ -1,0 +1,137 @@
+"""Unit tests for :mod:`repro.obs.report`."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.exporters import write_chrome_trace, write_jsonl
+from repro.obs.report import (
+    TraceFormatError,
+    load_trace,
+    render_report,
+    summarize_trace,
+)
+from repro.obs.tracing import Tracer
+
+
+def traced_run():
+    tracer = Tracer(metadata={"command": "test", "repro_version": "9.9.9"})
+    with tracer.span("decompose", category="framework"):
+        with tracer.span("sb_solve", category="stage"):
+            tracer.instant(
+                "sb_probe",
+                category="solver",
+                n_iterations=120,
+                stop_reason="variance_converged",
+                n_interventions=3,
+                n_interventions_changed=1,
+                kernel_step_seconds=0.25,
+            )
+        with tracer.span("decode", category="stage"):
+            pass
+        with tracer.span("sb_solve", category="stage"):
+            tracer.instant(
+                "sb_probe",
+                category="solver",
+                n_iterations=4000,
+                stop_reason="max_iterations",
+                n_interventions=0,
+                n_interventions_changed=0,
+                kernel_step_seconds=0.75,
+            )
+    return tracer
+
+
+class TestLoadTrace:
+    def test_loads_both_formats_identically(self, tmp_path):
+        tracer = traced_run()
+        chrome = write_chrome_trace(tracer, tmp_path / "t.json")
+        jsonl = write_jsonl(tracer, tmp_path / "t.jsonl")
+        chrome_events, chrome_meta = load_trace(chrome)
+        jsonl_events, jsonl_meta = load_trace(jsonl)
+        assert chrome_meta["command"] == "test"
+        assert jsonl_meta["command"] == "test"
+        assert len(chrome_events) == len(jsonl_events) == 6
+        assert summarize_trace(chrome_events, chrome_meta)["solver"] == (
+            summarize_trace(jsonl_events, jsonl_meta)["solver"]
+        )
+
+    def test_unknown_format_raises(self, tmp_path):
+        bogus = tmp_path / "bogus.txt"
+        bogus.write_text("")
+        with pytest.raises(TraceFormatError):
+            load_trace(bogus)
+
+    def test_corrupt_chrome_json_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [')
+        with pytest.raises(TraceFormatError):
+            load_trace(bad)
+
+    def test_corrupt_jsonl_line_raises(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "header"}\nnot json\n')
+        with pytest.raises(TraceFormatError):
+            load_trace(bad)
+
+    def test_format_error_is_a_repro_error(self):
+        # the CLI's one-line error handling relies on this
+        assert issubclass(TraceFormatError, ReproError)
+        assert issubclass(TraceFormatError, ValueError)
+
+
+class TestSummarizeTrace:
+    def test_stage_breakdown(self, tmp_path):
+        tracer = traced_run()
+        events, meta = load_trace(
+            write_chrome_trace(tracer, tmp_path / "t.json")
+        )
+        summary = summarize_trace(events, meta)
+        assert summary["n_events"] == 6
+        assert summary["wall_ms"] > 0.0
+        sb = summary["stages"]["sb_solve"]
+        assert sb["count"] == 2
+        assert sb["mean_ms"] == pytest.approx(sb["total_ms"] / 2)
+        assert summary["stages"]["decode"]["count"] == 1
+        assert "decompose" not in summary["stages"]  # framework, not stage
+
+    def test_solver_rollup(self, tmp_path):
+        tracer = traced_run()
+        events, meta = load_trace(
+            write_chrome_trace(tracer, tmp_path / "t.json")
+        )
+        solver = summarize_trace(events, meta)["solver"]
+        assert solver["runs"] == 2
+        assert solver["stop_reasons"] == {
+            "max_iterations": 1, "variance_converged": 1,
+        }
+        hist = solver["stop_iteration_histogram"]
+        assert hist["<= 200"] == 1
+        assert hist["<= 5000"] == 1
+        assert solver["kernel_step_seconds"] == pytest.approx(1.0)
+
+    def test_intervention_rollup(self):
+        summary = summarize_trace(traced_run().events())
+        assert summary["interventions"] == {"total": 3, "changed": 1}
+
+    def test_empty_event_stream(self):
+        summary = summarize_trace([])
+        assert summary["n_events"] == 0
+        assert summary["stages"] == {}
+        assert summary["solver"]["runs"] == 0
+
+
+class TestRenderReport:
+    def test_contains_all_sections(self):
+        tracer = traced_run()
+        text = render_report(summarize_trace(tracer.events(),
+                                             tracer.metadata))
+        assert "repro 9.9.9" in text
+        assert "stage time breakdown" in text
+        assert "sb_solve" in text
+        assert "stop iteration histogram" in text
+        assert "variance_converged: 1" in text
+        assert "theorem-3 interventions: 3 (1 changed" in text
+
+    def test_renders_empty_summary(self):
+        text = render_report(summarize_trace([]))
+        assert "(no stage spans recorded)" in text

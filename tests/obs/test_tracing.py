@@ -1,0 +1,136 @@
+"""Unit tests for :mod:`repro.obs.tracing`."""
+
+import threading
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+
+class TestNullTracer:
+    def test_default_global_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_span_is_shared_noop(self):
+        tracer = NullTracer()
+        span_a = tracer.span("x", category="stage", foo=1)
+        span_b = tracer.span("y")
+        assert span_a is span_b  # one shared object, zero allocation
+        with span_a as span:
+            span.set_args(bar=2)
+        assert tracer.events() == []
+
+    def test_instant_is_noop(self):
+        tracer = NullTracer()
+        tracer.instant("evt", category="service", job_id="j1")
+        assert tracer.events() == []
+
+
+class TestTracer:
+    def test_span_records_event(self):
+        tracer = Tracer()
+        with tracer.span("solve", category="stage", n=8):
+            pass
+        (event,) = tracer.events()
+        assert event["type"] == "span"
+        assert event["name"] == "solve"
+        assert event["cat"] == "stage"
+        assert event["args"] == {"n": 8}
+        assert event["dur_us"] >= 0.0
+        assert event["parent_id"] is None
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                tracer.instant("mark")
+        events = {e["name"]: e for e in tracer.events()}
+        assert events["inner"]["parent_id"] == outer.span_id
+        assert events["mark"]["parent_id"] == inner.span_id
+        assert events["outer"]["parent_id"] is None
+        # children finalize before their parent (exit order)
+        names = [e["name"] for e in tracer.events()]
+        assert names.index("inner") < names.index("outer")
+
+    def test_set_args_while_open(self):
+        tracer = Tracer()
+        with tracer.span("job", outcome="pending") as span:
+            span.set_args(outcome="completed", cache_hit=True)
+        (event,) = tracer.events()
+        assert event["args"] == {"outcome": "completed", "cache_hit": True}
+
+    def test_timestamps_are_monotonic_from_epoch(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        first, second = tracer.events()
+        assert 0.0 <= first["ts_us"] <= second["ts_us"]
+
+    def test_metadata_is_copied(self):
+        source = {"command": "decompose"}
+        tracer = Tracer(metadata=source)
+        source["command"] = "mutated"
+        assert tracer.metadata == {"command": "decompose"}
+
+    def test_thread_local_span_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            barrier.wait()
+            with tracer.span(name):
+                tracer.instant(f"{name}-mark")
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",))
+            for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = tracer.events()
+        assert len(events) == 4
+        by_name = {e["name"]: e for e in events}
+        # each instant parents to its own thread's span, never the other
+        for i in range(2):
+            assert (
+                by_name[f"t{i}-mark"]["parent_id"]
+                == by_name[f"t{i}"]["span_id"]
+            )
+        assert by_name["t0"]["tid"] != by_name["t1"]["tid"]
+
+
+class TestGlobalInstallation:
+    def test_tracing_installs_and_restores(self):
+        tracer = Tracer()
+        assert get_tracer() is NULL_TRACER
+        with tracing(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_tracing_restores_on_error(self):
+        tracer = Tracer()
+        try:
+            with tracing(tracer):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_none_restores_null(self):
+        tracer = Tracer()
+        set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
