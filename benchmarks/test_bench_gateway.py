@@ -1,0 +1,148 @@
+"""Gateway benchmark: HTTP request latency and submit→done throughput.
+
+Measures the HTTP layer the way an operator would size it:
+
+* request latency — p50/p95 wall time of ``GET /v1/healthz`` (the
+  cheapest endpoint: pure gateway + one SQLite count) and of an
+  idempotent resubmission of finished work (``POST /v1/jobs`` that
+  dedups — the hot path of duplicate-heavy LUT-serving traffic);
+* throughput at capacity — a duplicate-heavy batch submitted over HTTP
+  while the worker pool serves, measured submit-to-drained.
+
+Writes ``BENCH_gateway.json`` at the repo root.  Scale knobs:
+``REPRO_BENCH_GW_REQUESTS`` (latency sample count, default 150),
+``REPRO_BENCH_GW_JOBS`` (throughput batch, default 8), plus the global
+``REPRO_BENCH_P`` / ``REPRO_BENCH_R``.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import write_bench_json
+from repro.core import CoreSolverConfig, FrameworkConfig
+from repro.gateway import DecompositionGateway, GatewayClient, GatewayConfig
+from repro.service import DecompositionService, JobSpec, SchedulerPolicy
+
+UNIQUE_WORKLOADS = ("cos", "tan", "erf", "exp")
+N_INPUTS = 6
+
+
+def _config(bench_scale):
+    return FrameworkConfig(
+        mode="joint",
+        free_size=2,
+        n_partitions=bench_scale["n_partitions"],
+        n_rounds=bench_scale["n_rounds"],
+        seed=7,
+        solver=CoreSolverConfig(max_iterations=400, n_replicas=2),
+    )
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _latency(fn, n):
+    samples = []
+    for _ in range(n):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "n_requests": n,
+        "p50_ms": _percentile(samples, 0.50) * 1000.0,
+        "p95_ms": _percentile(samples, 0.95) * 1000.0,
+        "mean_ms": sum(samples) / n * 1000.0,
+    }
+
+
+def test_gateway_latency_and_throughput(benchmark, bench_scale, tmp_path):
+    n_requests = int(os.environ.get("REPRO_BENCH_GW_REQUESTS", 150))
+    n_jobs = int(os.environ.get("REPRO_BENCH_GW_JOBS", 8))
+    config = _config(bench_scale)
+    service = DecompositionService(
+        tmp_path / "svc",
+        n_workers=int(os.environ.get("REPRO_BENCH_SVC_WORKERS", 4)),
+        policy=SchedulerPolicy(
+            retry_backoff_seconds=0.01, poll_interval_seconds=0.005
+        ),
+    )
+    specs = [
+        JobSpec(
+            workload=UNIQUE_WORKLOADS[i % len(UNIQUE_WORKLOADS)],
+            n_inputs=N_INPUTS,
+            config=config,
+        )
+        for i in range(n_jobs)
+    ]
+
+    with DecompositionGateway(service, GatewayConfig(port=0)) as gateway:
+        client = GatewayClient(gateway.url)
+
+        # throughput at capacity: workers serving while HTTP submits land
+        def run_batch():
+            pool = service.serve_forever()
+            start = time.perf_counter()
+            submitted = [client.submit(spec) for spec in specs]
+            for job, _ in submitted:
+                client.wait(job.id, poll_seconds=0.02,
+                            timeout_seconds=600)
+            elapsed = time.perf_counter() - start
+            pool.stop()
+            return submitted, elapsed
+
+        (submitted, batch_seconds) = benchmark.pedantic(
+            run_batch, rounds=1, iterations=1
+        )
+        jobs = [job for job, _ in submitted]
+        n_deduplicated = sum(1 for _, dedup in submitted if dedup)
+        summary = client.status()
+        assert summary["jobs"]["failed"] == 0
+        # idempotent submission collapses duplicates at POST time, so
+        # distinct job records = unique problems
+        assert summary["jobs"]["done"] == n_jobs - n_deduplicated
+        assert n_deduplicated == n_jobs - len(UNIQUE_WORKLOADS)
+
+        healthz = _latency(client.healthz, n_requests)
+        # idempotent re-POST of finished work: full validation + content
+        # hash + dedup lookup, no solving
+        dedup_submit = _latency(
+            lambda: client.submit(specs[0]), max(1, n_requests // 3)
+        )
+
+    payload = {
+        "mix": {
+            "n_jobs": n_jobs,
+            "n_unique_problems": len(UNIQUE_WORKLOADS),
+            "n_inputs": N_INPUTS,
+            "n_partitions": config.n_partitions,
+            "n_rounds": config.n_rounds,
+        },
+        "latency": {
+            "healthz": healthz,
+            "dedup_submit": dedup_submit,
+        },
+        "throughput": {
+            "jobs_per_second": n_jobs / batch_seconds,
+            "batch_seconds": batch_seconds,
+            "n_deduplicated_submissions": n_deduplicated,
+            "dedup_rate": n_deduplicated / n_jobs,
+        },
+    }
+    path = write_bench_json("BENCH_gateway.json", payload)
+    print(
+        f"\n[gateway] healthz p50 {healthz['p50_ms']:.2f} ms / "
+        f"p95 {healthz['p95_ms']:.2f} ms; dedup submit p50 "
+        f"{dedup_submit['p50_ms']:.2f} ms; throughput "
+        f"{payload['throughput']['jobs_per_second']:.2f} jobs/s "
+        f"over HTTP"
+    )
+    print(f"[gateway] wrote {path}")
+
+    # sanity floor, not a timing gate: the HTTP hop must stay cheap
+    # relative to any real solve (hundreds of ms)
+    assert healthz["p95_ms"] < 500.0
+    assert dedup_submit["p50_ms"] < 1000.0
+    assert len(jobs) == n_jobs

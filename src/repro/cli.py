@@ -12,16 +12,23 @@ Commands
     Emit a saved design as a synthesizable Verilog module.
 ``list-workloads``
     Show the available benchmark workloads.
+``list-solvers``
+    Show the registered Ising solvers and their capabilities.
 ``submit``
-    Enqueue a decomposition job into a service directory.
+    Enqueue a decomposition job into a service directory, or — with
+    ``--remote URL`` — into a running gateway over HTTP.
 ``serve``
     Run the service worker pool over a service directory (drains the
-    queue by default; ``--forever`` keeps serving).
+    queue by default; ``--forever`` keeps serving; ``--http PORT``
+    additionally exposes the HTTP gateway and serves until
+    interrupted).
 ``status``
-    Show the service job table and telemetry summary.
+    Show the service job table and telemetry summary (local directory
+    or ``--remote`` gateway).
 ``fetch``
     Write a finished job's design JSON (same format ``decompose``
-    emits, so ``evaluate``/``export-verilog`` consume it directly).
+    emits, so ``evaluate``/``export-verilog`` consume it directly);
+    works against a local directory or a ``--remote`` gateway.
 ``trace report``
     Summarize a trace recorded with ``--trace-out``: per-stage time
     breakdown, stop-iteration histogram, intervention counts.
@@ -54,6 +61,15 @@ Examples
     python -m repro status --service-dir svc
     python -m repro fetch --service-dir svc --job job-ab12cd34ef56 \\
         --out cos.json
+
+    # same service over HTTP: workers + gateway in one process,
+    # clients anywhere
+    python -m repro serve --service-dir svc --workers 4 --http 8080
+    python -m repro submit --remote http://127.0.0.1:8080 \\
+        --workload cos --n-inputs 9
+    python -m repro status --remote http://127.0.0.1:8080
+    python -m repro fetch --remote http://127.0.0.1:8080 \\
+        --job job-ab12cd34ef56 --out cos.json
 """
 
 from __future__ import annotations
@@ -67,7 +83,9 @@ from typing import List, Optional
 from repro._version import package_version
 from repro.boolean.metrics import error_rate, mean_error_distance
 from repro.core import CoreSolverConfig, FrameworkConfig, IsingDecomposer
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
+from repro.gateway import DecompositionGateway, GatewayClient, GatewayConfig
+from repro.ising.solvers.registry import solver_info, solver_names
 from repro.lut import cascade_cost_report
 from repro.lut.verilog import cascade_to_verilog
 from repro.obs import (
@@ -126,10 +144,36 @@ def _config_from_args(args: argparse.Namespace) -> FrameworkConfig:
     )
 
 
-def _add_service_dir(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--service-dir", type=Path, required=True,
+def _add_service_dir(parser: argparse.ArgumentParser,
+                     required: bool = True) -> None:
+    parser.add_argument("--service-dir", type=Path, required=required,
+                        default=None,
                         help="service state directory (job store + "
                              "artifact cache)")
+
+
+def _add_service_target(parser: argparse.ArgumentParser) -> None:
+    """``--service-dir`` / ``--remote`` — local or gateway-backed."""
+    _add_service_dir(parser, required=False)
+    parser.add_argument("--remote", default=None, metavar="URL",
+                        help="gateway base URL (e.g. "
+                             "http://127.0.0.1:8080); exclusive with "
+                             "--service-dir")
+    parser.add_argument("--token", default=None,
+                        help="bearer token for --remote")
+
+
+def _remote_client(args: argparse.Namespace) -> GatewayClient:
+    return GatewayClient(args.remote, token=args.token)
+
+
+def _check_target(args: argparse.Namespace) -> None:
+    """Exactly one of ``--service-dir`` / ``--remote`` must be given."""
+    if (args.service_dir is None) == (args.remote is None):
+        raise ConfigurationError(
+            "pass exactly one of --service-dir (local) or --remote "
+            "(gateway URL)"
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -182,11 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="output .v path (default: stdout)")
 
     sub.add_parser("list-workloads", help="list benchmark workloads")
+    sub.add_parser("list-solvers",
+                   help="list registered Ising solvers and capabilities")
 
     subm = sub.add_parser(
-        "submit", help="enqueue a decomposition job in a service dir"
+        "submit",
+        help="enqueue a decomposition job (service dir or gateway)",
     )
-    _add_service_dir(subm)
+    _add_service_target(subm)
     _add_config_arguments(subm)
     subm.add_argument("--timeout", type=float, default=None,
                       help="per-attempt wall-clock budget in seconds")
@@ -211,11 +258,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record a service execution trace to this "
                             "path (drain mode; Chrome trace_event JSON, "
                             ".jsonl for an event log)")
+    serve.add_argument("--http", type=int, default=None, metavar="PORT",
+                       help="also expose the HTTP gateway on this port "
+                            "and serve until interrupted")
+    serve.add_argument("--http-host", default="127.0.0.1",
+                       help="gateway bind address (default: loopback)")
+    serve.add_argument("--http-token", default=None,
+                       help="require this bearer token on gateway "
+                            "requests (healthz stays open)")
+    serve.add_argument("--http-max-queue", type=int, default=64,
+                       help="queue depth beyond which submissions get "
+                            "503 + Retry-After")
+    serve.add_argument("--http-rate-limit", type=float, default=None,
+                       metavar="PER_SECOND",
+                       help="per-client token-bucket rate limit "
+                            "(default: off)")
+    serve.add_argument("--http-access-log", type=Path, default=None,
+                       metavar="PATH",
+                       help="append one JSON line per request here")
 
     stat = sub.add_parser(
         "status", help="show service jobs and telemetry"
     )
-    _add_service_dir(stat)
+    _add_service_target(stat)
     stat.add_argument("--job", default=None, help="show one job only")
     stat.add_argument("--json", action="store_true", dest="as_json",
                       help="emit the raw telemetry summary as JSON")
@@ -225,7 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
     fetch = sub.add_parser(
         "fetch", help="write a finished job's design JSON"
     )
-    _add_service_dir(fetch)
+    _add_service_target(fetch)
     fetch.add_argument("--job", required=True, help="job id to fetch")
     fetch.add_argument("--out", type=Path, default=None,
                        help="output JSON path (default: stdout)")
@@ -308,8 +373,28 @@ def _cmd_list_workloads() -> int:
     return 0
 
 
+def _cmd_list_solvers() -> int:
+    cap_flags = (
+        ("supports_replicas", "replicas"),
+        ("supports_probes", "probes"),
+        ("supports_stop_criteria", "stop-criteria"),
+        ("exact", "exact"),
+    )
+    for name in solver_names():
+        info = solver_info(name)
+        caps = ", ".join(
+            label for attr, label in cap_flags
+            if getattr(info.capabilities, attr)
+        ) or "-"
+        aliases = (
+            f" (aliases: {', '.join(info.aliases)})" if info.aliases else ""
+        )
+        print(f"{name:<20} [{caps}]  {info.summary}{aliases}")
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
-    service = DecompositionService(args.service_dir)
+    _check_target(args)
     spec = JobSpec(
         workload=args.workload,
         n_inputs=args.n_inputs,
@@ -317,12 +402,20 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         timeout_seconds=args.timeout,
         max_attempts=args.max_attempts,
     )
-    job = service.submit(spec)
-    cached = " (artifact cached — serve resolves it instantly)" if (
-        job.artifact_key in service.artifacts
-    ) else ""
+    if args.remote is not None:
+        job, deduplicated = _remote_client(args).submit(spec)
+        note = (
+            " (deduplicated — matched a live or finished twin)"
+            if deduplicated else ""
+        )
+    else:
+        service = DecompositionService(args.service_dir)
+        job = service.submit(spec)
+        note = " (artifact cached — serve resolves it instantly)" if (
+            job.artifact_key in service.artifacts
+        ) else ""
     print(f"submitted {job.id}: {spec.describe()} "
-          f"key={job.artifact_key[:12]}...{cached}")
+          f"key={job.artifact_key[:12]}...{note}")
     return 0
 
 
@@ -337,6 +430,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     depth = service.store.pending()
     print(f"serving {args.service_dir} with {args.workers} worker(s), "
           f"{depth} job(s) pending")
+    if args.http is not None:
+        gateway = DecompositionGateway(
+            service,
+            GatewayConfig(
+                host=args.http_host,
+                port=args.http,
+                auth_token=args.http_token,
+                max_queue_depth=args.http_max_queue,
+                rate_limit_per_second=args.http_rate_limit,
+                access_log_path=args.http_access_log,
+            ),
+        )
+        pool = service.serve_forever()
+        print(f"gateway listening on {gateway.url}")
+        try:
+            gateway.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            # drain order: stop accepting requests (joining in-flight
+            # handlers), then stop the workers
+            gateway.stop()
+            pool.stop()
+        return 0
     if args.forever:
         pool = service.serve_forever()
         try:
@@ -368,24 +485,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if jobs["failed"] == 0 else 3
 
 
-def _cmd_status(args: argparse.Namespace) -> int:
+def _status_backend(args: argparse.Namespace):
+    """A uniform (jobs, job, status, prometheus) view over either a
+    local service directory or a remote gateway — what keeps the
+    ``status``/``fetch`` rendering a single code path.
+    """
+    if args.remote is not None:
+        client = _remote_client(args)
+        return (client.jobs, client.job, client.status,
+                client.metrics_text, client.fetch_design_dict)
     service = DecompositionService(args.service_dir)
+    return (
+        service.jobs,
+        service.job,
+        service.status,
+        lambda: prometheus_exposition(service.store, service.artifacts),
+        service.fetch_design_dict,
+    )
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    _check_target(args)
+    jobs_fn, job_fn, status_fn, prometheus_fn, _ = _status_backend(args)
     if args.prometheus:
-        print(
-            prometheus_exposition(service.store, service.artifacts),
-            end="",
-        )
+        print(prometheus_fn(), end="")
         return 0
     if args.job is not None:
-        job = service.job(args.job)
-        print(format_job_table([job]))
+        print(format_job_table([job_fn(args.job)]))
         return 0
     if args.as_json:
-        print(json.dumps(service.status(), indent=2, sort_keys=True))
+        print(json.dumps(status_fn(), indent=2, sort_keys=True))
         return 0
-    jobs = service.jobs()
-    print(format_job_table(jobs))
-    summary = service.status()
+    print(format_job_table(jobs_fn()))
+    summary = status_fn()
     print()
     print(f"queue depth:    {summary['queue']['depth']}")
     print(f"cache hit rate: {summary['cache']['hit_rate']}")
@@ -395,13 +527,15 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_fetch(args: argparse.Namespace) -> int:
-    service = DecompositionService(args.service_dir)
+    _check_target(args)
+    _, job_fn, _, _, design_fn = _status_backend(args)
+    design = design_fn(args.job)
+    text = json.dumps(design, indent=2, sort_keys=True)
     if args.out is None:
-        print(json.dumps(service.fetch_design_dict(args.job), indent=2,
-                         sort_keys=True))
+        print(text)
         return 0
-    service.write_design(args.job, args.out)
-    job = service.job(args.job)
+    args.out.write_text(text)
+    job = job_fn(args.job)
     print(f"wrote {args.out} (job {job.id}, MED "
           f"{job.med if job.med is not None else 'n/a'})")
     return 0
@@ -435,6 +569,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     configure_logging(args.verbose - args.quiet)
     if args.command == "list-workloads":
         return _cmd_list_workloads()
+    if args.command == "list-solvers":
+        return _cmd_list_solvers()
     handler = _DISPATCH.get(args.command)
     if handler is None:
         raise AssertionError(f"unhandled command {args.command!r}")

@@ -59,6 +59,7 @@ from repro.core.config import CoreSolverConfig, FrameworkConfig
 from repro.core.ising_formulation import WeightCache
 from repro.core.partitions import sample_partitions
 from repro.core.solver import CoreCOPSolution, CoreCOPSolver
+from repro.ising.kernels import resolve_backend
 from repro.ising.solvers.base import SolveResult
 from repro.core.theorem3 import alternating_refinement
 from repro.boolean.random_functions import random_column_setting
@@ -390,6 +391,17 @@ class IsingDecomposer:
                 stop_reason=(
                     "batched_fixed_budget" if cfg.batched else "chunk_best"
                 ),
+                runtime_seconds=time.perf_counter() - start,
+                metadata={
+                    "solver": "bsb",
+                    "backend": resolve_backend(cfg.solver.backend),
+                    "dtype": (
+                        "float32"
+                        if resolve_backend(cfg.solver.backend) == "numpy32"
+                        else "float64"
+                    ),
+                    "n_replicas": cfg.solver.n_replicas,
+                },
             ),
             runtime_seconds=time.perf_counter() - start,
         )

@@ -19,6 +19,7 @@ the model's exact offset — never the raw float trajectory energy.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -35,13 +36,28 @@ from repro.core.ising_formulation import (
 )
 from repro.core.theorem3 import alternating_refinement, theorem3_intervention
 from repro.ising.schedules import LinearPump
-from repro.ising.solvers.base import SolveResult
-from repro.ising.solvers.bsb import BallisticSBSolver
+from repro.ising.solvers.base import IsingSolver, SolveResult
+from repro.ising.solvers.registry import make_solver
 from repro.ising.stop_criteria import EnergyVarianceStop, FixedIterations
 from repro.ising.structured import BipartiteDecompositionModel
 from repro.obs.tracing import get_tracer
 
-__all__ = ["CoreCOPSolver", "CoreCOPSolution"]
+__all__ = ["CoreCOPSolver", "CoreCOPSolution", "build_bsb_solver"]
+
+
+def build_bsb_solver(config: Optional[CoreSolverConfig] = None, **overrides):
+    """Deprecated ad-hoc bSB constructor from before the solver registry.
+
+    Use :meth:`CoreCOPSolver.build_solver` (the configured core path) or
+    :func:`repro.ising.solvers.registry.make_solver` directly.
+    """
+    warnings.warn(
+        "build_bsb_solver is deprecated; use CoreCOPSolver.build_solver "
+        "or repro.ising.solvers.registry.make_solver('bsb', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return CoreCOPSolver(config).build_solver(**overrides)
 
 
 @dataclass
@@ -118,6 +134,28 @@ class CoreCOPSolver:
 
         return initialize
 
+    def build_solver(self, **overrides) -> IsingSolver:
+        """Construct the configured core solver via the solver registry.
+
+        This is the single config→solver construction path (the
+        per-call-site ``BallisticSBSolver(...)`` blocks it replaced are
+        gone); ``overrides`` lets callers swap individual parameters —
+        the model-dependent ``intervention``/``initializer`` hooks are
+        passed this way by :meth:`solve_model`.
+        """
+        cfg = self.config
+        params = {
+            "stop": self._make_stop(),
+            "dt": cfg.dt,
+            "a0": cfg.a0,
+            "n_replicas": cfg.n_replicas,
+            "pump": LinearPump(cfg.a0, cfg.resolved_ramp_iterations),
+            "backend": cfg.backend,
+            "trace_every": cfg.trace_every,
+        }
+        params.update(overrides)
+        return make_solver("bsb", **params)
+
     def solve_model(
         self,
         model: BipartiteDecompositionModel,
@@ -138,16 +176,8 @@ class CoreCOPSolver:
             if cfg.symmetry_breaking_init
             else None
         )
-        sb = BallisticSBSolver(
-            stop=self._make_stop(),
-            dt=cfg.dt,
-            a0=cfg.a0,
-            n_replicas=cfg.n_replicas,
-            intervention=intervention,
-            initializer=initializer,
-            pump=LinearPump(cfg.a0, cfg.resolved_ramp_iterations),
-            backend=cfg.backend,
-            trace_every=cfg.trace_every,
+        sb = self.build_solver(
+            intervention=intervention, initializer=initializer
         )
         tracer = get_tracer()
         with tracer.span(

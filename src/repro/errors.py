@@ -51,6 +51,25 @@ class ServiceError(ReproError, RuntimeError):
     """The decomposition service rejected a request or job transition."""
 
 
+class GatewayError(ReproError, RuntimeError):
+    """An HTTP gateway request failed (client side or server side).
+
+    Carries the HTTP status code (0 when the failure happened before a
+    response existed, e.g. connection refused) and, when the server
+    suggested one, the ``Retry-After`` delay in seconds.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        retry_after: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
 class JobNotFound(ServiceError, KeyError):
     """A job id does not exist in the service's job store."""
 

@@ -1,0 +1,44 @@
+"""repro.gateway — an HTTP/JSON API over the decomposition service.
+
+The gateway turns a :class:`~repro.service.DecompositionService`
+directory into a network service using only the standard library
+(:class:`http.server.ThreadingHTTPServer` on the server side,
+:mod:`urllib.request` in the client) — no new dependencies.
+
+Endpoints (all JSON unless noted)::
+
+    POST /v1/jobs              submit a JobSpecV1 wire document
+    GET  /v1/jobs              list jobs (``?state=`` filter)
+    GET  /v1/jobs/{id}         one job's status + failure log
+    GET  /v1/jobs/{id}/result  the finished job's artifact envelope
+    GET  /v1/status            the service telemetry summary
+    GET  /v1/healthz           liveness + queue depth
+    GET  /v1/metrics           Prometheus text exposition (0.0.4)
+
+Submission is *idempotent*: the job spec's content address (see
+:func:`repro.service.spec.artifact_key`) dedups resubmissions against
+any live queued/running/done twin, so a client that retries after a
+lost response can never double-enqueue work.
+
+Robustness knobs live on :class:`GatewayConfig`: optional bearer-token
+auth, a per-client token-bucket rate limit (429 + ``Retry-After``),
+queue-depth backpressure (503 + ``Retry-After``), request-size and
+per-request socket timeouts, a JSONL access log, and graceful shutdown
+that drains in-flight handlers before returning.
+
+:class:`GatewayClient` is the typed Python client; its retry loop backs
+off exponentially and honors server ``Retry-After`` hints, and its
+accessors return the same :class:`~repro.service.JobRecord` objects the
+local service API yields, so CLI code paths are shared between local
+and ``--remote`` operation.
+"""
+
+from repro.gateway.client import GatewayClient, RetryPolicy
+from repro.gateway.server import DecompositionGateway, GatewayConfig
+
+__all__ = [
+    "DecompositionGateway",
+    "GatewayClient",
+    "GatewayConfig",
+    "RetryPolicy",
+]

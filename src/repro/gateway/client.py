@@ -1,0 +1,266 @@
+"""Typed Python client for the gateway (stdlib ``urllib`` only).
+
+:class:`GatewayClient` mirrors the local
+:class:`~repro.service.DecompositionService` surface — ``submit`` /
+``job`` / ``jobs`` / ``fetch_design_dict`` — returning the same
+:class:`~repro.service.JobRecord` and design-document types, which is
+what lets the CLI run one code path for local and ``--remote`` modes.
+
+Transient failures (connection refused, 408/429/503) are retried with
+exponential backoff, and a server ``Retry-After`` hint always wins over
+the computed delay when it is longer.  All failures surface as
+:class:`~repro.errors.GatewayError` carrying the HTTP status (0 when no
+response existed) and any ``Retry-After`` value.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import GatewayError
+from repro.serialization import ensure_design_document
+from repro.service.jobstore import JobRecord
+from repro.service.spec import JobSpec
+
+__all__ = ["GatewayClient", "RetryPolicy"]
+
+#: terminal job states — polling stops here
+_TERMINAL = ("done", "failed")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how the client retries a failed request.
+
+    Attributes
+    ----------
+    max_retries:
+        Retries *after* the first attempt (0 disables retrying).
+    backoff_base_seconds, backoff_max_seconds:
+        Exponential schedule: ``base * 2**attempt`` capped at the max.
+        A server ``Retry-After`` longer than the computed delay is
+        honored instead.
+    retry_statuses:
+        HTTP statuses worth retrying — throttling and transient
+        unavailability, never 4xx input errors.  Connection-level
+        failures (status 0) are always retried.
+    """
+
+    max_retries: int = 4
+    backoff_base_seconds: float = 0.25
+    backoff_max_seconds: float = 8.0
+    retry_statuses: Tuple[int, ...] = (408, 429, 503)
+
+
+class GatewayClient:
+    """Client for one gateway base URL (see module docs).
+
+    Parameters
+    ----------
+    base_url:
+        E.g. ``http://127.0.0.1:8080``; a trailing slash is fine.
+    token:
+        Bearer token matching the server's ``auth_token``; sent as
+        ``Authorization: Bearer <token>`` when set.
+    timeout_seconds:
+        Per-request socket timeout.
+    retry:
+        See :class:`RetryPolicy`.
+    sleep:
+        Injection point for tests (default :func:`time.sleep`).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        token: Optional[str] = None,
+        timeout_seconds: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.token = token
+        self.timeout_seconds = timeout_seconds
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
+
+    # -- transport -----------------------------------------------------
+
+    def _attempt(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method
+        )
+        request.add_header("Accept", "application/json")
+        if body is not None:
+            request.add_header("Content-Type", "application/json")
+        if self.token is not None:
+            request.add_header("Authorization", f"Bearer {self.token}")
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_seconds
+            ) as response:
+                return (
+                    response.status,
+                    dict(response.headers.items()),
+                    response.read(),
+                )
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers.items()), exc.read()
+        except (urllib.error.URLError, OSError) as exc:
+            raise GatewayError(
+                f"cannot reach gateway at {self.base_url}: "
+                f"{getattr(exc, 'reason', exc)}",
+                status=0,
+            ) from exc
+
+    @staticmethod
+    def _retry_after(headers: Dict[str, str]) -> Optional[float]:
+        value = headers.get("Retry-After")
+        if value is None:
+            return None
+        try:
+            return max(0.0, float(value))
+        except ValueError:
+            return None  # HTTP-date form; fall back to computed backoff
+
+    @staticmethod
+    def _error_message(payload: bytes, status: int) -> str:
+        try:
+            data = json.loads(payload.decode("utf-8"))
+            return str(data.get("error", data))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return f"HTTP {status}"
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One logical request: attempts + backoff; raises on 4xx/5xx
+        that survive the retry budget.
+        """
+        body = (
+            None
+            if payload is None
+            else json.dumps(payload, sort_keys=True).encode("utf-8")
+        )
+        policy = self.retry
+        last_error: Optional[GatewayError] = None
+        for attempt in range(policy.max_retries + 1):
+            try:
+                status, headers, data = self._attempt(method, path, body)
+            except GatewayError as exc:
+                last_error = exc  # connection-level: always retryable
+            else:
+                if status < 400:
+                    return status, headers, data
+                retry_after = self._retry_after(headers)
+                last_error = GatewayError(
+                    self._error_message(data, status),
+                    status=status,
+                    retry_after=retry_after,
+                )
+                if status not in policy.retry_statuses:
+                    raise last_error
+            if attempt >= policy.max_retries:
+                break
+            delay = min(
+                policy.backoff_max_seconds,
+                policy.backoff_base_seconds * (2.0 ** attempt),
+            )
+            hinted = getattr(last_error, "retry_after", None)
+            if hinted is not None:
+                delay = max(delay, hinted)
+            self._sleep(delay)
+        raise last_error
+
+    def _request_json(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Dict:
+        status, _, data = self._request(method, path, payload)
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise GatewayError(
+                f"gateway returned invalid JSON for {path}: {exc}",
+                status=status,
+            ) from exc
+
+    # -- API surface ---------------------------------------------------
+
+    def healthz(self) -> Dict:
+        """Liveness document (status, version, pending jobs)."""
+        return self._request_json("GET", "/v1/healthz")
+
+    def status(self) -> Dict:
+        """The service telemetry summary (``service_summary`` shape)."""
+        return self._request_json("GET", "/v1/status")
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition, verbatim."""
+        _, _, data = self._request("GET", "/v1/metrics")
+        return data.decode("utf-8")
+
+    def submit(self, spec: JobSpec) -> Tuple[JobRecord, bool]:
+        """Submit one spec; returns ``(record, deduplicated)``.
+
+        Idempotent end to end: the server dedups by artifact key, so
+        retrying a submission whose response was lost returns the
+        original job instead of enqueueing a twin.
+        """
+        data = self._request_json("POST", "/v1/jobs", spec.to_wire())
+        return JobRecord.from_dict(data["job"]), bool(
+            data.get("deduplicated", False)
+        )
+
+    def job(self, job_id: str) -> JobRecord:
+        """Current record of one job (includes the failure log)."""
+        data = self._request_json("GET", f"/v1/jobs/{job_id}")
+        return JobRecord.from_dict(data["job"])
+
+    def jobs(self, state: Optional[str] = None) -> List[JobRecord]:
+        """All jobs, oldest first, optionally filtered by state."""
+        path = "/v1/jobs" + (f"?state={state}" if state else "")
+        data = self._request_json("GET", path)
+        return [JobRecord.from_dict(entry) for entry in data["jobs"]]
+
+    def result(self, job_id: str) -> Dict:
+        """The finished job's artifact envelope (design + provenance)."""
+        return self._request_json("GET", f"/v1/jobs/{job_id}/result")
+
+    def fetch_design_dict(self, job_id: str) -> Dict:
+        """The finished job's design document, format-validated."""
+        return ensure_design_document(self.result(job_id)["design"])
+
+    def wait(
+        self,
+        job_id: str,
+        poll_seconds: float = 0.25,
+        timeout_seconds: Optional[float] = None,
+    ) -> JobRecord:
+        """Poll until the job reaches a terminal state.
+
+        Raises :class:`GatewayError` (status 0) on timeout; inspect the
+        returned record's ``state``/``error`` for failure details.
+        """
+        deadline = (
+            None
+            if timeout_seconds is None
+            else time.monotonic() + timeout_seconds
+        )
+        while True:
+            record = self.job(job_id)
+            if record.state in _TERMINAL:
+                return record
+            if deadline is not None and time.monotonic() >= deadline:
+                raise GatewayError(
+                    f"timed out waiting for job {job_id} "
+                    f"(last state {record.state!r})",
+                    status=0,
+                )
+            self._sleep(poll_seconds)

@@ -1,0 +1,544 @@
+"""The gateway HTTP server (stdlib ``http.server``, threaded).
+
+:class:`DecompositionGateway` wraps a
+:class:`~repro.service.DecompositionService` in a
+:class:`~http.server.ThreadingHTTPServer`.  The gateway is a *front
+end* only — it never executes jobs itself; workers are the service's
+business (run them in the same process via ``serve --http``, or in any
+other process sharing the service directory).
+
+Request handling order for ``POST /v1/jobs`` is deliberate::
+
+    auth -> rate limit -> size limit -> parse (strict JobSpecV1)
+         -> idempotent dedup -> queue-depth backpressure -> enqueue
+
+Dedup runs *before* backpressure so a resubmission of finished (or
+already-queued) work still succeeds on a saturated queue — the client
+gets its twin back instead of a useless 503, and no capacity is spent.
+
+Every response is JSON with a correct ``Content-Length``; rejections
+carry ``{"error": ..., "status": ...}`` bodies, and 429/503 add a
+``Retry-After`` header the client's backoff honors.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import logging
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Optional, Union
+from urllib.parse import parse_qs, urlsplit
+
+from repro._version import package_version
+from repro.errors import JobNotFound, ReproError, ServiceError
+from repro.obs.exporters import PROMETHEUS_CONTENT_TYPE
+from repro.obs.metrics import get_metrics
+from repro.service.service import DecompositionService
+from repro.service.spec import JobSpec, artifact_key
+from repro.service.telemetry import prometheus_exposition, service_summary
+
+__all__ = ["DecompositionGateway", "GatewayConfig", "TokenBucket"]
+
+logger = logging.getLogger(__name__)
+
+#: request-latency histogram boundaries (seconds)
+_LATENCY_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0)
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Tunable gateway policy; defaults suit a trusted local network.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address.  Port 0 binds an ephemeral port (tests); the
+        resolved port is on :attr:`DecompositionGateway.port`.
+    auth_token:
+        When set, every endpoint except ``/v1/healthz`` requires
+        ``Authorization: Bearer <token>`` (constant-time comparison).
+        The health endpoint stays open for load-balancer probes.
+    rate_limit_per_second, rate_limit_burst:
+        Per-client token bucket.  ``None`` disables rate limiting.
+        Clients are keyed by peer address.
+    max_queue_depth:
+        Backpressure threshold: when queued+running jobs reach this,
+        new (non-deduplicated) submissions get 503 + ``Retry-After``.
+    max_request_bytes:
+        Request bodies above this are rejected with 413 before parsing.
+    request_timeout_seconds:
+        Socket timeout while reading one request; a stalled client is
+        dropped instead of pinning a handler thread.
+    retry_after_seconds:
+        The ``Retry-After`` hint attached to 503 backpressure responses
+        (rate-limit 429s compute their own from the bucket deficit).
+    access_log_path:
+        When set, one JSON line per request is appended here
+        (timestamp, client, method, path, status, duration, bytes).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    auth_token: Optional[str] = None
+    rate_limit_per_second: Optional[float] = None
+    rate_limit_burst: int = 10
+    max_queue_depth: int = 64
+    max_request_bytes: int = 1 << 20
+    request_timeout_seconds: float = 30.0
+    retry_after_seconds: float = 2.0
+    access_log_path: Optional[Union[str, Path]] = None
+
+
+class TokenBucket:
+    """Classic token bucket; thread-safe; injectable clock for tests."""
+
+    def __init__(
+        self, rate: float, burst: int, clock=time.monotonic
+    ) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ServiceError(
+                f"rate and burst must be positive, got {rate}/{burst}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def acquire(self) -> float:
+        """Take one token.  Returns 0.0 on success, else the seconds
+        until a token becomes available (the ``Retry-After`` hint).
+        """
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst,
+                self._tokens + (now - self._updated) * self.rate,
+            )
+            self._updated = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            return (1.0 - self._tokens) / self.rate
+
+
+class _AccessLog:
+    """Thread-safe JSONL access log (line-buffered append)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def write(self, record: Dict) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            self._fh.close()
+
+
+class DecompositionGateway:
+    """HTTP front end over one decomposition service (module docs).
+
+    Usable blocking (:meth:`serve_forever`), backgrounded
+    (:meth:`start` / :meth:`stop`), or as a context manager::
+
+        with DecompositionGateway(service, GatewayConfig(port=0)) as gw:
+            client = GatewayClient(gw.url)
+            ...
+
+    :meth:`stop` is a *graceful drain*: it stops accepting, then joins
+    every in-flight handler thread before returning (the underlying
+    ``ThreadingHTTPServer`` runs with non-daemonic handler threads and
+    ``block_on_close``).
+    """
+
+    def __init__(
+        self,
+        service: DecompositionService,
+        config: Optional[GatewayConfig] = None,
+    ) -> None:
+        self.service = service
+        self.config = config if config is not None else GatewayConfig()
+        self._access_log = (
+            _AccessLog(self.config.access_log_path)
+            if self.config.access_log_path is not None
+            else None
+        )
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._buckets_lock = threading.Lock()
+        self._metrics = get_metrics()
+        self._thread: Optional[threading.Thread] = None
+        handler = _build_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        # graceful drain: track handler threads and join them on close
+        self._httpd.daemon_threads = False
+        self._httpd.block_on_close = True
+
+    # -- addressing ----------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (resolves config port 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should use."""
+        return f"http://{self.config.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "DecompositionGateway":
+        """Serve on a background thread; returns self for chaining."""
+        if self._thread is not None:
+            raise ServiceError("gateway already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="gateway-accept",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("gateway listening on %s", self.url)
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop` (or Ctrl-C)."""
+        logger.info("gateway listening on %s", self.url)
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Stop accepting, drain in-flight handlers, release the port."""
+        self._httpd.shutdown()
+        self._httpd.server_close()  # joins handler threads
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if self._access_log is not None:
+            self._access_log.close()
+
+    def __enter__(self) -> "DecompositionGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- shared per-request machinery ----------------------------------
+
+    def bucket_for(self, client: str) -> Optional[TokenBucket]:
+        """The rate-limit bucket for one peer (``None`` — unlimited)."""
+        rate = self.config.rate_limit_per_second
+        if rate is None:
+            return None
+        with self._buckets_lock:
+            # bound the table: a scrape-happy network of ephemeral
+            # clients must not grow this dict without limit
+            if len(self._buckets) > 4096:
+                self._buckets.clear()
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(rate, self.config.rate_limit_burst)
+                self._buckets[client] = bucket
+            return bucket
+
+    def record(
+        self,
+        *,
+        client: str,
+        method: str,
+        path: str,
+        status: int,
+        duration_seconds: float,
+        bytes_out: int,
+    ) -> None:
+        """Account one finished request (metrics + access log)."""
+        self._metrics.counter(
+            "gateway_requests", help="HTTP requests handled"
+        ).inc()
+        if status >= 500:
+            self._metrics.counter(
+                "gateway_responses_5xx", help="server-error responses"
+            ).inc()
+        elif status >= 400:
+            self._metrics.counter(
+                "gateway_responses_4xx", help="client-error responses"
+            ).inc()
+        self._metrics.histogram(
+            "gateway_request_seconds",
+            buckets=_LATENCY_BUCKETS,
+            help="request wall time",
+        ).observe(duration_seconds)
+        if self._access_log is not None:
+            self._access_log.write(
+                {
+                    "ts": time.time(),
+                    "client": client,
+                    "method": method,
+                    "path": path,
+                    "status": status,
+                    "duration_ms": round(duration_seconds * 1000.0, 3),
+                    "bytes_out": bytes_out,
+                }
+            )
+
+
+def _build_handler(gateway: DecompositionGateway):
+    """Bind a ``BaseHTTPRequestHandler`` subclass to one gateway."""
+
+    config = gateway.config
+    service = gateway.service
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = f"repro-gateway/{package_version()}"
+        timeout = config.request_timeout_seconds
+
+        # -- plumbing --------------------------------------------------
+
+        def log_message(self, fmt, *args):  # stdlib default spams stderr
+            logger.debug("%s %s", self.address_string(), fmt % args)
+
+        def _finish(self, status: int, body: bytes,
+                    content_type: str = "application/json",
+                    extra_headers: Optional[Dict[str, str]] = None) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for key, value in (extra_headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(body)
+            gateway.record(
+                client=self.client_address[0],
+                method=self.command,
+                path=self.path,
+                status=status,
+                duration_seconds=time.perf_counter() - self._started,
+                bytes_out=len(body),
+            )
+
+        def _json(self, status: int, payload: Dict,
+                  extra_headers: Optional[Dict[str, str]] = None) -> None:
+            self._finish(
+                status,
+                json.dumps(payload, sort_keys=True).encode("utf-8"),
+                extra_headers=extra_headers,
+            )
+
+        def _error(self, status: int, message: str,
+                   retry_after: Optional[float] = None) -> None:
+            headers = (
+                {"Retry-After": f"{retry_after:g}"}
+                if retry_after is not None
+                else None
+            )
+            self._json(
+                status,
+                {"error": message, "status": status},
+                extra_headers=headers,
+            )
+
+        # -- gatekeeping (auth, rate limit) ----------------------------
+
+        def _authorized(self) -> bool:
+            if config.auth_token is None:
+                return True
+            header = self.headers.get("Authorization", "")
+            expected = f"Bearer {config.auth_token}"
+            return hmac.compare_digest(
+                header.encode("utf-8"), expected.encode("utf-8")
+            )
+
+        def _gate(self) -> bool:
+            """Auth + rate limit; sends the rejection itself on False."""
+            if not self._authorized():
+                self._metrics_inc("gateway_rejected_auth",
+                                  "requests rejected by bearer auth")
+                self._error(401, "missing or invalid bearer token")
+                return False
+            bucket = gateway.bucket_for(self.client_address[0])
+            if bucket is not None:
+                wait = bucket.acquire()
+                if wait > 0.0:
+                    self._metrics_inc(
+                        "gateway_rejected_ratelimit",
+                        "requests rejected by the token bucket",
+                    )
+                    self._error(
+                        429,
+                        "rate limit exceeded",
+                        retry_after=max(wait, 0.001),
+                    )
+                    return False
+            return True
+
+        @staticmethod
+        def _metrics_inc(name: str, help: str) -> None:
+            gateway._metrics.counter(name, help=help).inc()
+
+        # -- routing ---------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            self._started = time.perf_counter()
+            parts = urlsplit(self.path)
+            segments = [s for s in parts.path.split("/") if s]
+            try:
+                if segments == ["v1", "healthz"]:
+                    # liveness stays unauthenticated (LB probes)
+                    self._handle_healthz()
+                    return
+                if not self._gate():
+                    return
+                if segments == ["v1", "metrics"]:
+                    self._handle_metrics()
+                elif segments == ["v1", "status"]:
+                    self._json(200, service_summary(
+                        service.store, service.artifacts))
+                elif segments == ["v1", "jobs"]:
+                    self._handle_list(parse_qs(parts.query))
+                elif len(segments) == 3 and segments[:2] == ["v1", "jobs"]:
+                    self._handle_job(segments[2])
+                elif (len(segments) == 4 and segments[:2] == ["v1", "jobs"]
+                      and segments[3] == "result"):
+                    self._handle_result(segments[2])
+                else:
+                    self._error(404, f"no such endpoint: {parts.path}")
+            except JobNotFound as exc:
+                self._error(404, str(exc))
+            except ReproError as exc:
+                self._error(400, str(exc))
+            except Exception as exc:  # noqa: BLE001 — boundary
+                logger.exception("gateway GET %s failed", self.path)
+                self._error(500, f"internal error: {exc}")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._started = time.perf_counter()
+            parts = urlsplit(self.path)
+            segments = [s for s in parts.path.split("/") if s]
+            try:
+                if not self._gate():
+                    return
+                if segments == ["v1", "jobs"]:
+                    self._handle_submit()
+                else:
+                    self._error(404, f"no such endpoint: {parts.path}")
+            except ReproError as exc:
+                self._error(400, str(exc))
+            except Exception as exc:  # noqa: BLE001 — boundary
+                logger.exception("gateway POST %s failed", self.path)
+                self._error(500, f"internal error: {exc}")
+
+        # -- endpoints -------------------------------------------------
+
+        def _handle_healthz(self) -> None:
+            self._json(
+                200,
+                {
+                    "status": "ok",
+                    "version": package_version(),
+                    "pending": service.store.pending(),
+                },
+            )
+
+        def _handle_metrics(self) -> None:
+            text = prometheus_exposition(
+                service.store, service.artifacts
+            )
+            self._finish(
+                200,
+                text.encode("utf-8"),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+
+        def _handle_list(self, query: Dict) -> None:
+            state = query.get("state", [None])[0]
+            jobs = service.jobs(state)
+            self._json(
+                200, {"jobs": [job.to_dict() for job in jobs]}
+            )
+
+        def _handle_job(self, job_id: str) -> None:
+            self._json(200, {"job": service.job(job_id).to_dict()})
+
+        def _handle_result(self, job_id: str) -> None:
+            job = service.job(job_id)
+            if job.state != "done":
+                # not an input error: the job exists but has no result
+                # (yet / ever) — 409 tells pollers to keep waiting or
+                # give up, with the failure log attached
+                self._error(
+                    409,
+                    f"job {job_id} is {job.state!r}, not done"
+                    + (f" ({job.error})" if job.error else ""),
+                )
+                return
+            self._json(200, service.fetch_envelope(job_id))
+
+        def _read_body(self) -> Optional[bytes]:
+            length = self.headers.get("Content-Length")
+            if length is None:
+                self._error(411, "Content-Length required")
+                return None
+            length = int(length)
+            if length > config.max_request_bytes:
+                self._error(
+                    413,
+                    f"request of {length} bytes exceeds the "
+                    f"{config.max_request_bytes}-byte limit",
+                )
+                return None
+            return self.rfile.read(length)
+
+        def _handle_submit(self) -> None:
+            raw = self._read_body()
+            if raw is None:
+                return
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                self._error(400, f"invalid JSON body: {exc}")
+                return
+            spec = JobSpec.from_wire(payload)  # strict; 400 via ReproError
+            key = artifact_key(spec.build_table(), spec.config)
+            live = service.store.find_by_key(
+                key, states=("queued", "running", "done")
+            )
+            if live:
+                # idempotent resubmission — no capacity consumed, so it
+                # succeeds even when the queue is refusing new work
+                self._json(
+                    200,
+                    {"job": live[0].to_dict(), "deduplicated": True},
+                )
+                return
+            if service.store.pending() >= config.max_queue_depth:
+                self._metrics_inc(
+                    "gateway_rejected_backpressure",
+                    "submissions rejected by queue-depth backpressure",
+                )
+                self._error(
+                    503,
+                    f"queue is full ({config.max_queue_depth} jobs "
+                    f"pending); retry later",
+                    retry_after=config.retry_after_seconds,
+                )
+                return
+            job = service.store.submit(spec, artifact_key=key)
+            self._json(
+                201, {"job": job.to_dict(), "deduplicated": False}
+            )
+
+    return Handler

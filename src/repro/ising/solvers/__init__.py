@@ -2,8 +2,13 @@
 
 All solvers share the :class:`~repro.ising.solvers.base.IsingSolver`
 interface — ``solve(model, rng) -> SolveResult`` — so the decomposition
-layer and the benchmarks can swap them freely.
+layer and the benchmarks can swap them freely.  Construction by name
+goes through :mod:`repro.ising.solvers.registry`
+(:func:`make_solver`), which also answers capability questions
+(replicas / probes / stop criteria) without constructing anything.
 """
+
+import warnings
 
 from repro.ising.solvers.asb import AdiabaticSBSolver
 from repro.ising.solvers.base import IsingSolver, SolveResult
@@ -12,6 +17,13 @@ from repro.ising.solvers.bsb import BallisticSBSolver, SBState
 from repro.ising.solvers.dsb import DiscreteSBSolver
 from repro.ising.solvers.mean_field import MeanFieldAnnealingSolver
 from repro.ising.solvers.parallel_tempering import ParallelTemperingSolver
+from repro.ising.solvers.registry import (
+    SolverCapabilities,
+    SolverInfo,
+    make_solver,
+    solver_info,
+    solver_names,
+)
 from repro.ising.solvers.sa import SimulatedAnnealingSolver
 from repro.ising.solvers.tabu import TabuSearchSolver
 
@@ -26,5 +38,22 @@ __all__ = [
     "SBState",
     "SimulatedAnnealingSolver",
     "SolveResult",
+    "SolverCapabilities",
+    "SolverInfo",
     "TabuSearchSolver",
+    "make_solver",
+    "solver_for_name",
+    "solver_info",
+    "solver_names",
 ]
+
+
+def solver_for_name(name: str, **params) -> IsingSolver:
+    """Deprecated pre-registry lookup; use :func:`make_solver`."""
+    warnings.warn(
+        "solver_for_name is deprecated; use "
+        "repro.ising.solvers.registry.make_solver",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return make_solver(name, **params)

@@ -154,6 +154,12 @@ class AdiabaticSBSolver(IsingSolver):
             stop_reason=stop_reason,
             energy_trace=trace,
             runtime_seconds=runtime,
+            metadata={
+                "solver": "asb",
+                "backend": "inline",
+                "dtype": "float64",
+                "n_replicas": self.n_replicas,
+            },
         )
 
     def __repr__(self) -> str:

@@ -73,6 +73,13 @@ class BruteForceSolver(IsingSolver):
             stop_reason="exhausted",
             energy_trace=[],
             runtime_seconds=runtime,
+            metadata={
+                "solver": "brute_force",
+                "backend": "enumerate",
+                "dtype": "float64",
+                "n_replicas": 1,
+                "chunk_bits": self.chunk_bits,
+            },
         )
 
     def __repr__(self) -> str:

@@ -334,6 +334,14 @@ class BallisticSBSolver(IsingSolver):
             stop_reason=stop_reason,
             energy_trace=trace,
             runtime_seconds=runtime,
+            metadata={
+                "solver": "bsb",
+                "backend": kernel.name if kernel is not None else "inline",
+                "dtype": (
+                    str(kernel.dtype) if kernel is not None else "float64"
+                ),
+                "n_replicas": self.n_replicas,
+            },
         )
 
     def __repr__(self) -> str:

@@ -146,6 +146,12 @@ class DiscreteSBSolver(IsingSolver):
             stop_reason=stop_reason,
             energy_trace=trace,
             runtime_seconds=runtime,
+            metadata={
+                "solver": "dsb",
+                "backend": "inline",
+                "dtype": "float64",
+                "n_replicas": self.n_replicas,
+            },
         )
 
     def __repr__(self) -> str:

@@ -127,6 +127,13 @@ class MeanFieldAnnealingSolver(IsingSolver):
             stop_reason="schedule_exhausted",
             energy_trace=trace,
             runtime_seconds=runtime,
+            metadata={
+                "solver": "mean_field",
+                "backend": "inline",
+                "dtype": "float64",
+                "n_replicas": self.n_restarts,
+                "damping": self.damping,
+            },
         )
 
     def __repr__(self) -> str:

@@ -142,6 +142,13 @@ class ParallelTemperingSolver(IsingSolver):
             stop_reason="schedule_exhausted",
             energy_trace=trace,
             runtime_seconds=runtime,
+            metadata={
+                "solver": "parallel_tempering",
+                "backend": "dense",
+                "dtype": "float64",
+                "n_replicas": self.n_replicas,
+                "swap_every": self.swap_every,
+            },
         )
 
     def __repr__(self) -> str:

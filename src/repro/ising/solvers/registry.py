@@ -1,0 +1,211 @@
+"""Unified solver registry: one name→solver construction path.
+
+Before this module existed, every layer that needed a solver built it ad
+hoc — the core COP path hard-wired :class:`BallisticSBSolver`, the CLI
+and benchmarks kept their own lambda tables, and capability questions
+("does this solver take ``n_replicas``? can it carry a probe?") were
+answered by reading source.  The registry centralizes all of that:
+
+>>> from repro.ising.solvers.registry import make_solver, solver_names
+>>> solver = make_solver("bsb", n_replicas=4)
+>>> sorted(solver_names())[:3]
+['asb', 'brute_force', 'bsb']
+
+Each entry carries :class:`SolverCapabilities` so callers can validate a
+request *before* constructing anything (the gateway and CLI use this to
+reject impossible parameter combinations with a clear message instead
+of a ``TypeError`` from deep inside a constructor).
+
+Aliases (``"pt"`` for ``"parallel_tempering"``, ``"mfa"`` for
+``"mean_field"``) resolve to the same entry; :func:`canonical_name`
+returns the primary name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Type
+
+from repro.errors import ConfigurationError
+from repro.ising.solvers.asb import AdiabaticSBSolver
+from repro.ising.solvers.base import IsingSolver
+from repro.ising.solvers.brute_force import BruteForceSolver
+from repro.ising.solvers.bsb import BallisticSBSolver
+from repro.ising.solvers.dsb import DiscreteSBSolver
+from repro.ising.solvers.mean_field import MeanFieldAnnealingSolver
+from repro.ising.solvers.parallel_tempering import ParallelTemperingSolver
+from repro.ising.solvers.sa import SimulatedAnnealingSolver
+from repro.ising.solvers.tabu import TabuSearchSolver
+
+__all__ = [
+    "SolverCapabilities",
+    "SolverInfo",
+    "register_solver",
+    "make_solver",
+    "solver_names",
+    "solver_info",
+    "canonical_name",
+]
+
+
+@dataclass(frozen=True)
+class SolverCapabilities:
+    """What a registered solver supports, decidable without constructing.
+
+    Attributes
+    ----------
+    supports_replicas:
+        Evolves multiple states in parallel (``n_replicas`` /
+        temperature ladder / independent restarts).
+    supports_probes:
+        Accepts a :class:`~repro.obs.probe.SolverProbe` (or consults
+        the process-global probe factory) for step-level observability.
+    supports_stop_criteria:
+        Accepts a :class:`~repro.ising.stop_criteria.StopCriterion`
+        (the paper's dynamic energy-variance stop plugs in here).
+    exact:
+        Returns a true ground state (enumeration), not a heuristic.
+    """
+
+    supports_replicas: bool = False
+    supports_probes: bool = False
+    supports_stop_criteria: bool = False
+    exact: bool = False
+
+
+@dataclass(frozen=True)
+class SolverInfo:
+    """One registry entry: class, capabilities, human-readable summary."""
+
+    name: str
+    cls: Type[IsingSolver]
+    capabilities: SolverCapabilities
+    summary: str
+    aliases: Tuple[str, ...] = ()
+
+
+_REGISTRY: Dict[str, SolverInfo] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_solver(
+    name: str,
+    cls: Type[IsingSolver],
+    capabilities: SolverCapabilities,
+    summary: str,
+    aliases: Tuple[str, ...] = (),
+) -> SolverInfo:
+    """Register a solver class under ``name`` (plus optional aliases).
+
+    Re-registering an existing name replaces the entry — deliberate, so
+    downstream code can swap in instrumented or accelerated variants.
+    """
+    info = SolverInfo(
+        name=name,
+        cls=cls,
+        capabilities=capabilities,
+        summary=summary,
+        aliases=tuple(aliases),
+    )
+    _REGISTRY[name] = info
+    for alias in aliases:
+        _ALIASES[alias] = name
+    return info
+
+
+def canonical_name(name: str) -> str:
+    """Resolve ``name`` (primary or alias) to the primary registry name."""
+    resolved = _ALIASES.get(name, name)
+    if resolved not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown solver {name!r}; known solvers: "
+            f"{', '.join(solver_names())}"
+        )
+    return resolved
+
+
+def solver_names() -> List[str]:
+    """Sorted primary names of every registered solver."""
+    return sorted(_REGISTRY)
+
+
+def solver_info(name: str) -> SolverInfo:
+    """The registry entry for ``name`` (primary or alias)."""
+    return _REGISTRY[canonical_name(name)]
+
+
+def make_solver(name: str, **params) -> IsingSolver:
+    """Construct the solver registered under ``name`` with ``params``.
+
+    Unknown names raise :class:`~repro.errors.ConfigurationError`
+    listing the registry; constructor rejections (an unknown or invalid
+    parameter) are re-raised as :class:`ConfigurationError` naming the
+    solver, so callers get one error type for "bad solver request".
+    """
+    info = solver_info(name)
+    try:
+        return info.cls(**params)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad parameters for solver {info.name!r}: {exc}"
+        ) from exc
+
+
+register_solver(
+    "bsb",
+    BallisticSBSolver,
+    SolverCapabilities(
+        supports_replicas=True,
+        supports_probes=True,
+        supports_stop_criteria=True,
+    ),
+    "ballistic simulated bifurcation (the paper's core solver)",
+)
+register_solver(
+    "asb",
+    AdiabaticSBSolver,
+    SolverCapabilities(
+        supports_replicas=True, supports_stop_criteria=True
+    ),
+    "adiabatic (Kerr-nonlinear) simulated bifurcation",
+)
+register_solver(
+    "dsb",
+    DiscreteSBSolver,
+    SolverCapabilities(
+        supports_replicas=True, supports_stop_criteria=True
+    ),
+    "discrete simulated bifurcation",
+)
+register_solver(
+    "sa",
+    SimulatedAnnealingSolver,
+    SolverCapabilities(supports_replicas=True),
+    "Metropolis simulated annealing with geometric cooling",
+)
+register_solver(
+    "parallel_tempering",
+    ParallelTemperingSolver,
+    SolverCapabilities(supports_replicas=True),
+    "replica-exchange Metropolis over a temperature ladder",
+    aliases=("pt",),
+)
+register_solver(
+    "mean_field",
+    MeanFieldAnnealingSolver,
+    SolverCapabilities(supports_replicas=True),
+    "damped mean-field annealing",
+    aliases=("mfa",),
+)
+register_solver(
+    "tabu",
+    TabuSearchSolver,
+    SolverCapabilities(supports_replicas=True),
+    "single-flip tabu search with aspiration",
+)
+register_solver(
+    "brute_force",
+    BruteForceSolver,
+    SolverCapabilities(exact=True),
+    "exact ground states by exhaustive enumeration (N <= 24)",
+)

@@ -139,6 +139,13 @@ class SimulatedAnnealingSolver(IsingSolver):
             stop_reason="schedule_exhausted",
             energy_trace=trace,
             runtime_seconds=runtime,
+            metadata={
+                "solver": "sa",
+                "backend": "dense",
+                "dtype": "float64",
+                "n_replicas": self.n_restarts,
+                "n_sweeps": self.n_sweeps,
+            },
         )
 
     def __repr__(self) -> str:

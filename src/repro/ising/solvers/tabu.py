@@ -123,6 +123,13 @@ class TabuSearchSolver(IsingSolver):
             stop_reason="steps_exhausted",
             energy_trace=trace,
             runtime_seconds=runtime,
+            metadata={
+                "solver": "tabu",
+                "backend": "dense",
+                "dtype": "float64",
+                "n_replicas": self.n_restarts,
+                "tenure": tenure,
+            },
         )
 
     def __repr__(self) -> str:

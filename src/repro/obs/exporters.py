@@ -37,7 +37,12 @@ __all__ = [
     "write_chrome_trace",
     "write_trace",
     "prometheus_text",
+    "PROMETHEUS_CONTENT_TYPE",
 ]
+
+#: the Content-Type a scrape endpoint must declare for version 0.0.4
+#: of the text exposition (what :func:`prometheus_text` emits)
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def trace_header(metadata: Optional[Dict] = None) -> Dict:

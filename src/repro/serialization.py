@@ -55,6 +55,7 @@ __all__ = [
     "SerializationError",
     "design_to_dict",
     "design_from_dict",
+    "ensure_design_document",
     "save_design",
     "load_design",
     "result_to_dict",
@@ -217,6 +218,28 @@ def design_from_dict(data: Dict) -> LutCascadeDesign:
         float(data.get("med", float("nan"))),
     )
     return build_cascade_design(loaded)
+
+
+def ensure_design_document(data: Dict) -> Dict:
+    """Validate format/version of a design document without rebuilding it.
+
+    The cheap boundary check for code that *transports* designs rather
+    than evaluates them (the gateway's result endpoint, the remote
+    ``fetch`` path): confirms the payload is a readable
+    ``repro-decomposition`` document and returns it unchanged, raising
+    :class:`SerializationError` otherwise.
+    """
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"design document must be a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    if data.get("format") != _FORMAT:
+        raise SerializationError(
+            f"not a {_FORMAT} document (format={data.get('format')!r})"
+        )
+    _document_version(data)
+    return data
 
 
 def save_design(result, path: Union[str, Path]) -> None:

@@ -28,7 +28,13 @@ from repro.service.artifacts import ArtifactStore
 from repro.service.jobstore import JobRecord, JobStore
 from repro.service.scheduler import Scheduler, SchedulerPolicy
 from repro.service.service import DecompositionService
-from repro.service.spec import JobSpec, artifact_key
+from repro.service.spec import (
+    SPEC_FORMAT,
+    SPEC_SCHEMA_VERSION,
+    JobSpec,
+    artifact_key,
+    spec_from_stored,
+)
 from repro.service.telemetry import format_job_table, service_summary
 from repro.service.worker import JobExecutor, WorkerPool
 
@@ -39,10 +45,13 @@ __all__ = [
     "JobRecord",
     "JobSpec",
     "JobStore",
+    "SPEC_FORMAT",
+    "SPEC_SCHEMA_VERSION",
     "Scheduler",
     "SchedulerPolicy",
     "WorkerPool",
     "artifact_key",
     "format_job_table",
     "service_summary",
+    "spec_from_stored",
 ]

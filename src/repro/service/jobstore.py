@@ -36,10 +36,10 @@ import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import JobNotFound, ServiceError
-from repro.service.spec import JobSpec
+from repro.service.spec import JobSpec, spec_from_stored
 
 __all__ = ["JobStore", "JobRecord", "JOB_STATES"]
 
@@ -96,12 +96,63 @@ class JobRecord:
         """Executed retries (attempts beyond the first)."""
         return max(0, self.attempts - 1)
 
+    def to_dict(self) -> Dict:
+        """Plain-JSON snapshot; the gateway's job-status body.
+
+        The spec travels in wire form so a record round-tripped through
+        :meth:`from_dict` (the remote ``status`` path) is
+        indistinguishable from one read off the local store.
+        """
+        return {
+            "id": self.id,
+            "artifact_key": self.artifact_key,
+            "spec": self.spec.to_wire(),
+            "state": self.state,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "not_before": self.not_before,
+            "lease_expires": self.lease_expires,
+            "worker": self.worker,
+            "cache_hit": self.cache_hit,
+            "error": self.error,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "runtime_seconds": self.runtime_seconds,
+            "med": self.med,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobRecord":
+        """Rebuild a record serialized by :meth:`to_dict`."""
+        try:
+            return cls(
+                id=data["id"],
+                artifact_key=data["artifact_key"],
+                spec=spec_from_stored(data["spec"]),
+                state=data["state"],
+                attempts=int(data["attempts"]),
+                max_attempts=int(data["max_attempts"]),
+                not_before=float(data.get("not_before", 0.0)),
+                lease_expires=data.get("lease_expires"),
+                worker=data.get("worker"),
+                cache_hit=bool(data.get("cache_hit", False)),
+                error=data.get("error"),
+                created_at=float(data["created_at"]),
+                started_at=data.get("started_at"),
+                finished_at=data.get("finished_at"),
+                runtime_seconds=data.get("runtime_seconds"),
+                med=data.get("med"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed job record: {exc}") from exc
+
 
 def _record_from_row(row: sqlite3.Row) -> JobRecord:
     return JobRecord(
         id=row["id"],
         artifact_key=row["artifact_key"],
-        spec=JobSpec.from_dict(json.loads(row["spec"])),
+        spec=spec_from_stored(json.loads(row["spec"])),
         state=row["state"],
         attempts=row["attempts"],
         max_attempts=row["max_attempts"],
@@ -166,7 +217,7 @@ class JobStore:
                 (
                     job_id,
                     artifact_key,
-                    json.dumps(spec.to_dict(), sort_keys=True),
+                    json.dumps(spec.to_wire(), sort_keys=True),
                     spec.max_attempts,
                     now,
                 ),
@@ -352,6 +403,33 @@ class JobStore:
         query += " ORDER BY created_at, id"
         with self._txn() as conn:
             rows = conn.execute(query, params).fetchall()
+        return [_record_from_row(row) for row in rows]
+
+    def find_by_key(
+        self,
+        artifact_key: str,
+        states: Optional[Sequence[str]] = None,
+    ) -> List[JobRecord]:
+        """All jobs with this artifact key, oldest first.
+
+        ``states`` optionally restricts the search — the idempotent
+        submission path asks for ``("queued", "running", "done")`` to
+        find a live twin while ignoring failed attempts.
+        """
+        query = "SELECT * FROM jobs WHERE artifact_key = ?"
+        params: List = [artifact_key]
+        if states is not None:
+            for state in states:
+                if state not in JOB_STATES:
+                    raise ServiceError(
+                        f"unknown job state {state!r}; states: {JOB_STATES}"
+                    )
+            placeholders = ", ".join("?" for _ in states)
+            query += f" AND state IN ({placeholders})"
+            params.extend(states)
+        query += " ORDER BY created_at, id"
+        with self._txn() as conn:
+            rows = conn.execute(query, tuple(params)).fetchall()
         return [_record_from_row(row) for row in rows]
 
     def counts(self) -> Dict[str, int]:

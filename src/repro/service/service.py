@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ServiceError
 from repro.lut.cascade import LutCascadeDesign
@@ -74,6 +74,26 @@ class DecompositionService:
     def submit_batch(self, specs: Sequence[JobSpec]) -> List[JobRecord]:
         """Enqueue many jobs, preserving order."""
         return [self.submit(spec) for spec in specs]
+
+    def submit_idempotent(self, spec: JobSpec) -> Tuple[JobRecord, bool]:
+        """Enqueue unless an equivalent job is already live.
+
+        "Equivalent" means same artifact key — the content address over
+        (truth table, semantic config), i.e. the strongest possible
+        dedup: a match is *guaranteed* to yield the identical design.
+        Returns ``(record, deduplicated)`` where a ``True`` flag means
+        the record is a pre-existing queued/running/done twin (failed
+        twins don't count — resubmission retries them).  This is the
+        gateway's ``POST /v1/jobs`` path, which makes client retries
+        after a lost response safe.
+        """
+        key = artifact_key(spec.build_table(), spec.config)
+        live = self.store.find_by_key(
+            key, states=("queued", "running", "done")
+        )
+        if live:
+            return live[0], True
+        return self.store.submit(spec, artifact_key=key), False
 
     # -- serving -------------------------------------------------------
 

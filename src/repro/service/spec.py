@@ -22,13 +22,38 @@ that determine the seeded search result bit-for-bit:
 
 Two submissions with equal keys are guaranteed to produce identical
 designs, so the artifact store may return one's result for the other.
+
+Wire format (JobSpecV1)
+-----------------------
+There is exactly one JSON shape a job spec travels in — the *wire form*
+produced by :meth:`JobSpec.to_wire` and parsed by
+:meth:`JobSpec.from_wire`.  The CLI's ``submit --remote``, the HTTP
+gateway's ``POST /v1/jobs`` body, and the job store's persisted ``spec``
+column all use it, so a spec submitted remotely is byte-comparable to
+one submitted in-process:
+
+.. code-block:: json
+
+    {
+      "format": "repro-jobspec",
+      "schema_version": 1,
+      "config": { ... FrameworkConfig.to_dict() ... },
+      "workload": "cos", "n_inputs": 9, "table": null,
+      "timeout_seconds": null, "max_attempts": 3
+    }
+
+Parsing is *strict*: a missing/unsupported ``schema_version`` or any
+unknown key is rejected with :class:`~repro.errors.ServiceError`
+(nested ``config`` payloads were already strict).  Job-store rows
+written before the wire format carry no ``format`` key and are still
+read through the legacy lenient path (:func:`spec_from_stored`).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional
 
 import numpy as np
@@ -37,7 +62,20 @@ from repro.boolean.truth_table import TruthTable
 from repro.core.config import FrameworkConfig
 from repro.errors import ServiceError
 
-__all__ = ["JobSpec", "artifact_key", "table_to_dict", "table_from_dict"]
+__all__ = [
+    "JobSpec",
+    "SPEC_FORMAT",
+    "SPEC_SCHEMA_VERSION",
+    "artifact_key",
+    "spec_from_stored",
+    "table_to_dict",
+    "table_from_dict",
+]
+
+#: wire-format discriminator of a serialized job spec
+SPEC_FORMAT = "repro-jobspec"
+#: current wire schema version (see the module docstring)
+SPEC_SCHEMA_VERSION = 1
 
 
 def table_to_dict(table: TruthTable) -> Dict:
@@ -148,7 +186,9 @@ class JobSpec:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "JobSpec":
-        """Rebuild a spec persisted by :meth:`to_dict`."""
+        """Rebuild a spec persisted by :meth:`to_dict` (lenient legacy
+        path — pre-wire job-store rows; new code uses :meth:`from_wire`).
+        """
         try:
             return cls(
                 config=FrameworkConfig.from_dict(data["config"]),
@@ -160,6 +200,65 @@ class JobSpec:
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ServiceError(f"malformed job spec: {exc}") from exc
+
+    # -- canonical wire form (JobSpecV1) -------------------------------
+
+    def to_wire(self) -> Dict:
+        """The canonical versioned JSON shape (module docstring)."""
+        return {
+            "format": SPEC_FORMAT,
+            "schema_version": SPEC_SCHEMA_VERSION,
+            **self.to_dict(),
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict) -> "JobSpec":
+        """Parse the canonical wire form; strict, unlike :meth:`from_dict`.
+
+        Rejects non-mappings, a wrong ``format``, a missing or
+        unsupported ``schema_version``, unknown keys, and a missing
+        ``config`` — all as :class:`~repro.errors.ServiceError` with a
+        message safe to surface verbatim at an API boundary.
+        """
+        if not isinstance(data, dict):
+            raise ServiceError(
+                f"job spec must be a JSON object, got {type(data).__name__}"
+            )
+        declared = data.get("format")
+        if declared != SPEC_FORMAT:
+            raise ServiceError(
+                f"not a {SPEC_FORMAT} document (format={declared!r})"
+            )
+        version = data.get("schema_version")
+        if version != SPEC_SCHEMA_VERSION:
+            raise ServiceError(
+                f"unsupported job spec schema_version {version!r}; this "
+                f"build speaks version {SPEC_SCHEMA_VERSION}"
+            )
+        known = {f.name for f in fields(cls)} | {"format", "schema_version"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ServiceError(
+                f"unknown job spec fields: {', '.join(unknown)}"
+            )
+        if "config" not in data:
+            raise ServiceError("job spec is missing its config")
+        return cls.from_dict(
+            {k: v for k, v in data.items()
+             if k not in ("format", "schema_version")}
+        )
+
+
+def spec_from_stored(data: Dict) -> JobSpec:
+    """Parse a persisted spec: wire form if tagged, legacy otherwise.
+
+    Job-store rows written before the wire format carry no ``format``
+    key; everything newer goes through the strict :meth:`JobSpec.from_wire`
+    path so corruption surfaces as a clear error instead of a default.
+    """
+    if isinstance(data, dict) and "format" in data:
+        return JobSpec.from_wire(data)
+    return JobSpec.from_dict(data)
 
 
 def artifact_key(table: TruthTable, config: FrameworkConfig) -> str:

@@ -1,0 +1,18 @@
+"""Shared fixtures for the gateway tests."""
+
+import pytest
+
+from repro.core import CoreSolverConfig, FrameworkConfig
+
+
+@pytest.fixture
+def fast_config():
+    """A laptop-fast but real framework configuration."""
+    return FrameworkConfig(
+        mode="joint",
+        free_size=2,
+        n_partitions=2,
+        n_rounds=1,
+        seed=3,
+        solver=CoreSolverConfig(max_iterations=200, n_replicas=2),
+    )

@@ -1,0 +1,130 @@
+"""CLI ``--remote`` mode: submit/status/fetch through a live gateway.
+
+The same subcommands that drive a local service directory must work
+against a gateway URL and print through the same rendering code — the
+fetched design JSON is byte-identical to the local ``fetch`` output.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.gateway import DecompositionGateway, GatewayConfig
+from repro.serialization import load_design
+from repro.service import DecompositionService, SchedulerPolicy
+
+FAST = [
+    "--partitions", "2",
+    "--rounds", "1",
+    "--max-iterations", "200",
+    "--replicas", "2",
+]
+
+
+@pytest.fixture(scope="module")
+def live_gateway(tmp_path_factory):
+    """A drained service with one finished cos job, behind a gateway."""
+    root = tmp_path_factory.mktemp("remote") / "svc"
+    service = DecompositionService(
+        root,
+        n_workers=2,
+        policy=SchedulerPolicy(
+            lease_seconds=30.0,
+            retry_backoff_seconds=0.01,
+            poll_interval_seconds=0.01,
+        ),
+    )
+    gateway = DecompositionGateway(service, GatewayConfig(port=0))
+    gateway.start()
+    yield service, gateway
+    gateway.stop()
+
+
+def test_submit_serve_status_fetch_round_trip(live_gateway, tmp_path,
+                                              capsys):
+    service, gateway = live_gateway
+    code = main(
+        ["submit", "--remote", gateway.url,
+         "--workload", "cos", "--n-inputs", "6", *FAST]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "submitted job-" in out
+    job_id = out.split()[1].rstrip(":")
+
+    # resubmission dedups instead of double-queueing
+    code = main(
+        ["submit", "--remote", gateway.url,
+         "--workload", "cos", "--n-inputs", "6", *FAST]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "deduplicated" in out
+    assert job_id in out
+
+    service.run_until_drained(timeout=120)
+
+    code = main(["status", "--remote", gateway.url])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert job_id in out
+    assert "done" in out
+
+    code = main(["status", "--remote", gateway.url, "--json"])
+    summary = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert summary["jobs"]["done"] == 1
+
+    code = main(["status", "--remote", gateway.url, "--prometheus"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "repro_service_jobs_done" in out
+
+    remote_path = tmp_path / "remote.json"
+    code = main(["fetch", "--remote", gateway.url,
+                 "--job", job_id, "--out", str(remote_path)])
+    assert code == 0
+    capsys.readouterr()
+    design = load_design(remote_path)
+    assert design.n_inputs == 6
+
+    # byte-identical to the local fetch of the same job
+    local_path = tmp_path / "local.json"
+    code = main(["fetch", "--service-dir", str(service.root),
+                 "--job", job_id, "--out", str(local_path)])
+    assert code == 0
+    capsys.readouterr()
+    assert remote_path.read_bytes() == local_path.read_bytes()
+
+
+def test_target_validation_errors(live_gateway, tmp_path, capsys):
+    _, gateway = live_gateway
+    # neither target
+    code = main(["status"])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "--service-dir" in err and "--remote" in err
+    # both targets
+    code = main(["status", "--remote", gateway.url,
+                 "--service-dir", str(tmp_path)])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "exactly one" in err
+
+
+def test_remote_connection_error_is_clean(capsys):
+    code = main(["status", "--remote", "http://127.0.0.1:9",
+                 "--json"])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert err.startswith("error:")
+
+
+def test_list_solvers(capsys):
+    code = main(["list-solvers"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "bsb" in out
+    assert "probes" in out
+    assert "aliases: pt" in out

@@ -1,0 +1,137 @@
+"""JobStore races: concurrent claims and orphan recovery.
+
+The durability story rests on ``BEGIN IMMEDIATE`` claims: whatever the
+thread/process interleaving, one queued job is run by exactly one
+worker, and an expired lease is recovered by exactly one sweeper.
+These tests hammer those paths with real thread pools.
+"""
+
+import dataclasses
+import threading
+
+from repro.service.jobstore import JobStore
+from repro.service.spec import JobSpec
+
+
+def _specs(fast_config, n):
+    # distinct seeds -> distinct artifact keys, so single-flight dedup
+    # never hides a double claim from this test
+    return [
+        JobSpec(
+            workload="cos",
+            n_inputs=6,
+            config=dataclasses.replace(fast_config, seed=seed),
+        )
+        for seed in range(n)
+    ]
+
+
+class TestConcurrentClaims:
+    def test_no_job_is_ever_claimed_twice(self, tmp_path, fast_config):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        jobs = [
+            store.submit(spec, artifact_key=f"key-{i}")
+            for i, spec in enumerate(_specs(fast_config, 24))
+        ]
+        claimed = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def worker(name):
+            barrier.wait()  # maximize claim contention
+            while True:
+                record = store.claim(name, lease_seconds=60.0)
+                if record is None:
+                    return
+                with lock:
+                    claimed.append(record.id)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",))
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert sorted(claimed) == sorted(job.id for job in jobs)
+        assert len(claimed) == len(set(claimed)), "a job ran twice"
+
+    def test_single_flight_dedup_under_concurrency(
+        self, tmp_path, fast_config
+    ):
+        """Twins (same artifact key) are never running simultaneously:
+        with every queued job sharing one key, concurrent claimers get
+        at most one job between them."""
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        spec = JobSpec(workload="cos", n_inputs=6, config=fast_config)
+        for _ in range(6):
+            store.submit(spec, artifact_key="shared-key")
+        results = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(6)
+
+        def claimer(name):
+            barrier.wait()
+            record = store.claim(name, lease_seconds=60.0)
+            with lock:
+                results.append(record)
+
+        threads = [
+            threading.Thread(target=claimer, args=(f"w{i}",))
+            for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        won = [record for record in results if record is not None]
+        assert len(won) == 1
+        assert store.counts()["running"] == 1
+
+
+class TestConcurrentOrphanRecovery:
+    def test_each_orphan_recovered_exactly_once(
+        self, tmp_path, fast_config
+    ):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        for i, spec in enumerate(_specs(fast_config, 10)):
+            store.submit(spec, artifact_key=f"key-{i}", now=100.0)
+        while store.claim("doomed", lease_seconds=1.0, now=100.0):
+            pass
+        assert store.counts()["running"] == 10
+
+        recovered = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(4)
+
+        def sweeper():
+            barrier.wait()
+            ids = store.recover_orphans(now=200.0)  # leases long expired
+            with lock:
+                recovered.extend(ids)
+
+        threads = [threading.Thread(target=sweeper) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # every orphan transitioned exactly once across all sweepers
+        assert len(recovered) == 10
+        assert len(set(recovered)) == 10
+        counts = store.counts()
+        assert counts["running"] == 0
+        assert counts["queued"] == 10  # attempts=1 < max_attempts=3
+
+        # recovered jobs are claimable again — exactly once each
+        reclaimed = []
+        while True:
+            record = store.claim("fresh", lease_seconds=60.0, now=300.0)
+            if record is None:
+                break
+            reclaimed.append(record)
+        assert len(reclaimed) == 10
+        assert all(record.attempts == 2 for record in reclaimed)
