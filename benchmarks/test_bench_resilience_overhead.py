@@ -1,0 +1,150 @@
+"""Resilience overhead: disabled fault seams must be near-free.
+
+The bSB solve loop gained two pieces of resilience machinery on its hot
+path: the kernel fault seams (``kernel.nan`` / ``kernel.overflow``,
+behind one hoisted ``active_fault_plan()`` lookup per solve) and the
+numeric guard (``kernel.check_state`` once per sampling point).  The
+ISSUE gates the *disabled* configuration at < 2% overhead on the kernel
+benchmark; this benchmark pins that with a number.
+
+Three variants of the same seeded solve (r=128, c=512 bipartite core
+COP, 16 replicas) are timed min-of-repeats:
+
+* ``all_off`` — ``numeric_guard=False``, no fault plan installed: the
+  solver with the resilience machinery fully disabled,
+* ``default`` — the production default (guard on, no plan installed),
+* ``armed_never_fires`` — a fault plan installed whose rules have
+  ``probability=0.0``, so every sampling point pays the full
+  ``should_fire`` bookkeeping without ever firing (informational).
+
+Writes ``BENCH_resilience.json`` at the repo root and **gates**
+``default`` at < 2% overhead vs ``all_off``.  All variants must decode
+bit-identical best spins from the same seed (RNG neutrality).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_bench_json
+from repro.ising.solvers.bsb import BallisticSBSolver
+from repro.ising.stop_criteria import FixedIterations
+from repro.ising.structured import BipartiteDecompositionModel
+from repro.resilience import FaultPlan, FaultRule, fault_injection
+
+N_ROWS = 128
+N_COLS = 512
+N_REPLICAS = 16
+N_ITERATIONS = 300
+SAMPLE_EVERY = 50
+SEED = 2024
+TIMING_REPEATS = 5
+MAX_DISABLED_OVERHEAD = 0.02
+
+
+def _solver(numeric_guard):
+    return BallisticSBSolver(
+        stop=FixedIterations(N_ITERATIONS, sample_every=SAMPLE_EVERY),
+        n_replicas=N_REPLICAS,
+        backend="numpy64",
+        numeric_guard=numeric_guard,
+    )
+
+
+def _timed_interleaved(variants):
+    """Min-of-repeats with the variants interleaved per round.
+
+    Running each variant as its own back-to-back block biases the
+    comparison (warm-up, CPU frequency drift land on one block);
+    interleaving spreads that noise evenly across variants.
+    """
+    times = {label: np.inf for label in variants}
+    results = {}
+    for _ in range(TIMING_REPEATS):
+        for label, solve in variants.items():
+            t0 = time.perf_counter()
+            results[label] = solve()
+            times[label] = min(
+                times[label], time.perf_counter() - t0
+            )
+    return times, results
+
+
+def test_disabled_fault_injection_overhead():
+    rng = np.random.default_rng(SEED)
+    model = BipartiteDecompositionModel(
+        rng.random((N_ROWS, N_COLS)) * 2.0 - 1.0
+    )
+
+    def run(guard):
+        return _solver(guard).solve(model, np.random.default_rng(SEED))
+
+    never_fires = FaultPlan(
+        [
+            FaultRule(site="kernel.nan", probability=0.0),
+            FaultRule(site="kernel.overflow", probability=0.0),
+        ],
+        seed=SEED,
+    )
+
+    def run_armed():
+        with fault_injection(never_fires):
+            return run(True)
+
+    run(True)  # warm-up: imports, allocator, BLAS thread pools
+    times, results = _timed_interleaved(
+        {
+            "all_off": lambda: run(False),
+            "default": lambda: run(True),
+            "armed_never_fires": run_armed,
+        }
+    )
+    t_off, t_default, t_armed = (
+        times["all_off"], times["default"], times["armed_never_fires"]
+    )
+    r_off, r_default, r_armed = (
+        results["all_off"],
+        results["default"],
+        results["armed_never_fires"],
+    )
+
+    # RNG neutrality: the machinery must not perturb the physics
+    assert np.array_equal(r_default.spins, r_off.spins)
+    assert np.array_equal(r_armed.spins, r_off.spins)
+    assert r_default.energy == r_off.energy == r_armed.energy
+
+    overhead_default = t_default / t_off - 1.0
+    overhead_armed = t_armed / t_off - 1.0
+    payload = {
+        "problem": {
+            "rows": N_ROWS,
+            "cols": N_COLS,
+            "replicas": N_REPLICAS,
+            "iterations": N_ITERATIONS,
+            "sample_every": SAMPLE_EVERY,
+        },
+        "seconds": {
+            "all_off": t_off,
+            "default": t_default,
+            "armed_never_fires": t_armed,
+        },
+        "overhead_vs_all_off": {
+            "default": overhead_default,
+            "armed_never_fires": overhead_armed,
+        },
+        "gate_max_default_overhead": MAX_DISABLED_OVERHEAD,
+    }
+    write_bench_json("BENCH_resilience.json", payload)
+    print(
+        f"\nresilience overhead: all_off={t_off * 1e3:.2f} ms  "
+        f"default={t_default * 1e3:.2f} ms "
+        f"({overhead_default:+.2%})  "
+        f"armed(never fires)={t_armed * 1e3:.2f} ms "
+        f"({overhead_armed:+.2%})"
+    )
+
+    assert overhead_default < MAX_DISABLED_OVERHEAD, (
+        f"disabled resilience machinery costs {overhead_default:.2%} "
+        f"(gate: {MAX_DISABLED_OVERHEAD:.0%}) on the kernel benchmark"
+    )

@@ -98,9 +98,11 @@ from repro.obs import (
 )
 from repro.serialization import load_design, save_design
 from repro.service import (
+    DEFAULT_CHECKPOINT_EVERY,
     DecompositionService,
     JobSpec,
     SchedulerPolicy,
+    WorkerSupervisor,
     format_job_table,
 )
 from repro.service.telemetry import prometheus_exposition
@@ -254,6 +256,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "crashed")
     serve.add_argument("--retry-backoff", type=float, default=0.25,
                        help="base retry backoff in seconds")
+    serve.add_argument("--quarantine-after", type=int, default=3,
+                       metavar="N",
+                       help="park a job after it fails on N distinct "
+                            "workers (0 disables quarantine)")
+    serve.add_argument("--checkpoint-every", type=int,
+                       default=DEFAULT_CHECKPOINT_EVERY, metavar="K",
+                       help="write a crash-recovery checkpoint every K "
+                            "components (0 disables checkpointing)")
+    serve.add_argument("--isolated-workers", action="store_true",
+                       help="run each worker as a supervised child "
+                            "process (restart on crash, kill on hang) "
+                            "instead of an in-process thread")
+    serve.add_argument("--max-restarts", type=int, default=5,
+                       help="supervised-mode worker restart budget")
     serve.add_argument("--trace-out", type=Path, default=None,
                        help="record a service execution trace to this "
                             "path (drain mode; Chrome trace_event JSON, "
@@ -423,13 +439,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     policy = SchedulerPolicy(
         lease_seconds=args.lease_seconds,
         retry_backoff_seconds=args.retry_backoff,
+        quarantine_after=(
+            None if args.quarantine_after == 0 else args.quarantine_after
+        ),
+    )
+    checkpoint_every = (
+        None if args.checkpoint_every == 0 else args.checkpoint_every
     )
     service = DecompositionService(
-        args.service_dir, n_workers=args.workers, policy=policy
+        args.service_dir, n_workers=args.workers, policy=policy,
+        checkpoint_every=checkpoint_every,
     )
+    supervisor = None
+    if args.isolated_workers:
+        supervisor = WorkerSupervisor(
+            args.service_dir,
+            n_workers=args.workers,
+            policy=policy,
+            checkpoint_every=checkpoint_every,
+            max_restarts=args.max_restarts,
+        )
     depth = service.store.pending()
-    print(f"serving {args.service_dir} with {args.workers} worker(s), "
-          f"{depth} job(s) pending")
+    mode = "supervised process" if supervisor is not None else "thread"
+    print(f"serving {args.service_dir} with {args.workers} "
+          f"{mode} worker(s), {depth} job(s) pending")
     if args.http is not None:
         gateway = DecompositionGateway(
             service,
@@ -442,7 +475,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 access_log_path=args.http_access_log,
             ),
         )
-        pool = service.serve_forever()
+        if supervisor is not None:
+            supervisor.start()
+            pool = supervisor
+        else:
+            pool = service.serve_forever()
         print(f"gateway listening on {gateway.url}")
         try:
             gateway.serve_forever()
@@ -455,13 +492,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             pool.stop()
         return 0
     if args.forever:
-        pool = service.serve_forever()
+        if supervisor is not None:
+            supervisor.start()
+            pool = supervisor
+        else:
+            pool = service.serve_forever()
         try:
             while not pool.wait(3600):
                 pass
         except KeyboardInterrupt:
             pool.stop()
         return 0
+
+    def drain() -> None:
+        if supervisor is not None:
+            supervisor.run_until_drained()
+        else:
+            service.run_until_drained()
+
     if args.trace_out is not None:
         with observe(
             metadata={
@@ -469,20 +517,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "service_dir": str(args.service_dir),
             }
         ) as tracer:
-            service.run_until_drained()
+            drain()
         write_trace(tracer, args.trace_out)
         print(f"trace -> {args.trace_out}")
     else:
-        service.run_until_drained()
+        drain()
     summary = service.status()
     jobs = summary["jobs"]
     cache = summary["cache"]
     print(
-        f"drained: {jobs['done']} done, {jobs['failed']} failed; "
-        f"cache hit rate "
+        f"drained: {jobs['done']} done, {jobs['failed']} failed, "
+        f"{jobs['quarantined']} quarantined; cache hit rate "
         f"{cache['hit_rate'] if cache['hit_rate'] is not None else 'n/a'}"
     )
-    return 0 if jobs["failed"] == 0 else 3
+    return 0 if jobs["failed"] == 0 and jobs["quarantined"] == 0 else 3
 
 
 def _status_backend(args: argparse.Namespace):

@@ -1,0 +1,239 @@
+"""Crash-safe checkpoints of the outer decomposition loop.
+
+A decomposition is a seeded, deterministic search, so a crashed run
+*could* always restart from scratch — but paper-scale jobs spend
+minutes per component, and the service's retry loop would pay that
+cost again on every attempt.  A :class:`DecomposeCheckpoint` snapshots
+the outer loop at a component boundary:
+
+* the current approximation (the only mutable table),
+* every accepted component decomposition,
+* the round/position cursor in the MSB-first iteration order,
+* the per-round bookkeeping (``med_trace``, solve count, the
+  current round's accepted flag), and
+* **both RNG streams**, captured seed-sequence-aware
+  (:mod:`repro.resilience.rng`) so the resumed run draws the same
+  candidate partitions *and* spawns the same per-chunk child
+  generators as the uninterrupted one.
+
+Resuming replays nothing and re-rolls nothing: the restored state is
+byte-identical to the live state at capture time, which makes the
+final design of an interrupted-and-resumed job bit-identical to an
+uninterrupted run of the same spec (asserted by the chaos suite).
+
+A checkpoint is bound to its problem by the SHA-256 of the exact
+table; resuming against a different table raises
+:class:`~repro.errors.ConfigurationError` instead of silently mixing
+two searches.  The payload is plain JSON — it travels through the
+artifact store's checkpoint area and is human-inspectable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.boolean.truth_table import TruthTable
+from repro.errors import ConfigurationError
+from repro.resilience.rng import capture_rng
+from repro.serialization import (
+    _partition_from_dict,
+    _partition_to_dict,
+    _setting_from_dict,
+    _setting_to_dict,
+)
+
+__all__ = ["DecomposeCheckpoint", "table_sha256"]
+
+#: wire-format discriminator of a serialized checkpoint
+CHECKPOINT_FORMAT = "repro-decompose-checkpoint"
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def table_sha256(table: TruthTable) -> str:
+    """Content hash binding a checkpoint to its exact problem table."""
+    outputs = np.packbits(table.outputs.astype(np.uint8).ravel())
+    probabilities = np.ascontiguousarray(table.probabilities, dtype="<f8")
+    digest = hashlib.sha256()
+    digest.update(outputs.tobytes())
+    digest.update(probabilities.tobytes())
+    digest.update(f"{table.n_inputs}x{table.n_outputs}".encode())
+    return digest.hexdigest()
+
+
+def _table_to_dict(table: TruthTable) -> Dict:
+    packed = np.packbits(table.outputs.astype(np.uint8).ravel())
+    return {
+        "n_inputs": table.n_inputs,
+        "n_outputs": table.n_outputs,
+        "outputs_hex": packed.tobytes().hex(),
+        "probabilities": [float(p) for p in table.probabilities],
+    }
+
+
+def _table_from_dict(data: Dict) -> TruthTable:
+    n_inputs = int(data["n_inputs"])
+    n_outputs = int(data["n_outputs"])
+    packed = np.frombuffer(
+        bytes.fromhex(data["outputs_hex"]), dtype=np.uint8
+    )
+    outputs = np.unpackbits(
+        packed, count=(1 << n_inputs) * n_outputs
+    ).reshape(1 << n_inputs, n_outputs)
+    return TruthTable(outputs, data.get("probabilities"))
+
+
+@dataclass
+class DecomposeCheckpoint:
+    """Outer-loop snapshot at a component boundary (see module docs).
+
+    Attributes
+    ----------
+    round_index:
+        0-based index of the round the cursor is in.
+    position:
+        Components already completed in that round, counted along the
+        MSB-first order; ``position == n_outputs`` means the round's
+        component loop finished but its round-end bookkeeping has not
+        run yet (the resume path recomputes it).
+    exact_sha256:
+        Binds the checkpoint to its problem (validated on resume).
+    approx:
+        Serialized current approximation table.
+    components:
+        ``component -> {"partition", "setting", "objective",
+        "n_solver_iterations"}`` with live partition/setting objects.
+    any_accepted:
+        Whether the current (partial) round accepted any setting yet.
+    partition_rng / solver_rng:
+        Seed-sequence-aware RNG snapshots.
+    """
+
+    round_index: int
+    position: int
+    exact_sha256: str
+    approx: Dict
+    components: Dict[int, Dict]
+    med_trace: List[float] = field(default_factory=list)
+    n_solves: int = 0
+    any_accepted: bool = False
+    partition_rng: Dict = field(default_factory=dict)
+    solver_rng: Dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def capture(
+        cls,
+        *,
+        round_index: int,
+        position: int,
+        exact: TruthTable,
+        approx: TruthTable,
+        components: Dict[int, object],
+        med_trace: List[float],
+        n_solves: int,
+        any_accepted: bool,
+        partition_rng: np.random.Generator,
+        solver_rng: np.random.Generator,
+    ) -> "DecomposeCheckpoint":
+        """Snapshot the live loop state (components are duck-typed:
+        anything with partition/setting/objective/n_solver_iterations).
+        """
+        return cls(
+            round_index=int(round_index),
+            position=int(position),
+            exact_sha256=table_sha256(exact),
+            approx=_table_to_dict(approx),
+            components={
+                int(index): {
+                    "partition": comp.partition,
+                    "setting": comp.setting,
+                    "objective": float(comp.objective),
+                    "n_solver_iterations": int(comp.n_solver_iterations),
+                }
+                for index, comp in components.items()
+            },
+            med_trace=[float(m) for m in med_trace],
+            n_solves=int(n_solves),
+            any_accepted=bool(any_accepted),
+            partition_rng=capture_rng(partition_rng),
+            solver_rng=capture_rng(solver_rng),
+        )
+
+    def restore_approx(self) -> TruthTable:
+        """Rebuild the approximation table at capture time."""
+        return _table_from_dict(self.approx)
+
+    def validate_for(self, exact: TruthTable) -> None:
+        """Refuse to resume a checkpoint against a different problem."""
+        actual = table_sha256(exact)
+        if actual != self.exact_sha256:
+            raise ConfigurationError(
+                "checkpoint does not belong to this problem: exact-table "
+                f"hash {actual[:12]}… != checkpoint {self.exact_sha256[:12]}…"
+            )
+
+    # -- JSON round trip -----------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "round_index": self.round_index,
+            "position": self.position,
+            "exact_sha256": self.exact_sha256,
+            "approx": dict(self.approx),
+            "components": {
+                str(index): {
+                    "partition": _partition_to_dict(entry["partition"]),
+                    "setting": _setting_to_dict(entry["setting"]),
+                    "objective": entry["objective"],
+                    "n_solver_iterations": entry["n_solver_iterations"],
+                }
+                for index, entry in self.components.items()
+            },
+            "med_trace": list(self.med_trace),
+            "n_solves": self.n_solves,
+            "any_accepted": self.any_accepted,
+            "partition_rng": dict(self.partition_rng),
+            "solver_rng": dict(self.solver_rng),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DecomposeCheckpoint":
+        if data.get("format") != CHECKPOINT_FORMAT:
+            raise ConfigurationError(
+                f"not a {CHECKPOINT_FORMAT} document "
+                f"(format={data.get('format')!r})"
+            )
+        if data.get("schema_version") != CHECKPOINT_SCHEMA_VERSION:
+            raise ConfigurationError(
+                "unsupported checkpoint schema_version "
+                f"{data.get('schema_version')!r}"
+            )
+        return cls(
+            round_index=int(data["round_index"]),
+            position=int(data["position"]),
+            exact_sha256=str(data["exact_sha256"]),
+            approx=dict(data["approx"]),
+            components={
+                int(index): {
+                    "partition": _partition_from_dict(entry["partition"]),
+                    "setting": _setting_from_dict(entry["setting"]),
+                    "objective": float(entry["objective"]),
+                    "n_solver_iterations": int(
+                        entry["n_solver_iterations"]
+                    ),
+                }
+                for index, entry in data["components"].items()
+            },
+            med_trace=[float(m) for m in data.get("med_trace", ())],
+            n_solves=int(data.get("n_solves", 0)),
+            any_accepted=bool(data.get("any_accepted", False)),
+            partition_rng=dict(data.get("partition_rng", {})),
+            solver_rng=dict(data.get("solver_rng", {})),
+        )

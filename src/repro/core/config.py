@@ -100,6 +100,13 @@ class CoreSolverConfig:
         interventions, and the dynamic stop are unaffected, so
         ``trace_every`` is excluded from :meth:`FrameworkConfig.
         semantic_dict` and does not change artifact keys.
+    numeric_guard:
+        Check the kernel state at every sampling point and escalate a
+        non-finite/diverging reduced-precision (``numpy32``) run to
+        the ``numpy64`` reference backend instead of returning garbage
+        (see :class:`repro.ising.solvers.bsb.BallisticSBSolver`).
+        Stays in :meth:`FrameworkConfig.semantic_dict`: when the guard
+        fires it restarts the trajectory, so it can change results.
     """
 
     sample_every: int = 20
@@ -116,6 +123,7 @@ class CoreSolverConfig:
     symmetry_breaking_init: bool = True
     backend: Optional[str] = None
     trace_every: int = 1
+    numeric_guard: bool = True
 
     def __post_init__(self) -> None:
         if self.sample_every <= 0:

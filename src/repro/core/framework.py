@@ -55,8 +55,10 @@ from repro.boolean.synthesis import (
 )
 from repro.boolean.truth_table import TruthTable
 from repro.core.batch import BatchedCoreCOPSolver
+from repro.core.checkpoint import DecomposeCheckpoint
 from repro.core.config import CoreSolverConfig, FrameworkConfig
 from repro.core.ising_formulation import WeightCache
+from repro.resilience.rng import restore_rng
 from repro.core.partitions import sample_partitions
 from repro.core.solver import CoreCOPSolution, CoreCOPSolver
 from repro.ising.kernels import resolve_backend
@@ -73,6 +75,7 @@ __all__ = [
     "ComponentDecomposition",
     "ProgressHook",
     "CancelHook",
+    "CheckpointHook",
 ]
 
 #: Called with a progress-event dict after every component optimization
@@ -83,6 +86,13 @@ ProgressHook = Callable[[Dict], None]
 #: Polled between component optimizations; returning ``True`` aborts the
 #: run by raising :class:`~repro.errors.OperationCancelled`.
 CancelHook = Callable[[], bool]
+
+#: Called with a :class:`~repro.core.checkpoint.DecomposeCheckpoint`
+#: after every component optimization.  The hook owns persistence and
+#: cadence (e.g. "write every k-th"); exceptions propagate — an attempt
+#: that cannot checkpoint should fail loudly, not silently lose its
+#: crash safety.  Checkpointing never perturbs the RNG streams.
+CheckpointHook = Callable[[DecomposeCheckpoint], None]
 
 
 def _solve_partition_chunk(
@@ -421,6 +431,8 @@ class IsingDecomposer:
         *,
         progress: Optional[ProgressHook] = None,
         should_cancel: Optional[CancelHook] = None,
+        resume: Optional[DecomposeCheckpoint] = None,
+        checkpoint_hook: Optional[CheckpointHook] = None,
     ) -> DecompositionResult:
         """Run the full ``R``-round, MSB-first decomposition of ``table``.
 
@@ -428,6 +440,17 @@ class IsingDecomposer:
         ----------
         table:
             The exact function to decompose.
+        resume:
+            Continue from a :class:`~repro.core.checkpoint.
+            DecomposeCheckpoint` instead of starting fresh.  The
+            checkpoint must belong to the same exact table (validated
+            by content hash); completed components and both RNG streams
+            are restored, so the finished run is bit-identical to an
+            uninterrupted one under the same config.
+        checkpoint_hook:
+            Optional :data:`CheckpointHook` receiving a snapshot after
+            every component optimization (the hook owns persistence
+            cadence).
         progress:
             Optional :data:`ProgressHook`; receives
             ``{"event": "component", "round", "component", "accepted",
@@ -466,6 +489,32 @@ class IsingDecomposer:
         med_trace: List[float] = []
         n_solves = 0
         rounds_used = 0
+        start_round = 0
+        start_position = 0
+        if resume is not None:
+            resume.validate_for(exact)
+            approx = resume.restore_approx()
+            components = {
+                index: ComponentDecomposition(
+                    component=index,
+                    partition=entry["partition"],
+                    setting=entry["setting"],
+                    objective=entry["objective"],
+                    n_solver_iterations=entry["n_solver_iterations"],
+                )
+                for index, entry in resume.components.items()
+            }
+            med_trace = list(resume.med_trace)
+            n_solves = int(resume.n_solves)
+            rounds_used = resume.round_index
+            start_round = resume.round_index
+            start_position = resume.position
+            # the restored streams sit exactly where the interrupted
+            # run left them — skipped rounds/components consume nothing
+            if resume.partition_rng:
+                partition_rng = restore_rng(resume.partition_rng)
+            if resume.solver_rng:
+                solver_rng = restore_rng(resume.solver_rng)
         # fresh memoization per run: separate-mode terms stay valid
         # throughout; joint-mode entries are dropped whenever the
         # approximation changes (below)
@@ -489,15 +538,26 @@ class IsingDecomposer:
                 n_partitions=self.config.n_partitions,
                 n_rounds=self.config.n_rounds,
             ):
-                for round_index in range(self.config.n_rounds):
+                for round_index in range(start_round, self.config.n_rounds):
                     rounds_used = round_index + 1
-                    any_accepted = False
+                    resuming_round = (
+                        resume is not None and round_index == start_round
+                    )
+                    any_accepted = (
+                        resume.any_accepted if resuming_round else False
+                    )
                     with tracer.span(
                         "round", category="framework",
                         round=round_index + 1,
                     ):
                         # most significant output first (weight 2**k)
-                        for component in reversed(range(exact.n_outputs)):
+                        order = list(reversed(range(exact.n_outputs)))
+                        for position, component in enumerate(order):
+                            if (
+                                resuming_round
+                                and position < start_position
+                            ):
+                                continue
                             if should_cancel is not None and should_cancel():
                                 raise OperationCancelled(
                                     f"decomposition cancelled in round "
@@ -572,6 +632,21 @@ class IsingDecomposer:
                                             solution.objective
                                         ),
                                     }
+                                )
+                            if checkpoint_hook is not None:
+                                checkpoint_hook(
+                                    DecomposeCheckpoint.capture(
+                                        round_index=round_index,
+                                        position=position + 1,
+                                        exact=exact,
+                                        approx=approx,
+                                        components=components,
+                                        med_trace=med_trace,
+                                        n_solves=n_solves,
+                                        any_accepted=any_accepted,
+                                        partition_rng=partition_rng,
+                                        solver_rng=solver_rng,
+                                    )
                                 )
                         med_trace.append(
                             mean_error_distance(exact, approx)

@@ -152,6 +152,7 @@ class CoreCOPSolver:
             "pump": LinearPump(cfg.a0, cfg.resolved_ramp_iterations),
             "backend": cfg.backend,
             "trace_every": cfg.trace_every,
+            "numeric_guard": cfg.numeric_guard,
         }
         params.update(overrides)
         return make_solver("bsb", **params)

@@ -51,6 +51,16 @@ class ServiceError(ReproError, RuntimeError):
     """The decomposition service rejected a request or job transition."""
 
 
+class JobStoreCorruptError(ServiceError):
+    """The job store's SQLite file failed its startup integrity check.
+
+    Raised by :class:`repro.service.jobstore.JobStore` when
+    ``PRAGMA quick_check`` reports damage (or the file is not a SQLite
+    database at all), so corruption surfaces as one typed error at open
+    time instead of an arbitrary ``sqlite3`` exception mid-claim.
+    """
+
+
 class GatewayError(ReproError, RuntimeError):
     """An HTTP gateway request failed (client side or server side).
 

@@ -15,6 +15,7 @@ response existed) and any ``Retry-After`` value.
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -23,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import GatewayError
+from repro.resilience import active_fault_plan
 from repro.serialization import ensure_design_document
 from repro.service.jobstore import JobRecord
 from repro.service.spec import JobSpec
@@ -30,7 +32,7 @@ from repro.service.spec import JobSpec
 __all__ = ["GatewayClient", "RetryPolicy"]
 
 #: terminal job states — polling stops here
-_TERMINAL = ("done", "failed")
+_TERMINAL = ("done", "failed", "quarantined")
 
 
 @dataclass(frozen=True)
@@ -106,6 +108,11 @@ class GatewayClient:
             with urllib.request.urlopen(
                 request, timeout=self.timeout_seconds
             ) as response:
+                plan = active_fault_plan()
+                if plan is not None and plan.should_fire(
+                    "client.connection_drop", f"{method} {path}"
+                ):
+                    raise http.client.IncompleteRead(b"")
                 return (
                     response.status,
                     dict(response.headers.items()),
@@ -113,6 +120,16 @@ class GatewayClient:
                 )
         except urllib.error.HTTPError as exc:
             return exc.code, dict(exc.headers.items()), exc.read()
+        except http.client.HTTPException as exc:
+            # connection reset mid-body: ``response.read()`` raises raw
+            # ``http.client`` errors (``IncompleteRead``, ...), which are
+            # NOT ``OSError`` subclasses — map them to the same
+            # retryable status-0 shape as a refused connection
+            raise GatewayError(
+                f"gateway connection dropped mid-response at "
+                f"{self.base_url}: {type(exc).__name__}: {exc}",
+                status=0,
+            ) from exc
         except (urllib.error.URLError, OSError) as exc:
             raise GatewayError(
                 f"cannot reach gateway at {self.base_url}: "

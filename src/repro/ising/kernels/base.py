@@ -92,15 +92,22 @@ def known_backends() -> Tuple[str, ...]:
     return tuple(sorted({*_REGISTRY, *_UNAVAILABLE}))
 
 
-def resolve_backend(backend: Optional[str] = None) -> str:
+def resolve_backend(
+    backend: Optional[str] = None, *, ignore_env: bool = False
+) -> str:
     """Resolve a backend request to the name of a usable backend.
 
     ``REPRO_SB_BACKEND`` (when set and non-empty) overrides ``backend``;
     an unavailable-but-known backend (e.g. ``numba`` without numba
     installed) falls back to :data:`DEFAULT_BACKEND` with a warning; an
     unknown name raises :class:`~repro.errors.ConfigurationError`.
+
+    ``ignore_env`` skips the environment override — the numerical
+    guards use it to *force* the float64 reference backend when a
+    lower-precision trajectory diverged, which must win even under a
+    ``REPRO_SB_BACKEND=numpy32`` blanket override.
     """
-    env = os.environ.get(ENV_BACKEND, "").strip()
+    env = "" if ignore_env else os.environ.get(ENV_BACKEND, "").strip()
     requested = (env or backend or DEFAULT_BACKEND).strip().lower()
     if requested in _REGISTRY:
         return requested
@@ -119,15 +126,21 @@ def resolve_backend(backend: Optional[str] = None) -> str:
 
 
 def make_kernel(
-    weights: np.ndarray, backend: Optional[str] = None
+    weights: np.ndarray,
+    backend: Optional[str] = None,
+    *,
+    ignore_env: bool = False,
 ) -> "BipartiteSBKernel":
     """Build a kernel for a bipartite weight matrix (or stack thereof).
 
     ``weights`` is the core-COP weight matrix ``W`` with shape
     ``(r, c)`` for a single problem or ``(P, r, c)`` for a stacked
-    batch.  ``backend`` goes through :func:`resolve_backend`.
+    batch.  ``backend`` goes through :func:`resolve_backend`
+    (``ignore_env`` forwarded — see there).
     """
-    return _REGISTRY[resolve_backend(backend)](weights)
+    return _REGISTRY[resolve_backend(backend, ignore_env=ignore_env)](
+        weights
+    )
 
 
 class BipartiteSBKernel(abc.ABC):
@@ -206,6 +219,34 @@ class BipartiteSBKernel(abc.ABC):
             return float(np.sqrt(per_problem.mean() / (n * (n - 1))))
         total = 4.0 * float((k64**2).sum())
         return float(np.sqrt(total / (n * (n - 1))))
+
+    # -- numerical health ----------------------------------------------
+
+    def check_state(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        divergence_limit: float = 1e6,
+    ) -> Optional[str]:
+        """Cheap health check of a live state; ``None`` means healthy.
+
+        Returns ``"nonfinite"`` when positions or momenta contain
+        NaN/inf (float32 overflow, broken couplings, injected faults)
+        or ``"diverged"`` when a momentum magnitude exceeds
+        ``divergence_limit`` — positions are wall-clamped to ±1, so an
+        exploding trajectory shows up in ``y`` long before it reaches
+        inf.  The sums below reduce without allocating boolean temps;
+        NaN/inf propagate through them, and a sum that overflows to inf
+        only does so when the state is diverging anyway, which is
+        exactly the verdict returned.
+        """
+        x_sum = float(np.sum(x, dtype=np.float64))
+        y_abs_max = float(np.max(np.abs(y)))
+        if not (np.isfinite(x_sum) and np.isfinite(y_abs_max)):
+            return "nonfinite"
+        if y_abs_max > divergence_limit:
+            return "diverged"
+        return None
 
     # -- abstract arithmetic -------------------------------------------
 

@@ -53,6 +53,21 @@ class StopCriterion(abc.ABC):
             return False
         return iteration % self.sample_every == 0
 
+    # -- checkpointing -------------------------------------------------
+    #
+    # Criteria are tiny state machines, so crash-safe solver resume
+    # (repro.ising.solvers.bsb.SBCheckpoint) must carry their state:
+    # dropping a half-full variance window would make a resumed run
+    # stop at a different iteration than the uninterrupted one.
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the mutable state (default: stateless)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (after :meth:`reset`)."""
+        return None
+
 
 class FixedIterations(StopCriterion):
     """Run exactly ``n_iterations`` Euler steps (the conventional scheme).
@@ -138,6 +153,17 @@ class EnergyVarianceStop(StopCriterion):
     def reset(self) -> None:
         self._samples.clear()
         self._n_seen = 0
+
+    def state_dict(self) -> dict:
+        return {
+            "samples": [float(s) for s in self._samples],
+            "n_seen": self._n_seen,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._samples.clear()
+        self._samples.extend(float(s) for s in state.get("samples", ()))
+        self._n_seen = int(state.get("n_seen", 0))
 
     def observe(self, energy: float) -> bool:
         self._samples.append(float(energy))

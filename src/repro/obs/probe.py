@@ -87,6 +87,11 @@ class SolverProbe:
     def on_intervention(self, iteration: int, changed: bool) -> None:
         """Called after an intervention hook ran at a sampling point."""
 
+    def on_numeric_escalation(
+        self, iteration: int, from_backend: str, to_backend: str
+    ) -> None:
+        """Called when the numeric guard restarts on a safer backend."""
+
     def on_end(
         self, *, n_iterations: int, stop_reason: str, best_energy: float
     ) -> None:
@@ -125,6 +130,7 @@ class RecordingSolverProbe(SolverProbe):
         self.energy_trace: List[Tuple[int, float]] = []
         self.stop_observations: List[Dict] = []
         self.interventions: List[Tuple[int, bool]] = []
+        self.numeric_escalations: List[Tuple[int, str, str]] = []
         self.kernel_step_seconds = 0.0
         self.kernel_steps = 0
         self.n_iterations = 0
@@ -174,6 +180,23 @@ class RecordingSolverProbe(SolverProbe):
                 changed=bool(changed),
             )
 
+    def on_numeric_escalation(
+        self, iteration, from_backend, to_backend
+    ) -> None:
+        self.numeric_escalations.append(
+            (int(iteration), str(from_backend), str(to_backend))
+        )
+        if self.tracer is not None:
+            self.tracer.instant(
+                "numeric_escalation",
+                category="solver",
+                iteration=int(iteration),
+                from_backend=str(from_backend),
+                to_backend=str(to_backend),
+            )
+        # the counter lives in the solver itself (it must count even
+        # without an active probe); the probe only records/traces
+
     def on_end(self, *, n_iterations, stop_reason, best_energy) -> None:
         self.n_iterations = int(n_iterations)
         self.stop_reason = stop_reason
@@ -219,6 +242,7 @@ class RecordingSolverProbe(SolverProbe):
             "n_stop_observations": len(self.stop_observations),
             "n_interventions": len(self.interventions),
             "n_interventions_changed": n_changed,
+            "n_numeric_escalations": len(self.numeric_escalations),
             "kernel_steps": self.kernel_steps,
             "kernel_step_seconds": self.kernel_step_seconds,
         }

@@ -14,6 +14,8 @@ Module map
 ``scheduler``  :class:`Scheduler`/:class:`SchedulerPolicy` — retries,
                backoff, leases, orphan recovery
 ``worker``     :class:`JobExecutor` + :class:`WorkerPool`
+``supervisor`` :class:`WorkerSupervisor` — process-isolated workers
+               with restart-on-crash and hang detection
 ``telemetry``  :func:`service_summary` — derived structured metrics
 ``service``    :class:`DecompositionService` — the façade the CLI's
                ``serve``/``submit``/``status``/``fetch`` commands wrap
@@ -25,7 +27,12 @@ and cache hits.
 """
 
 from repro.service.artifacts import ArtifactStore
-from repro.service.jobstore import JobRecord, JobStore
+from repro.service.jobstore import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobRecord,
+    JobStore,
+)
 from repro.service.scheduler import Scheduler, SchedulerPolicy
 from repro.service.service import DecompositionService
 from repro.service.spec import (
@@ -35,12 +42,19 @@ from repro.service.spec import (
     artifact_key,
     spec_from_stored,
 )
+from repro.service.supervisor import WorkerSupervisor
 from repro.service.telemetry import format_job_table, service_summary
-from repro.service.worker import JobExecutor, WorkerPool
+from repro.service.worker import (
+    DEFAULT_CHECKPOINT_EVERY,
+    JobExecutor,
+    WorkerPool,
+)
 
 __all__ = [
     "ArtifactStore",
+    "DEFAULT_CHECKPOINT_EVERY",
     "DecompositionService",
+    "JOB_STATES",
     "JobExecutor",
     "JobRecord",
     "JobSpec",
@@ -49,7 +63,9 @@ __all__ = [
     "SPEC_SCHEMA_VERSION",
     "Scheduler",
     "SchedulerPolicy",
+    "TERMINAL_STATES",
     "WorkerPool",
+    "WorkerSupervisor",
     "artifact_key",
     "format_job_table",
     "service_summary",

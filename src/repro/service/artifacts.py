@@ -25,6 +25,17 @@ design payloads (content addressing guarantees the result is determined
 by the key), so the last rename simply wins.  Keys are fanned out into
 256 two-hex-character subdirectories to keep directory listings flat
 under production volumes.
+
+Checkpoints
+-----------
+The store also hosts *in-progress* job checkpoints
+(:class:`repro.core.checkpoint.DecomposeCheckpoint` payloads) under the
+reserved ``_checkpoints/`` area — same sharding, same atomic writes,
+but deliberately outside :meth:`keys`/:meth:`stats` (underscore-prefixed
+shard directories are skipped): a checkpoint is scratch state of one
+job, not a finished content-addressed design.  Workers write one per
+artifact key, delete it on success, and leave it behind on failure so
+the retrying worker resumes instead of restarting.
 """
 
 from __future__ import annotations
@@ -134,12 +145,67 @@ class ArtifactStore:
             raise
         return envelope
 
+    # -- job checkpoints (reserved ``_checkpoints/`` area) -------------
+
+    def checkpoint_path(self, key: str) -> Path:
+        """Where the in-progress checkpoint for ``key`` lives."""
+        if len(key) < 3:
+            raise ServiceError(f"implausible artifact key {key!r}")
+        return self.root / "_checkpoints" / key[:2] / f"{key}.json"
+
+    def put_checkpoint(self, key: str, payload: Dict) -> Path:
+        """Atomically persist a checkpoint payload for ``key``."""
+        path = self.checkpoint_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = json.dumps(payload, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(body)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        return path
+
+    def get_checkpoint(self, key: str) -> Optional[Dict]:
+        """The stored checkpoint payload for ``key``, or ``None``.
+
+        A checkpoint that cannot be parsed is treated as absent (and
+        removed): a torn write must degrade to restart-from-scratch,
+        never block the retry.
+        """
+        path = self.checkpoint_path(key)
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+            return None
+
+    def delete_checkpoint(self, key: str) -> bool:
+        """Remove ``key``'s checkpoint (True if one existed)."""
+        try:
+            self.checkpoint_path(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
     # ------------------------------------------------------------------
 
     def keys(self) -> Iterator[str]:
-        """All stored artifact keys."""
+        """All stored artifact keys (checkpoint scratch excluded)."""
         for shard in sorted(self.root.iterdir()):
-            if not shard.is_dir():
+            if not shard.is_dir() or shard.name.startswith("_"):
                 continue
             for entry in sorted(shard.glob("*.json")):
                 yield entry.stem
@@ -151,7 +217,7 @@ class ArtifactStore:
         """Aggregate store statistics for telemetry."""
         n, total_bytes = 0, 0
         for shard in self.root.iterdir():
-            if not shard.is_dir():
+            if not shard.is_dir() or shard.name.startswith("_"):
                 continue
             for entry in shard.glob("*.json"):
                 n += 1

@@ -12,7 +12,8 @@ Job lifecycle::
       ▲                  │
       │   retry (attempts < max_attempts,
       └──── backoff) ────┤
-                         └──fail──▶ failed
+                         ├──fail──▶ failed
+                         └──quarantine──▶ quarantined
 
 ``running`` jobs carry a *lease* that the worker renews via progress
 heartbeats; a lease that expires without completion marks the worker as
@@ -21,10 +22,20 @@ to ``queued`` (or ``failed`` once its attempt budget is exhausted).
 Claiming uses ``BEGIN IMMEDIATE`` so exactly one worker wins each job
 even across processes.
 
+``quarantined`` is the poison-job terminal state: every failed attempt
+records its worker in the ``failed_workers`` column, and once a job has
+taken down *N distinct workers* (scheduler policy, default 3) it is
+parked instead of being retried — a job that reliably crashes whatever
+runs it must not be allowed to cycle through the whole fleet.
+
 Every mutation is a short transaction on a per-call connection (WAL
-mode), which keeps the store safe under thread pools, process pools, and
-abrupt worker death — the crash-tolerance the service advertises is
-exactly SQLite's.
+mode with a ``busy_timeout``), which keeps the store safe under thread
+pools, process pools, and abrupt worker death — the crash-tolerance the
+service advertises is exactly SQLite's.  Opening a store runs
+``PRAGMA quick_check`` once and raises a typed
+:class:`~repro.errors.JobStoreCorruptError` on damage, so a corrupt
+database surfaces at startup rather than as an arbitrary ``sqlite3``
+error mid-claim.
 """
 
 from __future__ import annotations
@@ -36,14 +47,18 @@ import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import JobNotFound, ServiceError
+from repro.errors import JobNotFound, JobStoreCorruptError, ServiceError
+from repro.resilience.faults import active_fault_plan
 from repro.service.spec import JobSpec, spec_from_stored
 
-__all__ = ["JobStore", "JobRecord", "JOB_STATES"]
+__all__ = ["JobStore", "JobRecord", "JOB_STATES", "TERMINAL_STATES"]
 
-JOB_STATES = ("queued", "running", "done", "failed")
+JOB_STATES = ("queued", "running", "done", "failed", "quarantined")
+
+#: states a job never leaves on its own
+TERMINAL_STATES = ("done", "failed", "quarantined")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -51,7 +66,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     artifact_key    TEXT NOT NULL,
     spec            TEXT NOT NULL,
     state           TEXT NOT NULL CHECK (state IN
-                        ('queued', 'running', 'done', 'failed')),
+                        ('queued', 'running', 'done', 'failed',
+                         'quarantined')),
     attempts        INTEGER NOT NULL DEFAULT 0,
     max_attempts    INTEGER NOT NULL,
     not_before      REAL NOT NULL DEFAULT 0,
@@ -63,11 +79,20 @@ CREATE TABLE IF NOT EXISTS jobs (
     started_at      REAL,
     finished_at     REAL,
     runtime_seconds REAL,
-    med             REAL
+    med             REAL,
+    failed_workers  TEXT NOT NULL DEFAULT '[]'
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs (state, not_before);
 CREATE INDEX IF NOT EXISTS idx_jobs_key ON jobs (artifact_key);
 """
+
+#: columns shared by the pre-quarantine schema and the current one, in
+#: the order the migration copies them
+_V1_COLUMNS = (
+    "id, artifact_key, spec, state, attempts, max_attempts, not_before, "
+    "lease_expires, worker, cache_hit, error, created_at, started_at, "
+    "finished_at, runtime_seconds, med"
+)
 
 
 @dataclass(frozen=True)
@@ -90,6 +115,7 @@ class JobRecord:
     finished_at: Optional[float]
     runtime_seconds: Optional[float]
     med: Optional[float]
+    failed_workers: Tuple[str, ...] = ()
 
     @property
     def retries(self) -> int:
@@ -120,6 +146,7 @@ class JobRecord:
             "finished_at": self.finished_at,
             "runtime_seconds": self.runtime_seconds,
             "med": self.med,
+            "failed_workers": list(self.failed_workers),
         }
 
     @classmethod
@@ -143,6 +170,7 @@ class JobRecord:
                 finished_at=data.get("finished_at"),
                 runtime_seconds=data.get("runtime_seconds"),
                 med=data.get("med"),
+                failed_workers=tuple(data.get("failed_workers", ())),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ServiceError(f"malformed job record: {exc}") from exc
@@ -166,23 +194,99 @@ def _record_from_row(row: sqlite3.Row) -> JobRecord:
         finished_at=row["finished_at"],
         runtime_seconds=row["runtime_seconds"],
         med=row["med"],
+        failed_workers=tuple(json.loads(row["failed_workers"])),
     )
 
 
 class JobStore:
     """SQLite-backed durable job journal (see module docs)."""
 
+    #: how long a connection waits on a locked database before raising
+    BUSY_TIMEOUT_SECONDS = 30.0
+
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self._connect() as conn:
-            conn.executescript(_SCHEMA)
+        existed = self.path.exists()
+        try:
+            with self._connect() as conn:
+                if existed:
+                    self._integrity_check(conn)
+                    self._migrate(conn)
+                conn.executescript(_SCHEMA)
+                conn.commit()
+        except sqlite3.OperationalError:
+            raise  # transient (locked / injected), not corruption
+        except sqlite3.DatabaseError as exc:
+            # _connect's PRAGMAs hit unreadable files before the
+            # quick_check can run; surface those the same typed way
+            raise JobStoreCorruptError(
+                f"job store {self.path} is not a readable SQLite "
+                f"database: {exc}"
+            ) from exc
+
+    def _integrity_check(self, conn: sqlite3.Connection) -> None:
+        """``PRAGMA quick_check`` once per open; typed error on damage."""
+        try:
+            rows = conn.execute("PRAGMA quick_check").fetchall()
+        except sqlite3.DatabaseError as exc:
+            raise JobStoreCorruptError(
+                f"job store {self.path} is not a readable SQLite "
+                f"database: {exc}"
+            ) from exc
+        findings = [row[0] for row in rows if row[0] != "ok"]
+        if findings:
+            raise JobStoreCorruptError(
+                f"job store {self.path} failed its integrity check: "
+                + "; ".join(findings)
+            )
+
+    def _migrate(self, conn: sqlite3.Connection) -> None:
+        """Rebuild a pre-quarantine ``jobs`` table in place.
+
+        The ``state`` CHECK constraint is baked into the table DDL, so
+        admitting the ``quarantined`` state (and the ``failed_workers``
+        column) for a database written by an older build requires the
+        SQLite rename–copy–drop dance.  Idempotent: a current-schema
+        table is left untouched.
+        """
+        row = conn.execute(
+            "SELECT sql FROM sqlite_master "
+            "WHERE type = 'table' AND name = 'jobs'"
+        ).fetchone()
+        if row is None or "quarantined" in (row["sql"] or ""):
+            return
+        conn.execute("BEGIN IMMEDIATE")
+        conn.execute("ALTER TABLE jobs RENAME TO jobs_migrating")
+        conn.executescript(_SCHEMA)
+        conn.execute(
+            f"INSERT INTO jobs ({_V1_COLUMNS}) "
+            f"SELECT {_V1_COLUMNS} FROM jobs_migrating"
+        )
+        conn.execute("DROP TABLE jobs_migrating")
+        conn.commit()
 
     def _connect(self) -> sqlite3.Connection:
-        conn = sqlite3.connect(self.path, timeout=30.0)
+        plan = active_fault_plan()
+        if plan is not None and plan.should_fire(
+            "jobstore.operational_error", detail=str(self.path)
+        ):
+            raise sqlite3.OperationalError(
+                "injected fault: database is locked"
+            )
+        conn = sqlite3.connect(
+            self.path, timeout=self.BUSY_TIMEOUT_SECONDS
+        )
         conn.row_factory = sqlite3.Row
         conn.execute("PRAGMA journal_mode=WAL")
         conn.execute("PRAGMA synchronous=NORMAL")
+        # explicit busy handler: sqlite3's ``timeout=`` covers the
+        # Python wrapper, busy_timeout covers statements SQLite retries
+        # internally (WAL checkpoints), and the value survives
+        # ``BEGIN IMMEDIATE`` contention between worker processes
+        conn.execute(
+            f"PRAGMA busy_timeout={int(self.BUSY_TIMEOUT_SECONDS * 1000)}"
+        )
         return conn
 
     @contextmanager
@@ -192,6 +296,13 @@ class JobStore:
             if immediate:
                 conn.execute("BEGIN IMMEDIATE")
             yield conn
+            plan = active_fault_plan()
+            if plan is not None and plan.should_fire(
+                "jobstore.disk_full", detail=str(self.path)
+            ):
+                raise sqlite3.OperationalError(
+                    "injected fault: database or disk is full"
+                )
             conn.commit()
         except BaseException:
             conn.rollback()
@@ -279,42 +390,143 @@ class JobStore:
                 (now + lease_seconds, job_id),
             )
 
-    def recover_orphans(self, now: Optional[float] = None) -> List[str]:
+    def recover_orphans(
+        self,
+        now: Optional[float] = None,
+        quarantine_after: Optional[int] = None,
+    ) -> List[str]:
         """Requeue running jobs whose lease expired (crashed workers).
 
-        A job whose attempt budget is already spent moves to ``failed``
-        instead.  Returns the ids of every transitioned job.
+        Each lost worker is recorded in the job's ``failed_workers``
+        set; with ``quarantine_after`` set, a job that has now failed
+        on that many *distinct* workers moves to ``quarantined``.  A
+        job whose attempt budget is already spent moves to ``failed``.
+        Returns the ids of every transitioned job.
         """
         now = time.time() if now is None else now
         with self._txn(immediate=True) as conn:
             rows = conn.execute(
-                "SELECT id, attempts, max_attempts FROM jobs "
+                "SELECT id, attempts, max_attempts, worker, "
+                "failed_workers FROM jobs "
                 "WHERE state = 'running' AND lease_expires < ?",
                 (now,),
             ).fetchall()
-            recovered = []
-            for row in rows:
-                if row["attempts"] >= row["max_attempts"]:
-                    conn.execute(
-                        "UPDATE jobs SET state = 'failed', finished_at = ?, "
-                        "error = ?, lease_expires = NULL WHERE id = ?",
-                        (
-                            now,
-                            "worker lost (lease expired, attempts "
-                            "exhausted)",
-                            row["id"],
-                        ),
-                    )
-                else:
-                    conn.execute(
-                        "UPDATE jobs SET state = 'queued', "
-                        "lease_expires = NULL, worker = NULL, "
-                        "error = 'worker lost (lease expired)' "
-                        "WHERE id = ?",
-                        (row["id"],),
-                    )
-                recovered.append(row["id"])
-        return recovered
+            return [
+                self._release_row(
+                    conn,
+                    row,
+                    now=now,
+                    error="worker lost (lease expired)",
+                    quarantine_after=quarantine_after,
+                )
+                for row in rows
+            ]
+
+    def release_worker(
+        self,
+        worker: str,
+        now: Optional[float] = None,
+        quarantine_after: Optional[int] = None,
+    ) -> List[str]:
+        """Release every running job held by ``worker`` immediately.
+
+        The supervisor calls this when it has *observed* a worker
+        process die — there is no point waiting out the lease when the
+        holder is known dead.  Same routing as
+        :meth:`recover_orphans`.
+        """
+        now = time.time() if now is None else now
+        with self._txn(immediate=True) as conn:
+            rows = conn.execute(
+                "SELECT id, attempts, max_attempts, worker, "
+                "failed_workers FROM jobs "
+                "WHERE state = 'running' AND worker = ?",
+                (worker,),
+            ).fetchall()
+            return [
+                self._release_row(
+                    conn,
+                    row,
+                    now=now,
+                    error=f"worker process died ({worker})",
+                    quarantine_after=quarantine_after,
+                )
+                for row in rows
+            ]
+
+    @staticmethod
+    def _release_row(
+        conn: sqlite3.Connection,
+        row: sqlite3.Row,
+        *,
+        now: float,
+        error: str,
+        quarantine_after: Optional[int],
+    ) -> str:
+        """Route one lost running job: requeue, fail, or quarantine."""
+        failed_workers = json.loads(row["failed_workers"])
+        if row["worker"] and row["worker"] not in failed_workers:
+            failed_workers.append(row["worker"])
+        workers_json = json.dumps(failed_workers)
+        if (
+            quarantine_after is not None
+            and len(failed_workers) >= quarantine_after
+        ):
+            conn.execute(
+                "UPDATE jobs SET state = 'quarantined', finished_at = ?, "
+                "error = ?, lease_expires = NULL, failed_workers = ? "
+                "WHERE id = ?",
+                (
+                    now,
+                    f"{error}; quarantined after failing on "
+                    f"{len(failed_workers)} distinct worker(s)",
+                    workers_json,
+                    row["id"],
+                ),
+            )
+        elif row["attempts"] >= row["max_attempts"]:
+            conn.execute(
+                "UPDATE jobs SET state = 'failed', finished_at = ?, "
+                "error = ?, lease_expires = NULL, failed_workers = ? "
+                "WHERE id = ?",
+                (
+                    now,
+                    f"{error}; attempts exhausted",
+                    workers_json,
+                    row["id"],
+                ),
+            )
+        else:
+            conn.execute(
+                "UPDATE jobs SET state = 'queued', lease_expires = NULL, "
+                "worker = NULL, error = ?, failed_workers = ? "
+                "WHERE id = ?",
+                (error, workers_json, row["id"]),
+            )
+        return row["id"]
+
+    def note_worker_failure(
+        self, job_id: str, worker: Optional[str]
+    ) -> Tuple[str, ...]:
+        """Record that ``worker``'s attempt at ``job_id`` failed.
+
+        Returns the updated set of distinct failed workers — the
+        scheduler compares its size against the quarantine threshold.
+        """
+        with self._txn(immediate=True) as conn:
+            row = conn.execute(
+                "SELECT failed_workers FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+            if row is None:
+                raise JobNotFound(job_id)
+            failed_workers = json.loads(row["failed_workers"])
+            if worker and worker not in failed_workers:
+                failed_workers.append(worker)
+                conn.execute(
+                    "UPDATE jobs SET failed_workers = ? WHERE id = ?",
+                    (json.dumps(failed_workers), job_id),
+                )
+        return tuple(failed_workers)
 
     # -- completion ----------------------------------------------------
 
@@ -361,6 +573,19 @@ class JobStore:
             job_id,
             "UPDATE jobs SET state = 'failed', error = ?, finished_at = ?, "
             "lease_expires = NULL WHERE id = ? AND state = 'running'",
+            (error, now, job_id),
+        )
+
+    def quarantine(
+        self, job_id: str, error: str, now: Optional[float] = None
+    ) -> None:
+        """Park a running poison job permanently (see module docs)."""
+        now = time.time() if now is None else now
+        self._transition(
+            job_id,
+            "UPDATE jobs SET state = 'quarantined', error = ?, "
+            "finished_at = ?, lease_expires = NULL "
+            "WHERE id = ? AND state = 'running'",
             (error, now, job_id),
         )
 

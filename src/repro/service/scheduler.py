@@ -46,12 +46,20 @@ class SchedulerPolicy:
         Exponential growth factor of the retry delay.
     poll_interval_seconds:
         Worker sleep between claim attempts on an empty queue.
+    quarantine_after:
+        Distinct workers a job may fail on before it is parked in the
+        terminal ``quarantined`` state instead of retrying (poison-job
+        protection; ``None`` disables quarantine).  Counted over
+        *distinct worker names* — one flaky worker retrying the same
+        job does not quarantine it, a job that takes down several
+        different workers does.
     """
 
     lease_seconds: float = 60.0
     retry_backoff_seconds: float = 0.25
     backoff_multiplier: float = 2.0
     poll_interval_seconds: float = 0.05
+    quarantine_after: Optional[int] = 3
 
     def __post_init__(self) -> None:
         if self.lease_seconds <= 0:
@@ -72,6 +80,11 @@ class SchedulerPolicy:
             raise ConfigurationError(
                 "poll_interval_seconds must be positive, got "
                 f"{self.poll_interval_seconds}"
+            )
+        if self.quarantine_after is not None and self.quarantine_after < 1:
+            raise ConfigurationError(
+                "quarantine_after must be >= 1 or None, got "
+                f"{self.quarantine_after}"
             )
 
     def backoff_for(self, attempts: int) -> float:
@@ -135,12 +148,42 @@ class Scheduler:
         error: str,
         now: float,
     ) -> str:
-        """Route a failed attempt: retry with backoff, or fail for good.
+        """Route a failed attempt: retry, fail for good, or quarantine.
 
-        Returns the resulting state (``"queued"`` or ``"failed"``).
-        ``job`` must be the claimed record — its ``attempts`` already
-        counts the attempt that just failed.
+        Returns the resulting state (``"queued"``, ``"failed"``, or
+        ``"quarantined"``).  ``job`` must be the claimed record — its
+        ``attempts`` already counts the attempt that just failed.
+        Quarantine wins over both other routes: a job that has broken
+        ``policy.quarantine_after`` distinct workers is parked even if
+        retry budget remains.
         """
+        failed_workers = self.store.note_worker_failure(job.id, job.worker)
+        threshold = self.policy.quarantine_after
+        if threshold is not None and len(failed_workers) >= threshold:
+            self.store.quarantine(
+                job.id,
+                error=(
+                    f"{error}; quarantined after failing on "
+                    f"{len(failed_workers)} distinct worker(s)"
+                ),
+                now=now,
+            )
+            logger.error(
+                "job %s quarantined after failing on %d distinct "
+                "worker(s): %s",
+                job.id, len(failed_workers), error,
+            )
+            get_tracer().instant(
+                "job_quarantined",
+                category="service",
+                job_id=job.id,
+                failed_workers=len(failed_workers),
+            )
+            get_metrics().counter(
+                "scheduler_quarantines_total",
+                help="poison jobs parked after breaking distinct workers",
+            ).inc()
+            return "quarantined"
         if job.attempts < job.max_attempts:
             delay = self.policy.backoff_for(job.attempts)
             self.store.retry(job.id, error=error, not_before=now + delay)
@@ -174,8 +217,10 @@ class Scheduler:
         return "failed"
 
     def recover_orphans(self, now: Optional[float] = None) -> List[str]:
-        """Requeue/fail jobs abandoned by crashed workers."""
-        recovered = self.store.recover_orphans(now=now)
+        """Requeue/fail/quarantine jobs abandoned by crashed workers."""
+        recovered = self.store.recover_orphans(
+            now=now, quarantine_after=self.policy.quarantine_after
+        )
         if recovered:
             logger.warning(
                 "recovered %d orphaned job(s): %s",
@@ -192,3 +237,26 @@ class Scheduler:
                 help="jobs reclaimed from crashed workers",
             ).inc(len(recovered))
         return recovered
+
+    def release_worker(
+        self, worker: str, now: Optional[float] = None
+    ) -> List[str]:
+        """Release a worker observed dead without waiting out its lease.
+
+        The supervisor's fast path for jobs held by a child process it
+        just saw exit; routing (requeue / fail / quarantine) matches
+        :meth:`recover_orphans`.
+        """
+        released = self.store.release_worker(
+            worker, now=now, quarantine_after=self.policy.quarantine_after
+        )
+        if released:
+            logger.warning(
+                "released %d job(s) from dead worker %s: %s",
+                len(released), worker, ", ".join(released),
+            )
+            get_metrics().counter(
+                "scheduler_worker_releases_total",
+                help="jobs released from workers observed dead",
+            ).inc(len(released))
+        return released

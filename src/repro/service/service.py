@@ -26,6 +26,7 @@ same directory.  Library users typically drive one instance in-process:
 from __future__ import annotations
 
 import json
+import sqlite3
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -37,7 +38,12 @@ from repro.service.jobstore import JobRecord, JobStore
 from repro.service.scheduler import Scheduler, SchedulerPolicy
 from repro.service.spec import JobSpec, artifact_key
 from repro.service.telemetry import service_summary
-from repro.service.worker import DecomposeFn, JobExecutor, WorkerPool
+from repro.service.worker import (
+    DEFAULT_CHECKPOINT_EVERY,
+    DecomposeFn,
+    JobExecutor,
+    WorkerPool,
+)
 
 __all__ = ["DecompositionService"]
 
@@ -51,13 +57,16 @@ class DecompositionService:
         n_workers: int = 1,
         policy: Optional[SchedulerPolicy] = None,
         decompose_fn: Optional[DecomposeFn] = None,
+        checkpoint_every: Optional[int] = DEFAULT_CHECKPOINT_EVERY,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.store = JobStore(self.root / "jobs.sqlite3")
         self.artifacts = ArtifactStore(self.root / "artifacts")
         self.scheduler = Scheduler(self.store, policy)
-        self.executor = JobExecutor(self.artifacts, decompose_fn)
+        self.executor = JobExecutor(
+            self.artifacts, decompose_fn, checkpoint_every=checkpoint_every
+        )
         self.pool = WorkerPool(
             self.scheduler, self.executor, n_workers=n_workers
         )
@@ -97,16 +106,24 @@ class DecompositionService:
 
     # -- serving -------------------------------------------------------
 
+    def _recover_orphans_best_effort(self) -> None:
+        # the worker loop retries recovery every poll, so a transient
+        # store error on this eager pass must not abort serving
+        try:
+            self.scheduler.recover_orphans()
+        except sqlite3.OperationalError:
+            pass
+
     def run_until_drained(self, timeout: Optional[float] = None) -> None:
         """Serve until the queue is empty; recovers orphans first."""
-        self.scheduler.recover_orphans()
+        self._recover_orphans_best_effort()
         self.pool.run_until_drained(timeout=timeout)
 
     def serve_forever(self) -> WorkerPool:
         """Start background serving; call ``.stop()`` on the returned
         pool (or let the process exit — threads are daemonic).
         """
-        self.scheduler.recover_orphans()
+        self._recover_orphans_best_effort()
         self.pool.start()
         return self.pool
 

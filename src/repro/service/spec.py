@@ -132,6 +132,12 @@ class JobSpec:
     max_attempts:
         Total execution attempts (first try + retries) before the job
         is declared failed.
+    checkpoint_every:
+        Write a crash-recovery checkpoint every this-many component
+        optimizations (``None`` — use the service default).  Purely an
+        execution-policy knob: checkpoints never change the seeded
+        search, so the field is *not* part of the artifact key (which
+        hashes only the table and the semantic config).
     """
 
     config: FrameworkConfig = field(default_factory=FrameworkConfig)
@@ -140,6 +146,7 @@ class JobSpec:
     table: Optional[Dict] = None
     timeout_seconds: Optional[float] = None
     max_attempts: int = 3
+    checkpoint_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         if (self.workload is None) == (self.table is None):
@@ -155,6 +162,11 @@ class JobSpec:
             raise ServiceError(
                 f"timeout_seconds must be positive, got "
                 f"{self.timeout_seconds}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ServiceError(
+                f"checkpoint_every must be >= 1, got "
+                f"{self.checkpoint_every}"
             )
 
     # ------------------------------------------------------------------
@@ -182,6 +194,7 @@ class JobSpec:
             "table": self.table,
             "timeout_seconds": self.timeout_seconds,
             "max_attempts": self.max_attempts,
+            "checkpoint_every": self.checkpoint_every,
         }
 
     @classmethod
@@ -197,6 +210,7 @@ class JobSpec:
                 table=data.get("table"),
                 timeout_seconds=data.get("timeout_seconds"),
                 max_attempts=int(data.get("max_attempts", 3)),
+                checkpoint_every=data.get("checkpoint_every"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ServiceError(f"malformed job spec: {exc}") from exc

@@ -1,0 +1,348 @@
+"""Process-isolated worker supervision: restart, release, hang-kill.
+
+The thread-based :class:`~repro.service.worker.WorkerPool` cannot
+survive a worker that takes the *process* down (a segfaulting kernel, an
+``os._exit``, the OOM killer) — and a worker stuck in a non-Python hang
+never reaches the cooperative cancellation hook.  The
+:class:`WorkerSupervisor` runs each worker as a child **process** and
+closes both gaps:
+
+* **Crash restart.**  A child observed dead has its running job released
+  immediately (:meth:`~repro.service.scheduler.Scheduler.release_worker`
+  — no waiting out the lease) and is replaced by a fresh child of the
+  next *generation*.  Generations are part of the worker name
+  (``<name>-p<idx>-g<gen>``), so a poison job that kills every
+  replacement accumulates *distinct* worker names and trips the
+  scheduler's quarantine threshold instead of cycling forever.
+* **Hang detection.**  Before each orphan-recovery sweep the supervisor
+  looks for running jobs whose lease has expired while their worker
+  process is still alive — the signature of a hang (a crashed process
+  would have been reaped already).  Such children are killed, then the
+  normal release path requeues or quarantines their jobs.
+* **Restart budget.**  ``max_restarts`` bounds total replacements; once
+  spent, dead workers stay dead and :meth:`run_until_drained` raises
+  rather than spinning on a queue nobody serves.
+
+Everything durable stays in the job store — the supervisor holds only
+process handles, so a supervisor crash degrades to the plain lease
+mechanism.
+
+An installed :class:`~repro.resilience.FaultPlan` is forwarded into
+children via its picklable spec and re-installed there (counters reset
+per process); ``worker.die`` plans are only meaningful under this
+supervisor, where ``os._exit`` kills a child instead of the host.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ServiceError
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import get_metrics
+from repro.resilience import (
+    FaultPlan,
+    active_fault_plan,
+    install_fault_plan,
+)
+from repro.service.artifacts import ArtifactStore
+from repro.service.jobstore import JobStore
+from repro.service.scheduler import Scheduler, SchedulerPolicy
+from repro.service.worker import (
+    DEFAULT_CHECKPOINT_EVERY,
+    JobExecutor,
+    WorkerPool,
+)
+
+logger = get_logger("repro.service.supervisor")
+
+__all__ = ["WorkerSupervisor", "worker_process_main"]
+
+
+def worker_process_main(
+    root: str,
+    policy_dict: Dict,
+    name: str,
+    fault_spec: Optional[Dict],
+    checkpoint_every: Optional[int],
+    drain: bool,
+) -> None:
+    """Entry point of one supervised worker process.
+
+    Module-level so every multiprocessing start method can pickle it.
+    Rebuilds the full service stack from the on-disk service directory
+    — children share nothing with the parent but the files.
+    """
+    if fault_spec is not None:
+        install_fault_plan(FaultPlan.from_spec(fault_spec))
+    root_path = Path(root)
+    store = JobStore(root_path / "jobs.sqlite3")
+    artifacts = ArtifactStore(root_path / "artifacts")
+    scheduler = Scheduler(store, SchedulerPolicy(**policy_dict))
+    executor = JobExecutor(artifacts, checkpoint_every=checkpoint_every)
+    pool = WorkerPool(scheduler, executor, n_workers=1, name=name)
+    if drain:
+        pool.run_until_drained()
+    else:
+        pool.start()
+        pool.wait()
+
+
+class WorkerSupervisor:
+    """Run ``n_workers`` worker *processes* over a service directory."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        n_workers: int = 1,
+        policy: Optional[SchedulerPolicy] = None,
+        checkpoint_every: Optional[int] = DEFAULT_CHECKPOINT_EVERY,
+        max_restarts: int = 5,
+        name: str = "sup",
+        poll_interval_seconds: float = 0.1,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if n_workers <= 0:
+            raise ServiceError(
+                f"n_workers must be positive, got {n_workers}"
+            )
+        if max_restarts < 0:
+            raise ServiceError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        self.root = Path(root)
+        self.policy = policy if policy is not None else SchedulerPolicy()
+        self.scheduler = Scheduler(
+            JobStore(self.root / "jobs.sqlite3"), self.policy
+        )
+        self.n_workers = n_workers
+        self.checkpoint_every = checkpoint_every
+        self.max_restarts = max_restarts
+        self.name = name
+        self.poll_interval_seconds = poll_interval_seconds
+        self._ctx = multiprocessing.get_context(start_method)
+        self._children: List = [None] * n_workers
+        self._generations = [0] * n_workers
+        self.restarts_used = 0
+        # snapshot the parent's fault plan once so children of every
+        # start method (fork or spawn) see the same schedule
+        plan = active_fault_plan()
+        self._fault_spec = plan.to_spec() if plan is not None else None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- naming --------------------------------------------------------
+
+    def _child_name(self, index: int) -> str:
+        return f"{self.name}-p{index}-g{self._generations[index]}"
+
+    @staticmethod
+    def _claim_name(child_name: str) -> str:
+        # the single-threaded pool inside the child appends -worker-0
+        return f"{child_name}-worker-0"
+
+    def worker_names(self) -> List[str]:
+        """The store-visible worker names of the current generation."""
+        return [
+            self._claim_name(self._child_name(index))
+            for index in range(self.n_workers)
+        ]
+
+    # -- child lifecycle -----------------------------------------------
+
+    def _start_child(self, index: int, drain: bool) -> None:
+        child_name = self._child_name(index)
+        process = self._ctx.Process(
+            target=worker_process_main,
+            args=(
+                str(self.root),
+                asdict(self.policy),
+                child_name,
+                self._fault_spec,
+                self.checkpoint_every,
+                drain,
+            ),
+            name=child_name,
+            daemon=True,
+        )
+        process.start()
+        self._children[index] = process
+        logger.info(
+            "started worker process %s (pid %d)", child_name, process.pid
+        )
+
+    def _kill_child(self, index: int) -> None:
+        process = self._children[index]
+        if process is None or not process.is_alive():
+            return
+        process.terminate()
+        process.join(5.0)
+        if process.is_alive():
+            process.kill()
+            process.join(5.0)
+
+    def _kill_hung_children(self, now: float) -> List[str]:
+        """Kill children whose claimed job outlived its lease.
+
+        Must run *before* orphan recovery in the same sweep: recovery
+        clears the expired rows that identify which worker is hung.  A
+        dead-but-unreaped child is left alone here — :meth:`_reap`
+        handles it on the same sweep.
+        """
+        expired_workers = {
+            record.worker
+            for record in self.scheduler.store.list_jobs("running")
+            if record.worker
+            and record.lease_expires is not None
+            and record.lease_expires < now
+        }
+        if not expired_workers:
+            return []
+        killed = []
+        for index, process in enumerate(self._children):
+            if process is None or not process.is_alive():
+                continue
+            claim_name = self._claim_name(self._child_name(index))
+            if claim_name in expired_workers:
+                logger.warning(
+                    "worker %s is hung (lease expired, process alive); "
+                    "killing pid %d",
+                    claim_name, process.pid,
+                )
+                self._kill_child(index)
+                killed.append(claim_name)
+                get_metrics().counter(
+                    "service_hung_workers_killed_total",
+                    help="worker processes killed on missed heartbeats",
+                ).inc()
+        return killed
+
+    def _reap(self, drain: bool) -> None:
+        """Release dead children's jobs; restart within the budget.
+
+        A drain-mode child exiting cleanly (code 0) has emptied the
+        queue — it is not replaced.  Everything else (crash, injected
+        ``worker.die``, hang-kill) is.
+        """
+        for index, process in enumerate(self._children):
+            if process is None or process.is_alive():
+                continue
+            process.join()
+            clean_exit = process.exitcode == 0
+            child_name = self._child_name(index)
+            self._children[index] = None
+            self.scheduler.release_worker(self._claim_name(child_name))
+            if clean_exit and drain:
+                continue
+            if not clean_exit:
+                logger.warning(
+                    "worker process %s died (exit code %s)",
+                    child_name, process.exitcode,
+                )
+            if self.restarts_used >= self.max_restarts:
+                logger.error(
+                    "worker %s not replaced: restart budget (%d) spent",
+                    child_name, self.max_restarts,
+                )
+                continue
+            self.restarts_used += 1
+            self._generations[index] += 1
+            get_metrics().counter(
+                "service_worker_restarts_total",
+                help="supervised worker processes restarted after death",
+            ).inc()
+            self._start_child(index, drain)
+
+    def _alive_count(self) -> int:
+        return sum(
+            1 for process in self._children
+            if process is not None and process.is_alive()
+        )
+
+    def _sweep(self, drain: bool) -> None:
+        now = time.time()
+        self._kill_hung_children(now)
+        self.scheduler.recover_orphans(now=now)
+        self._reap(drain)
+
+    # -- serving -------------------------------------------------------
+
+    def run_until_drained(self, timeout: Optional[float] = None) -> None:
+        """Serve with supervised processes until the queue is empty.
+
+        Raises :class:`~repro.errors.ServiceError` if every worker is
+        dead, the restart budget is spent, and jobs are still pending —
+        silently returning would misreport an unserved queue as
+        drained.  On ``timeout`` the children are torn down and the
+        queue is left as-is (the durable store makes that safe).
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        self.scheduler.recover_orphans()
+        for index in range(self.n_workers):
+            self._start_child(index, drain=True)
+        try:
+            while True:
+                self._sweep(drain=True)
+                pending = self.scheduler.store.pending()
+                if pending == 0 and self._alive_count() == 0:
+                    return
+                if pending > 0 and self._alive_count() == 0:
+                    raise ServiceError(
+                        f"{pending} job(s) pending but every worker is "
+                        f"dead and the restart budget "
+                        f"({self.max_restarts}) is spent"
+                    )
+                if (
+                    deadline is not None
+                    and time.monotonic() > deadline
+                ):
+                    logger.warning(
+                        "drain timed out with %d job(s) pending", pending
+                    )
+                    return
+                time.sleep(self.poll_interval_seconds)
+        finally:
+            for index in range(self.n_workers):
+                self._kill_child(index)
+                self._children[index] = None
+
+    def start(self) -> None:
+        """Start serving forever in the background (see :meth:`stop`)."""
+        if self._thread is not None:
+            raise RuntimeError("supervisor already running")
+        self._stop.clear()
+        self.scheduler.recover_orphans()
+        for index in range(self.n_workers):
+            self._start_child(index, drain=False)
+        self._thread = threading.Thread(
+            target=self._supervise_forever,
+            name=f"{self.name}-supervisor",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _supervise_forever(self) -> None:
+        while not self._stop.is_set():
+            self._sweep(drain=False)
+            self._stop.wait(self.poll_interval_seconds)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until :meth:`stop` is requested (or ``timeout``)."""
+        return self._stop.wait(timeout)
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Tear down the supervision loop and every worker process."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+        for index in range(self.n_workers):
+            self._kill_child(index)
+            self._children[index] = None

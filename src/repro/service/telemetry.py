@@ -10,7 +10,7 @@ The summary layout (all times in seconds)::
 
     {
       "jobs": {"queued": 0, "running": 1, "done": 7, "failed": 0,
-               "total": 8},
+               "quarantined": 0, "total": 8},
       "cache": {"hits": 3, "misses": 4, "hit_rate": 0.4286,
                 "n_artifacts": 4, "total_bytes": 51234},
       "retries": {"total": 2, "jobs_retried": 1, "max_attempts_seen": 3},
@@ -29,7 +29,7 @@ from typing import Dict, Optional, Sequence
 from repro.obs.exporters import prometheus_text
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.service.artifacts import ArtifactStore
-from repro.service.jobstore import JobRecord, JobStore
+from repro.service.jobstore import JOB_STATES, JobRecord, JobStore
 
 __all__ = [
     "service_summary",
@@ -50,7 +50,7 @@ def service_summary(
     """Build the structured telemetry summary (see module docs)."""
     now = time.time() if now is None else now
     jobs = store.list_jobs()
-    counts = {state: 0 for state in ("queued", "running", "done", "failed")}
+    counts = {state: 0 for state in JOB_STATES}
     for job in jobs:
         counts[job.state] += 1
     done = [job for job in jobs if job.state == "done"]
@@ -172,7 +172,7 @@ def prometheus_exposition(
 def format_job_table(jobs: Sequence[JobRecord]) -> str:
     """Fixed-width text table of jobs for the ``status`` CLI."""
     header = (
-        f"{'id':<17} {'state':<8} {'problem':<16} {'att':>3} "
+        f"{'id':<17} {'state':<11} {'problem':<16} {'att':>3} "
         f"{'cache':>5} {'med':>8} {'runtime':>8}  error"
     )
     lines = [header, "-" * len(header)]
@@ -185,7 +185,7 @@ def format_job_table(jobs: Sequence[JobRecord]) -> str:
         )
         error = "" if not job.error else f" {job.error}"
         lines.append(
-            f"{job.id:<17} {job.state:<8} {job.spec.describe():<16} "
+            f"{job.id:<17} {job.state:<11} {job.spec.describe():<16} "
             f"{job.attempts:>3} {('yes' if job.cache_hit else 'no'):>5} "
             f"{med:>8} {runtime:>8} {error}"
         )

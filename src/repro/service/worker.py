@@ -5,43 +5,63 @@ Execution path of one job:
 1. re-check the artifact store — a duplicate submitted while an
    identical job was in flight resolves here without solving (recorded
    as a cache hit);
-2. otherwise run the seeded search through
+2. if a crash-recovery checkpoint exists for the job's artifact key
+   (a previous attempt died mid-run), restore it — the attempt
+   continues from the last completed component instead of restarting;
+3. otherwise run the seeded search through
    :meth:`~repro.core.framework.IsingDecomposer.decompose`, with
 
    * the framework *progress hook* renewing the job's lease (so a live
-     long job is distinguishable from a crashed worker), and
+     long job is distinguishable from a crashed worker),
    * the framework *cancel hook* enforcing the per-attempt timeout
      cooperatively (the attempt stops at the next component boundary
-     and counts against the retry budget);
+     and counts against the retry budget), and
+   * the framework *checkpoint hook* persisting a
+     :class:`~repro.core.checkpoint.DecomposeCheckpoint` every
+     ``checkpoint_every`` components through the artifact store;
 
-3. persist the design under its content key and mark the job done.
+4. persist the design under its content key, drop the checkpoint, and
+   mark the job done.
 
 Determinism contract: the job spec pins the seed and the semantic
 config, and ``decompose`` replays the identical search on every
-attempt, so the stored design is bit-for-bit independent of which
-worker ran the job, how many retries it took, and whether it was served
-from the cache.
+attempt — and a checkpoint restores the exact mid-run state (RNG
+streams included) — so the stored design is bit-for-bit independent of
+which worker ran the job, how many retries it took, whether any retry
+resumed from a checkpoint, and whether it was served from the cache.
 
 The pool itself is a set of daemon threads sharing one scheduler.  The
 heavy numerics release the GIL inside BLAS (and jobs may additionally
 fan out their candidate sweep over processes via
 ``FrameworkConfig.n_workers``), so threads are the right weight here;
 crash-tolerance against *process* death is the job store's lease
-mechanism, exercised by the orphan-recovery tests.
+mechanism plus the process-isolated supervisor
+(:mod:`repro.service.supervisor`).
+
+Fault seams (active only under an installed
+:class:`~repro.resilience.FaultPlan`): ``worker.crash`` fires at
+attempt start and after every checkpoint write, ``worker.hang`` sleeps
+``param`` seconds at attempt start, ``worker.die`` hard-exits the
+process (supervisor mode only).
 """
 
 from __future__ import annotations
 
+import inspect
+import os
+import sqlite3
 import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from repro.core.checkpoint import DecomposeCheckpoint
 from repro.core.framework import IsingDecomposer
-from repro.errors import OperationCancelled
+from repro.errors import OperationCancelled, ReproError, ServiceError
 from repro.obs.logconfig import get_logger
 from repro.obs.metrics import get_metrics
 from repro.obs.tracing import get_tracer
+from repro.resilience import InjectedFault, active_fault_plan
 from repro.serialization import result_to_dict
 from repro.service.artifacts import ArtifactStore
 from repro.service.jobstore import JobRecord
@@ -50,17 +70,39 @@ from repro.service.spec import JobSpec
 
 logger = get_logger("repro.service.worker")
 
-__all__ = ["JobExecutor", "WorkerPool", "ExecutionOutcome"]
+__all__ = [
+    "JobExecutor",
+    "WorkerPool",
+    "ExecutionOutcome",
+    "DEFAULT_CHECKPOINT_EVERY",
+]
 
 #: Signature of a pluggable decompose function: ``(spec, table,
-#: progress, should_cancel) -> DecompositionResult``.  The default runs
-#: the real framework; tests inject wrappers to simulate crashes.
+#: progress, should_cancel) -> DecompositionResult``, optionally also
+#: accepting ``resume=`` / ``checkpoint_hook=`` keyword arguments (the
+#: executor inspects the signature and only passes what the function
+#: takes, so pre-checkpoint test wrappers keep working).  The default
+#: runs the real framework.
 DecomposeFn = Callable[..., object]
 
+#: default checkpoint cadence: persist after every component
+DEFAULT_CHECKPOINT_EVERY = 1
 
-def _default_decompose(spec: JobSpec, table, progress, should_cancel):
+
+def _default_decompose(
+    spec: JobSpec,
+    table,
+    progress,
+    should_cancel,
+    resume=None,
+    checkpoint_hook=None,
+):
     return IsingDecomposer(spec.config).decompose(
-        table, progress=progress, should_cancel=should_cancel
+        table,
+        progress=progress,
+        should_cancel=should_cancel,
+        resume=resume,
+        checkpoint_hook=checkpoint_hook,
     )
 
 
@@ -72,20 +114,75 @@ class ExecutionOutcome:
     med: Optional[float]
     runtime_seconds: float
     cache_hit: bool
+    resumed_from_checkpoint: bool = False
 
 
 class JobExecutor:
-    """Executes one claimed job against the artifact store."""
+    """Executes one claimed job against the artifact store.
+
+    Parameters
+    ----------
+    artifacts:
+        The content-addressed store (results *and* checkpoints).
+    decompose_fn:
+        Pluggable decomposition function (see :data:`DecomposeFn`).
+    checkpoint_every:
+        Service-default checkpoint cadence in components; a job spec's
+        own ``checkpoint_every`` overrides it, ``None`` disables
+        checkpointing entirely.
+    """
 
     def __init__(
         self,
         artifacts: ArtifactStore,
         decompose_fn: Optional[DecomposeFn] = None,
+        checkpoint_every: Optional[int] = DEFAULT_CHECKPOINT_EVERY,
     ) -> None:
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ServiceError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         self.artifacts = artifacts
+        self.checkpoint_every = checkpoint_every
         self._decompose = (
             decompose_fn if decompose_fn is not None else _default_decompose
         )
+        self._decompose_kwargs = self._supported_kwargs(self._decompose)
+
+    @staticmethod
+    def _supported_kwargs(fn: Callable) -> frozenset:
+        """Which checkpoint kwargs ``fn`` accepts (legacy fns: none)."""
+        try:
+            parameters = inspect.signature(fn).parameters.values()
+        except (TypeError, ValueError):
+            return frozenset()
+        names = {p.name for p in parameters}
+        if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters):
+            names |= {"resume", "checkpoint_hook"}
+        return frozenset(names & {"resume", "checkpoint_hook"})
+
+    def _load_checkpoint(
+        self, job: JobRecord, table
+    ) -> Optional[DecomposeCheckpoint]:
+        """A valid stored checkpoint for ``job``, or ``None``.
+
+        Anything unreadable or bound to a different problem is removed
+        — a broken checkpoint must degrade to restart-from-scratch.
+        """
+        stored = self.artifacts.get_checkpoint(job.artifact_key)
+        if stored is None:
+            return None
+        try:
+            checkpoint = DecomposeCheckpoint.from_dict(stored)
+            checkpoint.validate_for(table)
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            logger.warning(
+                "discarding unusable checkpoint for job %s: %s",
+                job.id, exc,
+            )
+            self.artifacts.delete_checkpoint(job.artifact_key)
+            return None
+        return checkpoint
 
     def execute(
         self,
@@ -97,10 +194,20 @@ class JobExecutor:
 
         Timeouts raise :class:`~repro.errors.OperationCancelled`; any
         other exception is a worker crash.  The caller owns the job
-        store transition either way.
+        store transition either way.  A crash leaves the latest
+        checkpoint in place for the next attempt; success removes it.
         """
         start = time.monotonic()
         tracer = get_tracer()
+        plan = active_fault_plan()
+        detail = f"{job.id}:{job.worker or ''}"
+        if plan is not None:
+            if plan.should_fire("worker.hang", detail):
+                time.sleep(plan.site_param("worker.hang", 1.0))
+            if plan.should_fire("worker.die", detail):
+                os._exit(int(plan.site_param("worker.die", 1.0)) or 1)
+            if plan.should_fire("worker.crash", detail):
+                raise InjectedFault(f"injected worker crash ({detail})")
         with tracer.span(
             "artifact_cache_check", category="service", job_id=job.id
         ):
@@ -136,13 +243,71 @@ class JobExecutor:
                 f"timeout of {spec.timeout_seconds}s expired before the "
                 "attempt started"
             )
+
+        cadence = (
+            spec.checkpoint_every
+            if spec.checkpoint_every is not None
+            else self.checkpoint_every
+        )
+        resume: Optional[DecomposeCheckpoint] = None
+        if cadence is not None and "resume" in self._decompose_kwargs:
+            resume = self._load_checkpoint(job, table)
+            if resume is not None:
+                logger.info(
+                    "job %s resuming from checkpoint (round %d, "
+                    "position %d)",
+                    job.id, resume.round_index + 1, resume.position,
+                )
+                tracer.instant(
+                    "job_checkpoint_resume",
+                    category="service",
+                    job_id=job.id,
+                    round=resume.round_index + 1,
+                    position=resume.position,
+                )
+                get_metrics().counter(
+                    "service_checkpoint_resumes_total",
+                    help="job attempts resumed from a crash checkpoint",
+                ).inc()
+
+        components_done = 0
+
+        def checkpoint_hook(checkpoint: DecomposeCheckpoint) -> None:
+            nonlocal components_done
+            components_done += 1
+            if components_done % cadence != 0:
+                return
+            self.artifacts.put_checkpoint(
+                job.artifact_key, checkpoint.to_dict()
+            )
+            get_metrics().counter(
+                "service_checkpoints_written_total",
+                help="crash-recovery checkpoints persisted",
+            ).inc()
+            if plan is not None and plan.should_fire(
+                "worker.crash", f"{detail}:post-checkpoint"
+            ):
+                raise InjectedFault(
+                    f"injected worker crash after checkpoint ({detail})"
+                )
+
+        kwargs = {}
+        if "resume" in self._decompose_kwargs:
+            kwargs["resume"] = resume
+        if cadence is not None and (
+            "checkpoint_hook" in self._decompose_kwargs
+        ):
+            kwargs["checkpoint_hook"] = checkpoint_hook
         with tracer.span(
             "job_decompose",
             category="service",
             job_id=job.id,
             artifact_key=job.artifact_key,
+            resumed=resume is not None,
         ):
-            result = self._decompose(spec, table, progress, should_cancel)
+            result = self._decompose(
+                spec, table, progress, should_cancel, **kwargs
+            )
         runtime = time.monotonic() - start
         meta = {
             "med": float(result.med),
@@ -154,11 +319,13 @@ class JobExecutor:
             "artifact_put", category="service", job_id=job.id
         ):
             envelope = self.artifacts.put(job.artifact_key, result, meta)
+        self.artifacts.delete_checkpoint(job.artifact_key)
         return ExecutionOutcome(
             design=envelope["design"],
             med=float(result.med),
             runtime_seconds=runtime,
             cache_hit=False,
+            resumed_from_checkpoint=resume is not None,
         )
 
 
@@ -183,6 +350,28 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
 
+    def _transition(self, action: Callable[[], None], job_id: str) -> None:
+        """Apply a completion-path store transition, tolerating races.
+
+        A slow attempt can lose its claim to orphan recovery (the lease
+        expired, another worker re-ran the job); its completion then
+        targets a row that is no longer ``running`` for this worker.
+        That is not an error of *this* worker — log and move on, the
+        job's durable state is owned by whoever holds the claim now.
+        """
+        try:
+            action()
+        except ServiceError as exc:
+            logger.warning(
+                "job %s transition lost a race (lease expired or "
+                "recovered by another worker): %s",
+                job_id, exc,
+            )
+            get_metrics().counter(
+                "service_transition_races_total",
+                help="completion-path transitions lost to recovery races",
+            ).inc()
+
     def _run_one(self, worker_name: str, job: JobRecord) -> None:
         def heartbeat() -> None:
             self.scheduler.heartbeat(job)
@@ -204,8 +393,11 @@ class WorkerPool:
                     "service_jobs_timeout_total",
                     help="job attempts ended by timeout",
                 ).inc()
-                self.scheduler.record_failure(
-                    job, error=f"timeout: {exc}", now=time.time()
+                self._transition(
+                    lambda: self.scheduler.record_failure(
+                        job, error=f"timeout: {exc}", now=time.time()
+                    ),
+                    job.id,
                 )
             except Exception as exc:  # worker crash — never kills the pool
                 logger.warning(
@@ -217,10 +409,13 @@ class WorkerPool:
                     "service_jobs_crashed_total",
                     help="job attempts ended by a worker crash",
                 ).inc()
-                self.scheduler.record_failure(
-                    job,
-                    error=f"{type(exc).__name__}: {exc}",
-                    now=time.time(),
+                self._transition(
+                    lambda: self.scheduler.record_failure(
+                        job,
+                        error=f"{type(exc).__name__}: {exc}",
+                        now=time.time(),
+                    ),
+                    job.id,
                 )
             else:
                 span.set_args(
@@ -230,25 +425,62 @@ class WorkerPool:
                     "service_jobs_completed_total",
                     help="jobs completed successfully",
                 ).inc()
-                self.scheduler.complete(
-                    job,
-                    med=outcome.med,
-                    runtime_seconds=outcome.runtime_seconds,
-                    cache_hit=outcome.cache_hit,
+                self._transition(
+                    lambda: self.scheduler.complete(
+                        job,
+                        med=outcome.med,
+                        runtime_seconds=outcome.runtime_seconds,
+                        cache_hit=outcome.cache_hit,
+                    ),
+                    job.id,
                 )
 
     def _loop(self, worker_name: str, drain: bool) -> None:
         poll = self.scheduler.policy.poll_interval_seconds
         while not self._stop.is_set():
-            self.scheduler.recover_orphans()
-            job = self.scheduler.claim(worker_name)
+            try:
+                self.scheduler.recover_orphans()
+                job = self.scheduler.claim(worker_name)
+            except sqlite3.OperationalError as exc:
+                # transient store pressure (locked, disk full, or an
+                # injected jobstore fault) — back off, never die
+                logger.warning(
+                    "worker %s: job store unavailable (%s); backing off",
+                    worker_name, exc,
+                )
+                get_metrics().counter(
+                    "service_store_errors_total",
+                    help="transient job-store errors seen by workers",
+                ).inc()
+                self._stop.wait(poll)
+                continue
             if job is None:
-                if drain and self.scheduler.store.pending() == 0:
-                    return
+                if drain:
+                    try:
+                        if self.scheduler.store.pending() == 0:
+                            return
+                    except sqlite3.OperationalError:
+                        pass  # can't tell if drained; poll again
                 # backoff gates may hold queued jobs; keep polling
                 self._stop.wait(poll)
                 continue
-            self._run_one(worker_name, job)
+            try:
+                self._run_one(worker_name, job)
+            except sqlite3.OperationalError as exc:
+                # the *completion* transition hit store pressure; the
+                # job stays ``running`` and lease expiry will recover
+                # it (a persisted artifact then resolves the retry from
+                # the cache) — the worker itself must survive
+                logger.warning(
+                    "worker %s: job %s completion hit store pressure "
+                    "(%s); leaving recovery to the lease",
+                    worker_name, job.id, exc,
+                )
+                get_metrics().counter(
+                    "service_store_errors_total",
+                    help="transient job-store errors seen by workers",
+                ).inc()
+                self._stop.wait(poll)
 
     # ------------------------------------------------------------------
 

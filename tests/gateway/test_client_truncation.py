@@ -1,0 +1,164 @@
+"""Client behavior when the connection dies mid-response body.
+
+``urllib`` raises raw ``http.client`` errors (``IncompleteRead``) from
+``response.read()`` — these are *not* ``OSError`` subclasses, so a
+naive handler misses them and the exception escapes as an unretried
+crash.  The client must map them to a retryable connection-level
+``GatewayError`` and retry idempotent requests.
+
+Exercised two ways: a real socket server that advertises a
+``Content-Length`` it never delivers, and the deterministic
+``client.connection_drop`` fault seam against a live gateway.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.gateway import (
+    DecompositionGateway,
+    GatewayClient,
+    GatewayConfig,
+    RetryPolicy,
+)
+from repro.resilience import FaultPlan, FaultRule, fault_injection
+from repro.service import DecompositionService, JobSpec, SchedulerPolicy
+
+
+GOOD_BODY = b'{"status": "ok"}'
+
+
+class TruncatingServer:
+    """Serve ``n_truncated`` short-bodied responses, then honest ones.
+
+    Each truncated response carries a ``Content-Length`` far larger
+    than the bytes actually sent before the connection is closed —
+    exactly what a gateway dying mid-write looks like on the wire.
+    """
+
+    def __init__(self, n_truncated=1):
+        self.n_truncated = n_truncated
+        self.requests_served = 0
+        self._lock = threading.Lock()
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.url = f"http://127.0.0.1:{self._sock.getsockname()[1]}"
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            with conn:
+                # drain the request head; the client sends no body here
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+                with self._lock:
+                    truncate = self.requests_served < self.n_truncated
+                    self.requests_served += 1
+                if truncate:
+                    head = (
+                        b"HTTP/1.1 200 OK\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Content-Length: 4096\r\n\r\n"
+                    )
+                    conn.sendall(head + GOOD_BODY[:5])
+                    # close with 4091 promised bytes never sent
+                else:
+                    head = (
+                        b"HTTP/1.1 200 OK\r\n"
+                        b"Content-Type: application/json\r\n"
+                        + f"Content-Length: {len(GOOD_BODY)}\r\n\r\n".encode()
+                    )
+                    conn.sendall(head + GOOD_BODY)
+
+    def close(self):
+        self._sock.close()
+
+
+@pytest.fixture
+def truncating_server():
+    server = TruncatingServer(n_truncated=1)
+    yield server
+    server.close()
+
+
+class TestTruncatedResponses:
+    def test_get_is_retried_after_midbody_reset(self, truncating_server):
+        client = GatewayClient(
+            truncating_server.url,
+            retry=RetryPolicy(max_retries=2, backoff_base_seconds=0.01),
+        )
+        assert client.healthz() == {"status": "ok"}
+        assert truncating_server.requests_served == 2  # torn + clean
+
+    def test_without_retries_the_error_is_typed_and_marked(self):
+        server = TruncatingServer(n_truncated=10)
+        try:
+            client = GatewayClient(
+                server.url, retry=RetryPolicy(max_retries=0)
+            )
+            with pytest.raises(
+                GatewayError, match="dropped mid-response"
+            ) as excinfo:
+                client.healthz()
+            # status 0 is the connection-level marker retries key on
+            assert excinfo.value.status == 0
+        finally:
+            server.close()
+
+    def test_drop_every_attempt_exhausts_the_budget(self):
+        server = TruncatingServer(n_truncated=10)
+        try:
+            client = GatewayClient(
+                server.url,
+                retry=RetryPolicy(
+                    max_retries=2, backoff_base_seconds=0.01
+                ),
+            )
+            with pytest.raises(GatewayError, match="dropped"):
+                client.healthz()
+            assert server.requests_served == 3  # initial + 2 retries
+        finally:
+            server.close()
+
+
+class TestConnectionDropSeam:
+    def test_injected_drop_against_live_gateway(
+        self, tmp_path, fast_config
+    ):
+        service = DecompositionService(
+            tmp_path / "svc",
+            policy=SchedulerPolicy(
+                retry_backoff_seconds=0.01, poll_interval_seconds=0.01
+            ),
+        )
+        spec = JobSpec(workload="cos", n_inputs=6, config=fast_config)
+        job = service.submit(spec)
+        plan = FaultPlan(
+            [FaultRule(site="client.connection_drop", at_calls=(1,))],
+            seed=1234,
+        )
+        with DecompositionGateway(service, GatewayConfig(port=0)) as gw:
+            client = GatewayClient(
+                gw.url,
+                retry=RetryPolicy(
+                    max_retries=2, backoff_base_seconds=0.01
+                ),
+            )
+            with fault_injection(plan):
+                record = client.job(job.id)
+        assert record.id == job.id
+        assert record.state == "queued"
+        assert len(plan.events()) == 1

@@ -1,0 +1,54 @@
+"""Chaos-suite fixtures: fixed fault seed + combined recovery log.
+
+The suite is deterministic end to end: every fault plan is seeded from
+``REPRO_CHAOS_SEED`` (default 1234 — CI pins it explicitly), and every
+fault fired anywhere in the session is appended to one JSONL recovery
+log at ``REPRO_CHAOS_LOG`` (when set), which the ``chaos-smoke`` CI job
+uploads as a build artifact.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import CoreSolverConfig, FrameworkConfig
+from repro.resilience import clear_fault_plan
+from repro.resilience.faults import drain_event_sink, write_event_log
+
+
+@pytest.fixture
+def chaos_seed() -> int:
+    """The session's fault-plan seed (pin via ``REPRO_CHAOS_SEED``)."""
+    return int(os.environ.get("REPRO_CHAOS_SEED", "1234"))
+
+
+@pytest.fixture
+def tiny_config() -> FrameworkConfig:
+    """The smallest config that still runs the real seeded search."""
+    return FrameworkConfig(
+        mode="joint",
+        free_size=2,
+        n_partitions=2,
+        n_rounds=1,
+        seed=11,
+        solver=CoreSolverConfig(max_iterations=150, n_replicas=2),
+    )
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    """A test that forgets to clear its plan must not poison the next."""
+    yield
+    clear_fault_plan()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _recovery_log():
+    """Persist every fault fired this session to the CI artifact log."""
+    yield
+    log_path = os.environ.get("REPRO_CHAOS_LOG")
+    events = drain_event_sink()
+    if log_path and events:
+        write_event_log(log_path, events)

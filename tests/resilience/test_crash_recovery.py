@@ -1,0 +1,142 @@
+"""Crash-safe job execution: the ISSUE's headline acceptance test.
+
+A worker crashes *after* writing a checkpoint; the retry must resume
+from that checkpoint and the final design must be bit-for-bit identical
+to an uninterrupted run of the same spec in a clean directory.
+"""
+
+import pytest
+
+from repro.obs.metrics import get_metrics
+from repro.resilience import FaultPlan, FaultRule, fault_injection
+from repro.service import (
+    DecompositionService,
+    JobSpec,
+    SchedulerPolicy,
+)
+from repro.service.artifacts import ArtifactStore
+
+
+FAST_POLICY = SchedulerPolicy(
+    lease_seconds=30.0,
+    retry_backoff_seconds=0.01,
+    poll_interval_seconds=0.01,
+)
+
+
+class TestCrashAfterCheckpoint:
+    def test_resumed_design_is_bit_identical(
+        self, tmp_path, tiny_config, chaos_seed
+    ):
+        spec = JobSpec(workload="cos", n_inputs=6, config=tiny_config)
+
+        baseline = DecompositionService(
+            tmp_path / "clean", policy=FAST_POLICY
+        )
+        clean_job = baseline.submit(spec)
+        baseline.run_until_drained(timeout=120)
+        clean_design = baseline.fetch_design_dict(clean_job.id)
+
+        # seam call 1 is the attempt start (no match); calls 2.. are
+        # post-checkpoint probes, so at_calls=(3,) crashes the worker
+        # right after its second component checkpoint lands
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    site="worker.crash",
+                    at_calls=(3,),
+                    match="post-checkpoint",
+                )
+            ],
+            seed=chaos_seed,
+        )
+        resumes = get_metrics().counter(
+            "service_checkpoint_resumes_total",
+            help="jobs resumed from a persisted checkpoint",
+        )
+        resumes_before = resumes.value
+
+        service = DecompositionService(
+            tmp_path / "chaos", policy=FAST_POLICY
+        )
+        job = service.submit(spec)
+        with fault_injection(plan):
+            service.run_until_drained(timeout=120)
+
+        record = service.job(job.id)
+        assert record.state == "done"
+        assert record.attempts == 2
+        assert record.retries == 1
+        assert len(plan.events()) == 1
+        assert resumes.value == resumes_before + 1
+
+        assert service.fetch_design_dict(job.id) == clean_design
+        # the checkpoint is cleaned up once the job lands
+        assert (
+            service.artifacts.get_checkpoint(record.artifact_key) is None
+        )
+
+    def test_crash_before_any_checkpoint_restarts_clean(
+        self, tmp_path, tiny_config, chaos_seed
+    ):
+        """Crashing at attempt start (no checkpoint yet) degrades to a
+        plain retry from scratch — still converging to the same design.
+        """
+        spec = JobSpec(workload="cos", n_inputs=6, config=tiny_config)
+        plan = FaultPlan(
+            [FaultRule(site="worker.crash", at_calls=(1,))],
+            seed=chaos_seed,
+        )
+        service = DecompositionService(
+            tmp_path / "svc", policy=FAST_POLICY
+        )
+        job = service.submit(spec)
+        with fault_injection(plan):
+            service.run_until_drained(timeout=120)
+        record = service.job(job.id)
+        assert record.state == "done"
+        assert record.attempts == 2
+
+        baseline = DecompositionService(
+            tmp_path / "clean", policy=FAST_POLICY
+        )
+        clean_job = baseline.submit(spec)
+        baseline.run_until_drained(timeout=120)
+        assert service.fetch_design_dict(job.id) == (
+            baseline.fetch_design_dict(clean_job.id)
+        )
+
+
+class TestCheckpointHygiene:
+    def test_torn_checkpoint_is_discarded(self, tmp_path):
+        """A half-written (torn) checkpoint file must read as absent,
+        not crash the loader."""
+        artifacts = ArtifactStore(tmp_path / "artifacts")
+        key = "ab" + "0" * 62
+        artifacts.put_checkpoint(key, {"format": "x", "version": 1})
+        path = artifacts.checkpoint_path(key)
+        path.write_text('{"format": "x", "vers')  # torn mid-write
+        assert artifacts.get_checkpoint(key) is None
+        assert not path.exists()  # the torn file was reaped
+
+    def test_stale_checkpoint_degrades_to_restart(
+        self, tmp_path, tiny_config
+    ):
+        """Garbage *valid JSON* under the job's key (wrong problem,
+        wrong format) must be deleted and the job re-run from scratch.
+        """
+        service = DecompositionService(
+            tmp_path / "svc", policy=FAST_POLICY
+        )
+        spec = JobSpec(workload="cos", n_inputs=6, config=tiny_config)
+        job = service.submit(spec)
+        service.artifacts.put_checkpoint(
+            job.artifact_key, {"format": "bogus", "version": 99}
+        )
+        service.run_until_drained(timeout=120)
+        record = service.job(job.id)
+        assert record.state == "done"
+        assert record.attempts == 1
+        assert (
+            service.artifacts.get_checkpoint(record.artifact_key) is None
+        )

@@ -1,0 +1,143 @@
+"""Unit tests of the fault-injection harness itself."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    active_fault_plan,
+    clear_fault_plan,
+    fault_injection,
+    install_fault_plan,
+)
+from repro.resilience.faults import drain_event_sink, write_event_log
+
+
+class TestFaultRule:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault site"):
+            FaultRule(site="kernel.meltdown")
+
+    def test_probability_range_validated(self):
+        with pytest.raises(ConfigurationError, match="probability"):
+            FaultRule(site="worker.crash", probability=1.5)
+
+    def test_ordinals_one_based(self):
+        with pytest.raises(ConfigurationError, match="1-based"):
+            FaultRule(site="worker.crash", at_calls=(0,))
+
+    def test_max_fires_validated(self):
+        with pytest.raises(ConfigurationError, match="max_fires"):
+            FaultRule(site="worker.crash", max_fires=0)
+
+    def test_round_trip(self):
+        rule = FaultRule(
+            site="worker.hang", at_calls=(2, 5), probability=0.25,
+            max_fires=3, match="g0", param=1.5,
+        )
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+
+class TestFaultPlan:
+    def test_at_calls_fire_exactly_there(self):
+        plan = FaultPlan([FaultRule(site="worker.crash", at_calls=(2, 4))])
+        fired = [plan.should_fire("worker.crash") for _ in range(5)]
+        assert fired == [False, True, False, True, False]
+
+    def test_probability_is_deterministic_per_seed(self, chaos_seed):
+        def pattern(seed):
+            plan = FaultPlan(
+                [FaultRule(site="kernel.nan", probability=0.3)], seed=seed
+            )
+            return [plan.should_fire("kernel.nan") for _ in range(64)]
+
+        assert pattern(chaos_seed) == pattern(chaos_seed)
+        assert any(pattern(chaos_seed))
+        assert pattern(chaos_seed) != pattern(chaos_seed + 1)
+
+    def test_sites_have_independent_streams(self, chaos_seed):
+        one = FaultPlan(
+            [FaultRule(site="kernel.nan", probability=0.5)],
+            seed=chaos_seed,
+        )
+        both = FaultPlan(
+            [
+                FaultRule(site="kernel.nan", probability=0.5),
+                FaultRule(site="worker.crash", probability=0.5),
+            ],
+            seed=chaos_seed,
+        )
+        # adding a rule for another site must not shift this site's draws
+        assert [one.should_fire("kernel.nan") for _ in range(32)] == [
+            both.should_fire("kernel.nan") for _ in range(32)
+        ]
+
+    def test_max_fires_caps_injections(self):
+        plan = FaultPlan(
+            [FaultRule(site="worker.crash", probability=1.0, max_fires=2)]
+        )
+        fired = [plan.should_fire("worker.crash") for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_match_filters_but_advances_ordinals(self):
+        plan = FaultPlan(
+            [FaultRule(site="worker.crash", at_calls=(2,), match="g1")]
+        )
+        assert not plan.should_fire("worker.crash", "job-1:g1")  # call 1
+        assert not plan.should_fire("worker.crash", "job-1:g0")  # call 2
+        assert not plan.should_fire("worker.crash", "job-1:g1")  # call 3
+
+    def test_unknown_site_is_free(self):
+        plan = FaultPlan([FaultRule(site="kernel.nan", at_calls=(1,))])
+        assert not plan.should_fire("worker.crash")
+
+    def test_site_param(self):
+        plan = FaultPlan([FaultRule(site="worker.hang", param=2.5)])
+        assert plan.site_param("worker.hang") == 2.5
+        assert plan.site_param("worker.die", 1.0) == 1.0
+
+    def test_spec_round_trip_resets_counters(self):
+        plan = FaultPlan(
+            [FaultRule(site="worker.crash", at_calls=(1,))], seed=7
+        )
+        assert plan.should_fire("worker.crash")
+        clone = FaultPlan.from_spec(plan.to_spec())
+        assert clone.seed == 7
+        assert clone.should_fire("worker.crash")  # schedule restarts
+
+    def test_every_site_name_is_valid(self):
+        for site in FAULT_SITES:
+            FaultRule(site=site)
+
+
+class TestInstallation:
+    def test_context_manager_restores_previous(self):
+        outer = install_fault_plan(FaultPlan([], seed=1))
+        inner = FaultPlan([], seed=2)
+        with fault_injection(inner):
+            assert active_fault_plan() is inner
+        assert active_fault_plan() is outer
+        clear_fault_plan()
+        assert active_fault_plan() is None
+
+
+class TestEventLog:
+    def test_events_recorded_and_sunk(self, tmp_path):
+        drain_event_sink()  # isolate from earlier tests
+        plan = FaultPlan([FaultRule(site="kernel.nan", at_calls=(1,))])
+        plan.should_fire("kernel.nan", "bsb:iter10")
+        events = plan.events()
+        assert len(events) == 1
+        assert events[0]["site"] == "kernel.nan"
+        assert events[0]["detail"] == "bsb:iter10"
+
+        log = write_event_log(tmp_path / "recovery.jsonl")
+        lines = [
+            json.loads(line) for line in log.read_text().splitlines()
+        ]
+        assert [entry["site"] for entry in lines] == ["kernel.nan"]
+        assert drain_event_sink() == []  # the write drained the sink

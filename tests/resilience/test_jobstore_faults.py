@@ -1,0 +1,200 @@
+"""Job-store durability: WAL pragmas, corruption, migration, seams."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.errors import JobStoreCorruptError
+from repro.resilience import FaultPlan, FaultRule, fault_injection
+from repro.service import (
+    DecompositionService,
+    JobSpec,
+    Scheduler,
+    SchedulerPolicy,
+)
+from repro.service.jobstore import JobStore
+
+
+class TestPragmas:
+    def test_store_runs_in_wal_mode(self, tmp_path):
+        path = tmp_path / "jobs.sqlite3"
+        JobStore(path)
+        # WAL is a persistent database property — verify it from an
+        # independent vanilla connection
+        with sqlite3.connect(path) as conn:
+            mode = conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode.lower() == "wal"
+
+    def test_busy_timeout_is_set(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        conn = store._connect()
+        try:
+            timeout_ms = conn.execute(
+                "PRAGMA busy_timeout"
+            ).fetchone()[0]
+        finally:
+            conn.close()
+        assert timeout_ms == int(JobStore.BUSY_TIMEOUT_SECONDS * 1000)
+
+
+class TestCorruption:
+    def test_garbage_file_raises_typed_error(self, tmp_path):
+        path = tmp_path / "jobs.sqlite3"
+        path.write_bytes(b"this was never a database")
+        with pytest.raises(JobStoreCorruptError, match="not a readable"):
+            JobStore(path)
+
+    def test_valid_header_garbage_pages_raises_typed_error(
+        self, tmp_path
+    ):
+        path = tmp_path / "jobs.sqlite3"
+        path.write_bytes(b"SQLite format 3\x00" + b"\xde\xad" * 4096)
+        with pytest.raises(JobStoreCorruptError):
+            JobStore(path)
+
+    def test_healthy_reopen_is_clean(self, tmp_path, tiny_config):
+        path = tmp_path / "jobs.sqlite3"
+        store = JobStore(path)
+        spec = JobSpec(workload="cos", n_inputs=6, config=tiny_config)
+        job = store.submit(spec, artifact_key="a" * 64, now=0.0)
+        reopened = JobStore(path)
+        assert reopened.get(job.id).state == "queued"
+
+
+OLD_SCHEMA = """
+CREATE TABLE jobs (
+    id              TEXT PRIMARY KEY,
+    artifact_key    TEXT NOT NULL,
+    spec            TEXT NOT NULL,
+    state           TEXT NOT NULL CHECK (state IN
+                        ('queued', 'running', 'done', 'failed')),
+    attempts        INTEGER NOT NULL DEFAULT 0,
+    max_attempts    INTEGER NOT NULL,
+    not_before      REAL NOT NULL DEFAULT 0,
+    lease_expires   REAL,
+    worker          TEXT,
+    cache_hit       INTEGER NOT NULL DEFAULT 0,
+    error           TEXT,
+    created_at      REAL NOT NULL,
+    started_at      REAL,
+    finished_at     REAL,
+    runtime_seconds REAL,
+    med             REAL
+);
+CREATE INDEX idx_jobs_state ON jobs (state, not_before);
+CREATE INDEX idx_jobs_key ON jobs (artifact_key);
+"""
+
+
+class TestMigration:
+    def _old_store(self, path, tiny_config):
+        spec = JobSpec(workload="cos", n_inputs=6, config=tiny_config)
+        with sqlite3.connect(path) as conn:
+            conn.executescript(OLD_SCHEMA)
+            for job_id, state in (
+                ("job-old-done", "done"),
+                ("job-old-queued", "queued"),
+            ):
+                conn.execute(
+                    "INSERT INTO jobs (id, artifact_key, spec, state, "
+                    "max_attempts, created_at) VALUES (?, ?, ?, ?, 3, 0)",
+                    (
+                        job_id,
+                        "b" * 64,
+                        json.dumps(spec.to_wire(), sort_keys=True),
+                    state,
+                    ),
+                )
+            conn.commit()
+
+    def test_pre_quarantine_database_is_migrated(
+        self, tmp_path, tiny_config
+    ):
+        path = tmp_path / "jobs.sqlite3"
+        self._old_store(path, tiny_config)
+        store = JobStore(path)
+        assert store.get("job-old-done").state == "done"
+        queued = store.get("job-old-queued")
+        assert queued.state == "queued"
+        assert queued.failed_workers == ()
+
+        # the migrated table admits the new terminal state
+        scheduler = Scheduler(
+            store,
+            SchedulerPolicy(
+                retry_backoff_seconds=0.01, quarantine_after=1
+            ),
+        )
+        claimed = scheduler.claim("w0", now=1.0)
+        assert claimed.id == "job-old-queued"
+        assert scheduler.record_failure(
+            claimed, error="boom", now=1.0
+        ) == "quarantined"
+        assert store.get("job-old-queued").state == "quarantined"
+
+    def test_migration_is_idempotent(self, tmp_path, tiny_config):
+        path = tmp_path / "jobs.sqlite3"
+        self._old_store(path, tiny_config)
+        JobStore(path)
+        store = JobStore(path)  # second open must not re-migrate
+        assert store.counts()["done"] == 1
+
+
+class TestInjectedStoreFaults:
+    def test_operational_error_seam_raises(self, tmp_path, chaos_seed):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        plan = FaultPlan(
+            [FaultRule(site="jobstore.operational_error", at_calls=(1,))],
+            seed=chaos_seed,
+        )
+        with fault_injection(plan):
+            with pytest.raises(sqlite3.OperationalError, match="locked"):
+                store.pending()
+            store.pending()  # the fault fired exactly once
+
+    def test_disk_full_seam_rolls_back(
+        self, tmp_path, tiny_config, chaos_seed
+    ):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        spec = JobSpec(workload="cos", n_inputs=6, config=tiny_config)
+        plan = FaultPlan(
+            [FaultRule(site="jobstore.disk_full", at_calls=(1,))],
+            seed=chaos_seed,
+        )
+        with fault_injection(plan):
+            with pytest.raises(sqlite3.OperationalError, match="full"):
+                store.submit(spec, artifact_key="c" * 64)
+        # the failed commit left no trace and the store still works
+        assert store.counts()["queued"] == 0
+        job = store.submit(spec, artifact_key="c" * 64)
+        assert store.get(job.id).state == "queued"
+
+    def test_worker_pool_survives_store_pressure(
+        self, tmp_path, tiny_config, chaos_seed
+    ):
+        """An injected store error during claim/recover must back off
+        the worker, not kill it — the drain still completes."""
+        service = DecompositionService(
+            tmp_path / "svc",
+            policy=SchedulerPolicy(
+                lease_seconds=30.0,
+                retry_backoff_seconds=0.01,
+                poll_interval_seconds=0.01,
+            ),
+        )
+        spec = JobSpec(workload="cos", n_inputs=6, config=tiny_config)
+        job = service.submit(spec)
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    site="jobstore.operational_error",
+                    at_calls=(1, 2),
+                )
+            ],
+            seed=chaos_seed,
+        )
+        with fault_injection(plan):
+            service.run_until_drained(timeout=120)
+        assert service.job(job.id).state == "done"
+        assert len(plan.events()) == 2

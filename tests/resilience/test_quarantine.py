@@ -1,0 +1,133 @@
+"""Poison-job quarantine: distinct-worker failure routing.
+
+A job that breaks ``quarantine_after`` *distinct* workers is parked in
+the terminal ``quarantined`` state even with retry budget left, and the
+state is visible through the store counts, the CLI job table, and the
+gateway.
+"""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.gateway import DecompositionGateway, GatewayClient, GatewayConfig
+from repro.gateway.client import _TERMINAL
+from repro.service import (
+    DecompositionService,
+    JobSpec,
+    Scheduler,
+    SchedulerPolicy,
+)
+from repro.service.jobstore import JobStore
+from repro.service.telemetry import format_job_table
+
+
+POLICY = SchedulerPolicy(
+    lease_seconds=30.0,
+    retry_backoff_seconds=0.01,
+    quarantine_after=3,
+)
+
+
+def _submit(store, tiny_config, key="k" * 64):
+    spec = JobSpec(
+        workload="cos", n_inputs=6, config=tiny_config, max_attempts=10
+    )
+    return store.submit(spec, artifact_key=key, now=0.0)
+
+
+def _fail_on(scheduler, worker, now):
+    job = scheduler.claim(worker, now=now)
+    assert job is not None, f"{worker} found nothing to claim at {now}"
+    return scheduler.record_failure(job, error="boom", now=now)
+
+
+class TestQuarantineRouting:
+    def test_three_distinct_workers_quarantine(self, tmp_path,
+                                               tiny_config):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        scheduler = Scheduler(store, POLICY)
+        job = _submit(store, tiny_config)
+
+        assert _fail_on(scheduler, "w0", now=1.0) == "queued"
+        assert _fail_on(scheduler, "w1", now=2.0) == "queued"
+        assert _fail_on(scheduler, "w2", now=3.0) == "quarantined"
+
+        record = store.get(job.id)
+        assert record.state == "quarantined"
+        assert record.attempts == 3  # budget of 10 did NOT save it
+        assert set(record.failed_workers) == {"w0", "w1", "w2"}
+        assert "3 distinct worker(s)" in record.error
+        # terminal: nothing left to claim, nothing pending
+        assert scheduler.claim("w3", now=4.0) is None
+        assert store.pending() == 0
+        assert store.counts()["quarantined"] == 1
+
+    def test_same_worker_repeats_do_not_quarantine(self, tmp_path,
+                                                   tiny_config):
+        """One flaky *worker* is not a poison *job*: repeats by the
+        same name never cross the distinct-worker threshold."""
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        scheduler = Scheduler(store, POLICY)
+        job = _submit(store, tiny_config)
+        for attempt in range(5):
+            assert _fail_on(scheduler, "w0", now=float(attempt + 1)) == (
+                "queued"
+            )
+        record = store.get(job.id)
+        assert record.state == "queued"
+        assert record.failed_workers == ("w0",)
+
+    def test_quarantine_disabled_with_none(self, tmp_path, tiny_config):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        scheduler = Scheduler(
+            store,
+            SchedulerPolicy(
+                retry_backoff_seconds=0.01, quarantine_after=None
+            ),
+        )
+        job = _submit(store, tiny_config)
+        # step the clock well past the exponential backoff each time
+        for attempt in range(9):
+            assert _fail_on(
+                scheduler, f"w{attempt}", now=float(attempt + 1) * 100.0
+            ) == "queued"
+        assert _fail_on(scheduler, "w9", now=1000.0) == "failed"
+        assert store.get(job.id).state == "failed"
+
+
+class TestQuarantineVisibility:
+    def test_cli_job_table_renders_quarantined(self, tmp_path,
+                                               tiny_config):
+        store = JobStore(tmp_path / "jobs.sqlite3")
+        scheduler = Scheduler(store, POLICY)
+        job = _submit(store, tiny_config)
+        for index in range(3):
+            _fail_on(scheduler, f"w{index}", now=float(index + 1))
+        table = format_job_table([store.get(job.id)])
+        assert "quarantined" in table
+        assert job.id in table
+
+    def test_gateway_lists_and_waits_on_quarantined(
+        self, tmp_path, tiny_config
+    ):
+        assert "quarantined" in _TERMINAL
+        service = DecompositionService(tmp_path / "svc", policy=POLICY)
+        spec = JobSpec(
+            workload="cos", n_inputs=6, config=tiny_config,
+            max_attempts=10,
+        )
+        job = service.submit(spec)
+        scheduler = service.scheduler
+        for index in range(3):
+            claimed = scheduler.claim(f"w{index}")
+            scheduler.record_failure(claimed, error="boom", now=0.0)
+
+        with DecompositionGateway(service, GatewayConfig(port=0)) as gw:
+            client = GatewayClient(gw.url)
+            listed = client.jobs(state="quarantined")
+            assert [record.id for record in listed] == [job.id]
+            # wait() treats quarantined as terminal — no timeout spin
+            record = client.wait(job.id, timeout_seconds=5)
+            assert record.state == "quarantined"
+            with pytest.raises(Exception):
+                client.fetch_design_dict(job.id)

@@ -1,0 +1,187 @@
+"""Supervised process-isolated execution: restart, quarantine, hang-kill.
+
+These tests kill real worker *processes* (``os._exit`` via the
+``worker.die`` seam, SIGTERM on missed heartbeats) and assert the
+supervisor's recovery story: jobs land, poison jobs quarantine, and the
+recovered design stays bit-identical to an uninterrupted run.
+"""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.resilience import FaultPlan, FaultRule, fault_injection
+from repro.service import (
+    DecompositionService,
+    JobSpec,
+    SchedulerPolicy,
+    WorkerSupervisor,
+)
+
+
+FAST_POLICY = SchedulerPolicy(
+    lease_seconds=30.0,
+    retry_backoff_seconds=0.01,
+    poll_interval_seconds=0.01,
+    quarantine_after=3,
+)
+
+
+def _clean_design(tmp_path, spec):
+    baseline = DecompositionService(
+        tmp_path / "clean", policy=FAST_POLICY
+    )
+    job = baseline.submit(spec)
+    baseline.run_until_drained(timeout=120)
+    return baseline.fetch_design_dict(job.id)
+
+
+class TestCrashRestart:
+    def test_dead_child_is_replaced_and_job_lands(
+        self, tmp_path, tiny_config, chaos_seed
+    ):
+        """Generation 0 hard-exits mid-claim; generation 1 finishes the
+        job and the design matches the never-killed run bit-for-bit."""
+        spec = JobSpec(workload="cos", n_inputs=6, config=tiny_config)
+        service = DecompositionService(
+            tmp_path / "svc", policy=FAST_POLICY
+        )
+        job = service.submit(spec)
+
+        plan = FaultPlan(
+            [FaultRule(site="worker.die", at_calls=(1,), match="-g0-")],
+            seed=chaos_seed,
+        )
+        with fault_injection(plan):
+            supervisor = WorkerSupervisor(
+                tmp_path / "svc",
+                n_workers=1,
+                policy=FAST_POLICY,
+                max_restarts=3,
+                poll_interval_seconds=0.05,
+            )
+        supervisor.run_until_drained(timeout=120)
+
+        record = service.job(job.id)
+        assert record.state == "done"
+        assert supervisor.restarts_used >= 1
+        assert any("-g0-" in name for name in record.failed_workers)
+        assert service.fetch_design_dict(job.id) == (
+            _clean_design(tmp_path, spec)
+        )
+
+    def test_restart_budget_spent_raises(
+        self, tmp_path, tiny_config, chaos_seed
+    ):
+        """Every generation dies, quarantine is off, and the budget is
+        too small to outlast the poison — the drain must raise, not
+        report an unserved queue as drained."""
+        spec = JobSpec(
+            workload="cos", n_inputs=6, config=tiny_config,
+            max_attempts=10,
+        )
+        service = DecompositionService(
+            tmp_path / "svc",
+            policy=SchedulerPolicy(
+                retry_backoff_seconds=0.01, quarantine_after=None
+            ),
+        )
+        service.submit(spec)
+        plan = FaultPlan(
+            [FaultRule(site="worker.die", at_calls=(1,))],
+            seed=chaos_seed,
+        )
+        with fault_injection(plan):
+            supervisor = WorkerSupervisor(
+                tmp_path / "svc",
+                n_workers=1,
+                policy=SchedulerPolicy(
+                    retry_backoff_seconds=0.01, quarantine_after=None
+                ),
+                max_restarts=1,
+                poll_interval_seconds=0.05,
+            )
+        with pytest.raises(ServiceError, match="restart budget"):
+            supervisor.run_until_drained(timeout=120)
+
+
+class TestPoisonQuarantine:
+    def test_job_killing_every_generation_is_quarantined(
+        self, tmp_path, tiny_config, chaos_seed
+    ):
+        """The ISSUE acceptance: a job that fails on three *distinct*
+        workers (here: three supervisor generations) lands in the
+        terminal ``quarantined`` state while the service stays up."""
+        spec = JobSpec(
+            workload="cos", n_inputs=6, config=tiny_config,
+            max_attempts=10,
+        )
+        service = DecompositionService(
+            tmp_path / "svc", policy=FAST_POLICY
+        )
+        job = service.submit(spec)
+        plan = FaultPlan(
+            [FaultRule(site="worker.die", at_calls=(1,))],
+            seed=chaos_seed,
+        )
+        with fault_injection(plan):
+            supervisor = WorkerSupervisor(
+                tmp_path / "svc",
+                n_workers=1,
+                policy=FAST_POLICY,
+                max_restarts=5,
+                poll_interval_seconds=0.05,
+            )
+        supervisor.run_until_drained(timeout=120)
+
+        record = service.job(job.id)
+        assert record.state == "quarantined"
+        assert len(set(record.failed_workers)) == 3
+        generations = {
+            name.split("-g")[1].split("-")[0]
+            for name in record.failed_workers
+        }
+        assert len(generations) == 3  # three distinct processes died
+        assert "3 distinct worker(s)" in record.error
+
+
+class TestHangDetection:
+    def test_hung_child_is_killed_and_replaced(
+        self, tmp_path, tiny_config, chaos_seed
+    ):
+        """Generation 0 sleeps far past its lease without heartbeating;
+        the supervisor kills it and generation 1 completes the job."""
+        policy = SchedulerPolicy(
+            lease_seconds=0.5,
+            retry_backoff_seconds=0.01,
+            poll_interval_seconds=0.01,
+            quarantine_after=3,
+        )
+        spec = JobSpec(workload="cos", n_inputs=6, config=tiny_config)
+        service = DecompositionService(tmp_path / "svc", policy=policy)
+        job = service.submit(spec)
+
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    site="worker.hang",
+                    at_calls=(1,),
+                    match="-g0-",
+                    param=30.0,
+                )
+            ],
+            seed=chaos_seed,
+        )
+        with fault_injection(plan):
+            supervisor = WorkerSupervisor(
+                tmp_path / "svc",
+                n_workers=1,
+                policy=policy,
+                max_restarts=3,
+                poll_interval_seconds=0.05,
+            )
+        supervisor.run_until_drained(timeout=120)
+
+        record = service.job(job.id)
+        assert record.state == "done"
+        assert supervisor.restarts_used >= 1
+        assert any("-g0-" in name for name in record.failed_workers)

@@ -141,7 +141,7 @@ class TestInspection:
         store.claim("w", 30.0, now=102.0)  # claims KEY_A job
         counts = store.counts()
         assert counts == {"queued": 1, "running": 1, "done": 0,
-                          "failed": 0}
+                          "failed": 0, "quarantined": 0}
         assert store.pending() == 2
         assert running is not None
 

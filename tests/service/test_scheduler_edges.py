@@ -1,0 +1,160 @@
+"""Scheduler retry/lease edge cases.
+
+The subtle boundaries: a lease that expires at *exactly* ``now``, a
+heartbeat racing orphan recovery, a stale worker completing a job it no
+longer owns, and the exponential backoff contract.
+"""
+
+import pytest
+
+from repro.core import CoreSolverConfig, FrameworkConfig
+from repro.errors import ServiceError
+from repro.service import (
+    JobSpec,
+    JobStore,
+    Scheduler,
+    SchedulerPolicy,
+)
+
+
+POLICY = SchedulerPolicy(
+    lease_seconds=10.0,
+    retry_backoff_seconds=0.5,
+    backoff_multiplier=2.0,
+)
+
+
+@pytest.fixture
+def config():
+    return FrameworkConfig(
+        mode="joint",
+        free_size=2,
+        n_partitions=2,
+        n_rounds=1,
+        seed=11,
+        solver=CoreSolverConfig(max_iterations=150, n_replicas=2),
+    )
+
+
+@pytest.fixture
+def scheduler(tmp_path):
+    return Scheduler(JobStore(tmp_path / "jobs.sqlite3"), POLICY)
+
+
+def _submit(scheduler, config, **kwargs):
+    spec = JobSpec(workload="cos", n_inputs=6, config=config, **kwargs)
+    return scheduler.store.submit(spec, artifact_key="e" * 64, now=0.0)
+
+
+class TestLeaseBoundary:
+    def test_lease_expiring_exactly_now_is_not_recovered(
+        self, scheduler, config
+    ):
+        """``lease_expires < now`` is strict: at the exact expiry
+        instant the worker still owns the job — recovery must not race
+        a worker that is one heartbeat away."""
+        job = _submit(scheduler, config)
+        claimed = scheduler.claim("w0", now=100.0)
+        expiry = claimed.lease_expires
+        assert expiry == 100.0 + POLICY.lease_seconds
+        assert scheduler.recover_orphans(now=expiry) == []
+        assert scheduler.store.get(job.id).state == "running"
+        # one tick past the boundary the job is an orphan
+        assert scheduler.recover_orphans(now=expiry + 1e-6) == [job.id]
+        assert scheduler.store.get(job.id).state == "queued"
+
+    def test_heartbeat_extends_past_recovery_sweep(
+        self, scheduler, config
+    ):
+        job = _submit(scheduler, config)
+        claimed = scheduler.claim("w0", now=100.0)
+        scheduler.heartbeat(claimed, now=109.9)  # lease → 119.9
+        assert scheduler.recover_orphans(now=110.1) == []
+        assert scheduler.store.get(job.id).state == "running"
+
+
+class TestHeartbeatRaces:
+    def test_heartbeat_after_requeue_is_a_noop(self, scheduler, config):
+        """A zombie worker heartbeating a job that orphan recovery has
+        already requeued must not resurrect the lease or flip state."""
+        job = _submit(scheduler, config)
+        claimed = scheduler.claim("w0", now=100.0)
+        assert scheduler.recover_orphans(now=200.0) == [job.id]
+        scheduler.heartbeat(claimed, now=200.1)  # zombie heartbeat
+        record = scheduler.store.get(job.id)
+        assert record.state == "queued"
+        assert record.lease_expires is None
+
+    def test_heartbeat_after_reclaim_does_not_leak_leases(
+        self, scheduler, config
+    ):
+        """The nastier interleaving: the job was reclaimed by a *new*
+        worker before the zombie heartbeats.  The heartbeat keys on job
+        id and state alone, so it renews the new claim — harmless for
+        safety (the new worker is live) but worth pinning down."""
+        job = _submit(scheduler, config)
+        stale = scheduler.claim("w0", now=100.0)
+        scheduler.recover_orphans(now=200.0)
+        fresh = scheduler.claim("w1", now=300.0)
+        assert fresh.id == job.id
+        scheduler.heartbeat(stale, now=300.5)
+        record = scheduler.store.get(job.id)
+        assert record.state == "running"
+        assert record.worker == "w1"
+
+    def test_complete_by_stale_worker_is_refused(self, scheduler,
+                                                 config):
+        """A worker whose job was requeued under it cannot mark it
+        done — the transition is gated on the ``running`` state."""
+        job = _submit(scheduler, config)
+        claimed = scheduler.claim("w0", now=100.0)
+        assert scheduler.recover_orphans(now=200.0) == [job.id]
+        with pytest.raises(ServiceError, match="transition refused"):
+            scheduler.complete(claimed)
+        assert scheduler.store.get(job.id).state == "queued"
+
+
+class TestBackoff:
+    def test_backoff_is_monotonically_increasing(self):
+        delays = [POLICY.backoff_for(n) for n in range(1, 8)]
+        assert delays == sorted(delays)
+        assert all(b > a for a, b in zip(delays, delays[1:]))
+        assert delays[0] == POLICY.retry_backoff_seconds
+        assert delays[1] == pytest.approx(
+            POLICY.retry_backoff_seconds * POLICY.backoff_multiplier
+        )
+
+    def test_record_failure_gates_reclaim_behind_backoff(
+        self, scheduler, config
+    ):
+        job = _submit(scheduler, config, max_attempts=5)
+        claimed = scheduler.claim("w0", now=100.0)
+        assert scheduler.record_failure(
+            claimed, error="boom", now=100.0
+        ) == "queued"
+        gate = 100.0 + POLICY.backoff_for(1)
+        assert scheduler.store.get(job.id).not_before == pytest.approx(
+            gate
+        )
+        # unclaimable until the gate opens — boundary is inclusive
+        assert scheduler.claim("w1", now=gate - 1e-3) is None
+        reclaimed = scheduler.claim("w1", now=gate + 1e-3)
+        assert reclaimed is not None
+        assert reclaimed.attempts == 2
+
+    def test_backoff_grows_across_attempts(self, scheduler, config):
+        job = _submit(scheduler, config, max_attempts=5)
+        now = 100.0
+        gates = []
+        for attempt in range(1, 4):
+            claimed = scheduler.claim("w0", now=now)
+            assert claimed is not None
+            scheduler.record_failure(claimed, error="boom", now=now)
+            gate = scheduler.store.get(job.id).not_before
+            gates.append(gate - now)
+            now = gate + 1.0
+        assert gates == sorted(gates)
+        assert gates[2] == pytest.approx(
+            POLICY.retry_backoff_seconds
+            * POLICY.backoff_multiplier ** 2
+        )
