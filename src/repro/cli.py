@@ -14,6 +14,9 @@ Commands
     Show the available benchmark workloads.
 ``list-solvers``
     Show the registered Ising solvers and their capabilities.
+``list-kernels``
+    Show the SB kernel backends: availability (with the reason a
+    backend cannot be used), dtype, device, and batch support.
 ``submit``
     Enqueue a decomposition job into a service directory, or — with
     ``--remote URL`` — into a running gateway over HTTP.
@@ -85,6 +88,7 @@ from repro.boolean.metrics import error_rate, mean_error_distance
 from repro.core import CoreSolverConfig, FrameworkConfig, IsingDecomposer
 from repro.errors import ConfigurationError, ReproError
 from repro.gateway import DecompositionGateway, GatewayClient, GatewayConfig
+from repro.ising.kernels import backend_infos
 from repro.ising.solvers.registry import solver_info, solver_names
 from repro.lut import cascade_cost_report
 from repro.lut.verilog import cascade_to_verilog
@@ -230,6 +234,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list-workloads", help="list benchmark workloads")
     sub.add_parser("list-solvers",
                    help="list registered Ising solvers and capabilities")
+    sub.add_parser("list-kernels",
+                   help="list SB kernel backends (availability, dtype, "
+                        "device, batch support)")
 
     subm = sub.add_parser(
         "submit",
@@ -248,6 +255,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_dir(serve)
     serve.add_argument("--workers", type=int, default=1,
                        help="concurrent service workers")
+    serve.add_argument("--batch-jobs", type=int, default=1, metavar="B",
+                       help="jobs each worker claims and advances "
+                            "together per loop, fusing compatible "
+                            "batched sweeps into shared kernel passes "
+                            "(default: 1, no fusion)")
     serve.add_argument("--forever", action="store_true",
                        help="keep serving after the queue drains "
                             "(default: drain and exit)")
@@ -409,6 +421,18 @@ def _cmd_list_solvers() -> int:
     return 0
 
 
+def _cmd_list_kernels() -> int:
+    for info in backend_infos():
+        if info.available:
+            status = "available"
+        else:
+            status = f"unavailable: {info.unavailable_reason}"
+        batch = "batch" if info.supports_batch else "no-batch"
+        print(f"{info.name:<10} [{info.dtype:<7} {info.device:<4} "
+              f"{batch:<8}] {status:<12} {info.summary}")
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     _check_target(args)
     spec = JobSpec(
@@ -448,7 +472,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     service = DecompositionService(
         args.service_dir, n_workers=args.workers, policy=policy,
-        checkpoint_every=checkpoint_every,
+        checkpoint_every=checkpoint_every, batch_jobs=args.batch_jobs,
     )
     supervisor = None
     if args.isolated_workers:
@@ -619,6 +643,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list_workloads()
     if args.command == "list-solvers":
         return _cmd_list_solvers()
+    if args.command == "list-kernels":
+        return _cmd_list_kernels()
     handler = _DISPATCH.get(args.command)
     if handler is None:
         raise AssertionError(f"unhandled command {args.command!r}")

@@ -10,22 +10,39 @@ backend call then advances *every* candidate's every replica — the
 software analogue of the massive parallelism the paper cites as SB's
 hardware advantage.  The stepping backend follows
 :attr:`~repro.core.config.CoreSolverConfig.backend` (``numpy64`` /
-``numpy32`` / ``numba``); decoded spins are always scored in float64.
+``numpy32`` / ``numba`` / ``native32`` / ``torch`` / ``cupy``); decoded
+spins are always scored in float64.
 
-:class:`BatchedCoreCOPSolver` exposes ``solve_candidates`` returning
-the per-partition best settings; :class:`repro.core.framework
-.IsingDecomposer` uses it when ``FrameworkConfig.batched`` is set.
+The solve is split into *prepare* and *run* so independent sweeps can
+be fused: :func:`prepare_sweep` builds a :class:`PreparedSweep` (weight
+stack, kernel state, RNG-consumed initialization, objective
+bookkeeping) without advancing it, and :func:`run_prepared_sweeps`
+drives any number of prepared sweeps together — schedule-compatible
+sweeps are packed by the :class:`~repro.ising.kernels.blockbatch
+.BlockBatch` planner into batched kernel windows that break exactly at
+each ``sample_every`` boundary, so every sweep sees the same
+step/sample/intervention sequence it would have seen alone.  Float64
+sweeps are replayed solo inside the batch (bit-identical by
+construction); float32 sweeps are stacked under the tolerance contract.
+:class:`BatchedCoreCOPSolver.solve_candidates` is exactly
+``prepare → run → finalize`` for a single sweep, and the framework and
+the service batch scheduler feed multiple prepared sweeps to one
+:func:`run_prepared_sweeps` call.
+
 The batched path integrates for a fixed number of iterations (a global
 dynamic stop across a batch would couple unrelated instances), applies
 the Theorem-3 intervention vectorized across the whole stack, and uses
 the same symmetry-breaking initialization as the sequential solver.
+Each sweep drives its own :class:`~repro.obs.probe.SolverProbe` (when a
+factory is installed): probes observe sampling points, interventions,
+and per-window kernel time, and never change the numerics.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,11 +52,18 @@ from repro.boolean.truth_table import TruthTable
 from repro.core.config import CoreSolverConfig
 from repro.core.ising_formulation import WeightCache, linear_error_terms
 from repro.errors import DimensionError
-from repro.ising.kernels import make_kernel
+from repro.ising.kernels import BlockBatch, BlockMember, make_kernel
 from repro.ising.schedules import LinearPump
+from repro.obs.probe import make_probe
 from repro.obs.tracing import get_tracer
 
-__all__ = ["BatchedCoreCOPSolver", "BatchedSolution"]
+__all__ = [
+    "BatchedCoreCOPSolver",
+    "BatchedSolution",
+    "PreparedSweep",
+    "prepare_sweep",
+    "run_prepared_sweeps",
+]
 
 
 @dataclass
@@ -72,6 +96,7 @@ class _StackedBipartiteDynamics:
             raise DimensionError(
                 f"weight stack must be 3-D (P, r, c), got ndim={w.ndim}"
             )
+        self.weights = w
         self.kernel = make_kernel(w, backend=backend)
         self._scorer = (
             self.kernel
@@ -114,6 +139,306 @@ class _StackedBipartiteDynamics:
         return (cost2 < cost1).astype(np.uint8)
 
 
+class PreparedSweep:
+    """One candidate sweep, initialized but not yet advanced.
+
+    Construction (via :func:`prepare_sweep`) consumes the sweep's RNG
+    exactly as the monolithic solve did — weight build, ``c0`` choice,
+    uniform ``x`` then ``y`` draws, symmetry-breaking overwrite, kernel
+    ``prepare_state`` — so preparing a sweep early (to fuse it with
+    others) is invisible to the search semantics.  After
+    :func:`run_prepared_sweeps` returns, :meth:`finalize` decodes the
+    per-partition best settings.
+    """
+
+    def __init__(
+        self,
+        config: CoreSolverConfig,
+        component: int,
+        partitions: Sequence[InputPartition],
+        dynamics: _StackedBipartiteDynamics,
+        x,
+        y,
+        c0: float,
+    ) -> None:
+        self.config = config
+        self.component = component
+        self.partitions = list(partitions)
+        self.dynamics = dynamics
+        self.kernel = dynamics.kernel
+        self.x = x
+        self.y = y
+        self.c0 = float(c0)
+        self.start_time = time.perf_counter()
+        self.n_problems = dynamics.n_problems
+        self.n_rows = dynamics.n_rows
+        self.best_energy = np.full(self.n_problems, np.inf)
+        host_x = self.kernel.state_to_host(x)
+        self.best_spins = np.where(
+            host_x[:, 0, :] >= 0, 1.0, -1.0
+        ).astype(float)
+        self.probe = make_probe()
+        if self.probe is not None:
+            self.probe.on_begin(
+                n_spins=dynamics.n_spins,
+                n_replicas=host_x.shape[-2],
+                max_iterations=config.max_iterations,
+                backend=self.kernel.name,
+                dtype=str(np.dtype(self.kernel.dtype)),
+            )
+
+    # -- fusion compatibility ------------------------------------------
+
+    @property
+    def schedule_key(self) -> Tuple:
+        """Sweeps sharing this key may be advanced in lockstep."""
+        cfg = self.config
+        return (
+            cfg.max_iterations,
+            cfg.sample_every,
+            cfg.dt,
+            cfg.a0,
+            cfg.resolved_ramp_iterations,
+        )
+
+    def block_member(self) -> BlockMember:
+        return BlockMember(
+            self.kernel, self.dynamics.weights, self.x, self.y, self.c0
+        )
+
+    # -- sampling ------------------------------------------------------
+
+    def _record(self, spins: np.ndarray) -> float:
+        """Score a decoded spin stack; returns the stack-best energy."""
+        energies = self.dynamics.energy(spins)  # (P, R)
+        replica = np.argmin(energies, axis=1)
+        current = energies[np.arange(self.n_problems), replica]
+        improved = current < self.best_energy
+        if improved.any():
+            self.best_energy = np.where(
+                improved, current, self.best_energy
+            )
+            picked = spins[np.arange(self.n_problems), replica]
+            self.best_spins = np.where(
+                improved[:, np.newaxis], picked, self.best_spins
+            )
+        return float(current.min())
+
+    def sample_point(self, iteration: int) -> None:
+        """Sampling + Theorem-3 intervention at one schedule boundary."""
+        host_x = self.kernel.state_to_host(self.x)
+        spins = np.where(host_x >= 0, 1.0, -1.0)
+        current = self._record(spins)
+        if self.probe is not None:
+            self.probe.on_sample(
+                iteration, current, float(self.best_energy.min())
+            )
+        if self.config.use_intervention:
+            r = self.n_rows
+            v1_bits = (host_x[..., :r] >= 0).astype(np.uint8)
+            v2_bits = (host_x[..., r : 2 * r] >= 0).astype(np.uint8)
+            types = self.dynamics.optimal_types(v1_bits, v2_bits)
+            self.kernel.assign_types(self.x, self.y, types)
+            host_x = self.kernel.state_to_host(self.x)
+            spins_after = np.where(host_x >= 0, 1.0, -1.0)
+            changed = not np.array_equal(spins_after, spins)
+            # skip the stack-wide re-score when the overwrite did not
+            # flip any decoded type spin
+            if changed:
+                self._record(spins_after)
+            if self.probe is not None:
+                self.probe.on_intervention(iteration, changed)
+
+    def final_sample(self) -> None:
+        host_x = self.kernel.state_to_host(self.x)
+        self._record(np.where(host_x >= 0, 1.0, -1.0))
+        if self.probe is not None:
+            self.probe.on_end(
+                n_iterations=self.config.max_iterations,
+                stop_reason="max_iterations",
+                best_energy=float(self.best_energy.min()),
+            )
+
+    # -- results -------------------------------------------------------
+
+    def finalize(self) -> List[BatchedSolution]:
+        """Decode per-partition best settings (after the run)."""
+        elapsed = time.perf_counter() - self.start_time
+        tracer = get_tracer()
+        r = self.n_rows
+        solutions = []
+        with tracer.span(
+            "decode",
+            category="stage",
+            component=self.component,
+            batched=True,
+        ):
+            for index, partition in enumerate(self.partitions):
+                spins = self.best_spins[index]
+                bits = ((spins + 1) // 2).astype(np.uint8)
+                setting = ColumnSetting(
+                    bits[:r], bits[r : 2 * r], bits[2 * r :]
+                )
+                objective = float(
+                    self.best_energy[index] + self.dynamics.offsets[index]
+                )
+                solutions.append(
+                    BatchedSolution(
+                        partition=partition,
+                        setting=setting,
+                        objective=objective,
+                    )
+                )
+        # annotate the shared wall clock so callers can report it
+        for solution in solutions:
+            solution.runtime_seconds = elapsed / len(solutions)
+        return solutions
+
+
+def prepare_sweep(
+    config: CoreSolverConfig,
+    exact_table: TruthTable,
+    approx_table: TruthTable,
+    component: int,
+    partitions: Sequence[InputPartition],
+    mode: str,
+    rng: Optional[np.random.Generator] = None,
+    cache: Optional[WeightCache] = None,
+) -> PreparedSweep:
+    """Build one sweep's weight stack and initialized kernel state.
+
+    Consumes ``rng`` exactly as the historical monolithic solve did;
+    ``cache`` optionally memoizes the per-partition weight terms (see
+    :class:`~repro.core.ising_formulation.WeightCache`) and never
+    changes the numerics.
+    """
+    if not partitions:
+        raise DimensionError("need at least one candidate partition")
+    free_sizes = {len(p.free) for p in partitions}
+    if len(free_sizes) != 1:
+        raise DimensionError(
+            "batched solving needs one common free-set size, got "
+            f"{sorted(free_sizes)}"
+        )
+    rng = np.random.default_rng(rng)
+    tracer = get_tracer()
+
+    with tracer.span(
+        "weight_build",
+        category="stage",
+        component=component,
+        n_partitions=len(partitions),
+    ):
+        weight_stack = []
+        offsets = []
+        for partition in partitions:
+            if cache is not None:
+                weights, constant = cache.terms(
+                    exact_table, approx_table, component, partition, mode
+                )
+            else:
+                weights, constant = linear_error_terms(
+                    exact_table, approx_table, component, partition, mode
+                )
+            weight_stack.append(weights)
+            offsets.append(constant + weights.sum() / 2.0)
+        dynamics = _StackedBipartiteDynamics(
+            np.stack(weight_stack), np.array(offsets),
+            backend=config.backend,
+        )
+    kernel = dynamics.kernel
+
+    p = dynamics.n_problems
+    reps = config.n_replicas
+    n = dynamics.n_spins
+    r = dynamics.n_rows
+
+    rms = dynamics.coupling_rms()
+    c0 = 1.0 if rms <= 0 else 0.5 / (rms * np.sqrt(n))
+
+    amplitude = 0.1
+    x = rng.uniform(-amplitude, amplitude, (p, reps, n))
+    y = rng.uniform(-amplitude, amplitude, (p, reps, n))
+    if config.symmetry_breaking_init:
+        x[..., r : 2 * r] = -x[..., :r]
+    x, y = kernel.prepare_state(x, y)
+
+    return PreparedSweep(config, component, partitions, dynamics, x, y, c0)
+
+
+def run_prepared_sweeps(
+    sweeps: Sequence[PreparedSweep],
+    strategy: str = "auto",
+) -> None:
+    """Advance prepared sweeps to completion, batching where compatible.
+
+    Sweeps are grouped by :attr:`PreparedSweep.schedule_key`; each
+    group becomes one :class:`~repro.ising.kernels.blockbatch
+    .BlockBatch` advanced in iteration windows that break exactly at
+    ``sample_every`` multiples, with every sweep's sampling and
+    intervention hooks firing at the same iterations as a solo run.
+    Float64 sweeps replay their exact solo operation sequence inside
+    the batch (bit-identical end to end); float32 sweeps are packed
+    under the tolerance contract.  Groups run sequentially in the order
+    of first appearance — determinism does not depend on the grouping.
+    """
+    tracer = get_tracer()
+    groups: Dict[Tuple, List[PreparedSweep]] = {}
+    for sweep in sweeps:
+        groups.setdefault(sweep.schedule_key, []).append(sweep)
+
+    for key, group in groups.items():
+        max_iterations, sample_every, dt, a0, ramp = key
+        pump = LinearPump(a0, ramp)
+        members = [sweep.block_member() for sweep in group]
+        batch = BlockBatch(members, strategy=strategy)
+        # packing may have replaced member states with packed views
+        for sweep, member in zip(group, members):
+            sweep.x, sweep.y = member.x, member.y
+        stats = batch.describe()
+        lead = group[0]
+        with tracer.span(
+            "sb_solve",
+            category="stage",
+            component=(
+                lead.component if len(group) == 1 else None
+            ),
+            n_sweeps=len(group),
+            n_problems=stats["n_problems"],
+            n_replicas=lead.x.shape[-2],
+            n_spins=lead.dynamics.n_spins,
+            backend=lead.kernel.name,
+            batched=True,
+            batch_strategy=stats["strategy"],
+            n_blocks=stats["n_blocks"],
+        ):
+            iteration = 0
+            while iteration < max_iterations:
+                width = min(
+                    sample_every - iteration % sample_every,
+                    max_iterations - iteration,
+                )
+                a_ts = [
+                    pump(iteration + 1 + j) for j in range(width)
+                ]
+                window_start = time.perf_counter()
+                batch.advance(a_ts, dt, a0)
+                window_seconds = time.perf_counter() - window_start
+                iteration += width
+                share = window_seconds / len(group)
+                for sweep in group:
+                    if sweep.probe is not None:
+                        sweep.probe.on_step(share)
+                if iteration % sample_every == 0:
+                    batch.pull()
+                    for sweep in group:
+                        sweep.sample_point(iteration)
+                    batch.push()
+            batch.pull()
+            for sweep in group:
+                sweep.final_sample()
+
+
 class BatchedCoreCOPSolver:
     """Solve all candidate partitions of one component in one bSB run.
 
@@ -146,142 +471,12 @@ class BatchedCoreCOPSolver:
         never changes the numerics, only skips rebuilding terms another
         caller (e.g. prescreening) already produced this run.
         """
-        if not partitions:
-            raise DimensionError("need at least one candidate partition")
-        free_sizes = {len(p.free) for p in partitions}
-        if len(free_sizes) != 1:
-            raise DimensionError(
-                "batched solving needs one common free-set size, got "
-                f"{sorted(free_sizes)}"
-            )
-        start = time.perf_counter()
-        rng = np.random.default_rng(rng)
-        cfg = self.config
-        tracer = get_tracer()
-
-        with tracer.span(
-            "weight_build",
-            category="stage",
-            component=component,
-            n_partitions=len(partitions),
-        ):
-            weight_stack = []
-            offsets = []
-            for partition in partitions:
-                if cache is not None:
-                    weights, constant = cache.terms(
-                        exact_table, approx_table, component, partition,
-                        mode,
-                    )
-                else:
-                    weights, constant = linear_error_terms(
-                        exact_table, approx_table, component, partition,
-                        mode,
-                    )
-                weight_stack.append(weights)
-                offsets.append(constant + weights.sum() / 2.0)
-            dynamics = _StackedBipartiteDynamics(
-                np.stack(weight_stack), np.array(offsets),
-                backend=cfg.backend,
-            )
-        kernel = dynamics.kernel
-
-        p = dynamics.n_problems
-        reps = cfg.n_replicas
-        n = dynamics.n_spins
-        r = dynamics.n_rows
-
-        rms = dynamics.coupling_rms()
-        c0 = 1.0 if rms <= 0 else 0.5 / (rms * np.sqrt(n))
-        ramp = cfg.resolved_ramp_iterations
-        pump = LinearPump(cfg.a0, ramp)
-        dt, a0 = cfg.dt, cfg.a0
-
-        amplitude = 0.1
-        x = rng.uniform(-amplitude, amplitude, (p, reps, n))
-        y = rng.uniform(-amplitude, amplitude, (p, reps, n))
-        if cfg.symmetry_breaking_init:
-            x[..., r : 2 * r] = -x[..., :r]
-        x, y = kernel.prepare_state(x, y)
-
-        best_energy = np.full(p, np.inf)
-        best_spins = np.where(x[:, 0, :] >= 0, 1.0, -1.0).astype(float)
-
-        def sample(iteration_spins):
-            nonlocal best_energy, best_spins
-            energies = dynamics.energy(iteration_spins)  # (P, R)
-            replica = np.argmin(energies, axis=1)
-            current = energies[np.arange(p), replica]
-            improved = current < best_energy
-            if improved.any():
-                best_energy = np.where(improved, current, best_energy)
-                picked = iteration_spins[np.arange(p), replica]
-                best_spins = np.where(
-                    improved[:, np.newaxis], picked, best_spins
-                )
-
-        def decode(positions):
-            return np.where(positions >= 0, 1.0, -1.0)
-
-        sample_every = cfg.sample_every
-        with tracer.span(
-            "sb_solve",
-            category="stage",
-            component=component,
-            n_problems=p,
-            n_replicas=reps,
-            n_spins=n,
-            backend=kernel.name,
-            batched=True,
-        ):
-            for iteration in range(1, cfg.max_iterations + 1):
-                a_t = pump(iteration)
-                kernel.step(x, y, a_t, dt, a0, c0)
-
-                if iteration % sample_every == 0:
-                    spins = decode(x)
-                    sample(spins)
-                    if cfg.use_intervention:
-                        v1_bits = (x[..., :r] >= 0).astype(np.uint8)
-                        v2_bits = (
-                            x[..., r : 2 * r] >= 0
-                        ).astype(np.uint8)
-                        types = dynamics.optimal_types(v1_bits, v2_bits)
-                        x[..., 2 * r :] = 2.0 * types - 1.0
-                        y[..., 2 * r :] = 0.0
-                        spins_after = decode(x)
-                        # skip the stack-wide re-score when the
-                        # overwrite did not flip any decoded type spin
-                        if not np.array_equal(spins_after, spins):
-                            sample(spins_after)
-
-            sample(decode(x))
-
-        elapsed = time.perf_counter() - start
-        solutions = []
-        with tracer.span(
-            "decode", category="stage", component=component, batched=True
-        ):
-            for index, partition in enumerate(partitions):
-                spins = best_spins[index]
-                bits = ((spins + 1) // 2).astype(np.uint8)
-                setting = ColumnSetting(
-                    bits[:r], bits[r : 2 * r], bits[2 * r :]
-                )
-                objective = float(
-                    best_energy[index] + dynamics.offsets[index]
-                )
-                solutions.append(
-                    BatchedSolution(
-                        partition=partition,
-                        setting=setting,
-                        objective=objective,
-                    )
-                )
-        # annotate the shared wall clock so callers can report it
-        for solution in solutions:
-            solution.runtime_seconds = elapsed / len(solutions)
-        return solutions
+        sweep = prepare_sweep(
+            self.config, exact_table, approx_table, component, partitions,
+            mode, rng=rng, cache=cache,
+        )
+        run_prepared_sweeps([sweep])
+        return sweep.finalize()
 
     def __repr__(self) -> str:
         return f"BatchedCoreCOPSolver(config={self.config!r})"

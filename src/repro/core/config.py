@@ -201,6 +201,34 @@ class CoreSolverConfig:
         return replace(self, **changes)
 
 
+#: engine-equivalent backends collapsed for artifact hashing: every
+#: float32 engine shares the ``numpy32`` tolerance contract (decoded
+#: settings are float64-scored), so results are interchangeable and the
+#: content-addressed cache must treat them as one backend
+_SEMANTIC_BACKEND_CLASS = {
+    "native32": "numpy32",
+    "torch": "numpy32",
+    "cupy": "numpy32",
+}
+
+
+def semantic_backend_name(backend: "Optional[str]") -> str:
+    """The resolved backend's *tolerance class* for artifact keys.
+
+    Resolves ``backend`` (including the ``REPRO_SB_BACKEND`` override
+    and unavailable-backend fallback), then maps accelerator float32
+    engines onto ``numpy32`` so cache keys do not fork on which device
+    happened to be plugged in.  ``numpy64`` and ``numba`` keep their
+    own names (``numba``'s fused float64 pass reorders summation, so it
+    was never bit-identical to ``numpy64`` — preserving its historical
+    key).
+    """
+    from repro.ising.kernels import resolve_backend
+
+    resolved = resolve_backend(backend)
+    return _SEMANTIC_BACKEND_CLASS.get(resolved, resolved)
+
+
 @dataclass(frozen=True)
 class FrameworkConfig:
     """Parameters of the DALTA-style outer decomposition loop.
@@ -326,20 +354,24 @@ class FrameworkConfig:
         """The fields that define the *seeded search*, scheduling removed.
 
         Two configs with equal semantic dicts produce bit-identical
-        decompositions of the same table: ``n_workers`` only schedules
-        the deterministic sweep chunks, so it is dropped; the solver's
-        ``trace_every`` only thins the retained energy trace, so it is
-        dropped too; and the solver ``backend`` is resolved (including
-        the ``REPRO_SB_BACKEND`` override) because the backend *does*
-        change float32-path numerics.  This is the payload the
+        (float64) or tolerance-equivalent (float32) decompositions of
+        the same table: ``n_workers`` only schedules the deterministic
+        sweep chunks, so it is dropped; the solver's ``trace_every``
+        only thins the retained energy trace, so it is dropped too; and
+        the solver ``backend`` is resolved (including the
+        ``REPRO_SB_BACKEND`` override) and then collapsed to its
+        *tolerance class* by :func:`semantic_backend_name`, because the
+        dtype changes float32-path numerics but which float32 engine
+        (``numpy32`` / ``native32`` / ``torch`` / ``cupy``) happened to
+        run must not fork artifact keys.  This is the payload the
         service's content-addressed artifact store hashes.
         """
-        from repro.ising.kernels import resolve_backend
-
         data = self.to_dict()
         data.pop("n_workers")
         data["solver"].pop("trace_every")
-        data["solver"]["backend"] = resolve_backend(self.solver.backend)
+        data["solver"]["backend"] = semantic_backend_name(
+            self.solver.backend
+        )
         return data
 
     @classmethod

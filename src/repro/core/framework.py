@@ -54,7 +54,11 @@ from repro.boolean.synthesis import (
     component_from_column_setting,
 )
 from repro.boolean.truth_table import TruthTable
-from repro.core.batch import BatchedCoreCOPSolver
+from repro.core.batch import (
+    BatchedCoreCOPSolver,
+    prepare_sweep,
+    run_prepared_sweeps,
+)
 from repro.core.checkpoint import DecomposeCheckpoint
 from repro.core.config import CoreSolverConfig, FrameworkConfig
 from repro.core.ising_formulation import WeightCache
@@ -273,12 +277,21 @@ class IsingDecomposer:
     True
     """
 
-    def __init__(self, config: Optional[FrameworkConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[FrameworkConfig] = None,
+        sweep_gate=None,
+    ) -> None:
         self.config = config if config is not None else FrameworkConfig()
         self._solver = CoreCOPSolver(self.config.solver)
         # run-level weight-term memoization; refreshed per decompose()
         self._cache = WeightCache()
         self._executor: Optional[ProcessPoolExecutor] = None
+        # optional cross-job fusion handle (a GateParticipant from
+        # repro.core.fusion, or anything with ``submit(sweeps)``); used
+        # only by the inline batched path — pool chunks run in separate
+        # processes and cannot share kernel passes
+        self._sweep_gate = sweep_gate
 
     # ------------------------------------------------------------------
 
@@ -382,6 +395,40 @@ class IsingDecomposer:
                 results = list(
                     self._executor.map(_solve_partition_chunk, payloads)
                 )
+            elif cfg.batched:
+                # inline batched path: prepare every chunk's sweep
+                # (consuming each chunk RNG exactly as a chunk-by-chunk
+                # run would), then advance the whole component in one
+                # fused pass — optionally rendezvousing with other
+                # jobs' sweeps through the fusion gate.  Chunk results
+                # are bit-identical to sequential chunk solves (float64
+                # sweeps replay solo inside the batch; float32 packing
+                # is tolerance-contract).
+                sweeps = [
+                    prepare_sweep(
+                        cfg.solver, exact, approx, component, chunk,
+                        cfg.mode, rng=chunk_rng, cache=self._cache,
+                    )
+                    for chunk, chunk_rng in zip(chunks, chunk_rngs)
+                ]
+                if self._sweep_gate is not None:
+                    self._sweep_gate.submit(sweeps)
+                else:
+                    run_prepared_sweeps(sweeps)
+                results = []
+                for sweep in sweeps:
+                    solutions = sweep.finalize()
+                    chunk_best = min(
+                        solutions, key=lambda s: s.objective
+                    )
+                    results.append(
+                        (
+                            chunk_best.objective,
+                            chunk_best.partition,
+                            chunk_best.setting,
+                            cfg.solver.max_iterations,
+                        )
+                    )
             else:
                 results = [
                     _solve_partition_chunk(payload, cache=self._cache)

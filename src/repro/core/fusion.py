@@ -1,0 +1,243 @@
+"""Cross-job sweep fusion: one device pass for many jobs' candidates.
+
+The service may run several *batched* decomposition jobs concurrently
+in one process.  Each job's component optimization prepares a handful
+of candidate sweeps and advances them to completion — independently,
+the jobs would issue separate kernel passes over the same hardware.
+The :class:`SweepFusionGate` turns those concurrent passes into one:
+every participating job registers a :class:`GateParticipant`, and when
+a job reaches its sweep it *submits* the prepared sweeps and blocks.
+Once every live participant has either submitted or left, one
+submitter (the last to arrive) becomes the round's leader and drives
+**all** submitted sweeps through a single
+:func:`repro.core.batch.run_prepared_sweeps` call — schedule-compatible
+sweeps across jobs are packed by the BlockBatch planner into shared
+kernel windows.  Followers wake up with their sweeps fully advanced.
+
+Correctness properties:
+
+* **Numerics are fusion-invariant for float64** — ``run_prepared_sweeps``
+  replays float64 sweeps solo inside the batch, so a fused job's result
+  is bit-identical to an unfused run (float32 sweeps are packed under
+  the tolerance contract).  Sweep preparation (all RNG consumption)
+  happens before submission, in the owning job's thread, in the same
+  order as an unfused run.
+* **Graceful degradation** — fusion is opportunistic.  A participant
+  that waits longer than ``wait_timeout`` detaches and runs its own
+  sweeps solo (and stays detached, so one stalled partner costs each
+  member at most one timeout); a participant that exits early (cache
+  hit, crash, cancellation) must call :meth:`GateParticipant.leave`
+  (or use the participant as a context manager), which releases anyone
+  waiting on it.  Every degradation path still produces exactly the
+  sweeps' correct results.
+* **Leader failure containment** — if the fused run raises, the leader
+  re-raises in its own job and every follower of that round receives
+  the same exception (its sweeps may be partially advanced and must
+  not be trusted); the gate itself stays usable.
+
+Per-round observability: the leader opens a ``fused_sweep`` span and
+bumps ``service_fused_sweeps_total`` / ``service_fused_jobs_total``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.batch import PreparedSweep, run_prepared_sweeps
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import get_tracer
+
+logger = get_logger("repro.core.fusion")
+
+__all__ = ["SweepFusionGate", "GateParticipant"]
+
+#: how often a waiting participant wakes to heartbeat / check timeout
+_WAIT_SLICE_SECONDS = 0.25
+
+
+class GateParticipant:
+    """One job's handle on a :class:`SweepFusionGate`.
+
+    Usable as a context manager (``leave`` on exit).  The optional
+    ``heartbeat`` callable runs on every wait wake-up so a blocked
+    participant keeps renewing its job lease.
+    """
+
+    def __init__(
+        self,
+        gate: "SweepFusionGate",
+        token: str,
+        heartbeat: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self._gate = gate
+        self.token = token
+        self._heartbeat = heartbeat
+        self.detached = False
+
+    def submit(self, sweeps: Sequence[PreparedSweep]) -> None:
+        """Advance ``sweeps`` to completion, fused when possible."""
+        if self.detached:
+            run_prepared_sweeps(list(sweeps), strategy=self._gate.strategy)
+            return
+        self._gate._submit(self, list(sweeps))
+
+    def leave(self) -> None:
+        """Deregister (idempotent); wakes anyone waiting on this job."""
+        self._gate._leave(self.token)
+        self.detached = True
+
+    def __enter__(self) -> "GateParticipant":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.leave()
+
+    def _beat(self) -> None:
+        if self._heartbeat is not None:
+            try:
+                self._heartbeat()
+            except Exception:  # a failed lease renewal must not kill
+                pass           # the sweep — expiry is handled upstream
+
+
+class SweepFusionGate:
+    """Rendezvous barrier fusing concurrent jobs' prepared sweeps.
+
+    Parameters
+    ----------
+    strategy:
+        BlockBatch packing strategy forwarded to
+        :func:`~repro.core.batch.run_prepared_sweeps`.
+    wait_timeout:
+        Seconds a submitter waits for the rest of the group before
+        detaching and running solo.
+    """
+
+    def __init__(
+        self, strategy: str = "auto", wait_timeout: float = 30.0
+    ) -> None:
+        self.strategy = strategy
+        self.wait_timeout = float(wait_timeout)
+        self._cond = threading.Condition()
+        self._members: set = set()
+        self._pending: Dict[str, List[PreparedSweep]] = {}
+        self._done: set = set()
+        self._errors: Dict[str, BaseException] = {}
+        self._leader: Optional[str] = None
+
+    # -- registration --------------------------------------------------
+
+    def participant(
+        self,
+        token: str,
+        heartbeat: Optional[Callable[[], None]] = None,
+    ) -> GateParticipant:
+        """Register ``token`` and return its participant handle."""
+        with self._cond:
+            self._members.add(token)
+        return GateParticipant(self, token, heartbeat)
+
+    def _leave(self, token: str) -> None:
+        with self._cond:
+            self._members.discard(token)
+            self._pending.pop(token, None)
+            self._cond.notify_all()
+
+    # -- the barrier ---------------------------------------------------
+
+    def _all_arrived(self) -> bool:
+        return bool(self._members) and set(self._pending) >= self._members
+
+    def _submit(
+        self, participant: GateParticipant, sweeps: List[PreparedSweep]
+    ) -> None:
+        token = participant.token
+        deadline = time.monotonic() + self.wait_timeout
+        batch: Optional[List[PreparedSweep]] = None
+        round_tokens: List[str] = []
+        with self._cond:
+            self._pending[token] = sweeps
+            self._cond.notify_all()
+            while True:
+                if token in self._done:
+                    # a leader already ran this round's sweeps for us
+                    self._done.discard(token)
+                    error = self._errors.pop(token, None)
+                    if error is not None:
+                        raise error
+                    return
+                if self._leader is None and self._all_arrived():
+                    self._leader = token
+                    round_tokens = sorted(self._pending)
+                    batch = [
+                        sweep
+                        for t in round_tokens
+                        for sweep in self._pending[t]
+                    ]
+                    self._pending.clear()
+                    break
+                if token in self._pending and (
+                    time.monotonic() >= deadline
+                ):
+                    # detach: run solo now and forever after, so one
+                    # stalled partner costs each member one timeout.
+                    # (Once a leader has claimed our sweeps — token no
+                    # longer pending — we must keep waiting: the leader
+                    # is advancing them and a solo run would double-step
+                    # the same state.)
+                    self._pending.pop(token, None)
+                    self._members.discard(token)
+                    self._cond.notify_all()
+                    participant.detached = True
+                    break
+                self._cond.wait(_WAIT_SLICE_SECONDS)
+                participant._beat()
+
+        if batch is None:  # timed out — solo, outside the lock
+            logger.warning(
+                "sweep fusion: %s timed out waiting for partners; "
+                "detaching and running solo", token,
+            )
+            get_metrics().counter(
+                "service_fusion_timeouts_total",
+                help="participants that detached after a fusion timeout",
+            ).inc()
+            run_prepared_sweeps(sweeps, strategy=self.strategy)
+            return
+
+        # leader path: drive every submitted sweep in one batched run
+        error: Optional[BaseException] = None
+        try:
+            with get_tracer().span(
+                "fused_sweep",
+                category="service",
+                n_jobs=len(round_tokens),
+                n_sweeps=len(batch),
+                leader=token,
+            ):
+                run_prepared_sweeps(batch, strategy=self.strategy)
+        except BaseException as exc:  # noqa: BLE001 — must release followers
+            error = exc
+        finally:
+            with self._cond:
+                for t in round_tokens:
+                    if t != token:
+                        self._done.add(t)
+                        if error is not None:
+                            self._errors[t] = error
+                self._leader = None
+                self._cond.notify_all()
+        if error is not None:
+            raise error
+        metrics = get_metrics()
+        metrics.counter(
+            "service_fused_sweeps_total",
+            help="fused sweep rounds led across jobs",
+        ).inc()
+        metrics.counter(
+            "service_fused_jobs_total",
+            help="job-sweeps advanced inside fused rounds",
+        ).inc(len(round_tokens))

@@ -37,6 +37,25 @@ class ConfigurationError(ReproError, ValueError):
     """A configuration dataclass holds an invalid combination of values."""
 
 
+class UnknownBackendError(ConfigurationError):
+    """A kernel-backend name is not in the registry at all.
+
+    Raised by :func:`repro.ising.kernels.base.resolve_backend` for names
+    that are neither available nor known-but-unavailable — including
+    values arriving through the ``REPRO_SB_BACKEND`` environment
+    variable, which must fail loudly rather than silently fall back.
+    Carries the offending name and the valid choices.
+    """
+
+    def __init__(self, requested: str, known: "tuple[str, ...]") -> None:
+        super().__init__(
+            f"unknown SB backend {requested!r}; valid backends: "
+            f"{', '.join(known)}"
+        )
+        self.requested = requested
+        self.known = tuple(known)
+
+
 class OperationCancelled(ReproError, RuntimeError):
     """A cooperative cancellation hook asked a running operation to stop.
 

@@ -1,0 +1,291 @@
+"""Array-API kernel backends: torch and CuPy.
+
+Neither library ships in the reference environment, so this module is
+written import-tolerant: when ``torch`` (or ``cupy``) cannot be
+imported, the corresponding backend registers as *unavailable* with the
+import error as its reason — ``repro list-kernels`` shows it greyed
+out, and :func:`repro.ising.kernels.base.resolve_backend` degrades
+requests for it to the default with a single warning.  Nothing in this
+module requires the libraries at import time.
+
+Both backends are float32 device backends under the ``numpy32``
+tolerance contract (decoded settings are re-scored in float64 on the
+host by the callers).  They are deliberately **excluded from the
+semantic dictionary**: ``FrameworkConfig.semantic_dict`` resolves the
+backend name for cache keys, and device backends map to the same
+``numpy32`` tolerance class, so artifact keys must not fork on which
+accelerator happened to be plugged in — see
+:func:`repro.core.config.semantic_backend_name`.
+
+Device-state protocol: these kernels keep ``x``/``y`` on the device
+between steps.  Host code must not index into the state directly;
+instead it goes through the host-boundary helpers every kernel exposes
+(:meth:`state_to_host`, :meth:`sign_readout`, :meth:`assign_types`),
+which the device backends override to insert the transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ising.kernels.base import BipartiteSBKernel, register_backend
+
+__all__ = ["TORCH_AVAILABLE", "CUPY_AVAILABLE"]
+
+try:  # pragma: no cover - exercised only where torch is installed
+    import torch
+
+    TORCH_AVAILABLE = True
+    _TORCH_ERROR: Optional[str] = None
+except Exception as _exc:  # pragma: no cover - ImportError / broken install
+    torch = None  # type: ignore[assignment]
+    TORCH_AVAILABLE = False
+    _TORCH_ERROR = f"torch import failed: {_exc}"
+
+try:  # pragma: no cover - exercised only where cupy is installed
+    import cupy
+
+    CUPY_AVAILABLE = True
+    _CUPY_ERROR: Optional[str] = None
+except Exception as _exc:  # pragma: no cover - ImportError / broken install
+    cupy = None  # type: ignore[assignment]
+    CUPY_AVAILABLE = False
+    _CUPY_ERROR = f"cupy import failed: {_exc}"
+
+
+if TORCH_AVAILABLE:  # pragma: no cover - exercised only with torch
+
+    class TorchBipartiteKernel(BipartiteSBKernel):
+        """Float32 kernel stepping entirely on a torch device.
+
+        Defaults to CPU; uses CUDA when available.  One fused step does
+        the two bipartite mat-muls plus the element-wise update without
+        returning to the host; only :meth:`state_to_host` /
+        :meth:`sign_readout` / sampling cross the boundary.
+        """
+
+        def __init__(self, weights: np.ndarray, device=None) -> None:
+            super().__init__(weights, np.float32)
+            self.name = "torch"
+            if device is None:
+                device = "cuda" if torch.cuda.is_available() else "cpu"
+            self.device = torch.device(device)
+            self._kd = torch.as_tensor(self.k, device=self.device)
+            self._kdT = self._kd.transpose(-1, -2).contiguous()
+            neg_a = (
+                self.neg_a[:, np.newaxis, :] if self.stacked else self.neg_a
+            )
+            self._neg_a_d = torch.as_tensor(neg_a, device=self.device)
+
+        # -- host boundary -------------------------------------------------
+
+        def prepare_state(self, x, y) -> Tuple["torch.Tensor", ...]:
+            xd = torch.as_tensor(
+                np.array(x, dtype=np.float32, order="C"),
+                device=self.device,
+            )
+            yd = torch.as_tensor(
+                np.array(y, dtype=np.float32, order="C"),
+                device=self.device,
+            )
+            return xd, yd
+
+        def state_to_host(self, x) -> np.ndarray:
+            if isinstance(x, torch.Tensor):
+                return x.detach().cpu().numpy()
+            return np.asarray(x)
+
+        def assign_types(self, x, y, types: np.ndarray) -> None:
+            r = self.n_rows
+            td = torch.as_tensor(
+                np.ascontiguousarray(2.0 * types - 1.0, dtype=np.float32),
+                device=self.device,
+            )
+            x[..., 2 * r :] = td
+            y[..., 2 * r :] = 0.0
+
+        # -- device step ---------------------------------------------------
+
+        def step(self, x, y, a_t, dt, a0, c0) -> None:
+            r = self.n_rows
+            v1 = x[..., :r]
+            v2 = x[..., r : 2 * r]
+            t = x[..., 2 * r :]
+            kt = torch.matmul(t, self._kdT)
+            f = torch.cat(
+                [
+                    self._neg_a_d + kt,
+                    self._neg_a_d - kt,
+                    torch.matmul(v1 - v2, self._kd),
+                ],
+                dim=-1,
+            )
+            if np.ndim(c0) > 0:
+                c0d = torch.as_tensor(
+                    np.asarray(c0, dtype=np.float32), device=self.device
+                )[:, None, None]
+                f = f * c0d
+            else:
+                f = f * float(c0)
+            y.add_(dt * (-(a0 - a_t)) * x + dt * f)
+            x.add_((dt * a0) * y)
+            crossed = x.abs() > 1.0
+            x.clamp_(-1.0, 1.0)
+            y.masked_fill_(crossed, 0.0)
+
+        def readout(self, x):
+            return torch.where(x >= 0, 1.0, -1.0)
+
+        def energy(self, spins) -> np.ndarray:
+            s = self.state_to_host(spins).astype(np.float64)
+            r = self.n_rows
+            v1, v2, t = s[..., :r], s[..., r : 2 * r], s[..., 2 * r :]
+            k64 = np.asarray(self.k, dtype=np.float64)
+            kt = t @ np.swapaxes(k64, -1, -2)
+            a64 = np.asarray(self.a, dtype=np.float64)
+            if self.stacked:
+                linear = np.einsum("pr,pRr->pR", a64, v1 + v2)
+            else:
+                linear = (v1 + v2) @ a64
+            return linear + ((v2 - v1) * kt).sum(axis=-1)
+
+        def fields(self, x) -> np.ndarray:
+            s = self.state_to_host(x)
+            r = self.n_rows
+            v1, v2, t = s[..., :r], s[..., r : 2 * r], s[..., 2 * r :]
+            kt = t @ np.swapaxes(self.k, -1, -2)
+            neg_a = (
+                self.neg_a[:, np.newaxis, :] if self.stacked else self.neg_a
+            )
+            return np.concatenate(
+                [neg_a + kt, neg_a - kt, (v1 - v2) @ self.k], axis=-1
+            )
+
+    register_backend(
+        "torch",
+        TorchBipartiteKernel,
+        dtype="float32",
+        device="cuda" if torch.cuda.is_available() else "cpu",
+        supports_batch=True,
+        summary="torch device stepping (CUDA when available, else CPU)",
+    )
+else:
+    register_backend(
+        "torch",
+        unavailable_reason=_TORCH_ERROR,
+        dtype="float32",
+        device="cuda",
+        supports_batch=True,
+        summary="torch device stepping (CUDA when available, else CPU)",
+    )
+
+
+if CUPY_AVAILABLE:  # pragma: no cover - exercised only with cupy
+
+    class CuPyBipartiteKernel(BipartiteSBKernel):
+        """Float32 kernel stepping on a CUDA device through CuPy.
+
+        CuPy follows the NumPy API closely enough that the step mirrors
+        the fused NumPy kernel with ``xp = cupy``; only the host
+        boundary differs (explicit ``asnumpy`` transfers).
+        """
+
+        def __init__(self, weights: np.ndarray) -> None:
+            super().__init__(weights, np.float32)
+            self.name = "cupy"
+            self._kd = cupy.asarray(self.k)
+            neg_a = (
+                self.neg_a[:, np.newaxis, :] if self.stacked else self.neg_a
+            )
+            self._neg_a_d = cupy.asarray(neg_a)
+
+        def prepare_state(self, x, y):
+            xd = cupy.asarray(np.array(x, dtype=np.float32, order="C"))
+            yd = cupy.asarray(np.array(y, dtype=np.float32, order="C"))
+            return xd, yd
+
+        def state_to_host(self, x) -> np.ndarray:
+            if isinstance(x, cupy.ndarray):
+                return cupy.asnumpy(x)
+            return np.asarray(x)
+
+        def assign_types(self, x, y, types: np.ndarray) -> None:
+            r = self.n_rows
+            x[..., 2 * r :] = cupy.asarray(
+                np.ascontiguousarray(2.0 * types - 1.0, dtype=np.float32)
+            )
+            y[..., 2 * r :] = 0.0
+
+        def step(self, x, y, a_t, dt, a0, c0) -> None:
+            r = self.n_rows
+            v1 = x[..., :r]
+            v2 = x[..., r : 2 * r]
+            t = x[..., 2 * r :]
+            kt = t @ cupy.swapaxes(self._kd, -1, -2)
+            f = cupy.concatenate(
+                [
+                    self._neg_a_d + kt,
+                    self._neg_a_d - kt,
+                    (v1 - v2) @ self._kd,
+                ],
+                axis=-1,
+            )
+            if np.ndim(c0) > 0:
+                f *= cupy.asarray(np.asarray(c0, dtype=np.float32))[
+                    :, None, None
+                ]
+            else:
+                f *= np.float32(c0)
+            y += dt * (-(a0 - a_t)) * x + dt * f
+            x += (dt * a0) * y
+            crossed = cupy.abs(x) > 1.0
+            cupy.clip(x, -1.0, 1.0, out=x)
+            y[crossed] = 0.0
+
+        def readout(self, x):
+            return cupy.where(x >= 0, 1.0, -1.0).astype(cupy.float32)
+
+        def energy(self, spins) -> np.ndarray:
+            s = self.state_to_host(spins).astype(np.float64)
+            r = self.n_rows
+            v1, v2, t = s[..., :r], s[..., r : 2 * r], s[..., 2 * r :]
+            k64 = np.asarray(self.k, dtype=np.float64)
+            kt = t @ np.swapaxes(k64, -1, -2)
+            a64 = np.asarray(self.a, dtype=np.float64)
+            if self.stacked:
+                linear = np.einsum("pr,pRr->pR", a64, v1 + v2)
+            else:
+                linear = (v1 + v2) @ a64
+            return linear + ((v2 - v1) * kt).sum(axis=-1)
+
+        def fields(self, x) -> np.ndarray:
+            s = self.state_to_host(x)
+            r = self.n_rows
+            v1, v2, t = s[..., :r], s[..., r : 2 * r], s[..., 2 * r :]
+            kt = t @ np.swapaxes(self.k, -1, -2)
+            neg_a = (
+                self.neg_a[:, np.newaxis, :] if self.stacked else self.neg_a
+            )
+            return np.concatenate(
+                [neg_a + kt, neg_a - kt, (v1 - v2) @ self.k], axis=-1
+            )
+
+    register_backend(
+        "cupy",
+        CuPyBipartiteKernel,
+        dtype="float32",
+        device="cuda",
+        supports_batch=True,
+        summary="CuPy CUDA stepping (numpy-style array API)",
+    )
+else:
+    register_backend(
+        "cupy",
+        unavailable_reason=_CUPY_ERROR,
+        dtype="float32",
+        device="cuda",
+        supports_batch=True,
+        summary="CuPy CUDA stepping (numpy-style array API)",
+    )

@@ -27,23 +27,32 @@ from __future__ import annotations
 
 import abc
 import os
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError, DimensionError
+from repro.errors import (
+    ConfigurationError,
+    DimensionError,
+    UnknownBackendError,
+)
 from repro.obs.logconfig import get_logger
 
 logger = get_logger("repro.ising.kernels")
 
 __all__ = [
     "BipartiteSBKernel",
+    "BackendInfo",
     "ENV_BACKEND",
     "DEFAULT_BACKEND",
     "available_backends",
     "known_backends",
+    "backend_info",
+    "backend_infos",
     "register_backend",
     "resolve_backend",
+    "reset_fallback_warnings",
     "make_kernel",
 ]
 
@@ -57,6 +66,25 @@ DEFAULT_BACKEND = "numpy64"
 _REGISTRY: Dict[str, Callable[[np.ndarray], "BipartiteSBKernel"]] = {}
 # name -> human-readable reason a known backend is not usable here
 _UNAVAILABLE: Dict[str, str] = {}
+# name -> descriptive metadata (dtype/device/batching), for list-kernels
+_INFO: Dict[str, "BackendInfo"] = {}
+# unavailable backends already warned about this process (warn once —
+# the batched planner resolves backends per batch, and a missing numba
+# must not spam one warning per batch)
+_WARNED_FALLBACKS: Set[str] = set()
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Descriptive metadata of one registered kernel backend."""
+
+    name: str
+    available: bool
+    dtype: str
+    device: str
+    supports_batch: bool
+    summary: str
+    unavailable_reason: Optional[str] = None
 
 
 def register_backend(
@@ -64,12 +92,17 @@ def register_backend(
     factory: Optional[Callable[[np.ndarray], "BipartiteSBKernel"]] = None,
     *,
     unavailable_reason: Optional[str] = None,
+    dtype: str = "float64",
+    device: str = "cpu",
+    supports_batch: bool = True,
+    summary: str = "",
 ) -> None:
     """Register a kernel backend (or record why it cannot be used).
 
     Exactly one of ``factory`` / ``unavailable_reason`` must be given.
     Backends whose dependencies are missing register a reason instead of
-    a factory so :func:`resolve_backend` can degrade gracefully.
+    a factory so :func:`resolve_backend` can degrade gracefully.  The
+    keyword metadata feeds ``repro list-kernels``.
     """
     if (factory is None) == (unavailable_reason is None):
         raise ConfigurationError(
@@ -80,6 +113,15 @@ def register_backend(
         _UNAVAILABLE.pop(name, None)
     else:
         _UNAVAILABLE[name] = unavailable_reason
+    _INFO[name] = BackendInfo(
+        name=name,
+        available=factory is not None,
+        dtype=dtype,
+        device=device,
+        supports_batch=supports_batch,
+        summary=summary,
+        unavailable_reason=unavailable_reason,
+    )
 
 
 def available_backends() -> Tuple[str, ...]:
@@ -92,6 +134,25 @@ def known_backends() -> Tuple[str, ...]:
     return tuple(sorted({*_REGISTRY, *_UNAVAILABLE}))
 
 
+def backend_info(name: str) -> "BackendInfo":
+    """Metadata of one known backend (raises on unknown names)."""
+    try:
+        return _INFO[name]
+    except KeyError:
+        raise UnknownBackendError(name, known_backends()) from None
+
+
+def backend_infos() -> Tuple["BackendInfo", ...]:
+    """Metadata of every known backend, name-sorted."""
+    return tuple(_INFO[name] for name in known_backends())
+
+
+def reset_fallback_warnings() -> None:
+    """Forget which unavailable-backend fallbacks were already warned
+    about (test hook)."""
+    _WARNED_FALLBACKS.clear()
+
+
 def resolve_backend(
     backend: Optional[str] = None, *, ignore_env: bool = False
 ) -> str:
@@ -99,8 +160,11 @@ def resolve_backend(
 
     ``REPRO_SB_BACKEND`` (when set and non-empty) overrides ``backend``;
     an unavailable-but-known backend (e.g. ``numba`` without numba
-    installed) falls back to :data:`DEFAULT_BACKEND` with a warning; an
-    unknown name raises :class:`~repro.errors.ConfigurationError`.
+    installed) falls back to :data:`DEFAULT_BACKEND` with a warning
+    emitted once per process; an unknown name raises
+    :class:`~repro.errors.UnknownBackendError` listing the valid names
+    (environment-variable typos must fail loudly, not silently fall
+    back).
 
     ``ignore_env`` skips the environment override — the numerical
     guards use it to *force* the float64 reference backend when a
@@ -112,17 +176,16 @@ def resolve_backend(
     if requested in _REGISTRY:
         return requested
     if requested in _UNAVAILABLE:
-        logger.warning(
-            "SB backend %r is unavailable (%s); falling back to %r",
-            requested,
-            _UNAVAILABLE[requested],
-            DEFAULT_BACKEND,
-        )
+        if requested not in _WARNED_FALLBACKS:
+            _WARNED_FALLBACKS.add(requested)
+            logger.warning(
+                "SB backend %r is unavailable (%s); falling back to %r",
+                requested,
+                _UNAVAILABLE[requested],
+                DEFAULT_BACKEND,
+            )
         return DEFAULT_BACKEND
-    raise ConfigurationError(
-        f"unknown SB backend {requested!r}; known backends: "
-        f"{', '.join(known_backends())}"
-    )
+    raise UnknownBackendError(requested, known_backends())
 
 
 def make_kernel(
@@ -248,6 +311,32 @@ class BipartiteSBKernel(abc.ABC):
             return "diverged"
         return None
 
+    # -- host boundary -------------------------------------------------
+    #
+    # Device-resident backends (torch / cupy) keep live states on the
+    # accelerator; everything that crosses back into seeded-search
+    # bookkeeping (sampling, interventions, checkpoints) goes through
+    # these hooks.  The NumPy defaults below are the exact historical
+    # operations, so host backends inherit bit-identical behavior.
+
+    def state_to_host(self, x) -> np.ndarray:
+        """A host ``ndarray`` view/copy of a live kernel state."""
+        return np.asarray(x)
+
+    def sign_readout(self, x) -> np.ndarray:
+        """Float ±1 sign decode of a position state, on the host."""
+        return np.where(self.state_to_host(x) >= 0, 1.0, -1.0)
+
+    def assign_types(self, x, y, types: np.ndarray) -> None:
+        """Overwrite the type-spin block in place (Theorem-3 reset).
+
+        ``types`` is a 0/1 host array over the type columns; positions
+        become ``2 * types - 1`` and the corresponding momenta zero.
+        """
+        r = self.n_rows
+        x[..., 2 * r :] = 2.0 * types - 1.0
+        y[..., 2 * r :] = 0.0
+
     # -- abstract arithmetic -------------------------------------------
 
     @abc.abstractmethod
@@ -264,9 +353,14 @@ class BipartiteSBKernel(abc.ABC):
         a_t: float,
         dt: float,
         a0: float,
-        c0: float,
+        c0,
     ) -> None:
-        """One fused in-place bSB step (momentum, position, walls)."""
+        """One fused in-place bSB step (momentum, position, walls).
+
+        ``c0`` is a scalar coupling scale, or — for stacked kernels
+        whose problems were packed from different sweeps — a ``(P,)``
+        vector with one scale per stacked problem.
+        """
 
     @abc.abstractmethod
     def readout(self, x: np.ndarray) -> np.ndarray:

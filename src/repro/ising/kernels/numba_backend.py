@@ -33,13 +33,14 @@ except Exception:  # pragma: no cover - ImportError or broken install
 if NUMBA_AVAILABLE:  # pragma: no cover - exercised only with numba
 
     @njit(cache=True, fastmath=True)
-    def _fused_step(k, neg_a, x, y, a_t, dt, a0, c0):  # noqa: ANN001
+    def _fused_step(k, neg_a, x, y, a_t, dt, a0, c0s):  # noqa: ANN001
         n_problems, n_replicas, n_spins = x.shape
         r = neg_a.shape[1]
         c = n_spins - 2 * r
         s1 = -(a0 - a_t)
         s2 = dt * a0
         for p in range(n_problems):
+            c0 = c0s[p]
             for q in range(n_replicas):
                 xi = x[p, q]
                 yi = y[p, q]
@@ -82,13 +83,32 @@ if NUMBA_AVAILABLE:  # pragma: no cover - exercised only with numba
             self._ensure_buffers(x.shape)
             x3 = x if self.stacked else x[np.newaxis]
             y3 = y if self.stacked else y[np.newaxis]
+            # scalar c0 broadcasts to an exact per-problem vector (the
+            # same float64 value yields identical arithmetic)
+            c0s = (
+                np.asarray(c0, dtype=np.float64)
+                if np.ndim(c0) > 0
+                else np.full(x3.shape[0], float(c0))
+            )
             _fused_step(
                 self._k3, self._neg_a3, x3, y3,
-                float(a_t), float(dt), float(a0), float(c0),
+                float(a_t), float(dt), float(a0), c0s,
             )
 
-    register_backend("numba", NumbaBipartiteKernel)
+    register_backend(
+        "numba",
+        NumbaBipartiteKernel,
+        dtype="float64",
+        device="cpu",
+        supports_batch=True,
+        summary="JIT-fused float64 step (single pass, no dispatch)",
+    )
 else:
     register_backend(
-        "numba", unavailable_reason="numba is not installed"
+        "numba",
+        unavailable_reason="numba is not installed",
+        dtype="float64",
+        device="cpu",
+        supports_batch=True,
+        summary="JIT-fused float64 step (single pass, no dispatch)",
     )

@@ -99,7 +99,17 @@ class NumPyBipartiteKernel(BipartiteSBKernel):
 
         # y += dt * (-(a0 - a_t) * x + c0 * f);  x += (dt * a0) * y
         dtp = self.dtype.type
-        np.multiply(f, dtp(c0), out=f)
+        if np.ndim(c0) > 0:
+            # per-problem coupling scales of a cross-sweep packed stack;
+            # broadcasting multiplies each (R, N) slice by its own
+            # scalar with the same IEEE operation as the scalar path
+            np.multiply(
+                f,
+                np.asarray(c0, dtype=self.dtype)[:, np.newaxis, np.newaxis],
+                out=f,
+            )
+        else:
+            np.multiply(f, dtp(c0), out=f)
         np.multiply(x, dtp(-(a0 - a_t)), out=tmp)
         np.add(tmp, f, out=tmp)
         np.multiply(tmp, dtp(dt), out=tmp)
@@ -143,5 +153,19 @@ class NumPyBipartiteKernel(BipartiteSBKernel):
         return np.concatenate([f_v1, f_v2, f_t], axis=-1)
 
 
-register_backend("numpy64", lambda w: NumPyBipartiteKernel(w, np.float64))
-register_backend("numpy32", lambda w: NumPyBipartiteKernel(w, np.float32))
+register_backend(
+    "numpy64",
+    lambda w: NumPyBipartiteKernel(w, np.float64),
+    dtype="float64",
+    device="cpu",
+    supports_batch=True,
+    summary="float64 reference; bit-for-bit the historical inline loop",
+)
+register_backend(
+    "numpy32",
+    lambda w: NumPyBipartiteKernel(w, np.float32),
+    dtype="float32",
+    device="cpu",
+    supports_batch=True,
+    summary="float32 stepping, float64 scoring (tolerance contract)",
+)

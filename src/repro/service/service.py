@@ -58,6 +58,7 @@ class DecompositionService:
         policy: Optional[SchedulerPolicy] = None,
         decompose_fn: Optional[DecomposeFn] = None,
         checkpoint_every: Optional[int] = DEFAULT_CHECKPOINT_EVERY,
+        batch_jobs: int = 1,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -67,8 +68,14 @@ class DecompositionService:
         self.executor = JobExecutor(
             self.artifacts, decompose_fn, checkpoint_every=checkpoint_every
         )
+        # batch_jobs > 1: each worker claims up to that many jobs per
+        # loop and advances them together, fusing compatible batched
+        # sweeps into shared kernel passes (see WorkerPool docs)
         self.pool = WorkerPool(
-            self.scheduler, self.executor, n_workers=n_workers
+            self.scheduler,
+            self.executor,
+            n_workers=n_workers,
+            batch_size=batch_jobs,
         )
 
     # -- submission ----------------------------------------------------

@@ -57,6 +57,7 @@ from typing import Callable, Dict, Optional
 
 from repro.core.checkpoint import DecomposeCheckpoint
 from repro.core.framework import IsingDecomposer
+from repro.core.fusion import SweepFusionGate
 from repro.errors import OperationCancelled, ReproError, ServiceError
 from repro.obs.logconfig import get_logger
 from repro.obs.metrics import get_metrics
@@ -96,13 +97,36 @@ def _default_decompose(
     should_cancel,
     resume=None,
     checkpoint_hook=None,
+    sweep_gate=None,
 ):
-    return IsingDecomposer(spec.config).decompose(
+    return IsingDecomposer(spec.config, sweep_gate=sweep_gate).decompose(
         table,
         progress=progress,
         should_cancel=should_cancel,
         resume=resume,
         checkpoint_hook=checkpoint_hook,
+    )
+
+
+def _fusion_key(spec: JobSpec):
+    """Grouping key for cross-job sweep fusion (``None`` = not fusable).
+
+    Two jobs may share fused kernel windows when both run the inline
+    batched path and their solvers advance on the same iteration
+    schedule; everything else about the jobs (tables, shapes, seeds,
+    backends) may differ — the BlockBatch planner handles shape/backend
+    packing, and float64 sweeps replay solo inside the batch.
+    """
+    cfg = spec.config
+    if not cfg.batched or cfg.n_workers > 1:
+        return None
+    solver = cfg.solver
+    return (
+        solver.max_iterations,
+        solver.sample_every,
+        solver.dt,
+        solver.a0,
+        solver.resolved_ramp_iterations,
     )
 
 
@@ -151,15 +175,16 @@ class JobExecutor:
 
     @staticmethod
     def _supported_kwargs(fn: Callable) -> frozenset:
-        """Which checkpoint kwargs ``fn`` accepts (legacy fns: none)."""
+        """Which optional kwargs ``fn`` accepts (legacy fns: none)."""
+        optional = {"resume", "checkpoint_hook", "sweep_gate"}
         try:
             parameters = inspect.signature(fn).parameters.values()
         except (TypeError, ValueError):
             return frozenset()
         names = {p.name for p in parameters}
         if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters):
-            names |= {"resume", "checkpoint_hook"}
-        return frozenset(names & {"resume", "checkpoint_hook"})
+            names |= optional
+        return frozenset(names & optional)
 
     def _load_checkpoint(
         self, job: JobRecord, table
@@ -189,6 +214,7 @@ class JobExecutor:
         job: JobRecord,
         *,
         heartbeat: Optional[Callable[[], None]] = None,
+        sweep_gate=None,
     ) -> ExecutionOutcome:
         """Run ``job`` to an outcome (raises on crash/timeout).
 
@@ -298,6 +324,10 @@ class JobExecutor:
             "checkpoint_hook" in self._decompose_kwargs
         ):
             kwargs["checkpoint_hook"] = checkpoint_hook
+        if sweep_gate is not None and (
+            "sweep_gate" in self._decompose_kwargs
+        ):
+            kwargs["sweep_gate"] = sweep_gate
         with tracer.span(
             "job_decompose",
             category="service",
@@ -330,7 +360,23 @@ class JobExecutor:
 
 
 class WorkerPool:
-    """N looping worker threads draining one scheduler's queue."""
+    """N looping worker threads draining one scheduler's queue.
+
+    With ``batch_size > 1`` each loop iteration claims up to
+    ``batch_size`` runnable jobs at once and advances them *together*:
+
+    * duplicate submissions (same artifact key) are deferred behind the
+      first job with that key and resolved from the artifact cache
+      afterwards, preserving single-flight dedup;
+    * distinct jobs run concurrently in threads, each with its own
+      lease heartbeat, per-job checkpoints, retry accounting, and
+      quarantine — the batch changes scheduling only, never durable
+      semantics;
+    * jobs whose specs share a fusion key (inline batched path, same
+      iteration schedule — see ``_fusion_key``) additionally share a
+      :class:`~repro.core.fusion.SweepFusionGate`, so their candidate
+      sweeps advance inside common fused kernel passes.
+    """
 
     def __init__(
         self,
@@ -338,13 +384,21 @@ class WorkerPool:
         executor: JobExecutor,
         n_workers: int = 1,
         name: str = "svc",
+        batch_size: int = 1,
+        fusion_timeout: float = 30.0,
     ) -> None:
         if n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {n_workers}")
+        if batch_size <= 0:
+            raise ValueError(
+                f"batch_size must be positive, got {batch_size}"
+            )
         self.scheduler = scheduler
         self.executor = executor
         self.n_workers = n_workers
         self.name = name
+        self.batch_size = batch_size
+        self.fusion_timeout = fusion_timeout
         self._stop = threading.Event()
         self._threads: list = []
 
@@ -372,7 +426,9 @@ class WorkerPool:
                 help="completion-path transitions lost to recovery races",
             ).inc()
 
-    def _run_one(self, worker_name: str, job: JobRecord) -> None:
+    def _run_one(
+        self, worker_name: str, job: JobRecord, participant=None
+    ) -> None:
         def heartbeat() -> None:
             self.scheduler.heartbeat(job)
 
@@ -383,9 +439,18 @@ class WorkerPool:
             job_id=job.id,
             worker=worker_name,
             attempt=job.attempts,
+            fused=participant is not None,
         ) as span:
             try:
-                outcome = self.executor.execute(job, heartbeat=heartbeat)
+                try:
+                    outcome = self.executor.execute(
+                        job, heartbeat=heartbeat, sweep_gate=participant
+                    )
+                finally:
+                    # any exit (cache hit, crash, timeout, success)
+                    # must release fusion partners waiting on this job
+                    if participant is not None:
+                        participant.leave()
             except OperationCancelled as exc:
                 logger.warning("job %s timed out: %s", job.id, exc)
                 span.set_args(outcome="timeout")
@@ -435,6 +500,76 @@ class WorkerPool:
                     job.id,
                 )
 
+    def _run_batch(self, worker_name: str, jobs: list) -> None:
+        """Advance one claimed batch: dedup, fuse, run, settle."""
+        if len(jobs) == 1:
+            self._run_one(worker_name, jobs[0])
+            return
+        wave: list = []
+        deferred: list = []
+        seen_keys: set = set()
+        for job in jobs:
+            if job.artifact_key in seen_keys:
+                deferred.append(job)
+            else:
+                seen_keys.add(job.artifact_key)
+                wave.append(job)
+        # one fusion gate per compatible group of two or more jobs
+        participants: Dict[str, object] = {}
+        groups: Dict[tuple, list] = {}
+        for job in wave:
+            key = _fusion_key(job.spec)
+            if key is not None:
+                groups.setdefault(key, []).append(job)
+        n_fused = 0
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            gate = SweepFusionGate(wait_timeout=self.fusion_timeout)
+            for job in members:
+                participants[job.id] = gate.participant(
+                    job.id,
+                    heartbeat=(
+                        lambda j=job: self.scheduler.heartbeat(j)
+                    ),
+                )
+            n_fused += len(members)
+        metrics = get_metrics()
+        with get_tracer().span(
+            "job_batch",
+            category="service",
+            worker=worker_name,
+            n_jobs=len(jobs),
+            n_parallel=len(wave),
+            n_deferred=len(deferred),
+            n_fused=n_fused,
+        ):
+            metrics.counter(
+                "service_job_batches_total",
+                help="multi-job batches advanced together",
+            ).inc()
+            metrics.counter(
+                "service_jobs_batched_total",
+                help="jobs claimed into multi-job batches",
+            ).inc(len(jobs))
+            threads = []
+            for job in wave:
+                thread = threading.Thread(
+                    target=self._run_one,
+                    args=(worker_name, job, participants.get(job.id)),
+                    name=f"{worker_name}:{job.id}",
+                    daemon=True,
+                )
+                thread.start()
+                threads.append(thread)
+            for thread in threads:
+                thread.join()
+            # duplicates run after the wave: the first job with their
+            # artifact key has persisted (or will retry); these resolve
+            # from the cache, keeping single-flight dedup intact
+            for job in deferred:
+                self._run_one(worker_name, job)
+
     def _loop(self, worker_name: str, drain: bool) -> None:
         poll = self.scheduler.policy.poll_interval_seconds
         while not self._stop.is_set():
@@ -464,8 +599,18 @@ class WorkerPool:
                 # backoff gates may hold queued jobs; keep polling
                 self._stop.wait(poll)
                 continue
+            jobs = [job]
+            if self.batch_size > 1:
+                try:
+                    while len(jobs) < self.batch_size:
+                        extra = self.scheduler.claim(worker_name)
+                        if extra is None:
+                            break
+                        jobs.append(extra)
+                except sqlite3.OperationalError:
+                    pass  # run what we have; the store is struggling
             try:
-                self._run_one(worker_name, job)
+                self._run_batch(worker_name, jobs)
             except sqlite3.OperationalError as exc:
                 # the *completion* transition hit store pressure; the
                 # job stays ``running`` and lease expiry will recover

@@ -1,0 +1,213 @@
+"""Fusion-layer tests: prepared sweeps, fused runs, and the gate.
+
+The load-bearing guarantee: advancing several independent float64
+sweeps through one :func:`run_prepared_sweeps` call (the fused path the
+service batch scheduler uses) is **bit-identical** to advancing each
+sweep through its own call.  The :class:`SweepFusionGate` barrier must
+preserve that identity under concurrency and degrade gracefully —
+early leavers, timeouts, and leader failures never corrupt a sweep.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.boolean.random_functions import random_function
+from repro.core import fusion as fusion_mod
+from repro.core.batch import prepare_sweep, run_prepared_sweeps
+from repro.core.config import CoreSolverConfig
+from repro.core.fusion import SweepFusionGate
+from repro.core.partitions import sample_partitions
+from repro.obs.probe import RecordingSolverProbe, set_probe_factory
+
+FAST = CoreSolverConfig(max_iterations=300, n_replicas=2)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(19)
+
+
+def _sweeps(config_seeds, n_inputs=6, free=3, n_partitions=3):
+    """Prepare one sweep per (config, seed) pair over a fixed problem."""
+    table_rng = np.random.default_rng(2)
+    table = random_function(n_inputs, 2, table_rng)
+    partitions = sample_partitions(
+        n_inputs, free, n_partitions, np.random.default_rng(3)
+    )
+    return [
+        prepare_sweep(
+            config, table, table, 0, partitions, "joint",
+            rng=np.random.default_rng(seed),
+        )
+        for config, seed in config_seeds
+    ]
+
+
+def _results(sweep):
+    return [
+        (
+            solution.objective,
+            solution.setting.pattern1.tolist(),
+            solution.setting.pattern2.tolist(),
+            solution.setting.column_types.tolist(),
+        )
+        for solution in sweep.finalize()
+    ]
+
+
+class TestFusedBitIdentity:
+    def test_fused_run_matches_solo_runs_float64(self):
+        pairs = [(FAST, 5), (FAST, 6), (FAST, 7)]
+        fused = _sweeps(pairs)
+        run_prepared_sweeps(fused)
+
+        solo = _sweeps(pairs)
+        for sweep in solo:
+            run_prepared_sweeps([sweep])
+
+        for f, s in zip(fused, solo):
+            assert _results(f) == _results(s)
+
+    def test_fused_run_matches_solo_runs_float32_stack(self):
+        cfg = CoreSolverConfig(
+            max_iterations=300, n_replicas=2, backend="numpy32"
+        )
+        pairs = [(cfg, 5), (cfg, 6)]
+        fused = _sweeps(pairs)
+        run_prepared_sweeps(fused)
+
+        solo = _sweeps(pairs)
+        for sweep in solo:
+            run_prepared_sweeps([sweep])
+
+        # stacked float32 slices perform the same per-slice IEEE ops,
+        # so the end-to-end results are identical here too
+        for f, s in zip(fused, solo):
+            assert _results(f) == _results(s)
+
+    def test_incompatible_schedules_grouped_separately(self):
+        slow = CoreSolverConfig(max_iterations=400, n_replicas=2)
+        pairs = [(FAST, 5), (slow, 6)]
+        fused = _sweeps(pairs)
+        run_prepared_sweeps(fused)
+        solo = _sweeps(pairs)
+        for sweep in solo:
+            run_prepared_sweeps([sweep])
+        for f, s in zip(fused, solo):
+            assert f.schedule_key == s.schedule_key
+            assert _results(f) == _results(s)
+
+    def test_probes_never_change_results(self):
+        pairs = [(FAST, 5), (FAST, 6)]
+        bare = _sweeps(pairs)
+        run_prepared_sweeps(bare)
+        set_probe_factory(RecordingSolverProbe)
+        try:
+            probed = _sweeps(pairs)
+            assert all(s.probe is not None for s in probed)
+            run_prepared_sweeps(probed)
+        finally:
+            set_probe_factory(None)
+        for b, p in zip(bare, probed):
+            assert _results(b) == _results(p)
+        # the probe actually observed the schedule
+        probe = probed[0].probe
+        assert probe.energy_trace
+        assert probe.kernel_steps > 0
+        assert probe.n_iterations == FAST.max_iterations
+
+
+class TestSweepFusionGate:
+    def test_two_jobs_fuse_and_match_solo(self):
+        pairs = [(FAST, 5), (FAST, 6)]
+        fused = _sweeps(pairs)
+        gate = SweepFusionGate()
+        outcomes = {}
+
+        def job(token, sweep):
+            with gate.participant(token) as participant:
+                participant.submit([sweep])
+            outcomes[token] = _results(sweep)
+
+        threads = [
+            threading.Thread(target=job, args=(f"job-{i}", sweep))
+            for i, sweep in enumerate(fused)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not any(t.is_alive() for t in threads)
+
+        solo = _sweeps(pairs)
+        for i, sweep in enumerate(solo):
+            run_prepared_sweeps([sweep])
+            assert outcomes[f"job-{i}"] == _results(sweep)
+
+    def test_leaver_releases_waiters(self):
+        [sweep] = _sweeps([(FAST, 5)])
+        gate = SweepFusionGate(wait_timeout=60.0)
+        quitter = gate.participant("quitter")
+        worker = gate.participant("worker")
+        quitter.leave()  # e.g. artifact-cache hit: no sweep to run
+        worker.submit([sweep])  # must not block on the leaver
+        [solo] = _sweeps([(FAST, 5)])
+        run_prepared_sweeps([solo])
+        assert _results(sweep) == _results(solo)
+
+    def test_timeout_detaches_and_runs_solo(self):
+        [sweep] = _sweeps([(FAST, 5)])
+        gate = SweepFusionGate(wait_timeout=0.1)
+        gate.participant("stalled")  # registered, never submits
+        beats = []
+        worker = gate.participant(
+            "worker", heartbeat=lambda: beats.append(1)
+        )
+        worker.submit([sweep])
+        assert worker.detached
+        assert beats  # the wait loop kept the lease alive
+        [solo] = _sweeps([(FAST, 5)])
+        run_prepared_sweeps([solo])
+        assert _results(sweep) == _results(solo)
+        # detached is permanent: later submits run solo immediately
+        [again] = _sweeps([(FAST, 6)])
+        worker.submit([again])
+        [again_solo] = _sweeps([(FAST, 6)])
+        run_prepared_sweeps([again_solo])
+        assert _results(again) == _results(again_solo)
+
+    def test_leader_failure_propagates_to_followers(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("kernel exploded")
+
+        monkeypatch.setattr(fusion_mod, "run_prepared_sweeps", boom)
+        sweeps = _sweeps([(FAST, 5), (FAST, 6)])
+        gate = SweepFusionGate()
+        errors = {}
+
+        def job(token, sweep):
+            participant = gate.participant(token)
+            try:
+                participant.submit([sweep])
+            except RuntimeError as exc:
+                errors[token] = str(exc)
+            finally:
+                participant.leave()
+
+        threads = [
+            threading.Thread(target=job, args=(f"job-{i}", sweep))
+            for i, sweep in enumerate(sweeps)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == {
+            "job-0": "kernel exploded",
+            "job-1": "kernel exploded",
+        }
+        # the gate survives a failed round
+        assert gate._leader is None
+        assert not gate._pending

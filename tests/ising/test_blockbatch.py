@@ -1,0 +1,194 @@
+"""Property tests for the :class:`~repro.ising.kernels.BlockBatch`
+planner: packed advancement must match per-member advancement.
+
+``stack`` packing of float32 members performs the same per-slice IEEE
+operations as solo stepping (broadcasted matmul + vector-``c0``
+multiply), so stacked numpy32 members are checked *bit-identically*
+against their solo runs.  ``pad`` packing changes float32 summation
+order (zero summands enter the mat-vecs), so padded members are
+checked under the tolerance contract plus exact sign agreement over
+the tested horizon.  Float64 members must always land in solo blocks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ising.kernels import Block, BlockBatch, BlockMember, make_kernel
+from repro.ising.schedules import LinearPump
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(41)
+
+
+def _member(rng, backend, p, r, c, reps=2, c0=0.3):
+    """One prepared member plus pristine copies of its start state."""
+    w = rng.normal(size=(p, r, c))
+    kernel = make_kernel(w, backend=backend)
+    n = kernel.n_spins
+    x = rng.uniform(-0.1, 0.1, (p, reps, n))
+    y = rng.uniform(-0.1, 0.1, (p, reps, n))
+    x, y = kernel.prepare_state(x, y)
+    return BlockMember(kernel, w, x.copy(), y.copy(), c0), (x, y)
+
+
+def _solo_run(member, start, a_ts, dt, a0):
+    """Advance a pristine copy of ``member`` alone; return (x, y)."""
+    x, y = start[0].copy(), start[1].copy()
+    kernel = member.kernel
+    run_tile = getattr(kernel, "run_tile", None)
+    if run_tile is not None:
+        run_tile(x, y, a_ts, dt, a0, member.c0)
+    else:
+        for a_t in a_ts:
+            kernel.step(x, y, a_t, dt, a0, member.c0)
+    return x, y
+
+
+def _advance_batch(batch, a_ts, dt, a0):
+    batch.advance(a_ts, dt, a0)
+    batch.pull()
+
+
+A_TS = [LinearPump(1.0, 30)(i) for i in range(1, 21)]
+DT, A0 = 0.25, 1.0
+
+
+class TestStackPacking:
+    @pytest.mark.parametrize("n_members", [1, 2, 16])
+    def test_same_shape_members_match_solo_bitwise(self, rng, n_members):
+        members, starts = zip(*[
+            _member(rng, "numpy32", p=2, r=4, c=6, c0=0.2 + 0.1 * i)
+            for i in range(n_members)
+        ])
+        batch = BlockBatch(list(members), strategy="auto")
+        kinds = batch.describe()["block_kinds"]
+        if n_members > 1:
+            assert kinds == {"stack": 1}
+        _advance_batch(batch, A_TS, DT, A0)
+        for member, start in zip(members, starts):
+            xs, ys = _solo_run(member, start, A_TS, DT, A0)
+            assert np.array_equal(np.asarray(member.x), xs)
+            assert np.array_equal(np.asarray(member.y), ys)
+
+    def test_ragged_shape_mix_groups_by_shape(self, rng):
+        """Mixed (r, c) shapes: same-shape members stack, the rest go
+        solo, and every member still matches its solo run."""
+        shapes = [(4, 6), (4, 6), (3, 9), (4, 6), (3, 9), (5, 5)]
+        members, starts = zip(*[
+            _member(rng, "numpy32", p=1 + (i % 2), r=r, c=c)
+            for i, (r, c) in enumerate(shapes)
+        ])
+        batch = BlockBatch(list(members), strategy="auto")
+        kinds = batch.describe()["block_kinds"]
+        assert kinds == {"stack": 2, "solo": 1}
+        assert batch.describe()["n_problems"] == sum(
+            m.n_problems for m in members
+        )
+        _advance_batch(batch, A_TS, DT, A0)
+        for member, start in zip(members, starts):
+            xs, ys = _solo_run(member, start, A_TS, DT, A0)
+            assert np.array_equal(np.asarray(member.x), xs)
+            assert np.array_equal(np.asarray(member.y), ys)
+
+    def test_mismatched_replicas_never_stack(self, rng):
+        m1, _ = _member(rng, "numpy32", p=1, r=4, c=6, reps=2)
+        m2, _ = _member(rng, "numpy32", p=1, r=4, c=6, reps=3)
+        batch = BlockBatch([m1, m2], strategy="auto")
+        assert batch.describe()["block_kinds"] == {"solo": 2}
+
+
+class TestFloat64Policy:
+    def test_float64_members_always_solo(self, rng):
+        members = [
+            _member(rng, "numpy64", p=2, r=4, c=6)[0] for _ in range(3)
+        ]
+        for strategy in ("auto", "stack", "pad"):
+            batch = BlockBatch(members, strategy=strategy)
+            assert all(
+                isinstance(b, Block) and b.kind == "solo"
+                for b in batch.blocks
+            )
+
+    def test_float64_solo_blocks_are_bit_identical(self, rng):
+        members, starts = zip(*[
+            _member(rng, "numpy64", p=2, r=4, c=6, c0=0.2 + 0.1 * i)
+            for i in range(3)
+        ])
+        batch = BlockBatch(list(members), strategy="auto")
+        _advance_batch(batch, A_TS, DT, A0)
+        for member, start in zip(members, starts):
+            xs, ys = _solo_run(member, start, A_TS, DT, A0)
+            assert np.array_equal(member.x, xs)
+            assert np.array_equal(member.y, ys)
+
+    def test_mixed_dtype_batch(self, rng):
+        m64, s64 = _member(rng, "numpy64", p=1, r=4, c=6)
+        m32a, s32a = _member(rng, "numpy32", p=1, r=4, c=6)
+        m32b, s32b = _member(rng, "numpy32", p=1, r=4, c=6)
+        batch = BlockBatch([m64, m32a, m32b], strategy="auto")
+        assert batch.describe()["block_kinds"] == {"solo": 1, "stack": 1}
+        _advance_batch(batch, A_TS, DT, A0)
+        for member, start in ((m64, s64), (m32a, s32a), (m32b, s32b)):
+            xs, ys = _solo_run(member, start, A_TS, DT, A0)
+            assert np.array_equal(np.asarray(member.x), xs)
+            assert np.array_equal(np.asarray(member.y), ys)
+
+
+class TestPadPacking:
+    def test_heterogeneous_shapes_pad_into_one_block(self, rng):
+        members, starts = zip(*[
+            _member(rng, "numpy32", p=1, r=r, c=c)
+            for r, c in ((4, 6), (3, 9), (5, 5))
+        ])
+        batch = BlockBatch(list(members), strategy="pad")
+        assert batch.describe()["block_kinds"] == {"pad": 1}
+        _advance_batch(batch, A_TS, DT, A0)
+        for member, start in zip(members, starts):
+            xs, ys = _solo_run(member, start, A_TS, DT, A0)
+            # tolerance contract: padding reorders float32 summation
+            assert np.allclose(member.x, xs, atol=1e-4)
+            assert np.allclose(member.y, ys, atol=1e-4)
+            assert np.array_equal(
+                np.sign(member.x), np.sign(xs)
+            )
+
+    def test_pad_push_pull_round_trip(self, rng):
+        """Host-side edits (interventions) survive push/pull."""
+        members = [
+            _member(rng, "numpy32", p=1, r=r, c=c)[0]
+            for r, c in ((4, 6), (3, 9))
+        ]
+        batch = BlockBatch(members, strategy="pad")
+        batch.pull()
+        edited = [np.asarray(m.x).copy() for m in members]
+        for member, snapshot in zip(members, edited):
+            member.x[...] = snapshot * -1.0
+        batch.push()
+        batch.pull()
+        for member, snapshot in zip(members, edited):
+            assert np.array_equal(np.asarray(member.x), -snapshot)
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self, rng):
+        member, _ = _member(rng, "numpy32", p=1, r=3, c=4)
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="strategy"):
+            BlockBatch([member], strategy="turbo")
+
+    def test_empty_batch_rejected(self):
+        from repro.errors import DimensionError
+
+        with pytest.raises(DimensionError):
+            BlockBatch([])
+
+    def test_member_weights_must_be_stacked(self, rng):
+        from repro.errors import DimensionError
+
+        w = rng.normal(size=(3, 4))
+        kernel = make_kernel(w, backend="numpy32")
+        with pytest.raises(DimensionError):
+            BlockMember(kernel, w, None, None, 0.3)

@@ -18,6 +18,7 @@ from repro.ising.kernels import (
     available_backends,
     known_backends,
     make_kernel,
+    reset_fallback_warnings,
     resolve_backend,
 )
 from repro.ising.schedules import LinearPump
@@ -249,22 +250,30 @@ class TestRegistry:
     @pytest.mark.skipif(
         NUMBA_AVAILABLE, reason="numba installed; no fallback to test"
     )
-    def test_missing_numba_falls_back_with_log_warning(
+    def test_missing_numba_falls_back_warning_once(
         self, monkeypatch, rng, caplog
     ):
         monkeypatch.delenv(ENV_BACKEND, raising=False)
+        reset_fallback_warnings()
         with caplog.at_level("WARNING", logger="repro.ising.kernels"):
             assert resolve_backend("numba") == DEFAULT_BACKEND
         assert any(
             "numba" in record.getMessage() for record in caplog.records
         )
+        # the fallback warns exactly once per process, not once per
+        # resolve/batch — repeated resolutions stay silent
         caplog.clear()
         with caplog.at_level("WARNING", logger="repro.ising.kernels"):
+            assert resolve_backend("numba") == DEFAULT_BACKEND
             kernel = make_kernel(rng.normal(size=(2, 3)), backend="numba")
+        assert not caplog.records
+        assert kernel.dtype == np.float64
+        reset_fallback_warnings()
+        with caplog.at_level("WARNING", logger="repro.ising.kernels"):
+            assert resolve_backend("numba") == DEFAULT_BACKEND
         assert any(
             "numba" in record.getMessage() for record in caplog.records
         )
-        assert kernel.dtype == np.float64
 
     @pytest.mark.skipif(
         not NUMBA_AVAILABLE, reason="needs an installed numba"
