@@ -1,0 +1,227 @@
+"""Fleet benchmark: remote-worker throughput scaling and claim latency.
+
+Sizes the worker plane the way an operator would:
+
+* **throughput vs fleet size** — one dispatch-only gateway (no local
+  workers), the same unique-job batch drained by 1, 2, and 4 remote
+  agents; reports jobs/s per fleet size and the speedup over one
+  worker;
+* **claim latency** — the long-poll wakeup (submit-to-grant while a
+  claim is parked) and the empty-claim round trip (``wait=0`` → 204).
+
+Writes ``BENCH_fleet.json`` at the repo root.  Scale knobs:
+``REPRO_BENCH_FLEET_JOBS`` (batch size, default 8),
+``REPRO_BENCH_FLEET_WAKEUPS`` (wakeup samples, default 10), plus the
+global ``REPRO_BENCH_P`` / ``REPRO_BENCH_R``.
+"""
+
+import dataclasses
+import os
+import threading
+import time
+
+from benchmarks.conftest import write_bench_json
+from repro.core import CoreSolverConfig, FrameworkConfig
+from repro.fleet import RemoteWorkerAgent
+from repro.gateway import DecompositionGateway, GatewayConfig
+from repro.service import DecompositionService, JobSpec, SchedulerPolicy
+
+FLEET_SIZES = (1, 2, 4)
+N_INPUTS = 6
+
+FAST_POLICY = SchedulerPolicy(
+    retry_backoff_seconds=0.01, poll_interval_seconds=0.005
+)
+
+
+def _config(bench_scale):
+    return FrameworkConfig(
+        mode="joint",
+        free_size=2,
+        n_partitions=bench_scale["n_partitions"],
+        n_rounds=bench_scale["n_rounds"],
+        seed=7,
+        solver=CoreSolverConfig(max_iterations=400, n_replicas=2),
+    )
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _drain_with_fleet(tmp_path, config, n_jobs, n_agents):
+    """Submit a unique batch, drain it with ``n_agents`` remote
+    agents over HTTP, return (elapsed_seconds, per-agent stats)."""
+    service = DecompositionService(
+        tmp_path / f"svc-{n_agents}", policy=FAST_POLICY
+    )
+    jobs = [
+        service.submit(
+            JobSpec(
+                workload="cos",
+                n_inputs=N_INPUTS,
+                config=dataclasses.replace(config, seed=seed),
+            )
+        )
+        for seed in range(n_jobs)
+    ]
+    gw_config = GatewayConfig(
+        port=0, claim_wait_seconds=0.2, claim_poll_seconds=0.02
+    )
+    with DecompositionGateway(service, gw_config) as gw:
+        agents = [
+            RemoteWorkerAgent(
+                gw.url,
+                worker_id=f"bench-{n_agents}-{i}",
+                drain=True,
+                claim_wait=0.2,
+                poll_seconds=0.02,
+            )
+            for i in range(n_agents)
+        ]
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=agent.run, name=agent.worker_id)
+            for agent in agents
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+    for job in jobs:
+        assert service.job(job.id).state == "done"
+    return elapsed, [agent.stats for agent in agents]
+
+
+def _claim_latency(tmp_path, config, n_wakeups):
+    """Long-poll wakeup (submit→grant) and empty-claim round trip."""
+    service = DecompositionService(
+        tmp_path / "svc-latency", policy=FAST_POLICY
+    )
+    gw_config = GatewayConfig(
+        port=0, claim_wait_seconds=5.0, claim_poll_seconds=0.02
+    )
+    wakeups = []
+    empties = []
+    with DecompositionGateway(service, gw_config) as gw:
+        from repro.fleet import FleetClient
+
+        client = FleetClient(gw.url, timeout_seconds=30.0)
+        for i in range(n_wakeups):
+            grant_box = {}
+
+            def parked_claim():
+                grant_box["grant"] = client.claim("latency-probe")
+
+            thread = threading.Thread(target=parked_claim)
+            thread.start()
+            time.sleep(0.1)  # let the claim park server-side
+            submitted_at = time.perf_counter()
+            job = service.submit(
+                JobSpec(
+                    workload="cos",
+                    n_inputs=N_INPUTS,
+                    config=dataclasses.replace(config, seed=1000 + i),
+                )
+            )
+            thread.join(timeout=30)
+            wakeups.append(time.perf_counter() - submitted_at)
+            grant = grant_box["grant"]
+            assert grant is not None and grant.job.id == job.id
+            # settle the probe job instantly (no solve) so the next
+            # wakeup measures an empty queue again
+            client.complete(
+                "latency-probe",
+                job.id,
+                job.artifact_key,
+                design={"bench": "latency-probe"},
+            )
+        probe = FleetClient(gw.url)
+        for _ in range(30):
+            start = time.perf_counter()
+            assert probe.claim("empty-probe", wait=0) is None
+            empties.append(time.perf_counter() - start)
+    return wakeups, empties
+
+
+def test_fleet_throughput_and_claim_latency(
+    benchmark, bench_scale, tmp_path
+):
+    n_jobs = int(os.environ.get("REPRO_BENCH_FLEET_JOBS", 8))
+    n_wakeups = int(os.environ.get("REPRO_BENCH_FLEET_WAKEUPS", 10))
+    config = _config(bench_scale)
+
+    def run_sweep():
+        results = {}
+        for n_agents in FLEET_SIZES:
+            elapsed, stats = _drain_with_fleet(
+                tmp_path, config, n_jobs, n_agents
+            )
+            results[n_agents] = {
+                "elapsed_seconds": elapsed,
+                "jobs_per_second": n_jobs / elapsed,
+                "completed_by_agent": [s.completed for s in stats],
+                "failed": sum(s.failed for s in stats),
+            }
+        return results
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    wakeups, empties = _claim_latency(tmp_path, config, n_wakeups)
+
+    base = results[FLEET_SIZES[0]]["jobs_per_second"]
+    payload = {
+        "mix": {
+            "n_jobs": n_jobs,
+            "n_inputs": N_INPUTS,
+            "n_partitions": config.n_partitions,
+            "n_rounds": config.n_rounds,
+        },
+        "throughput": {
+            str(n): {
+                **results[n],
+                "speedup_vs_1": results[n]["jobs_per_second"] / base,
+            }
+            for n in FLEET_SIZES
+        },
+        "claim_latency": {
+            "longpoll_wakeup": {
+                "n_samples": len(wakeups),
+                "p50_ms": _percentile(wakeups, 0.50) * 1000.0,
+                "p95_ms": _percentile(wakeups, 0.95) * 1000.0,
+            },
+            "empty_claim": {
+                "n_samples": len(empties),
+                "p50_ms": _percentile(empties, 0.50) * 1000.0,
+                "p95_ms": _percentile(empties, 0.95) * 1000.0,
+            },
+        },
+    }
+    path = write_bench_json("BENCH_fleet.json", payload)
+    for n in FLEET_SIZES:
+        row = payload["throughput"][str(n)]
+        print(
+            f"\n[fleet] {n} worker(s): "
+            f"{row['jobs_per_second']:.2f} jobs/s "
+            f"({row['speedup_vs_1']:.2f}x vs 1)"
+        )
+    wake = payload["claim_latency"]["longpoll_wakeup"]
+    print(
+        f"[fleet] long-poll wakeup p50 {wake['p50_ms']:.1f} ms / "
+        f"p95 {wake['p95_ms']:.1f} ms"
+    )
+    print(f"[fleet] wrote {path}")
+
+    # qualitative shape, not a timing gate: more workers must not be
+    # slower, and every batch must land completely
+    for n in FLEET_SIZES:
+        assert results[n]["failed"] == 0
+        assert sum(results[n]["completed_by_agent"]) == n_jobs
+    assert (
+        payload["throughput"]["4"]["jobs_per_second"]
+        >= 0.8 * payload["throughput"]["1"]["jobs_per_second"]
+    )
+    # the long-poll must wake well under the claim-wait cap
+    assert wake["p95_ms"] < 2000.0

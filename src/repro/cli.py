@@ -24,10 +24,19 @@ Commands
     Run the service worker pool over a service directory (drains the
     queue by default; ``--forever`` keeps serving; ``--http PORT``
     additionally exposes the HTTP gateway and serves until
-    interrupted).
+    interrupted).  ``--min-workers/--max-workers`` replace the fixed
+    pool with queue-depth-driven autoscaling; ``--dispatch-only``
+    (with ``--http``) runs the gateway with *no* local workers — the
+    queue is drained entirely by remote ``repro work`` agents.
+``work``
+    Run a remote worker against a gateway: claim jobs over
+    ``--remote URL``, execute them locally, ship checkpoints and
+    results back.  ``--drain`` exits once the queue is empty;
+    ``--isolated`` runs each attempt in a child process.
 ``status``
     Show the service job table and telemetry summary (local directory
-    or ``--remote`` gateway).
+    or ``--remote`` gateway); ``--workers`` shows the fleet registry
+    instead (worker liveness, leases, per-worker job counts).
 ``fetch``
     Write a finished job's design JSON (same format ``decompose``
     emits, so ``evaluate``/``export-verilog`` consume it directly);
@@ -73,13 +82,21 @@ Examples
     python -m repro status --remote http://127.0.0.1:8080
     python -m repro fetch --remote http://127.0.0.1:8080 \\
         --job job-ab12cd34ef56 --out cos.json
+
+    # fleet mode: a dispatch-only gateway plus remote workers pulling
+    # jobs over HTTP from any machine
+    python -m repro serve --service-dir svc --dispatch-only --http 8080
+    python -m repro work --remote http://127.0.0.1:8080
+    python -m repro status --remote http://127.0.0.1:8080 --workers
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -87,7 +104,8 @@ from repro._version import package_version
 from repro.boolean.metrics import error_rate, mean_error_distance
 from repro.core import CoreSolverConfig, FrameworkConfig, IsingDecomposer
 from repro.errors import ConfigurationError, ReproError
-from repro.gateway import DecompositionGateway, GatewayClient, GatewayConfig
+from repro.fleet import FleetClient, PoolAutoscaler, RemoteWorkerAgent
+from repro.gateway import DecompositionGateway, GatewayConfig
 from repro.ising.kernels import backend_infos
 from repro.ising.solvers.registry import solver_info, solver_names
 from repro.lut import cascade_cost_report
@@ -108,6 +126,7 @@ from repro.service import (
     SchedulerPolicy,
     WorkerSupervisor,
     format_job_table,
+    format_worker_table,
 )
 from repro.service.telemetry import prometheus_exposition
 from repro.workloads import build_workload, workload_names
@@ -169,8 +188,10 @@ def _add_service_target(parser: argparse.ArgumentParser) -> None:
                         help="bearer token for --remote")
 
 
-def _remote_client(args: argparse.Namespace) -> GatewayClient:
-    return GatewayClient(args.remote, token=args.token)
+def _remote_client(args: argparse.Namespace) -> FleetClient:
+    # FleetClient extends GatewayClient with the worker-plane verbs
+    # and the fleet registry; harmless for plain submitter use
+    return FleetClient(args.remote, token=args.token)
 
 
 def _check_target(args: argparse.Namespace) -> None:
@@ -280,6 +301,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run each worker as a supervised child "
                             "process (restart on crash, kill on hang) "
                             "instead of an in-process thread")
+    serve.add_argument("--min-workers", type=int, default=0, metavar="N",
+                       help="with --max-workers: lower bound of the "
+                            "autoscaled pool (default: 0, fully "
+                            "elastic)")
+    serve.add_argument("--max-workers", type=int, default=None,
+                       metavar="N",
+                       help="enable queue-depth-driven autoscaling of "
+                            "the worker pool between --min-workers and "
+                            "N units (replaces the fixed --workers "
+                            "count)")
+    serve.add_argument("--dispatch-only", action="store_true",
+                       help="run no local workers at all — the gateway "
+                            "owns the store and remote 'repro work' "
+                            "agents drain the queue (requires --http)")
     serve.add_argument("--max-restarts", type=int, default=5,
                        help="supervised-mode worker restart budget")
     serve.add_argument("--trace-out", type=Path, default=None,
@@ -305,6 +340,36 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PATH",
                        help="append one JSON line per request here")
 
+    work = sub.add_parser(
+        "work",
+        help="run a remote worker claiming jobs from a gateway",
+    )
+    work.add_argument("--remote", required=True, metavar="URL",
+                      help="gateway base URL to claim jobs from")
+    work.add_argument("--token", default=None,
+                      help="bearer token for the gateway")
+    work.add_argument("--worker-id", default=None,
+                      help="stable worker identity (default: "
+                           "remote-<host>-<pid>)")
+    work.add_argument("--drain", action="store_true",
+                      help="exit once the queue is empty (default: "
+                           "keep claiming forever)")
+    work.add_argument("--isolated", action="store_true",
+                      help="run each attempt in a child process so a "
+                           "hard crash never takes the agent down")
+    work.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                      help="exit after claiming N jobs")
+    work.add_argument("--claim-wait", type=float, default=None,
+                      metavar="SECONDS",
+                      help="cap the server-side claim long-poll "
+                           "(default: the gateway's configured wait)")
+    work.add_argument("--heartbeat-seconds", type=float, default=5.0,
+                      help="minimum interval between lease heartbeats")
+    work.add_argument("--checkpoint-every", type=int,
+                      default=DEFAULT_CHECKPOINT_EVERY, metavar="K",
+                      help="ship a crash-recovery checkpoint every K "
+                           "components (0 disables checkpointing)")
+
     stat = sub.add_parser(
         "status", help="show service jobs and telemetry"
     )
@@ -314,6 +379,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit the raw telemetry summary as JSON")
     stat.add_argument("--prometheus", action="store_true",
                       help="emit the Prometheus text exposition instead")
+    stat.add_argument("--workers", action="store_true",
+                      dest="show_workers",
+                      help="show the fleet registry (worker liveness, "
+                           "leases, per-worker job counts) instead")
 
     fetch = sub.add_parser(
         "fetch", help="write a finished job's design JSON"
@@ -459,7 +528,46 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _graceful_sigterm() -> None:
+    """Make ``kill`` drain like ctrl-C instead of dropping requests.
+
+    Long-running commands (``serve``, ``work``) are stopped by
+    operators and CI with SIGTERM; routing it through
+    :class:`KeyboardInterrupt` reuses the graceful-shutdown path
+    (gateway drains in-flight handlers, workers finish the current
+    attempt).  SIGINT itself may arrive as SIG_IGN when the process
+    was backgrounded from a non-interactive shell, so TERM is the
+    only reliable stop signal there.
+    """
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _raise)
+    except ValueError:
+        pass  # not the main thread (embedded use) — leave untouched
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    _graceful_sigterm()
+    autoscale = args.max_workers is not None
+    if args.dispatch_only:
+        if args.http is None:
+            raise ConfigurationError(
+                "--dispatch-only requires --http PORT (a gateway with "
+                "no workers serves nobody otherwise)"
+            )
+        if args.isolated_workers or autoscale:
+            raise ConfigurationError(
+                "--dispatch-only runs no local workers; drop "
+                "--isolated-workers/--min-workers/--max-workers"
+            )
+    if autoscale and args.isolated_workers:
+        raise ConfigurationError(
+            "--max-workers autoscaling and --isolated-workers are "
+            "exclusive (the supervisor owns its own worker count)"
+        )
     policy = SchedulerPolicy(
         lease_seconds=args.lease_seconds,
         retry_backoff_seconds=args.retry_backoff,
@@ -483,10 +591,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             checkpoint_every=checkpoint_every,
             max_restarts=args.max_restarts,
         )
+    autoscaler = None
+    if autoscale:
+        autoscaler = PoolAutoscaler(
+            service.scheduler,
+            service.executor,
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+        )
     depth = service.store.pending()
-    mode = "supervised process" if supervisor is not None else "thread"
-    print(f"serving {args.service_dir} with {args.workers} "
-          f"{mode} worker(s), {depth} job(s) pending")
+    if args.dispatch_only:
+        print(f"serving {args.service_dir} dispatch-only (no local "
+              f"workers), {depth} job(s) pending")
+    elif autoscaler is not None:
+        print(f"serving {args.service_dir} with "
+              f"{args.min_workers}..{args.max_workers} autoscaled "
+              f"worker(s), {depth} job(s) pending")
+    else:
+        mode = (
+            "supervised process" if supervisor is not None else "thread"
+        )
+        print(f"serving {args.service_dir} with {args.workers} "
+              f"{mode} worker(s), {depth} job(s) pending")
+
+    def start_pool():
+        """Start the chosen worker backend; None in dispatch-only."""
+        if args.dispatch_only:
+            service._recover_orphans_best_effort()
+            return None
+        if supervisor is not None:
+            supervisor.start()
+            return supervisor
+        if autoscaler is not None:
+            service._recover_orphans_best_effort()
+            return autoscaler.start()
+        return service.serve_forever()
+
     if args.http is not None:
         gateway = DecompositionGateway(
             service,
@@ -499,11 +639,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 access_log_path=args.http_access_log,
             ),
         )
-        if supervisor is not None:
-            supervisor.start()
-            pool = supervisor
-        else:
-            pool = service.serve_forever()
+        pool = start_pool()
         print(f"gateway listening on {gateway.url}")
         try:
             gateway.serve_forever()
@@ -513,14 +649,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # drain order: stop accepting requests (joining in-flight
             # handlers), then stop the workers
             gateway.stop()
-            pool.stop()
+            if pool is not None:
+                pool.stop()
         return 0
     if args.forever:
-        if supervisor is not None:
-            supervisor.start()
-            pool = supervisor
-        else:
-            pool = service.serve_forever()
+        pool = start_pool()
         try:
             while not pool.wait(3600):
                 pass
@@ -531,6 +664,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     def drain() -> None:
         if supervisor is not None:
             supervisor.run_until_drained()
+        elif autoscaler is not None:
+            service._recover_orphans_best_effort()
+            autoscaler.start()
+            try:
+                while service.store.pending() > 0:
+                    time.sleep(0.05)
+            finally:
+                autoscaler.stop()
         else:
             service.run_until_drained()
 
@@ -558,14 +699,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _status_backend(args: argparse.Namespace):
-    """A uniform (jobs, job, status, prometheus) view over either a
-    local service directory or a remote gateway — what keeps the
-    ``status``/``fetch`` rendering a single code path.
+    """A uniform (jobs, job, status, prometheus, design, workers) view
+    over either a local service directory or a remote gateway — what
+    keeps the ``status``/``fetch`` rendering a single code path.
     """
     if args.remote is not None:
         client = _remote_client(args)
         return (client.jobs, client.job, client.status,
-                client.metrics_text, client.fetch_design_dict)
+                client.metrics_text, client.fetch_design_dict,
+                client.workers)
     service = DecompositionService(args.service_dir)
     return (
         service.jobs,
@@ -573,14 +715,25 @@ def _status_backend(args: argparse.Namespace):
         service.status,
         lambda: prometheus_exposition(service.store, service.artifacts),
         service.fetch_design_dict,
+        service.store.list_workers,
     )
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
     _check_target(args)
-    jobs_fn, job_fn, status_fn, prometheus_fn, _ = _status_backend(args)
+    (jobs_fn, job_fn, status_fn, prometheus_fn, _,
+     workers_fn) = _status_backend(args)
     if args.prometheus:
         print(prometheus_fn(), end="")
+        return 0
+    if args.show_workers:
+        print(format_worker_table(workers_fn()))
+        fleet = status_fn()["fleet"]
+        print()
+        print(f"workers: {fleet['workers']} seen, {fleet['live']} live, "
+              f"{fleet['busy']} busy, {fleet['remote']} remote; "
+              f"{fleet['jobs_completed']} completed / "
+              f"{fleet['jobs_failed']} failed attempts")
         return 0
     if args.job is not None:
         print(format_job_table([job_fn(args.job)]))
@@ -598,9 +751,38 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_work(args: argparse.Namespace) -> int:
+    _graceful_sigterm()
+    agent = RemoteWorkerAgent(
+        args.remote,
+        token=args.token,
+        worker_id=args.worker_id,
+        checkpoint_every=(
+            None if args.checkpoint_every == 0 else args.checkpoint_every
+        ),
+        heartbeat_seconds=args.heartbeat_seconds,
+        claim_wait=args.claim_wait,
+        drain=args.drain,
+        isolated=args.isolated,
+    )
+    print(f"worker {agent.worker_id} claiming from {args.remote}"
+          f"{' (isolated)' if args.isolated else ''}"
+          f"{' until drained' if args.drain else ''}")
+    try:
+        stats = agent.run(max_jobs=args.max_jobs)
+    except KeyboardInterrupt:
+        agent.stop()
+        stats = agent.stats
+    print(f"worker {agent.worker_id} done: {stats.completed} completed "
+          f"({stats.cache_hits} cached, {stats.resumed} resumed), "
+          f"{stats.failed} failed, {stats.abandoned} abandoned, "
+          f"{stats.superseded} superseded")
+    return 0
+
+
 def _cmd_fetch(args: argparse.Namespace) -> int:
     _check_target(args)
-    _, job_fn, _, _, design_fn = _status_backend(args)
+    _, job_fn, _, _, design_fn, _ = _status_backend(args)
     design = design_fn(args.job)
     text = json.dumps(design, indent=2, sort_keys=True)
     if args.out is None:
@@ -629,6 +811,7 @@ _DISPATCH = {
     "export-verilog": _cmd_export_verilog,
     "submit": _cmd_submit,
     "serve": _cmd_serve,
+    "work": _cmd_work,
     "status": _cmd_status,
     "fetch": _cmd_fetch,
     "trace": _cmd_trace_report,

@@ -14,6 +14,16 @@ Endpoints (all JSON unless noted)::
     GET  /v1/status            the service telemetry summary
     GET  /v1/healthz           liveness + queue depth
     GET  /v1/metrics           Prometheus text exposition (0.0.4)
+    GET  /v1/workers           the fleet registry (worker liveness)
+    GET  /v1/artifacts/{key}   one stored artifact envelope
+    POST /v1/workers/{verb}    the remote worker plane — claim /
+                               heartbeat / checkpoint / complete /
+                               fail (see :mod:`repro.fleet.protocol`)
+
+The worker plane draws from a *separate* rate-limit bucket class
+(``worker_rate_limit_per_second``) so a hot claim loop never burns the
+submitter budget, and an empty-queue claim long-polls server-side
+(``claim_wait_seconds``) before answering 204 + ``Retry-After``.
 
 Submission is *idempotent*: the job spec's content address (see
 :func:`repro.service.spec.artifact_key`) dedups resubmissions against

@@ -26,6 +26,7 @@ from __future__ import annotations
 import hmac
 import json
 import logging
+import sqlite3
 import threading
 import time
 from dataclasses import dataclass
@@ -80,6 +81,20 @@ class GatewayConfig:
     access_log_path:
         When set, one JSON line per request is appended here
         (timestamp, client, method, path, status, duration, bytes).
+    claim_wait_seconds:
+        How long ``POST /v1/workers/claim`` long-polls an empty queue
+        before answering 204 + ``Retry-After`` (0 disables long-poll).
+        Callers may lower (never raise) this per request with a
+        ``wait`` field in the claim body.
+    claim_poll_seconds:
+        Store re-check interval inside the claim long-poll.
+    claim_retry_after_seconds:
+        The ``Retry-After`` hint on empty 204 claim responses.
+    worker_rate_limit_per_second, worker_rate_limit_burst:
+        Separate token-bucket class for the ``/v1/workers/*`` plane, so
+        a hot claim loop never burns the submitter budget (and vice
+        versa).  ``None`` disables limiting for worker endpoints —
+        the long-poll already paces empty-queue claims.
     """
 
     host: str = "127.0.0.1"
@@ -92,6 +107,11 @@ class GatewayConfig:
     request_timeout_seconds: float = 30.0
     retry_after_seconds: float = 2.0
     access_log_path: Optional[Union[str, Path]] = None
+    claim_wait_seconds: float = 20.0
+    claim_poll_seconds: float = 0.05
+    claim_retry_after_seconds: float = 1.0
+    worker_rate_limit_per_second: Optional[float] = None
+    worker_rate_limit_burst: int = 20
 
 
 class TokenBucket:
@@ -180,6 +200,9 @@ class DecompositionGateway:
         self._buckets_lock = threading.Lock()
         self._metrics = get_metrics()
         self._thread: Optional[threading.Thread] = None
+        # set before shutdown so in-flight claim long-polls return
+        # promptly instead of pinning the graceful drain
+        self._stopping = threading.Event()
         handler = _build_handler(self)
         self._httpd = ThreadingHTTPServer(
             (self.config.host, self.config.port), handler
@@ -222,6 +245,7 @@ class DecompositionGateway:
 
     def stop(self) -> None:
         """Stop accepting, drain in-flight handlers, release the port."""
+        self._stopping.set()
         self._httpd.shutdown()
         self._httpd.server_close()  # joins handler threads
         if self._thread is not None:
@@ -238,9 +262,23 @@ class DecompositionGateway:
 
     # -- shared per-request machinery ----------------------------------
 
-    def bucket_for(self, client: str) -> Optional[TokenBucket]:
-        """The rate-limit bucket for one peer (``None`` — unlimited)."""
-        rate = self.config.rate_limit_per_second
+    def bucket_for(
+        self, client: str, worker: bool = False
+    ) -> Optional[TokenBucket]:
+        """The rate-limit bucket for one peer (``None`` — unlimited).
+
+        ``worker=True`` selects the separate ``/v1/workers/*`` bucket
+        class (own rate/burst config, own table key) — the worker plane
+        and the submitter plane never draw from each other's budget.
+        """
+        if worker:
+            rate = self.config.worker_rate_limit_per_second
+            burst = self.config.worker_rate_limit_burst
+            key = f"worker:{client}"
+        else:
+            rate = self.config.rate_limit_per_second
+            burst = self.config.rate_limit_burst
+            key = client
         if rate is None:
             return None
         with self._buckets_lock:
@@ -248,10 +286,10 @@ class DecompositionGateway:
             # clients must not grow this dict without limit
             if len(self._buckets) > 4096:
                 self._buckets.clear()
-            bucket = self._buckets.get(client)
+            bucket = self._buckets.get(key)
             if bucket is None:
-                bucket = TokenBucket(rate, self.config.rate_limit_burst)
-                self._buckets[client] = bucket
+                bucket = TokenBucket(rate, burst)
+                self._buckets[key] = bucket
             return bucket
 
     def record(
@@ -362,14 +400,20 @@ def _build_handler(gateway: DecompositionGateway):
                 header.encode("utf-8"), expected.encode("utf-8")
             )
 
-        def _gate(self) -> bool:
-            """Auth + rate limit; sends the rejection itself on False."""
+        def _gate(self, worker: bool = False) -> bool:
+            """Auth + rate limit; sends the rejection itself on False.
+
+            ``worker=True`` draws from the worker-plane bucket class
+            instead of the submitter one (see ``bucket_for``).
+            """
             if not self._authorized():
                 self._metrics_inc("gateway_rejected_auth",
                                   "requests rejected by bearer auth")
                 self._error(401, "missing or invalid bearer token")
                 return False
-            bucket = gateway.bucket_for(self.client_address[0])
+            bucket = gateway.bucket_for(
+                self.client_address[0], worker=worker
+            )
             if bucket is not None:
                 wait = bucket.acquire()
                 if wait > 0.0:
@@ -407,6 +451,11 @@ def _build_handler(gateway: DecompositionGateway):
                 elif segments == ["v1", "status"]:
                     self._json(200, service_summary(
                         service.store, service.artifacts))
+                elif segments == ["v1", "workers"]:
+                    self._handle_workers()
+                elif (len(segments) == 3
+                      and segments[:2] == ["v1", "artifacts"]):
+                    self._handle_artifact(segments[2])
                 elif segments == ["v1", "jobs"]:
                     self._handle_list(parse_qs(parts.query))
                 elif len(segments) == 3 and segments[:2] == ["v1", "jobs"]:
@@ -429,12 +478,20 @@ def _build_handler(gateway: DecompositionGateway):
             parts = urlsplit(self.path)
             segments = [s for s in parts.path.split("/") if s]
             try:
+                if (len(segments) == 3
+                        and segments[:2] == ["v1", "workers"]):
+                    if not self._gate(worker=True):
+                        return
+                    self._handle_worker_verb(segments[2])
+                    return
                 if not self._gate():
                     return
                 if segments == ["v1", "jobs"]:
                     self._handle_submit()
                 else:
                     self._error(404, f"no such endpoint: {parts.path}")
+            except JobNotFound as exc:
+                self._error(404, str(exc))
             except ReproError as exc:
                 self._error(400, str(exc))
             except Exception as exc:  # noqa: BLE001 — boundary
@@ -540,5 +597,279 @@ def _build_handler(gateway: DecompositionGateway):
             self._json(
                 201, {"job": job.to_dict(), "deduplicated": False}
             )
+
+        # -- worker plane ----------------------------------------------
+
+        def _handle_workers(self) -> None:
+            now = time.time()
+            self._json(
+                200,
+                {
+                    "workers": [
+                        worker.to_dict(now)
+                        for worker in service.store.list_workers()
+                    ]
+                },
+            )
+
+        def _handle_artifact(self, key: str) -> None:
+            envelope = service.artifacts.get(key)
+            if envelope is None:
+                self._error(404, f"no artifact stored under key {key}")
+                return
+            self._json(200, envelope)
+
+        def _read_json(self) -> Optional[Dict]:
+            raw = self._read_body()
+            if raw is None:
+                return None
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                self._error(400, f"invalid JSON body: {exc}")
+                return None
+            if not isinstance(payload, dict):
+                self._error(400, "request body must be a JSON object")
+                return None
+            return payload
+
+        @staticmethod
+        def _require(payload: Dict, field: str) -> str:
+            value = payload.get(field)
+            if not isinstance(value, str) or not value:
+                raise ServiceError(
+                    f"field {field!r} (non-empty string) is required"
+                )
+            return value
+
+        def _handle_worker_verb(self, verb: str) -> None:
+            handlers = {
+                "claim": self._worker_claim,
+                "heartbeat": self._worker_heartbeat,
+                "checkpoint": self._worker_checkpoint,
+                "complete": self._worker_complete,
+                "fail": self._worker_fail,
+            }
+            handler = handlers.get(verb)
+            if handler is None:
+                self._error(
+                    404,
+                    f"no such worker verb: {verb!r} "
+                    f"(one of {sorted(handlers)})",
+                )
+                return
+            payload = self._read_json()
+            if payload is None:
+                return
+            handler(payload)
+
+        def _owned_running(
+            self, payload: Dict
+        ) -> Optional["JobRecord"]:
+            """The payload's job iff running and owned by the caller.
+
+            Sends the 409 itself and returns ``None`` when the caller
+            lost its claim (lease expired, job recovered or finished
+            elsewhere) — the agent must abandon the attempt.
+            """
+            worker = self._require(payload, "worker")
+            job_id = self._require(payload, "job_id")
+            job = service.store.get(job_id)  # JobNotFound -> 404
+            if job.state != "running" or job.worker != worker:
+                self._error(
+                    409,
+                    f"job {job_id} is not running for {worker!r} "
+                    f"(state {job.state!r}, holder {job.worker!r})",
+                )
+                return None
+            return job
+
+        def _worker_claim(self, payload: Dict) -> None:
+            worker = self._require(payload, "worker")
+            wait = max(
+                0.0,
+                min(
+                    float(payload.get("wait", config.claim_wait_seconds)),
+                    config.claim_wait_seconds,
+                ),
+            )
+            deadline = time.monotonic() + wait
+            while True:
+                try:
+                    service.scheduler.recover_orphans()
+                    job = service.scheduler.claim(worker, kind="remote")
+                except sqlite3.OperationalError as exc:
+                    # transient store pressure — punt, agent backs off
+                    self._error(
+                        503,
+                        f"job store unavailable: {exc}",
+                        retry_after=config.claim_retry_after_seconds,
+                    )
+                    return
+                if job is not None:
+                    self._metrics_inc(
+                        "gateway_worker_claims",
+                        "jobs claimed by remote workers",
+                    )
+                    checkpoint = service.artifacts.get_checkpoint(
+                        job.artifact_key
+                    )
+                    self._json(
+                        200,
+                        {
+                            "job": job.to_dict(),
+                            "checkpoint": checkpoint,
+                            "lease_seconds": (
+                                service.scheduler.policy.lease_seconds
+                            ),
+                        },
+                    )
+                    return
+                if (
+                    gateway._stopping.is_set()
+                    or time.monotonic() >= deadline
+                ):
+                    break
+                gateway._stopping.wait(config.claim_poll_seconds)
+            self._metrics_inc(
+                "gateway_worker_claims_empty",
+                "claim long-polls that timed out empty",
+            )
+            self._finish(
+                204,
+                b"",
+                extra_headers={
+                    "Retry-After": (
+                        f"{config.claim_retry_after_seconds:g}"
+                    )
+                },
+            )
+
+        def _worker_heartbeat(self, payload: Dict) -> None:
+            job = self._owned_running(payload)
+            if job is None:
+                return
+            service.scheduler.heartbeat(job)
+            self._metrics_inc(
+                "gateway_worker_heartbeats",
+                "lease renewals from remote workers",
+            )
+            self._json(
+                200,
+                {
+                    "ok": True,
+                    "lease_seconds": (
+                        service.scheduler.policy.lease_seconds
+                    ),
+                },
+            )
+
+        def _worker_checkpoint(self, payload: Dict) -> None:
+            job = self._owned_running(payload)
+            if job is None:
+                return
+            checkpoint = payload.get("checkpoint")
+            if not isinstance(checkpoint, dict):
+                raise ServiceError(
+                    "field 'checkpoint' (JSON object) is required"
+                )
+            service.artifacts.put_checkpoint(
+                job.artifact_key, checkpoint
+            )
+            # a shipped checkpoint is proof of life — renew the lease
+            service.scheduler.heartbeat(job)
+            self._metrics_inc(
+                "gateway_worker_checkpoints",
+                "checkpoints shipped by remote workers",
+            )
+            self._json(200, {"ok": True})
+
+        def _worker_complete(self, payload: Dict) -> None:
+            """Idempotent completion, keyed by artifact key.
+
+            The artifact write is content-addressed and the design is
+            deterministic, so replays (network retry, double worker)
+            converge: whoever writes first wins, everyone else gets
+            ``already_done``/``superseded`` — never an error, never a
+            lost or duplicated result.
+            """
+            worker = self._require(payload, "worker")
+            job_id = self._require(payload, "job_id")
+            key = self._require(payload, "artifact_key")
+            job = service.store.get(job_id)  # JobNotFound -> 404
+            if key != job.artifact_key:
+                raise ServiceError(
+                    f"artifact key mismatch for job {job_id}: "
+                    f"claimed {key}, expected {job.artifact_key}"
+                )
+            design = payload.get("design")
+            if design is not None and service.artifacts.get(key) is None:
+                service.artifacts.put(
+                    key, design, payload.get("meta") or {}
+                )
+            if job.state == "done":
+                self._json(
+                    200, {"result": "already_done", "state": "done"}
+                )
+                return
+            if job.state != "running" or job.worker != worker:
+                self._json(
+                    200, {"result": "superseded", "state": job.state}
+                )
+                return
+            try:
+                service.scheduler.complete(
+                    job,
+                    med=payload.get("med"),
+                    runtime_seconds=payload.get("runtime_seconds"),
+                    cache_hit=bool(payload.get("cache_hit", False)),
+                )
+            except ServiceError:
+                # lost the race between the ownership check and the
+                # transition (lease expired mid-request) — the other
+                # holder owns the durable state now
+                self._json(
+                    200,
+                    {
+                        "result": "superseded",
+                        "state": service.store.get(job_id).state,
+                    },
+                )
+                return
+            service.artifacts.delete_checkpoint(key)
+            self._metrics_inc(
+                "gateway_worker_completions",
+                "jobs completed by remote workers",
+            )
+            self._json(200, {"result": "completed", "state": "done"})
+
+        def _worker_fail(self, payload: Dict) -> None:
+            worker = self._require(payload, "worker")
+            job_id = self._require(payload, "job_id")
+            error = self._require(payload, "error")
+            job = service.store.get(job_id)  # JobNotFound -> 404
+            if job.state != "running" or job.worker != worker:
+                self._json(
+                    200, {"result": "ignored", "state": job.state}
+                )
+                return
+            try:
+                state = service.scheduler.record_failure(
+                    job, error=error, now=time.time()
+                )
+            except ServiceError:
+                self._json(
+                    200,
+                    {
+                        "result": "ignored",
+                        "state": service.store.get(job_id).state,
+                    },
+                )
+                return
+            self._metrics_inc(
+                "gateway_worker_failures",
+                "failed attempts reported by remote workers",
+            )
+            self._json(200, {"result": "failed", "state": state})
 
     return Handler

@@ -32,6 +32,7 @@ from repro.service.jobstore import (
     TERMINAL_STATES,
     JobRecord,
     JobStore,
+    WorkerRecord,
 )
 from repro.service.scheduler import Scheduler, SchedulerPolicy
 from repro.service.service import DecompositionService
@@ -43,7 +44,11 @@ from repro.service.spec import (
     spec_from_stored,
 )
 from repro.service.supervisor import WorkerSupervisor
-from repro.service.telemetry import format_job_table, service_summary
+from repro.service.telemetry import (
+    format_job_table,
+    format_worker_table,
+    service_summary,
+)
 from repro.service.worker import (
     DEFAULT_CHECKPOINT_EVERY,
     JobExecutor,
@@ -65,9 +70,11 @@ __all__ = [
     "SchedulerPolicy",
     "TERMINAL_STATES",
     "WorkerPool",
+    "WorkerRecord",
     "WorkerSupervisor",
     "artifact_key",
     "format_job_table",
+    "format_worker_table",
     "service_summary",
     "spec_from_stored",
 ]

@@ -53,7 +53,13 @@ from repro.errors import JobNotFound, JobStoreCorruptError, ServiceError
 from repro.resilience.faults import active_fault_plan
 from repro.service.spec import JobSpec, spec_from_stored
 
-__all__ = ["JobStore", "JobRecord", "JOB_STATES", "TERMINAL_STATES"]
+__all__ = [
+    "JobStore",
+    "JobRecord",
+    "WorkerRecord",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+]
 
 JOB_STATES = ("queued", "running", "done", "failed", "quarantined")
 
@@ -84,6 +90,15 @@ CREATE TABLE IF NOT EXISTS jobs (
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs (state, not_before);
 CREATE INDEX IF NOT EXISTS idx_jobs_key ON jobs (artifact_key);
+CREATE TABLE IF NOT EXISTS workers (
+    id              TEXT PRIMARY KEY,
+    kind            TEXT NOT NULL DEFAULT 'local',
+    first_seen      REAL NOT NULL,
+    last_heartbeat  REAL NOT NULL,
+    current_job     TEXT,
+    jobs_completed  INTEGER NOT NULL DEFAULT 0,
+    jobs_failed     INTEGER NOT NULL DEFAULT 0
+);
 """
 
 #: columns shared by the pre-quarantine schema and the current one, in
@@ -174,6 +189,64 @@ class JobRecord:
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ServiceError(f"malformed job record: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class WorkerRecord:
+    """One row of the ``workers`` registry table.
+
+    Rows are maintained as a *side effect* of the lease API: a claim
+    registers (or refreshes) the claiming worker, every heartbeat
+    refreshes ``last_heartbeat``, and completion-path transitions bump
+    the per-worker counters.  The registry is therefore exactly as
+    durable and process-oblivious as the jobs table itself — any
+    process reading the store sees the same fleet, which is what the
+    ``repro status --workers`` view and the gateway's ``GET
+    /v1/workers`` endpoint render.
+    """
+
+    id: str
+    kind: str
+    first_seen: float
+    last_heartbeat: float
+    current_job: Optional[str]
+    jobs_completed: int
+    jobs_failed: int
+    lease_expires: Optional[float] = None
+
+    def to_dict(self, now: Optional[float] = None) -> Dict:
+        """Plain-JSON snapshot (the ``GET /v1/workers`` wire shape)."""
+        now = time.time() if now is None else now
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "first_seen": self.first_seen,
+            "last_heartbeat": self.last_heartbeat,
+            "heartbeat_age_seconds": round(
+                max(0.0, now - self.last_heartbeat), 3
+            ),
+            "current_job": self.current_job,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "lease_expires": self.lease_expires,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "WorkerRecord":
+        """Rebuild a record serialized by :meth:`to_dict`."""
+        try:
+            return cls(
+                id=data["id"],
+                kind=data.get("kind", "local"),
+                first_seen=float(data["first_seen"]),
+                last_heartbeat=float(data["last_heartbeat"]),
+                current_job=data.get("current_job"),
+                jobs_completed=int(data.get("jobs_completed", 0)),
+                jobs_failed=int(data.get("jobs_failed", 0)),
+                lease_expires=data.get("lease_expires"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed worker record: {exc}") from exc
 
 
 def _record_from_row(row: sqlite3.Row) -> JobRecord:
@@ -337,16 +410,42 @@ class JobStore:
 
     # -- scheduling ----------------------------------------------------
 
+    @staticmethod
+    def _upsert_worker(
+        conn: sqlite3.Connection,
+        worker: str,
+        *,
+        kind: str,
+        now: float,
+        job_id: Optional[str] = None,
+    ) -> None:
+        """Register/refresh one worker row inside an open transaction."""
+        conn.execute(
+            "INSERT INTO workers (id, kind, first_seen, last_heartbeat, "
+            "current_job) VALUES (?, ?, ?, ?, ?) "
+            "ON CONFLICT(id) DO UPDATE SET "
+            "kind = excluded.kind, "
+            "last_heartbeat = excluded.last_heartbeat, "
+            "current_job = COALESCE(excluded.current_job, "
+            "workers.current_job)",
+            (worker, kind, now, now, job_id),
+        )
+
     def claim(
         self,
         worker: str,
         lease_seconds: float,
         now: Optional[float] = None,
+        kind: str = "local",
     ) -> Optional[JobRecord]:
         """Atomically move the oldest eligible queued job to running.
 
         Returns ``None`` when nothing is eligible (empty queue, or all
-        queued jobs still inside their retry-backoff window).
+        queued jobs still inside their retry-backoff window).  Either
+        way the claiming worker is registered/refreshed in the
+        ``workers`` table (``kind`` distinguishes local pool threads
+        from ``"remote"`` fleet agents claiming over the gateway) — an
+        idle worker polling an empty queue is still a live worker.
 
         Duplicate submissions are *single-flighted*: a queued job whose
         artifact key is already running is never claimed — it waits for
@@ -364,6 +463,10 @@ class JobStore:
                 "ORDER BY created_at, id LIMIT 1",
                 (now,),
             ).fetchone()
+            self._upsert_worker(
+                conn, worker, kind=kind, now=now,
+                job_id=row["id"] if row is not None else None,
+            )
             if row is None:
                 return None
             conn.execute(
@@ -381,13 +484,24 @@ class JobStore:
         lease_seconds: float,
         now: Optional[float] = None,
     ) -> None:
-        """Renew a running job's lease (driven by progress hooks)."""
+        """Renew a running job's lease (driven by progress hooks).
+
+        The holder's registry row is refreshed in the same transaction
+        — the fleet view's ``last heartbeat age`` is exactly the lease
+        heartbeat, not a second liveness channel that could drift.
+        """
         now = time.time() if now is None else now
         with self._txn() as conn:
             conn.execute(
                 "UPDATE jobs SET lease_expires = ? "
                 "WHERE id = ? AND state = 'running'",
                 (now + lease_seconds, job_id),
+            )
+            conn.execute(
+                "UPDATE workers SET last_heartbeat = ?, current_job = ? "
+                "WHERE id = (SELECT worker FROM jobs "
+                "WHERE id = ? AND state = 'running')",
+                (now, job_id, job_id),
             )
 
     def recover_orphans(
@@ -503,6 +617,15 @@ class JobStore:
                 "WHERE id = ?",
                 (error, workers_json, row["id"]),
             )
+        if row["worker"]:
+            # Charge the lost attempt to the holder's registry row, but
+            # leave last_heartbeat alone — the holder is presumed dead.
+            conn.execute(
+                "UPDATE workers SET jobs_failed = jobs_failed + 1, "
+                "current_job = CASE WHEN current_job = ? THEN NULL "
+                "ELSE current_job END WHERE id = ?",
+                (row["id"], row["worker"]),
+            )
         return row["id"]
 
     def note_worker_failure(
@@ -547,6 +670,8 @@ class JobStore:
             "runtime_seconds = ?, cache_hit = ?, error = NULL, "
             "lease_expires = NULL WHERE id = ? AND state = 'running'",
             (now, med, runtime_seconds, int(cache_hit), job_id),
+            outcome="completed",
+            now=now,
         )
 
     def retry(
@@ -562,6 +687,8 @@ class JobStore:
             "lease_expires = NULL, worker = NULL "
             "WHERE id = ? AND state = 'running'",
             (error, not_before, job_id),
+            outcome="failed",
+            now=time.time(),
         )
 
     def fail(
@@ -574,6 +701,8 @@ class JobStore:
             "UPDATE jobs SET state = 'failed', error = ?, finished_at = ?, "
             "lease_expires = NULL WHERE id = ? AND state = 'running'",
             (error, now, job_id),
+            outcome="failed",
+            now=now,
         )
 
     def quarantine(
@@ -587,19 +716,47 @@ class JobStore:
             "finished_at = ?, lease_expires = NULL "
             "WHERE id = ? AND state = 'running'",
             (error, now, job_id),
+            outcome="failed",
+            now=now,
         )
 
-    def _transition(self, job_id: str, sql: str, params) -> None:
+    def _transition(
+        self,
+        job_id: str,
+        sql: str,
+        params,
+        *,
+        outcome: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> None:
         with self._txn(immediate=True) as conn:
+            prior = conn.execute(
+                "SELECT state, worker FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+            if prior is None:
+                raise JobNotFound(job_id)
             cursor = conn.execute(sql, params)
             if cursor.rowcount == 0:
-                row = conn.execute(
-                    "SELECT state FROM jobs WHERE id = ?", (job_id,)
-                ).fetchone()
-                if row is None:
-                    raise JobNotFound(job_id)
                 raise ServiceError(
-                    f"job {job_id} is {row['state']!r}; transition refused"
+                    f"job {job_id} is {prior['state']!r}; transition refused"
+                )
+            if outcome is not None and prior["worker"]:
+                done = 1 if outcome == "completed" else 0
+                conn.execute(
+                    "UPDATE workers SET "
+                    "jobs_completed = jobs_completed + ?, "
+                    "jobs_failed = jobs_failed + ?, "
+                    "last_heartbeat = ?, "
+                    "current_job = CASE WHEN current_job = ? "
+                    "THEN NULL ELSE current_job END "
+                    "WHERE id = ?",
+                    (
+                        done,
+                        1 - done,
+                        time.time() if now is None else now,
+                        job_id,
+                        prior["worker"],
+                    ),
                 )
 
     # -- inspection ----------------------------------------------------
@@ -672,3 +829,51 @@ class JobStore:
         """Jobs still owed a result (queued or running)."""
         counts = self.counts()
         return counts["queued"] + counts["running"]
+
+    # -- worker registry -----------------------------------------------
+
+    def list_workers(self) -> List[WorkerRecord]:
+        """Every worker ever seen by this store, oldest first.
+
+        ``lease_expires`` is joined in from the worker's current
+        *running* job (``None`` for idle workers), so callers can show
+        lease health without a second query.
+        """
+        with self._txn() as conn:
+            rows = conn.execute(
+                "SELECT w.*, j.lease_expires AS lease_expires "
+                "FROM workers AS w LEFT JOIN jobs AS j "
+                "ON j.id = w.current_job AND j.state = 'running' "
+                "ORDER BY w.first_seen, w.id"
+            ).fetchall()
+        return [
+            WorkerRecord(
+                id=row["id"],
+                kind=row["kind"],
+                first_seen=row["first_seen"],
+                last_heartbeat=row["last_heartbeat"],
+                current_job=row["current_job"],
+                jobs_completed=row["jobs_completed"],
+                jobs_failed=row["jobs_failed"],
+                lease_expires=row["lease_expires"],
+            )
+            for row in rows
+        ]
+
+    def prune_workers(
+        self, idle_seconds: float, now: Optional[float] = None
+    ) -> int:
+        """Drop idle registry rows not heard from in ``idle_seconds``.
+
+        Workers with a current job are never pruned — their fate is
+        decided by lease expiry, not registry housekeeping.  Returns
+        the number of rows removed.
+        """
+        now = time.time() if now is None else now
+        with self._txn(immediate=True) as conn:
+            cursor = conn.execute(
+                "DELETE FROM workers WHERE current_job IS NULL "
+                "AND last_heartbeat < ?",
+                (now - idle_seconds,),
+            )
+            return cursor.rowcount

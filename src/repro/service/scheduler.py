@@ -107,11 +107,22 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def claim(
-        self, worker: str, now: Optional[float] = None
+        self,
+        worker: str,
+        now: Optional[float] = None,
+        kind: str = "local",
     ) -> Optional[JobRecord]:
-        """Claim the next runnable job for ``worker`` (or ``None``)."""
+        """Claim the next runnable job for ``worker`` (or ``None``).
+
+        ``kind`` tags the worker's registry row (``"local"`` for
+        in-process pool threads, ``"remote"`` for fleet agents claiming
+        over the gateway) — purely informational, scheduling ignores it.
+        """
         job = self.store.claim(
-            worker, lease_seconds=self.policy.lease_seconds, now=now
+            worker,
+            lease_seconds=self.policy.lease_seconds,
+            now=now,
+            kind=kind,
         )
         if job is not None:
             get_tracer().instant(

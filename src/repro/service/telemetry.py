@@ -29,13 +29,23 @@ from typing import Dict, Optional, Sequence
 from repro.obs.exporters import prometheus_text
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.service.artifacts import ArtifactStore
-from repro.service.jobstore import JOB_STATES, JobRecord, JobStore
+from repro.service.jobstore import (
+    JOB_STATES,
+    JobRecord,
+    JobStore,
+    WorkerRecord,
+)
 
 __all__ = [
     "service_summary",
     "format_job_table",
+    "format_worker_table",
     "prometheus_exposition",
+    "LIVE_WORKER_SECONDS",
 ]
+
+#: a worker whose last heartbeat is older than this is shown as stale
+LIVE_WORKER_SECONDS = 60.0
 
 
 def _round(value: Optional[float], digits: int = 4) -> Optional[float]:
@@ -108,10 +118,27 @@ def service_summary(
                 _round(max(waiting)) if waiting else None
             ),
         },
+        "fleet": _fleet_summary(store.list_workers(), now=now),
     }
     if artifacts is not None:
         summary["cache"].update(artifacts.stats())
     return summary
+
+
+def _fleet_summary(workers: Sequence[WorkerRecord], now: float) -> Dict:
+    """Worker-registry rollup for :func:`service_summary`."""
+    ages = [max(0.0, now - w.last_heartbeat) for w in workers]
+    return {
+        "workers": len(workers),
+        "live": sum(1 for age in ages if age <= LIVE_WORKER_SECONDS),
+        "busy": sum(1 for w in workers if w.current_job is not None),
+        "remote": sum(1 for w in workers if w.kind == "remote"),
+        "jobs_completed": sum(w.jobs_completed for w in workers),
+        "jobs_failed": sum(w.jobs_failed for w in workers),
+        "max_heartbeat_age_seconds": (
+            _round(max(ages)) if ages else None
+        ),
+    }
 
 
 def prometheus_exposition(
@@ -162,6 +189,22 @@ def prometheus_exposition(
             "service_solve_seconds_total",
             help="cumulative non-cached solve wall time",
         ).set(solve_total)
+    fleet = summary["fleet"]
+    derived.gauge(
+        "service_workers", help="workers ever registered"
+    ).set(fleet["workers"])
+    derived.gauge(
+        "service_workers_live",
+        help=f"workers heard from within {LIVE_WORKER_SECONDS:.0f}s",
+    ).set(fleet["live"])
+    derived.gauge(
+        "service_workers_busy", help="workers holding a running job"
+    ).set(fleet["busy"])
+    if fleet["max_heartbeat_age_seconds"] is not None:
+        derived.gauge(
+            "service_worker_heartbeat_lag_seconds",
+            help="oldest worker heartbeat age",
+        ).set(fleet["max_heartbeat_age_seconds"])
     text = prometheus_text(derived)
     process = prometheus_text(
         registry if registry is not None else get_metrics()
@@ -188,5 +231,32 @@ def format_job_table(jobs: Sequence[JobRecord]) -> str:
             f"{job.id:<17} {job.state:<11} {job.spec.describe():<16} "
             f"{job.attempts:>3} {('yes' if job.cache_hit else 'no'):>5} "
             f"{med:>8} {runtime:>8} {error}"
+        )
+    return "\n".join(lines)
+
+
+def format_worker_table(
+    workers: Sequence[WorkerRecord], now: Optional[float] = None
+) -> str:
+    """Fixed-width fleet table for ``repro status --workers``."""
+    now = time.time() if now is None else now
+    header = (
+        f"{'worker':<28} {'kind':<7} {'hb age':>8} {'lease':>8} "
+        f"{'done':>5} {'fail':>5}  current job"
+    )
+    lines = [header, "-" * len(header)]
+    for worker in workers:
+        age = max(0.0, now - worker.last_heartbeat)
+        stale = "" if age <= LIVE_WORKER_SECONDS else "!"
+        lease = (
+            "-"
+            if worker.lease_expires is None
+            else f"{worker.lease_expires - now:+.1f}s"
+        )
+        lines.append(
+            f"{worker.id:<28} {worker.kind:<7} "
+            f"{f'{age:.1f}s{stale}':>8} {lease:>8} "
+            f"{worker.jobs_completed:>5} {worker.jobs_failed:>5}  "
+            f"{worker.current_job or '-'}"
         )
     return "\n".join(lines)

@@ -656,6 +656,22 @@ class WorkerPool:
         self._threads = []
         self._stop.clear()
 
+    def request_stop(self) -> None:
+        """Signal stop without joining (asynchronous retirement).
+
+        The autoscaler retires pool units from its control loop and
+        must not block on a job mid-flight; it polls :attr:`alive`
+        afterwards and lets finished threads be garbage-collected.
+        Unlike :meth:`stop` this never clears the stop flag, so a
+        still-running thread cannot resume looping.
+        """
+        self._stop.set()
+
+    @property
+    def alive(self) -> bool:
+        """True while any worker thread is still running."""
+        return any(thread.is_alive() for thread in self._threads)
+
     def _spawn(self, drain: bool) -> None:
         if self._threads:
             raise RuntimeError("worker pool already running")

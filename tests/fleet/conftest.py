@@ -1,0 +1,45 @@
+"""Shared fixtures for the fleet (remote worker plane) tests.
+
+Every test here runs a *live* gateway (``ThreadingHTTPServer`` on an
+ephemeral port) over a real service directory, then drives it with
+:class:`~repro.fleet.FleetClient` / :class:`~repro.fleet.RemoteWorkerAgent`
+exactly as ``repro work --remote`` would — no mocked transport.
+"""
+
+import pytest
+
+from repro.core import CoreSolverConfig, FrameworkConfig
+from repro.resilience import clear_fault_plan
+from repro.service import DecompositionService, SchedulerPolicy
+
+#: Laptop-fast retry/lease knobs shared across the suite.
+FAST_POLICY = SchedulerPolicy(
+    lease_seconds=30.0,
+    retry_backoff_seconds=0.01,
+    poll_interval_seconds=0.01,
+)
+
+
+def make_service(tmp_path, name="svc", policy=FAST_POLICY):
+    """A fresh service directory with the suite's fast policy."""
+    return DecompositionService(tmp_path / name, policy=policy)
+
+
+@pytest.fixture
+def fast_config():
+    """A laptop-fast but real framework configuration."""
+    return FrameworkConfig(
+        mode="joint",
+        free_size=2,
+        n_partitions=2,
+        n_rounds=1,
+        seed=3,
+        solver=CoreSolverConfig(max_iterations=200, n_replicas=2),
+    )
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    """A test that forgets to clear its plan must not poison the next."""
+    yield
+    clear_fault_plan()

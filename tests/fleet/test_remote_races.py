@@ -1,0 +1,211 @@
+"""Remote-claim races: no job is ever lost or duplicated.
+
+Two workers racing one job, a heartbeat-expired remote lease reclaimed
+by a local worker, and idempotent double-``complete`` after a retried
+request — the satellite scenarios named by the ISSUE.
+"""
+
+import concurrent.futures
+import dataclasses
+import time
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.fleet import FleetClient, RemoteWorkerAgent
+from repro.gateway import DecompositionGateway, GatewayConfig
+from repro.service import JobSpec, SchedulerPolicy
+
+from tests.fleet.conftest import make_service
+
+#: Leases short enough to expire inside a test, retries instant.
+EXPIRY_POLICY = SchedulerPolicy(
+    lease_seconds=0.2,
+    retry_backoff_seconds=0.01,
+    poll_interval_seconds=0.01,
+)
+
+
+def spec_for(fast_config, seed=None):
+    config = (
+        fast_config
+        if seed is None
+        else dataclasses.replace(fast_config, seed=seed)
+    )
+    return JobSpec(workload="cos", n_inputs=6, config=config)
+
+
+def no_wait_config():
+    return GatewayConfig(port=0, claim_wait_seconds=0.0)
+
+
+class TestClaimRace:
+    def test_two_workers_one_job_single_winner(
+        self, tmp_path, fast_config
+    ):
+        """N concurrent claims against one queued job: exactly one
+        grant, the rest come back empty — the store's ``BEGIN
+        IMMEDIATE`` claim is the arbiter, over HTTP too."""
+        service = make_service(tmp_path)
+        job = service.submit(spec_for(fast_config))
+        with DecompositionGateway(service, no_wait_config()) as gw:
+            clients = [FleetClient(gw.url) for _ in range(4)]
+            with concurrent.futures.ThreadPoolExecutor(4) as pool:
+                grants = list(
+                    pool.map(
+                        lambda pair: pair[1].claim(f"racer-{pair[0]}"),
+                        enumerate(clients),
+                    )
+                )
+        winners = [g for g in grants if g is not None]
+        assert len(winners) == 1
+        assert winners[0].job.id == job.id
+        record = service.job(job.id)
+        assert record.state == "running"
+        assert record.worker == winners[0].job.worker
+
+    def test_race_on_many_jobs_partitions_cleanly(
+        self, tmp_path, fast_config
+    ):
+        """Two agents draining a mixed batch: every job done exactly
+        once, the completion split sums to the batch size."""
+        service = make_service(tmp_path)
+        jobs = [
+            service.submit(spec_for(fast_config, seed=seed))
+            for seed in range(4)
+        ]
+        config = GatewayConfig(
+            port=0, claim_wait_seconds=0.1, claim_poll_seconds=0.02
+        )
+        with DecompositionGateway(service, config) as gw:
+
+            def drain(worker_id):
+                return RemoteWorkerAgent(
+                    gw.url,
+                    worker_id=worker_id,
+                    drain=True,
+                    claim_wait=0.1,
+                    poll_seconds=0.02,
+                ).run()
+
+            with concurrent.futures.ThreadPoolExecutor(2) as pool:
+                stats = list(pool.map(drain, ["race-a", "race-b"]))
+        assert sum(s.completed for s in stats) == len(jobs)
+        assert sum(s.failed for s in stats) == 0
+        for job in jobs:
+            assert service.job(job.id).state == "done"
+        # both workers are in the registry and their completion
+        # counters reconcile with the drained batch
+        per_worker = {
+            w.id: w.jobs_completed
+            for w in service.store.list_workers()
+        }
+        assert sum(per_worker.values()) == len(jobs)
+
+
+class TestLeaseExpiry:
+    def test_expired_remote_lease_reclaimed_by_local_worker(
+        self, tmp_path, fast_config
+    ):
+        """A remote worker claims, goes silent, and its lease expires:
+        a *local* pool recovers the job and lands the same design; the
+        zombie's late reports are refused (409) or absorbed."""
+        spec = spec_for(fast_config)
+        baseline = make_service(tmp_path, name="baseline")
+        clean_job = baseline.submit(spec)
+        baseline.run_until_drained(timeout=300)
+        clean_design = baseline.fetch_design_dict(clean_job.id)
+
+        service = make_service(tmp_path, policy=EXPIRY_POLICY)
+        job = service.submit(spec)
+        with DecompositionGateway(service, no_wait_config()) as gw:
+            zombie = FleetClient(gw.url)
+            grant = zombie.claim("zombie")
+            assert grant is not None
+            time.sleep(0.3)  # no heartbeat: the lease dies
+
+            service.run_until_drained(timeout=300)
+            record = service.job(job.id)
+            assert record.state == "done"
+            assert record.attempts == 2
+            assert "zombie" in record.failed_workers
+            assert service.fetch_design_dict(job.id) == clean_design
+
+            # the zombie wakes up: heartbeat refused, completion
+            # replay absorbed as already_done (identical design)
+            with pytest.raises(GatewayError) as excinfo:
+                zombie.heartbeat("zombie", job.id)
+            assert excinfo.value.status == 409
+            receipt = zombie.complete(
+                "zombie", job.id, job.artifact_key
+            )
+            assert receipt.result == "already_done"
+            assert receipt.accepted
+
+    def test_stale_completion_while_reclaimed_is_superseded(
+        self, tmp_path, fast_config
+    ):
+        """The zombie reports *while the job runs under a new owner*:
+        the completion is answered ``superseded`` and the new owner's
+        run is untouched."""
+        service = make_service(tmp_path, policy=EXPIRY_POLICY)
+        job = service.submit(spec_for(fast_config))
+        with DecompositionGateway(service, no_wait_config()) as gw:
+            zombie = FleetClient(gw.url)
+            assert zombie.claim("zombie") is not None
+            time.sleep(0.3)
+            heir = FleetClient(gw.url)
+            regrant = heir.claim("heir")  # recovers the orphan first
+            assert regrant is not None
+            assert regrant.job.id == job.id
+
+            receipt = zombie.complete(
+                "zombie", job.id, job.artifact_key
+            )
+            assert receipt.result == "superseded"
+            assert not receipt.accepted
+            record = service.job(job.id)
+            assert record.state == "running"
+            assert record.worker == "heir"
+
+            # the heir still owns the finish line
+            receipt = heir.complete(
+                "heir",
+                job.id,
+                job.artifact_key,
+                design={"n_inputs": 6},
+            )
+            assert receipt.result == "completed"
+            assert service.job(job.id).state == "done"
+
+
+class TestIdempotentComplete:
+    def test_double_complete_is_absorbed(self, tmp_path, fast_config):
+        """A client that retries ``complete`` after a lost response
+        must not double-count, double-write, or error."""
+        service = make_service(tmp_path)
+        job = service.submit(spec_for(fast_config))
+        design = {"n_inputs": 6, "luts": [[0, 1]]}
+        with DecompositionGateway(service, no_wait_config()) as gw:
+            client = FleetClient(gw.url)
+            client.claim("w1")
+            first = client.complete(
+                "w1", job.id, job.artifact_key, design=design
+            )
+            assert first.result == "completed"
+            replay = client.complete(
+                "w1", job.id, job.artifact_key, design=design
+            )
+            assert replay.result == "already_done"
+            assert replay.accepted
+
+        record = service.job(job.id)
+        assert record.state == "done"
+        assert record.attempts == 1
+        assert service.artifacts.get(job.artifact_key)["design"] == (
+            design
+        )
+        # the worker's completion counter moved exactly once
+        (worker,) = service.store.list_workers()
+        assert worker.jobs_completed == 1
+        assert worker.jobs_failed == 0
