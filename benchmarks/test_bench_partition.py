@@ -1,0 +1,181 @@
+"""Partition-and-stitch benchmark: quality and wall-clock vs ``k``.
+
+Two questions an operator sizing a partitioned solve cares about:
+
+* **cost of splitting** — on an instance a single worker can still
+  solve (``N = 48``), how much objective quality does ``k = 2`` / ``4``
+  give up against the monolithic solve, and what does the
+  boundary-coordination overhead cost in wall-clock?
+* **reach** — on an instance *beyond* a worker's single-solve spin
+  limit (``N = 144`` against ``REPRO_ISING_MAX_SPINS = 96``), does
+  ``k = 4`` complete at all, and does its stitched result pass the
+  same verification verdict a monolithic solve of the full model
+  produces (byte-identical canonical verdicts)?
+
+Also pins the degenerate acceptance case: ``k = 1`` writes the *same
+artifact under the same key* as a plain submission.
+
+Writes ``BENCH_partition.json`` at the repo root.  Scale knobs:
+``REPRO_BENCH_PARTITION_N`` (input bits of the in-reach instance,
+default 8) and the global solver knobs via the instance defaults.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import write_bench_json
+from repro.core import CoreSolverConfig, FrameworkConfig
+from repro.partition import (
+    LocalDispatcher,
+    PartitionCoordinator,
+    canonical_verdict,
+    verify_result,
+)
+from repro.partition.instances import separate_mode_instance
+from repro.ising.wire import solve_result_to_dict
+from repro.service import DecompositionService, JobSpec, SchedulerPolicy
+from repro.service.spec import spec_artifact_key
+
+K_VALUES = (1, 2, 4)
+
+FAST_POLICY = SchedulerPolicy(
+    retry_backoff_seconds=0.01, poll_interval_seconds=0.005
+)
+
+CONFIG = FrameworkConfig(
+    seed=3,
+    solver=CoreSolverConfig(max_iterations=400, n_replicas=2),
+)
+
+
+def _dispatcher(tmp_path, label):
+    return LocalDispatcher(
+        DecompositionService(
+            tmp_path / label, n_workers=2, policy=FAST_POLICY
+        )
+    )
+
+
+def _solve(dispatcher, problem, k):
+    start = time.perf_counter()
+    stitched = PartitionCoordinator(
+        dispatcher, CONFIG, k=k, seed=5
+    ).solve(problem)
+    elapsed = time.perf_counter() - start
+    verdict = verify_result(
+        problem, solve_result_to_dict(stitched.result)
+    )
+    return stitched, verdict, elapsed
+
+
+def test_partition_quality_and_reach(tmp_path):
+    n_inputs = int(os.environ.get("REPRO_BENCH_PARTITION_N", 8))
+    payload = {
+        "config": {
+            "n_inputs": n_inputs,
+            "free_size": 3,
+            "solver": "bsb",
+            "max_iterations": CONFIG.solver.max_iterations,
+            "n_replicas": CONFIG.solver.n_replicas,
+        },
+        "k_sweep": {},
+    }
+
+    # -- quality vs k on an in-reach instance (N = 48 at defaults) ----
+    problem = separate_mode_instance(
+        workload="cos", n_inputs=n_inputs, free_size=3
+    )
+    n_spins = problem["model"]["n_spins"]
+    payload["config"]["n_spins"] = n_spins
+    monolithic_objective = None
+    for k in K_VALUES:
+        dispatcher = _dispatcher(tmp_path, f"k{k}")
+        stitched, verdict, elapsed = _solve(dispatcher, problem, k)
+        assert verdict["verified"], f"k={k} result failed verification"
+        if k == 1:
+            monolithic_objective = stitched.result.objective
+            # degenerate case: identical artifact, identical key
+            plain_key = spec_artifact_key(
+                JobSpec(config=CONFIG, ising=problem)
+            )
+            assert stitched.artifact_key == plain_key
+            assert plain_key in dispatcher.service.artifacts
+        payload["k_sweep"][str(k)] = {
+            "objective": float(stitched.result.objective),
+            "objective_gap_vs_monolithic": float(
+                stitched.result.objective - monolithic_objective
+            ),
+            "rounds": stitched.rounds,
+            "stop_reason": stitched.result.stop_reason,
+            "boundary_energies": [
+                float(e) for e in stitched.boundary_energies
+            ],
+            "reused_solves": stitched.reused_solves,
+            "n_child_solves": len(stitched.child_artifact_keys),
+            "wall_clock_seconds": round(elapsed, 4),
+            "verified": verdict["verified"],
+        }
+
+    # -- reach: an instance over the worker's single-solve limit ------
+    wide = separate_mode_instance(
+        workload="cos", n_inputs=n_inputs + 2, free_size=3
+    )
+    wide_spins = wide["model"]["n_spins"]
+    limit = 96
+    assert wide_spins > limit, (
+        "beyond-limit instance must exceed the simulated worker cap"
+    )
+    # monolithic reference solve (no worker limit applies locally at
+    # k = 1 only because this service runs without the env cap)
+    mono_stitched, mono_verdict, mono_elapsed = _solve(
+        _dispatcher(tmp_path, "wide-mono"), wide, 1
+    )
+    # the partitioned solve respects the cap: every child fits
+    os.environ["REPRO_ISING_MAX_SPINS"] = str(limit)
+    try:
+        stitched, verdict, elapsed = _solve(
+            _dispatcher(tmp_path, "wide-k4"), wide, 4
+        )
+    finally:
+        del os.environ["REPRO_ISING_MAX_SPINS"]
+    assert verdict["verified"]
+    assert mono_verdict["verified"]
+    # the stitched verdict is byte-identical to the monolithic one —
+    # same canonical verification document for the same model
+    assert canonical_verdict(verdict) == canonical_verdict(mono_verdict)
+    assert max(
+        len(block) for block in stitched.plan.blocks
+    ) <= limit
+    payload["beyond_limit"] = {
+        "n_spins": wide_spins,
+        "worker_spin_limit": limit,
+        "k": 4,
+        "block_sizes": [len(b) for b in stitched.plan.blocks],
+        "rounds": stitched.rounds,
+        "stop_reason": stitched.result.stop_reason,
+        "objective": float(stitched.result.objective),
+        "monolithic_objective": float(mono_stitched.result.objective),
+        "wall_clock_seconds": round(elapsed, 4),
+        "monolithic_wall_clock_seconds": round(mono_elapsed, 4),
+        "verdicts_byte_identical": True,
+    }
+
+    path = write_bench_json("BENCH_partition.json", payload)
+    print(f"\nwrote {path}")
+    for k in K_VALUES:
+        row = payload["k_sweep"][str(k)]
+        print(
+            f"  k={k}: objective={row['objective']:+.4f} "
+            f"(gap {row['objective_gap_vs_monolithic']:+.4f}), "
+            f"rounds={row['rounds']}, "
+            f"{row['wall_clock_seconds']:.2f}s"
+        )
+    wide_row = payload["beyond_limit"]
+    print(
+        f"  beyond-limit N={wide_row['n_spins']} (cap {limit}): k=4 "
+        f"objective={wide_row['objective']:+.4f} vs monolithic "
+        f"{wide_row['monolithic_objective']:+.4f}, "
+        f"{wide_row['wall_clock_seconds']:.2f}s"
+    )

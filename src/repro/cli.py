@@ -103,7 +103,7 @@ from typing import List, Optional
 from repro._version import package_version
 from repro.boolean.metrics import error_rate, mean_error_distance
 from repro.core import CoreSolverConfig, FrameworkConfig, IsingDecomposer
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, GatewayError, ReproError
 from repro.fleet import FleetClient, PoolAutoscaler, RemoteWorkerAgent
 from repro.gateway import DecompositionGateway, GatewayConfig
 from repro.ising.kernels import backend_infos
@@ -134,9 +134,12 @@ from repro.workloads import build_workload, workload_names
 __all__ = ["main", "build_parser"]
 
 
-def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_config_arguments(
+    parser: argparse.ArgumentParser, workload_required: bool = True
+) -> None:
     """Framework/solver flags shared by ``decompose`` and ``submit``."""
-    parser.add_argument("--workload", required=True,
+    parser.add_argument("--workload", required=workload_required,
+                        default=None,
                         help=f"one of {', '.join(workload_names())}")
     parser.add_argument("--n-inputs", type=int, default=9)
     parser.add_argument("--mode", choices=("separate", "joint"),
@@ -155,10 +158,16 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _config_from_args(args: argparse.Namespace) -> FrameworkConfig:
-    workload = build_workload(args.workload, n_inputs=args.n_inputs)
+    if args.workload is None:
+        # ising submissions have no workload; free_size is irrelevant
+        free_size = FrameworkConfig().free_size
+    else:
+        free_size = build_workload(
+            args.workload, n_inputs=args.n_inputs
+        ).free_size
     return FrameworkConfig(
         mode=args.mode,
-        free_size=workload.free_size,
+        free_size=free_size,
         n_partitions=args.partitions,
         n_rounds=args.rounds,
         seed=args.seed,
@@ -261,14 +270,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     subm = sub.add_parser(
         "submit",
-        help="enqueue a decomposition job (service dir or gateway)",
+        help="enqueue a decomposition job (service dir or gateway), "
+             "or run a partitioned Ising solve",
     )
     _add_service_target(subm)
-    _add_config_arguments(subm)
+    _add_config_arguments(subm, workload_required=False)
     subm.add_argument("--timeout", type=float, default=None,
                       help="per-attempt wall-clock budget in seconds")
     subm.add_argument("--max-attempts", type=int, default=3,
                       help="total attempts before the job fails")
+    subm.add_argument("--ising-model", type=Path, default=None,
+                      metavar="PATH",
+                      help="submit this repro-ising-problem JSON "
+                           "document instead of a workload (see "
+                           "python -m repro.partition.instances)")
+    subm.add_argument("--solver", default=None,
+                      help="override the problem document's solver "
+                           "name (requires --ising-model)")
+    subm.add_argument("--partition", type=int, default=None, metavar="K",
+                      help="split the Ising model into K blocks and "
+                           "run the partition-and-stitch coordinator "
+                           "synchronously (K=1 degenerates to one "
+                           "monolithic job); requires --ising-model")
+    subm.add_argument("--partition-rounds", type=int, default=8,
+                      metavar="N",
+                      help="boundary-coordination round budget "
+                           "(default: 8)")
+    subm.add_argument("--partition-tolerance", type=float, default=0.0,
+                      help="stop when the boundary energy changes by "
+                           "at most this much between rounds "
+                           "(default: 0.0, exact)")
+    subm.add_argument("--partition-seed", type=int, default=0,
+                      help="planner seed (partition shape + initial "
+                           "state)")
+    subm.add_argument("--out", type=Path, default=None,
+                      help="with --partition: write the stitched "
+                           "result document (result + verification "
+                           "verdict) to this path")
 
     serve = sub.add_parser(
         "serve", help="run the service worker pool over a service dir"
@@ -504,6 +542,22 @@ def _cmd_list_kernels() -> int:
 
 def _cmd_submit(args: argparse.Namespace) -> int:
     _check_target(args)
+    if args.ising_model is not None:
+        return _submit_ising(args)
+    if args.workload is None:
+        raise ConfigurationError(
+            "pass --workload NAME (decomposition job) or "
+            "--ising-model PATH (raw Ising solve)"
+        )
+    for flag, name in (
+        (args.partition, "--partition"),
+        (args.solver, "--solver"),
+    ):
+        if flag is not None:
+            raise ConfigurationError(
+                f"{name} requires --ising-model (decomposition jobs "
+                "are not partitioned)"
+            )
     spec = JobSpec(
         workload=args.workload,
         n_inputs=args.n_inputs,
@@ -526,6 +580,104 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     print(f"submitted {job.id}: {spec.describe()} "
           f"key={job.artifact_key[:12]}...{note}")
     return 0
+
+
+def _submit_ising(args: argparse.Namespace) -> int:
+    """``submit --ising-model``: enqueue or coordinate an Ising solve.
+
+    Without ``--partition`` this enqueues one raw-solve job exactly
+    like a decomposition submission (fire and forget).  With
+    ``--partition K`` it runs the partition-and-stitch coordinator
+    *synchronously* — subproblems flow through the chosen target as
+    ordinary jobs — then verifies the stitched result and exits 3 if
+    verification fails.
+    """
+    from repro.ising.wire import solve_result_to_dict, validate_problem
+    from repro.partition import (
+        LocalDispatcher,
+        RemoteDispatcher,
+        run_partitioned_spec,
+        verify_result,
+    )
+    from repro.service.spec import partition_block
+
+    if args.workload is not None:
+        raise ConfigurationError(
+            "--workload and --ising-model are exclusive"
+        )
+    try:
+        problem = json.loads(args.ising_model.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"--ising-model {args.ising_model} is not valid JSON: {exc}"
+        ) from exc
+    if args.solver is not None:
+        problem = dict(problem)
+        problem["solver"] = args.solver
+    validate_problem(problem)
+    partition = None
+    if args.partition is not None:
+        partition = partition_block(
+            args.partition,
+            max_rounds=args.partition_rounds,
+            tolerance=args.partition_tolerance,
+            seed=args.partition_seed,
+        )
+    spec = JobSpec(
+        config=_config_from_args(args),
+        ising=problem,
+        partition=partition,
+        timeout_seconds=args.timeout,
+        max_attempts=args.max_attempts,
+    )
+    if args.partition is None:
+        if args.remote is not None:
+            job, deduplicated = _remote_client(args).submit(spec)
+            note = (
+                " (deduplicated — matched a live or finished twin)"
+                if deduplicated else ""
+            )
+        else:
+            service = DecompositionService(args.service_dir)
+            job = service.submit(spec)
+            note = " (artifact cached)" if (
+                job.artifact_key in service.artifacts
+            ) else ""
+        print(f"submitted {job.id}: {spec.describe()} "
+              f"key={job.artifact_key[:12]}...{note}")
+        return 0
+    if args.remote is not None:
+        dispatcher = RemoteDispatcher(_remote_client(args))
+    else:
+        dispatcher = LocalDispatcher(
+            DecompositionService(args.service_dir)
+        )
+    stitched = run_partitioned_spec(dispatcher, spec)
+    result_doc = solve_result_to_dict(stitched.result)
+    verdict = verify_result(problem, result_doc)
+    document = {
+        "format": "repro-stitched-result",
+        "schema_version": 1,
+        "partition": stitched.summary(),
+        "result": result_doc,
+        "verdict": verdict,
+        "artifact_key": stitched.artifact_key,
+    }
+    print(f"partitioned solve: k={args.partition}, "
+          f"rounds={stitched.rounds}, "
+          f"stop={stitched.result.stop_reason}, "
+          f"objective={stitched.result.objective:.6f}, "
+          f"reused {stitched.reused_solves} subproblem solve(s)")
+    if stitched.artifact_key is not None:
+        print(f"artifact key: {stitched.artifact_key} "
+              "(identical to a monolithic submission)")
+    print(f"verified: {verdict['verified']}")
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps(document, indent=2, sort_keys=True)
+        )
+        print(f"stitched result -> {args.out}")
+    return 0 if verdict["verified"] else 3
 
 
 def _graceful_sigterm() -> None:
@@ -833,6 +985,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         raise AssertionError(f"unhandled command {args.command!r}")
     try:
         return handler(args)
+    except GatewayError as exc:
+        # backpressure deserves an actionable message, not a bare error:
+        # surface the server's Retry-After so the operator (or script)
+        # knows when trying again will actually work
+        message = f"error: {exc}"
+        if exc.status in (429, 503) and exc.retry_after is not None:
+            message += (
+                f" — gateway is shedding load (HTTP {exc.status}); "
+                f"retry after {exc.retry_after:g}s (Retry-After)"
+            )
+        print(message, file=sys.stderr)
+        return 1
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

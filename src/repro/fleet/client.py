@@ -19,12 +19,13 @@ Transport semantics worth knowing:
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+import time
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import GatewayError
 from repro.fleet.protocol import ClaimGrant, CompletionReceipt
-from repro.gateway.client import GatewayClient
-from repro.service.jobstore import WorkerRecord
+from repro.gateway.client import _TERMINAL, GatewayClient
+from repro.service.jobstore import JobRecord, WorkerRecord
 
 __all__ = ["FleetClient"]
 
@@ -125,6 +126,48 @@ class FleetClient(GatewayClient):
             if exc.status == 404:
                 return None
             raise
+
+    def wait_many(
+        self,
+        job_ids: Sequence[str],
+        poll_seconds: float = 0.25,
+        timeout_seconds: Optional[float] = None,
+    ) -> List[JobRecord]:
+        """Poll until *every* job reaches a terminal state.
+
+        Returns records in the order of ``job_ids``.  One shared
+        deadline covers the whole set — this is the partition
+        coordinator's per-round fan-in, where the round is only as done
+        as its slowest subproblem.  Raises :class:`GatewayError`
+        (status 0) naming the still-pending jobs on timeout.
+        """
+        deadline = (
+            None
+            if timeout_seconds is None
+            else time.monotonic() + timeout_seconds
+        )
+        records: Dict[str, JobRecord] = {}
+        pending = list(dict.fromkeys(job_ids))
+        while pending:
+            still_pending = []
+            for job_id in pending:
+                record = self.job(job_id)
+                if record.state in _TERMINAL:
+                    records[job_id] = record
+                else:
+                    still_pending.append(job_id)
+            pending = still_pending
+            if not pending:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                raise GatewayError(
+                    f"timed out waiting for {len(pending)} of "
+                    f"{len(set(job_ids))} jobs "
+                    f"(pending: {', '.join(pending)})",
+                    status=0,
+                )
+            self._sleep(poll_seconds)
+        return [records[job_id] for job_id in job_ids]
 
     def workers(self) -> List[WorkerRecord]:
         """The gateway's fleet registry (every worker ever seen)."""

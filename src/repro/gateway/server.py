@@ -40,7 +40,7 @@ from repro.errors import JobNotFound, ReproError, ServiceError
 from repro.obs.exporters import PROMETHEUS_CONTENT_TYPE
 from repro.obs.metrics import get_metrics
 from repro.service.service import DecompositionService
-from repro.service.spec import JobSpec, artifact_key
+from repro.service.spec import JobSpec, queue_artifact_key
 from repro.service.telemetry import prometheus_exposition, service_summary
 
 __all__ = ["DecompositionGateway", "GatewayConfig", "TokenBucket"]
@@ -569,7 +569,9 @@ def _build_handler(gateway: DecompositionGateway):
                 self._error(400, f"invalid JSON body: {exc}")
                 return
             spec = JobSpec.from_wire(payload)  # strict; 400 via ReproError
-            key = artifact_key(spec.build_table(), spec.config)
+            # also 400s partition-parent documents (k > 1): the fan-out
+            # is coordinated client-side, never enqueued wholesale
+            key = queue_artifact_key(spec)
             live = service.store.find_by_key(
                 key, states=("queued", "running", "done")
             )

@@ -1,0 +1,108 @@
+"""Where a round's subproblem jobs actually run.
+
+The stitcher never talks to a queue directly — it hands each round's
+:class:`~repro.service.spec.JobSpec` batch to a *dispatcher* and gets
+back ``(artifact_key, result document)`` pairs in submission order.
+Two implementations cover the two deployment shapes:
+
+:class:`LocalDispatcher`
+    In-process, over one :class:`~repro.service.DecompositionService`.
+    Submissions are idempotent and the service is drained per round, so
+    the subproblems still flow through the job store, the artifact
+    cache, checkpoint-free Ising execution, and the retry machinery —
+    everything a remote worker would give, minus HTTP.
+
+:class:`RemoteDispatcher`
+    Over a gateway via :class:`~repro.fleet.client.FleetClient`: submit
+    the round, fan in with
+    :meth:`~repro.fleet.client.FleetClient.wait_many`, fetch result
+    envelopes.  The gateway's artifact-key dedup makes re-dispatching
+    an unchanged subproblem (a stitcher retry, a crashed coordinator
+    rerun) resolve from the cache instead of re-solving.
+
+Both raise :class:`~repro.errors.ServiceError` naming the job when a
+subproblem finishes in a non-``done`` state — a failed subproblem fails
+the round, and the stitcher's bounded round-retry owns what happens
+next.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.service.spec import JobSpec
+
+__all__ = ["LocalDispatcher", "RemoteDispatcher"]
+
+
+class LocalDispatcher:
+    """Run each round inside one in-process service (module docs)."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    def solve_all(
+        self, specs: Sequence[JobSpec]
+    ) -> List[Tuple[str, Dict]]:
+        """Solve ``specs``; ``(artifact_key, result doc)`` per spec."""
+        records = [
+            self.service.submit_idempotent(spec)[0] for spec in specs
+        ]
+        self.service.run_until_drained()
+        out: List[Tuple[str, Dict]] = []
+        for record in records:
+            job = self.service.job(record.id)
+            if job.state != "done":
+                raise ServiceError(
+                    f"subproblem job {job.id} ended {job.state!r}"
+                    + (f": {job.error}" if job.error else "")
+                )
+            envelope = self.service.fetch_envelope(job.id)
+            out.append((job.artifact_key, envelope["design"]))
+        return out
+
+
+class RemoteDispatcher:
+    """Fan each round out across a gateway's fleet (module docs).
+
+    Parameters
+    ----------
+    client:
+        A connected :class:`~repro.fleet.client.FleetClient`.
+    poll_seconds / timeout_seconds:
+        Fan-in polling cadence and the shared per-round deadline
+        (``None`` — wait indefinitely); timeouts surface as
+        :class:`~repro.errors.GatewayError` from ``wait_many``.
+    """
+
+    def __init__(
+        self,
+        client,
+        poll_seconds: float = 0.25,
+        timeout_seconds=None,
+    ) -> None:
+        self.client = client
+        self.poll_seconds = poll_seconds
+        self.timeout_seconds = timeout_seconds
+
+    def solve_all(
+        self, specs: Sequence[JobSpec]
+    ) -> List[Tuple[str, Dict]]:
+        """Solve ``specs``; ``(artifact_key, result doc)`` per spec."""
+        records = [self.client.submit(spec)[0] for spec in specs]
+        finished = self.client.wait_many(
+            [record.id for record in records],
+            poll_seconds=self.poll_seconds,
+            timeout_seconds=self.timeout_seconds,
+        )
+        out: List[Tuple[str, Dict]] = []
+        for job in finished:
+            if job.state != "done":
+                raise ServiceError(
+                    f"subproblem job {job.id} ended {job.state!r}"
+                    + (f": {job.error}" if job.error else "")
+                )
+            envelope = self.client.result(job.id)
+            out.append((job.artifact_key, envelope["design"]))
+        return out

@@ -1,0 +1,233 @@
+"""Balanced min-cut planning over an Ising coupling graph.
+
+The planner splits the ``n_spins`` of a model into ``k`` blocks of
+near-equal size while keeping as much coupling *weight* as possible
+inside blocks.  It is deliberately a cheap classical heuristic — a
+seeded random balanced assignment refined by bounded
+Kernighan–Lin-style single-spin moves — because the plan only shapes
+*where* the solver effort goes; solution quality is recovered by the
+stitcher's boundary-coordination rounds, not by an optimal cut.
+
+Determinism contract: the only randomness is the initial permutation,
+drawn from ``np.random.default_rng(seed)``; refinement visits spins in
+a fixed order and breaks ties toward the lowest block index.  The same
+``(model, k, seed)`` therefore always yields the identical
+:class:`PartitionPlan` — which the partition artifact key relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.ising.model import DenseIsingModel, IsingModel
+
+__all__ = ["PartitionPlan", "plan_partition", "boundary_energy"]
+
+#: refinement stops after this many full passes even if still improving
+_MAX_REFINE_PASSES = 8
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """One deterministic split of a model's spins into ``k`` blocks.
+
+    Attributes
+    ----------
+    n_spins / k / seed:
+        The planning inputs (the plan is a pure function of these plus
+        the coupling structure).
+    blocks:
+        ``k`` sorted, disjoint index tuples covering ``range(n_spins)``
+        exactly; block sizes differ by at most one.
+    block_of:
+        Inverse map, shape ``(n_spins,)``: ``block_of[i]`` is the block
+        owning spin ``i``.
+    boundary:
+        Every nonzero coupling ``(i, j)`` with ``i < j`` whose
+        endpoints live in different blocks — the couplings the
+        subproblems can only see through clamped neighbor spins.
+    cut_weight:
+        ``sum(|J_ij|)`` over :attr:`boundary` (the quantity refinement
+        minimizes).
+    """
+
+    n_spins: int
+    k: int
+    seed: int
+    blocks: Tuple[Tuple[int, ...], ...]
+    block_of: np.ndarray
+    boundary: Tuple[Tuple[int, int], ...]
+    cut_weight: float
+
+    def summary(self) -> Dict:
+        """JSON-safe shape record for result metadata and logs."""
+        return {
+            "k": int(self.k),
+            "seed": int(self.seed),
+            "n_spins": int(self.n_spins),
+            "block_sizes": [len(block) for block in self.blocks],
+            "n_boundary_couplings": len(self.boundary),
+            "cut_weight": float(self.cut_weight),
+        }
+
+
+def plan_partition(
+    model: IsingModel, k: int, seed: int = 0
+) -> PartitionPlan:
+    """Split ``model`` into ``k`` balanced blocks (module docstring).
+
+    ``k`` must satisfy ``1 <= k <= n_spins``.  ``k == 1`` returns the
+    trivial single-block plan with an empty boundary — the degenerate
+    case the coordinator maps back onto a monolithic solve.
+    """
+    dense = (
+        model if isinstance(model, DenseIsingModel) else model.to_dense()
+    )
+    n = dense.n_spins
+    k = int(k)
+    if not 1 <= k <= n:
+        raise DimensionError(
+            f"partition k must lie in [1, {n}] for a {n}-spin model, "
+            f"got {k}"
+        )
+    weights = np.abs(dense.couplings)
+    rng = np.random.default_rng(seed)
+    block_of = np.empty(n, dtype=np.intp)
+    # balanced by construction: round-robin over a seeded permutation
+    block_of[rng.permutation(n)] = np.arange(n) % k
+    if k > 1:
+        _refine(weights, block_of, k)
+        _refine_swaps(weights, block_of, k)
+    blocks = tuple(
+        tuple(int(i) for i in np.flatnonzero(block_of == b))
+        for b in range(k)
+    )
+    rows, cols = np.nonzero(np.triu(dense.couplings, k=1))
+    crossing = block_of[rows] != block_of[cols]
+    boundary = tuple(
+        (int(i), int(j))
+        for i, j in zip(rows[crossing], cols[crossing])
+    )
+    cut_weight = float(weights[rows[crossing], cols[crossing]].sum())
+    return PartitionPlan(
+        n_spins=n,
+        k=k,
+        seed=int(seed),
+        blocks=blocks,
+        block_of=block_of,
+        boundary=boundary,
+        cut_weight=cut_weight,
+    )
+
+
+def _refine(weights: np.ndarray, block_of: np.ndarray, k: int) -> None:
+    """Greedy KL-style single-spin moves, in place, deterministic.
+
+    A spin may move to the block holding the most of its coupling
+    weight, provided sizes stay within the balanced band
+    ``[n // k, ceil(n / k)]``.  Spins are visited in index order and
+    ties break toward the lowest block index (``argmax``), so the
+    refinement adds no randomness beyond the seeded start.
+    """
+    n = block_of.shape[0]
+    lo, hi = n // k, -(-n // k)
+    sizes = np.bincount(block_of, minlength=k)
+    for _ in range(_MAX_REFINE_PASSES):
+        moved = 0
+        for i in range(n):
+            current = block_of[i]
+            if sizes[current] <= lo:
+                continue
+            attraction = np.bincount(
+                block_of, weights=weights[i], minlength=k
+            )
+            attraction[sizes >= hi] = -np.inf
+            attraction[current] = weights[i][block_of == current].sum()
+            target = int(np.argmax(attraction))
+            if target == current:
+                continue
+            if attraction[target] <= attraction[current] + 1e-12:
+                continue
+            block_of[i] = target
+            sizes[current] -= 1
+            sizes[target] += 1
+            moved += 1
+        if moved == 0:
+            break
+
+
+def _refine_swaps(
+    weights: np.ndarray, block_of: np.ndarray, k: int
+) -> None:
+    """Greedy KL-style pair swaps, in place, deterministic.
+
+    Single-spin moves cannot change anything once every block sits at
+    its exact size band (always the case when ``k`` divides ``n``), so
+    a second phase exchanges *pairs* of spins across blocks — the
+    classic Kernighan–Lin move, which preserves sizes by construction.
+    Swapping ``i`` (block ``a``) with ``j`` (block ``b``) changes the
+    cut by ``-(gain)`` where::
+
+        gain = (A[i, b] - A[i, a]) + (A[j, a] - A[j, b]) - 2 w_ij
+
+    with ``A[i, c]`` the coupling weight between spin ``i`` and block
+    ``c``; the ``2 w_ij`` term corrects for the (i, j) edge staying in
+    the cut after both endpoints cross.  Spins are visited in index
+    order and partners break ties toward the lowest index, so no
+    randomness is added beyond the seeded start.
+    """
+    n = block_of.shape[0]
+    for _ in range(_MAX_REFINE_PASSES):
+        # attraction matrix A[i, c]: weight from spin i into block c
+        attraction = np.zeros((n, k))
+        for c in range(k):
+            attraction[:, c] = weights[:, block_of == c].sum(axis=1)
+        swapped = 0
+        for i in range(n):
+            a = block_of[i]
+            others = block_of != a
+            gains = np.full(n, -np.inf)
+            b_of = block_of[others]
+            gains[others] = (
+                attraction[i, b_of]
+                - attraction[i, a]
+                + attraction[others, a]
+                - attraction[others, b_of]
+                - 2.0 * weights[i, others]
+            )
+            j = int(np.argmax(gains))
+            if gains[j] <= 1e-12:
+                continue
+            b = block_of[j]
+            block_of[i], block_of[j] = b, a
+            # incremental A update: i left a for b, j left b for a
+            attraction[:, a] += weights[:, j] - weights[:, i]
+            attraction[:, b] += weights[:, i] - weights[:, j]
+            swapped += 1
+        if swapped == 0:
+            break
+
+
+def boundary_energy(
+    model: IsingModel,
+    state: np.ndarray,
+    boundary: Sequence[Tuple[int, int]],
+) -> float:
+    """The cut couplings' contribution ``-Σ J_ij σ_i σ_j`` at ``state``.
+
+    This is exactly the part of the full-model energy no subproblem
+    optimizes on its own — the stitcher's convergence signal.
+    """
+    if not len(boundary):
+        return 0.0
+    dense = (
+        model if isinstance(model, DenseIsingModel) else model.to_dense()
+    )
+    idx = np.asarray(boundary, dtype=np.intp)
+    s = np.asarray(state, dtype=float).ravel()
+    terms = dense.couplings[idx[:, 0], idx[:, 1]]
+    return float(-(terms * s[idx[:, 0]] * s[idx[:, 1]]).sum())

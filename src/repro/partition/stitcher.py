@@ -1,0 +1,453 @@
+"""Boundary-spin coordination: solve the blocks, stitch the model.
+
+One round of the coordinator:
+
+1. for every block, clamp all *other* spins at the current global
+   state and fold them into the block's biases/offset
+   (:func:`~repro.ising.subproblem.extract_subproblem`);
+2. ship the clamped blocks through the dispatcher as ordinary Ising
+   :class:`~repro.service.spec.JobSpec` jobs — in parallel across the
+   fleet, content-address cached, checkpoint-journal durable, exactly
+   like any other job;
+3. apply every block's best spins *simultaneously* (Jacobi update —
+   each subproblem saw the same pre-round state, so the update order
+   cannot matter), then measure the boundary energy
+   ``-Σ_cut J_ij σ_i σ_j`` the blocks could not see.
+
+Rounds repeat until the global state reaches a fixed point or the
+boundary energy changes by at most ``tolerance``
+(``stop_reason="boundary_converged"``), or the round budget runs out
+(``"round_budget_exhausted"``).  The best full-model state over *all*
+rounds is returned — a coordination round is a proposal, never a
+commitment.
+
+Delta reuse: a block whose clamp context did not change between rounds
+produces a child spec with the *same artifact key*, so its previous
+result is reused without touching the queue at all (and even a
+re-submitted twin would resolve from the artifact cache — the reuse
+here just skips the round trip).
+
+Resilience: the ``partition.round_fail`` fault site fires at round
+start under an installed :class:`~repro.resilience.FaultPlan`; a
+failed round (injected or real — a dispatcher error, a failed
+subproblem) is retried up to ``round_retries`` times, which is cheap
+because every already-solved subproblem of the round replays from the
+artifact cache.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import FrameworkConfig
+from repro.errors import GatewayError, ReproError, ServiceError
+from repro.ising.solvers.base import SolveResult
+from repro.ising.subproblem import assemble_state, extract_subproblem
+from repro.ising.wire import (
+    make_problem,
+    problem_model,
+    solve_result_from_dict,
+)
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import get_tracer
+from repro.partition.planner import (
+    PartitionPlan,
+    boundary_energy,
+    plan_partition,
+)
+from repro.resilience import InjectedFault, active_fault_plan
+from repro.service.spec import JobSpec, spec_artifact_key
+
+logger = get_logger("repro.partition.stitcher")
+
+__all__ = ["StitchedSolve", "PartitionCoordinator", "run_partitioned_spec"]
+
+
+@dataclass
+class StitchedSolve:
+    """What a partitioned solve produced, plus its coordination story.
+
+    Attributes
+    ----------
+    result:
+        The stitched :class:`~repro.ising.solvers.base.SolveResult` —
+        best full-model state across all rounds, exactly re-evaluated.
+    plan:
+        The deterministic partition used.
+    rounds:
+        Coordination rounds executed (0 for the ``k == 1`` degenerate
+        case, which is a single monolithic job with no stitching).
+    boundary_energies:
+        Per-round boundary energy after the Jacobi update — the
+        convergence trace the issue asks the metadata to carry.
+    reused_solves:
+        Subproblem solves skipped because their artifact key was
+        unchanged from the previous round.
+    child_artifact_keys:
+        Every distinct child artifact key, in first-use order.
+    artifact_key:
+        The *monolithic* artifact key when ``k == 1`` (identical to a
+        plain submission by construction), else ``None`` — a stitched
+        result is a client-side composition, not a queue artifact.
+    """
+
+    result: SolveResult
+    plan: PartitionPlan
+    rounds: int
+    boundary_energies: List[float] = field(default_factory=list)
+    reused_solves: int = 0
+    child_artifact_keys: List[str] = field(default_factory=list)
+    artifact_key: Optional[str] = None
+
+    def summary(self) -> Dict:
+        """JSON-safe digest for CLI output and benchmark payloads."""
+        return {
+            "partition": self.plan.summary(),
+            "rounds": self.rounds,
+            "stop_reason": self.result.stop_reason,
+            "energy": float(self.result.energy),
+            "objective": float(self.result.objective),
+            "boundary_energies": [
+                float(e) for e in self.boundary_energies
+            ],
+            "reused_solves": int(self.reused_solves),
+            "n_child_solves": len(self.child_artifact_keys),
+            "artifact_key": self.artifact_key,
+        }
+
+
+class PartitionCoordinator:
+    """Client-side owner of one partitioned solve (module docstring).
+
+    Parameters
+    ----------
+    dispatcher:
+        A :class:`~repro.partition.dispatch.LocalDispatcher` or
+        :class:`~repro.partition.dispatch.RemoteDispatcher`.
+    config:
+        The framework config every child job runs under (seed
+        included — subproblem solves are as deterministic as any job).
+    k / max_rounds / tolerance / seed:
+        The partition block's semantics: block count, round budget,
+        boundary-energy convergence tolerance, and the planner seed.
+    round_retries:
+        Extra attempts per failed round (injected or real) before the
+        failure propagates.
+    timeout_seconds / max_attempts:
+        Per-child-job execution policy, forwarded to each
+        :class:`~repro.service.spec.JobSpec`.
+    """
+
+    def __init__(
+        self,
+        dispatcher,
+        config: FrameworkConfig,
+        k: int,
+        max_rounds: int = 8,
+        tolerance: float = 0.0,
+        seed: int = 0,
+        round_retries: int = 2,
+        timeout_seconds: Optional[float] = None,
+        max_attempts: int = 3,
+    ) -> None:
+        if k < 1:
+            raise ServiceError(f"partition k must be >= 1, got {k}")
+        if max_rounds < 1:
+            raise ServiceError(
+                f"partition max_rounds must be >= 1, got {max_rounds}"
+            )
+        self.dispatcher = dispatcher
+        self.config = config
+        self.k = int(k)
+        self.max_rounds = int(max_rounds)
+        self.tolerance = float(tolerance)
+        self.seed = int(seed)
+        self.round_retries = int(round_retries)
+        self.timeout_seconds = timeout_seconds
+        self.max_attempts = int(max_attempts)
+
+    # ------------------------------------------------------------------
+
+    def _child_spec(self, problem: Dict) -> JobSpec:
+        return JobSpec(
+            config=self.config,
+            ising=problem,
+            timeout_seconds=self.timeout_seconds,
+            max_attempts=self.max_attempts,
+        )
+
+    def solve(self, problem: Dict) -> StitchedSolve:
+        """Run the partitioned solve of one validated problem doc."""
+        if self.k == 1:
+            return self._solve_monolithic(problem)
+        return self._solve_partitioned(problem)
+
+    def _solve_monolithic(self, problem: Dict) -> StitchedSolve:
+        """``k == 1``: one ordinary job, byte-identical to no-partition.
+
+        The spec carries no partition block (``k == 1`` normalizes out
+        of the artifact key anyway), so the artifact written — and the
+        key it lives under — is exactly what a plain submission
+        produces; the acceptance criterion of the degenerate case.
+        """
+        spec = self._child_spec(problem)
+        [(key, doc)] = self.dispatcher.solve_all([spec])
+        result = solve_result_from_dict(doc)
+        return StitchedSolve(
+            result=result,
+            plan=plan_partition(problem_model(problem), 1, self.seed),
+            rounds=0,
+            child_artifact_keys=[key],
+            artifact_key=key,
+        )
+
+    def _solve_partitioned(self, problem: Dict) -> StitchedSolve:
+        start = time.monotonic()
+        model = problem_model(problem)
+        solver_name = problem["solver"]
+        plan = plan_partition(model, self.k, self.seed)
+        tracer = get_tracer()
+        metrics = get_metrics()
+        rng = np.random.default_rng(self.seed)
+        state = rng.choice(np.array([-1.0, 1.0]), size=model.n_spins)
+
+        best_state = state.copy()
+        best_objective = float(model.objective(state))
+        # the round map is deterministic, so revisiting any state means
+        # the iteration is on a cycle and can never improve again
+        seen_states = {state.tobytes()}
+        boundary_energies: List[float] = []
+        energy_trace: List[float] = []
+        child_keys: List[str] = []
+        seen_keys: set = set()
+        last_key: List[Optional[str]] = [None] * self.k
+        last_spins: List[Optional[np.ndarray]] = [None] * self.k
+        reused_total = 0
+        retries_total = 0
+        child_iterations = 0
+        stop_reason = "round_budget_exhausted"
+        rounds_run = 0
+
+        for round_index in range(self.max_rounds):
+            with tracer.span(
+                "partition_round",
+                category="partition",
+                round=round_index + 1,
+                k=self.k,
+            ) as span:
+                new_state, reused, iters, retries = self._run_round(
+                    model, problem, plan, state, round_index,
+                    solver_name, last_key, last_spins,
+                    child_keys, seen_keys,
+                )
+                reused_total += reused
+                retries_total += retries
+                child_iterations += iters
+                rounds_run += 1
+                metrics.counter(
+                    "partition_rounds_total",
+                    help="boundary-coordination rounds executed",
+                ).inc()
+                b_energy = boundary_energy(
+                    model, new_state, plan.boundary
+                )
+                objective = float(model.objective(new_state))
+                energy_trace.append(float(model.energy(new_state)))
+                if objective < best_objective:
+                    best_objective = objective
+                    best_state = new_state.copy()
+                converged = bool(
+                    new_state.tobytes() in seen_states
+                    or (
+                        len(boundary_energies) > 0
+                        and abs(b_energy - boundary_energies[-1])
+                        <= self.tolerance
+                    )
+                )
+                seen_states.add(new_state.tobytes())
+                boundary_energies.append(float(b_energy))
+                span.set_args(
+                    boundary_energy=float(b_energy),
+                    objective=objective,
+                    reused=reused,
+                    converged=converged,
+                )
+                state = new_state
+                if converged:
+                    stop_reason = "boundary_converged"
+                    break
+
+        if reused_total:
+            metrics.counter(
+                "partition_reused_solves_total",
+                help="subproblem solves reused across rounds (delta "
+                "dispatch)",
+            ).inc(reused_total)
+        result = SolveResult(
+            spins=best_state,
+            energy=float(model.energy(best_state)),
+            objective=float(model.objective(best_state)),
+            n_iterations=max(1, child_iterations),
+            stop_reason=stop_reason,
+            energy_trace=energy_trace,
+            runtime_seconds=time.monotonic() - start,
+            metadata={
+                "solver": f"partition(k={self.k})+{solver_name}",
+                "backend": "partition",
+                "dtype": "float64",
+                "n_replicas": 1,
+                "partition": {
+                    **plan.summary(),
+                    "max_rounds": self.max_rounds,
+                    "tolerance": self.tolerance,
+                    "rounds": rounds_run,
+                    "boundary_energies": [
+                        float(e) for e in boundary_energies
+                    ],
+                    "reused_solves": reused_total,
+                    "round_retries": retries_total,
+                },
+            },
+        )
+        return StitchedSolve(
+            result=result,
+            plan=plan,
+            rounds=rounds_run,
+            boundary_energies=boundary_energies,
+            reused_solves=reused_total,
+            child_artifact_keys=child_keys,
+            artifact_key=None,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_round(
+        self,
+        model,
+        problem: Dict,
+        plan: PartitionPlan,
+        state: np.ndarray,
+        round_index: int,
+        solver_name: str,
+        last_key: List[Optional[str]],
+        last_spins: List[Optional[np.ndarray]],
+        child_keys: List[str],
+        seen_keys: set,
+    ) -> Tuple[np.ndarray, int, int, int]:
+        """One round with bounded retries.
+
+        Returns ``(new_state, n_reused, child_iterations, n_retries)``.
+        Retried work is cheap: completed subproblems of the failed
+        attempt replay from the artifact cache.
+        """
+        retries = 0
+        while True:
+            try:
+                plan_faults = active_fault_plan()
+                if plan_faults is not None and plan_faults.should_fire(
+                    "partition.round_fail",
+                    f"round:{round_index}:attempt:{retries}",
+                ):
+                    raise InjectedFault(
+                        f"injected partition round failure "
+                        f"(round {round_index + 1})"
+                    )
+                new_state, reused, iters = self._execute_round(
+                    model, problem, plan, state, solver_name,
+                    last_key, last_spins, child_keys, seen_keys,
+                )
+                return new_state, reused, iters, retries
+            except (InjectedFault, ServiceError, GatewayError) as exc:
+                retries += 1
+                get_metrics().counter(
+                    "partition_round_retries_total",
+                    help="failed coordination rounds retried",
+                ).inc()
+                logger.warning(
+                    "partition round %d attempt %d failed (%s: %s)%s",
+                    round_index + 1, retries, type(exc).__name__, exc,
+                    "; retrying" if retries <= self.round_retries
+                    else "; giving up",
+                )
+                if retries > self.round_retries:
+                    raise ReproError(
+                        f"partition round {round_index + 1} failed "
+                        f"after {retries} attempts: {exc}"
+                    ) from exc
+
+    def _execute_round(
+        self,
+        model,
+        problem: Dict,
+        plan: PartitionPlan,
+        state: np.ndarray,
+        solver_name: str,
+        last_key: List[Optional[str]],
+        last_spins: List[Optional[np.ndarray]],
+        child_keys: List[str],
+        seen_keys: set,
+    ) -> Tuple[np.ndarray, int, int]:
+        pending: List[Tuple[int, str, JobSpec]] = []
+        reused = 0
+        for b in range(self.k):
+            sub = extract_subproblem(model, plan.blocks[b], state)
+            child = make_problem(sub.model, solver=solver_name)
+            spec = self._child_spec(child)
+            key = spec_artifact_key(spec)
+            if key == last_key[b] and last_spins[b] is not None:
+                reused += 1
+                continue
+            pending.append((b, key, spec))
+        iterations = 0
+        if pending:
+            solved = self.dispatcher.solve_all(
+                [spec for _, _, spec in pending]
+            )
+            for (b, key, _), (artifact_key, doc) in zip(
+                pending, solved
+            ):
+                result = solve_result_from_dict(doc)
+                last_key[b] = artifact_key or key
+                last_spins[b] = np.asarray(result.spins, dtype=float)
+                iterations += int(result.n_iterations)
+                if last_key[b] not in seen_keys:
+                    seen_keys.add(last_key[b])
+                    child_keys.append(last_key[b])
+        new_state = state.copy()
+        for b in range(self.k):
+            new_state = assemble_state(
+                new_state,
+                np.asarray(plan.blocks[b], dtype=np.intp),
+                last_spins[b],
+            )
+        return new_state, reused, iterations
+
+
+def run_partitioned_spec(dispatcher, spec: JobSpec) -> StitchedSolve:
+    """Coordinate the solve a spec's ``partition`` block describes.
+
+    The spec must carry an Ising problem; a missing partition block
+    degenerates to ``k == 1`` (one monolithic job).  This is the CLI's
+    entry point for ``repro submit --ising-model ... --partition K``.
+    """
+    if spec.ising is None:
+        raise ServiceError(
+            "run_partitioned_spec needs an Ising-problem spec"
+        )
+    block = spec.partition or {}
+    coordinator = PartitionCoordinator(
+        dispatcher,
+        spec.config,
+        k=int(block.get("k", 1)),
+        max_rounds=int(block.get("max_rounds", 8)),
+        tolerance=float(block.get("tolerance", 0.0)),
+        seed=int(block.get("seed", 0)),
+        timeout_seconds=spec.timeout_seconds,
+        max_attempts=spec.max_attempts,
+    )
+    return coordinator.solve(spec.ising)

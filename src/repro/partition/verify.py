@@ -1,0 +1,99 @@
+"""Independent verification verdicts for Ising solve results.
+
+A *verdict* is a small canonical JSON document re-deriving everything
+checkable about a result against its problem — valid spin values,
+exact energy/objective re-evaluation, and (when the problem carries a
+``column_setting`` decode hint) an exact decode round trip.
+
+Verdicts deliberately exclude energies and spins: two independently
+produced results for the same problem — say a ``k = 2`` stitched solve
+on a remote fleet and a monolithic solve in-process — yield
+*byte-identical* verdict documents whenever both verify, even when
+their states differ.  That is what lets the CI smoke job compare the
+two paths with ``cmp`` instead of a tolerance dance.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+import numpy as np
+
+from repro.core.ising_formulation import (
+    setting_from_spins,
+    spins_from_setting,
+)
+from repro.ising.wire import (
+    model_sha256,
+    problem_model,
+    solve_result_from_dict,
+)
+
+__all__ = ["VERDICT_FORMAT", "verify_result", "canonical_verdict"]
+
+VERDICT_FORMAT = "repro-partition-verdict"
+VERDICT_SCHEMA_VERSION = 1
+
+
+def verify_result(problem: Dict, result_doc: Dict) -> Dict:
+    """Re-derive a verdict document for ``result_doc`` (module docs).
+
+    ``problem`` is a validated ``repro-ising-problem`` document and
+    ``result_doc`` a ``repro-ising-result`` document (a monolithic
+    artifact or a stitched result — both share the wire shape).
+    """
+    model = problem_model(problem)
+    result = solve_result_from_dict(result_doc)
+    spins = np.asarray(result.spins, dtype=float).ravel()
+    checks: Dict[str, bool] = {}
+    checks["shape"] = spins.shape == (model.n_spins,)
+    checks["spins_valid"] = bool(
+        checks["shape"] and np.isin(spins, (-1.0, 1.0)).all()
+    )
+    if checks["spins_valid"]:
+        energy = float(model.energy(spins))
+        checks["energy_exact"] = bool(
+            np.isclose(energy, result.energy, rtol=1e-9, atol=1e-9)
+        )
+        checks["objective_consistent"] = bool(
+            np.isclose(
+                result.objective,
+                result.energy + model.offset,
+                rtol=1e-9,
+                atol=1e-9,
+            )
+        )
+    else:
+        checks["energy_exact"] = False
+        checks["objective_consistent"] = False
+    decode = problem.get("decode")
+    decode_kind = None
+    if decode is not None and checks["spins_valid"]:
+        decode_kind = decode.get("kind")
+        if decode_kind == "column_setting":
+            setting = setting_from_spins(
+                spins, int(decode["n_rows"]), int(decode["n_cols"])
+            )
+            checks["decode_roundtrip"] = bool(
+                np.array_equal(spins_from_setting(setting), spins)
+            )
+    elif decode is not None:
+        decode_kind = decode.get("kind")
+        checks["decode_roundtrip"] = False
+    return {
+        "format": VERDICT_FORMAT,
+        "schema_version": VERDICT_SCHEMA_VERSION,
+        "model_sha256": model_sha256(problem["model"]),
+        "n_spins": int(model.n_spins),
+        "decode": decode_kind,
+        "checks": checks,
+        "verified": all(checks.values()),
+    }
+
+
+def canonical_verdict(verdict: Dict) -> str:
+    """The byte-comparable serialization (sorted keys, one newline)."""
+    return (
+        json.dumps(verdict, sort_keys=True, separators=(",", ":")) + "\n"
+    )

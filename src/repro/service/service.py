@@ -36,7 +36,7 @@ from repro.serialization import design_from_dict
 from repro.service.artifacts import ArtifactStore
 from repro.service.jobstore import JobRecord, JobStore
 from repro.service.scheduler import Scheduler, SchedulerPolicy
-from repro.service.spec import JobSpec, artifact_key
+from repro.service.spec import JobSpec, queue_artifact_key
 from repro.service.telemetry import service_summary
 from repro.service.worker import (
     DEFAULT_CHECKPOINT_EVERY,
@@ -84,7 +84,7 @@ class DecompositionService:
         """Enqueue one job; duplicates are welcome (the artifact cache
         dedups them at execution time, the second solve never happens).
         """
-        key = artifact_key(spec.build_table(), spec.config)
+        key = queue_artifact_key(spec)
         return self.store.submit(spec, artifact_key=key)
 
     def submit_batch(self, specs: Sequence[JobSpec]) -> List[JobRecord]:
@@ -103,7 +103,7 @@ class DecompositionService:
         gateway's ``POST /v1/jobs`` path, which makes client retries
         after a lost response safe.
         """
-        key = artifact_key(spec.build_table(), spec.config)
+        key = queue_artifact_key(spec)
         live = self.store.find_by_key(
             key, states=("queued", "running", "done")
         )

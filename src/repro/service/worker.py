@@ -55,11 +55,13 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+import numpy as np
+
 from repro.core.checkpoint import DecomposeCheckpoint
 from repro.core.framework import IsingDecomposer
 from repro.core.fusion import SweepFusionGate
 from repro.errors import OperationCancelled, ReproError, ServiceError
-from repro.obs.logconfig import get_logger
+from repro.obs.logconfig import get_logger, warn_once
 from repro.obs.metrics import get_metrics
 from repro.obs.tracing import get_tracer
 from repro.resilience import InjectedFault, active_fault_plan
@@ -108,6 +110,32 @@ def _default_decompose(
     )
 
 
+def _fusion_rejection(spec: JobSpec) -> Optional[str]:
+    """Why ``spec`` can never join a fused sweep group (``None`` = it can).
+
+    The reasons are stable identifiers — they feed the
+    ``fusion_rejected_total`` metric and the warn-once batch log, so
+    operators can see *why* a batch ran unfused instead of silently
+    observing no fusion:
+
+    * ``"ising-problem"`` — raw Ising solve jobs have no candidate
+      sweep to fuse;
+    * ``"config-not-batched"`` — the spec runs the sequential
+      per-candidate path (``FrameworkConfig.batched`` is off);
+    * ``"multiprocess-sweep"`` — the sweep already fans out over
+      processes (``n_workers > 1``), which is incompatible with
+      sharing an in-process kernel window.
+    """
+    if spec.ising is not None:
+        return "ising-problem"
+    cfg = spec.config
+    if not cfg.batched:
+        return "config-not-batched"
+    if cfg.n_workers > 1:
+        return "multiprocess-sweep"
+    return None
+
+
 def _fusion_key(spec: JobSpec):
     """Grouping key for cross-job sweep fusion (``None`` = not fusable).
 
@@ -117,10 +145,9 @@ def _fusion_key(spec: JobSpec):
     backends) may differ — the BlockBatch planner handles shape/backend
     packing, and float64 sweeps replay solo inside the batch.
     """
-    cfg = spec.config
-    if not cfg.batched or cfg.n_workers > 1:
+    if _fusion_rejection(spec) is not None:
         return None
-    solver = cfg.solver
+    solver = spec.config.solver
     return (
         solver.max_iterations,
         solver.sample_every,
@@ -250,6 +277,10 @@ class JobExecutor:
                 cache_hit=True,
             )
         spec = job.spec
+        if spec.ising is not None:
+            return self._execute_ising(
+                job, spec, start=start, tracer=tracer, heartbeat=heartbeat
+            )
         table = spec.build_table()
         deadline = (
             None
@@ -356,6 +387,84 @@ class JobExecutor:
             runtime_seconds=runtime,
             cache_hit=False,
             resumed_from_checkpoint=resume is not None,
+        )
+
+    def _execute_ising(
+        self,
+        job: JobRecord,
+        spec: JobSpec,
+        *,
+        start: float,
+        tracer,
+        heartbeat: Optional[Callable[[], None]] = None,
+    ) -> ExecutionOutcome:
+        """Solve one raw Ising problem job (:mod:`repro.ising.wire`).
+
+        These jobs are the partition subsystem's subproblems (and any
+        direct ``--ising-model`` submission).  They are single seeded
+        solver runs — no components, so no checkpoints and no ``med``;
+        the artifact envelope's ``design`` slot carries the
+        ``repro-ising-result`` document instead of a cascade design.
+
+        The per-worker size gate ``REPRO_ISING_MAX_SPINS`` (default
+        4096, deliberately *not* part of the artifact key — it is an
+        operational limit, not problem semantics) is what makes
+        "beyond the monolithic practical limit" a hard error that
+        ``--partition k`` exists to route around.
+        """
+        from repro.ising import wire
+
+        problem = spec.ising
+        n_spins = int(problem["model"]["n_spins"])
+        limit = int(os.environ.get("REPRO_ISING_MAX_SPINS", "4096"))
+        if n_spins > limit:
+            raise ServiceError(
+                f"ising problem has {n_spins} spins, over this worker's "
+                f"single-solve limit of {limit} (REPRO_ISING_MAX_SPINS); "
+                "split it with `repro submit --partition K`"
+            )
+        model = wire.problem_model(problem)
+        solver = wire.build_problem_solver(problem, spec.config)
+        rng = np.random.default_rng(spec.config.seed)
+        if heartbeat is not None:
+            heartbeat()
+        with tracer.span(
+            "ising_solve",
+            category="service",
+            job_id=job.id,
+            solver=problem["solver"],
+            n_spins=n_spins,
+        ):
+            result = solver.solve(model, rng)
+        runtime = time.monotonic() - start
+        get_metrics().counter(
+            "service_ising_jobs_total",
+            help="raw Ising solve jobs executed",
+        ).inc()
+        meta = {
+            "med": None,
+            "runtime_seconds": runtime,
+            "problem": spec.describe(),
+            "ising": {
+                "solver": problem["solver"],
+                "n_spins": n_spins,
+                "energy": float(result.energy),
+                "objective": float(result.objective),
+                "n_iterations": int(result.n_iterations),
+                "stop_reason": str(result.stop_reason),
+            },
+        }
+        with tracer.span(
+            "artifact_put", category="service", job_id=job.id
+        ):
+            envelope = self.artifacts.put(
+                job.artifact_key, wire.solve_result_to_dict(result), meta
+            )
+        return ExecutionOutcome(
+            design=envelope["design"],
+            med=None,
+            runtime_seconds=runtime,
+            cache_hit=False,
         )
 
 
@@ -514,16 +623,29 @@ class WorkerPool:
             else:
                 seen_keys.add(job.artifact_key)
                 wave.append(job)
-        # one fusion gate per compatible group of two or more jobs
+        # one fusion gate per compatible group of two or more jobs;
+        # every job left out of a gate is *accounted for*, not silently
+        # skipped — the rejection reason feeds a metric and a warn-once
+        # log so an operator can see why a batch ran unfused
+        metrics = get_metrics()
         participants: Dict[str, object] = {}
         groups: Dict[tuple, list] = {}
+        rejections: Dict[str, int] = {}
         for job in wave:
-            key = _fusion_key(job.spec)
-            if key is not None:
-                groups.setdefault(key, []).append(job)
+            reason = _fusion_rejection(job.spec)
+            if reason is not None:
+                rejections[reason] = rejections.get(reason, 0) + 1
+                continue
+            groups.setdefault(_fusion_key(job.spec), []).append(job)
         n_fused = 0
         for members in groups.values():
             if len(members) < 2:
+                # fusable alone, but no batch partner shares its
+                # iteration schedule — still a rejection to account for
+                rejections["no-compatible-schedule"] = (
+                    rejections.get("no-compatible-schedule", 0)
+                    + len(members)
+                )
                 continue
             gate = SweepFusionGate(wait_timeout=self.fusion_timeout)
             for job in members:
@@ -534,7 +656,20 @@ class WorkerPool:
                     ),
                 )
             n_fused += len(members)
-        metrics = get_metrics()
+        if rejections:
+            metrics.counter(
+                "fusion_rejected_total",
+                help="batched jobs excluded from cross-job sweep fusion",
+            ).inc(sum(rejections.values()))
+            for reason, count in sorted(rejections.items()):
+                warn_once(
+                    logger,
+                    f"fusion-rejected:{reason}",
+                    "cross-job sweep fusion excluded %d job(s) from a "
+                    "batch: %s (further exclusions for this reason are "
+                    "counted in fusion_rejected_total without logging)",
+                    count, reason,
+                )
         with get_tracer().span(
             "job_batch",
             category="service",

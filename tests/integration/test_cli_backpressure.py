@@ -1,0 +1,39 @@
+"""``repro status --remote`` surfaces gateway backpressure hints.
+
+A shedding gateway answers 429/503 with a ``Retry-After`` header; the
+CLI used to swallow it into a bare error line.  The operator-facing
+contract now: the message names the HTTP status and the exact wait.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import GatewayError
+from repro.gateway.client import GatewayClient
+
+
+def _raise_backpressure(self):
+    raise GatewayError(
+        "gateway busy", status=503, retry_after=7.0
+    )
+
+
+def test_status_surfaces_retry_after(monkeypatch, capsys):
+    monkeypatch.setattr(GatewayClient, "jobs", _raise_backpressure)
+    code = main(["status", "--remote", "http://gateway.invalid"])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "gateway is shedding load (HTTP 503)" in err
+    assert "retry after 7s (Retry-After)" in err
+
+
+def test_status_without_hint_stays_plain(monkeypatch, capsys):
+    def _raise_not_found(self):
+        raise GatewayError("job store unreachable", status=404)
+
+    monkeypatch.setattr(GatewayClient, "jobs", _raise_not_found)
+    code = main(["status", "--remote", "http://gateway.invalid"])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "error: job store unreachable" in err
+    assert "Retry-After" not in err

@@ -1,0 +1,152 @@
+"""Ising problems as ordinary service jobs: spec, queue, executor."""
+
+import pytest
+
+from repro.core import CoreSolverConfig, FrameworkConfig
+from repro.errors import ServiceError
+from repro.ising.wire import RESULT_FORMAT, ising_artifact_key
+from repro.partition.instances import separate_mode_instance
+from repro.service import DecompositionService
+from repro.service.spec import (
+    JobSpec,
+    partition_block,
+    queue_artifact_key,
+    spec_artifact_key,
+    validate_partition_block,
+)
+
+
+@pytest.fixture
+def fast_config():
+    return FrameworkConfig(
+        seed=3,
+        solver=CoreSolverConfig(max_iterations=200, n_replicas=2),
+    )
+
+
+@pytest.fixture
+def problem():
+    return separate_mode_instance(
+        workload="cos", n_inputs=6, free_size=2
+    )
+
+
+class TestSpecValidation:
+    def test_partition_requires_ising(self, fast_config):
+        with pytest.raises(ServiceError, match="requires an ising"):
+            JobSpec(
+                config=fast_config,
+                workload="cos",
+                partition=partition_block(2),
+            )
+
+    def test_unknown_partition_fields_rejected(self):
+        block = dict(partition_block(2))
+        block["shard_by"] = "row"
+        with pytest.raises(ServiceError, match="shard_by"):
+            validate_partition_block(block)
+
+    def test_partition_schema_version_checked(self):
+        block = dict(partition_block(2))
+        block["schema_version"] = 99
+        with pytest.raises(ServiceError, match="schema_version"):
+            validate_partition_block(block)
+
+    def test_ising_exclusive_with_other_sources(
+        self, fast_config, problem
+    ):
+        with pytest.raises(ServiceError, match="exactly one problem"):
+            JobSpec(config=fast_config, workload="cos", ising=problem)
+
+    def test_describe_names_the_solver_and_width(
+        self, fast_config, problem
+    ):
+        spec = JobSpec(config=fast_config, ising=problem)
+        assert spec.describe() == "ising[bsb]/N=24"
+        with_block = JobSpec(
+            config=fast_config, ising=problem,
+            partition=partition_block(4),
+        )
+        assert with_block.describe() == "ising[bsb]/N=24/k=4"
+
+    def test_wire_roundtrip_preserves_ising_and_partition(
+        self, fast_config, problem
+    ):
+        spec = JobSpec(
+            config=fast_config, ising=problem,
+            partition=partition_block(1),
+        )
+        again = JobSpec.from_wire(spec.to_wire())
+        assert again == spec
+
+
+class TestQueueBoundary:
+    def test_partition_parent_rejected_by_queue_key(
+        self, fast_config, problem
+    ):
+        spec = JobSpec(
+            config=fast_config, ising=problem,
+            partition=partition_block(2),
+        )
+        with pytest.raises(ServiceError, match="coordinated client-side"):
+            queue_artifact_key(spec)
+
+    def test_service_refuses_partition_parents(
+        self, tmp_path, fast_config, problem
+    ):
+        service = DecompositionService(tmp_path / "svc")
+        spec = JobSpec(
+            config=fast_config, ising=problem,
+            partition=partition_block(2),
+        )
+        with pytest.raises(ServiceError, match="not runnable"):
+            service.submit(spec)
+        with pytest.raises(ServiceError, match="not runnable"):
+            service.submit_idempotent(spec)
+
+    def test_k1_block_keys_like_no_block(self, fast_config, problem):
+        assert queue_artifact_key(
+            JobSpec(
+                config=fast_config, ising=problem,
+                partition=partition_block(1),
+            )
+        ) == spec_artifact_key(JobSpec(config=fast_config, ising=problem))
+
+    def test_key_depends_on_solver_and_model(self, fast_config, problem):
+        base = ising_artifact_key(problem, fast_config, None)
+        other_solver = dict(problem, solver="sa")
+        assert ising_artifact_key(
+            other_solver, fast_config, None
+        ) != base
+
+
+class TestIsingExecution:
+    def test_executes_and_caches_by_content(
+        self, tmp_path, fast_config, problem
+    ):
+        service = DecompositionService(tmp_path / "svc", n_workers=2)
+        job = service.submit(JobSpec(config=fast_config, ising=problem))
+        service.run_until_drained()
+        record = service.job(job.id)
+        assert record.state == "done"
+        envelope = service.fetch_envelope(job.id)
+        assert envelope["design"]["format"] == RESULT_FORMAT
+        assert envelope["design"]["stop_reason"]
+        # an identical resubmission resolves from the artifact cache
+        twin = service.submit(JobSpec(config=fast_config, ising=problem))
+        service.run_until_drained()
+        assert service.job(twin.id).cache_hit
+
+    def test_worker_spin_limit_is_enforced(
+        self, tmp_path, fast_config, problem, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_ISING_MAX_SPINS", "8")
+        service = DecompositionService(tmp_path / "svc")
+        job = service.submit(
+            JobSpec(config=fast_config, ising=problem, max_attempts=1)
+        )
+        service.run_until_drained()
+        record = service.job(job.id)
+        assert record.state == "failed"
+        assert "REPRO_ISING_MAX_SPINS" in record.error
+        assert "--partition" in record.error

@@ -1,0 +1,131 @@
+"""Planner properties: determinism, balance, and coupling coverage.
+
+The two hypothesis properties here are the subsystem's foundation:
+
+* the plan is a pure function of ``(model, k, seed)`` — re-planning
+  must reproduce it bit for bit;
+* *every* nonzero coupling of the original ``J`` lands in exactly one
+  place — inside exactly one block (hence exactly one subproblem) or
+  in the boundary set — so no interaction is ever double-counted or
+  dropped by the decomposition.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError
+from repro.ising.model import DenseIsingModel
+from repro.partition.planner import boundary_energy, plan_partition
+
+
+def random_model(seed: int, n: int, density: float = 0.5):
+    rng = np.random.default_rng(seed)
+    upper = np.triu(rng.normal(size=(n, n)), k=1)
+    upper[rng.random((n, n)) > density] = 0.0
+    couplings = upper + upper.T
+    return DenseIsingModel(rng.normal(size=n), couplings, rng.normal())
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(2, 24),
+    k=st.integers(1, 5),
+    plan_seed=st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_planner_deterministic_under_fixed_seed(seed, n, k, plan_seed):
+    k = min(k, n)
+    model = random_model(seed, n)
+    first = plan_partition(model, k, plan_seed)
+    second = plan_partition(model, k, plan_seed)
+    assert first.blocks == second.blocks
+    assert first.boundary == second.boundary
+    assert first.cut_weight == second.cut_weight
+    assert np.array_equal(first.block_of, second.block_of)
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(2, 24),
+    k=st.integers(1, 5),
+    plan_seed=st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_every_coupling_in_exactly_one_block_or_boundary(
+    seed, n, k, plan_seed
+):
+    k = min(k, n)
+    model = random_model(seed, n)
+    plan = plan_partition(model, k, plan_seed)
+
+    # blocks partition the spin set exactly
+    all_spins = sorted(i for block in plan.blocks for i in block)
+    assert all_spins == list(range(n))
+    sizes = [len(block) for block in plan.blocks]
+    assert max(sizes) - min(sizes) <= 1
+
+    boundary = set(plan.boundary)
+    rows, cols = np.nonzero(np.triu(model.couplings, k=1))
+    for i, j in zip(rows, cols):
+        i, j = int(i), int(j)
+        owners = [
+            b for b, block in enumerate(plan.blocks)
+            if i in block and j in block
+        ]
+        internal = len(owners) == 1
+        # exactly one of: internal to one subproblem, or boundary
+        assert internal != ((i, j) in boundary)
+    # and the boundary holds nothing else
+    for i, j in boundary:
+        assert model.couplings[i, j] != 0.0
+        assert plan.block_of[i] != plan.block_of[j]
+
+
+def test_k_bounds_validated():
+    model = random_model(0, 6)
+    with pytest.raises(DimensionError):
+        plan_partition(model, 0)
+    with pytest.raises(DimensionError):
+        plan_partition(model, 7)
+
+
+def test_single_block_plan_has_empty_boundary():
+    model = random_model(1, 8)
+    plan = plan_partition(model, 1, seed=9)
+    assert plan.blocks == (tuple(range(8)),)
+    assert plan.boundary == ()
+    assert plan.cut_weight == 0.0
+    state = np.ones(8)
+    assert boundary_energy(model, state, plan.boundary) == 0.0
+
+
+def test_boundary_energy_matches_direct_sum():
+    model = random_model(2, 10)
+    plan = plan_partition(model, 3, seed=4)
+    rng = np.random.default_rng(0)
+    state = rng.choice([-1.0, 1.0], size=10)
+    expected = -sum(
+        model.couplings[i, j] * state[i] * state[j]
+        for i, j in plan.boundary
+    )
+    assert boundary_energy(model, state, plan.boundary) == pytest.approx(
+        expected
+    )
+
+
+def test_refinement_finds_obvious_split():
+    # two 4-spin cliques joined by one weak edge: the min cut
+    n = 8
+    couplings = np.zeros((n, n))
+    for block in (range(0, 4), range(4, 8)):
+        for i in block:
+            for j in block:
+                if i < j:
+                    couplings[i, j] = couplings[j, i] = 5.0
+    couplings[0, 4] = couplings[4, 0] = 0.1
+    model = DenseIsingModel(np.zeros(n), couplings, 0.0)
+    plan = plan_partition(model, 2, seed=7)
+    assert plan.cut_weight == pytest.approx(0.1)
+    assert len(plan.boundary) == 1

@@ -1,0 +1,191 @@
+"""Coordinator behavior over a real in-process service."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoreSolverConfig, FrameworkConfig
+from repro.errors import ReproError
+from repro.ising.model import DenseIsingModel
+from repro.ising.wire import make_problem, solve_result_to_dict
+from repro.obs.metrics import get_metrics
+from repro.partition import (
+    LocalDispatcher,
+    PartitionCoordinator,
+    run_partitioned_spec,
+    verify_result,
+)
+from repro.partition.instances import separate_mode_instance
+from repro.resilience import (
+    FaultPlan,
+    FaultRule,
+    clear_fault_plan,
+    install_fault_plan,
+)
+from repro.service import DecompositionService
+from repro.service.spec import JobSpec, partition_block, spec_artifact_key
+
+
+@pytest.fixture
+def fast_config():
+    return FrameworkConfig(
+        seed=3,
+        solver=CoreSolverConfig(max_iterations=200, n_replicas=2),
+    )
+
+
+@pytest.fixture
+def dispatcher(tmp_path):
+    return LocalDispatcher(
+        DecompositionService(tmp_path / "svc", n_workers=2)
+    )
+
+
+@pytest.fixture
+def problem():
+    return separate_mode_instance(
+        workload="cos", n_inputs=6, free_size=2
+    )
+
+
+class TestDegenerateK1:
+    def test_k1_artifact_key_identical_to_monolithic(
+        self, dispatcher, problem, fast_config
+    ):
+        stitched = PartitionCoordinator(
+            dispatcher, fast_config, k=1
+        ).solve(problem)
+        plain_key = spec_artifact_key(
+            JobSpec(config=fast_config, ising=problem)
+        )
+        assert stitched.artifact_key == plain_key
+        assert stitched.rounds == 0
+        # the artifact really is in the store under that key
+        assert plain_key in dispatcher.service.artifacts
+
+    def test_k1_partition_block_normalizes_out_of_key(
+        self, fast_config, problem
+    ):
+        with_block = spec_artifact_key(
+            JobSpec(
+                config=fast_config,
+                ising=problem,
+                partition=partition_block(1),
+            )
+        )
+        without = spec_artifact_key(
+            JobSpec(config=fast_config, ising=problem)
+        )
+        assert with_block == without
+
+
+class TestStitchedSolve:
+    def test_k2_end_to_end_verifies(
+        self, dispatcher, problem, fast_config
+    ):
+        stitched = PartitionCoordinator(
+            dispatcher, fast_config, k=2, seed=5
+        ).solve(problem)
+        assert stitched.rounds >= 1
+        assert len(stitched.boundary_energies) == stitched.rounds
+        assert stitched.result.stop_reason in (
+            "boundary_converged", "round_budget_exhausted"
+        )
+        assert stitched.artifact_key is None
+        meta = stitched.result.metadata
+        assert meta["solver"] == "partition(k=2)+bsb"
+        assert meta["partition"]["rounds"] == stitched.rounds
+        assert meta["partition"]["boundary_energies"] == (
+            stitched.boundary_energies
+        )
+        verdict = verify_result(
+            problem, solve_result_to_dict(stitched.result)
+        )
+        assert verdict["verified"]
+
+    def test_deterministic_across_coordinators(
+        self, dispatcher, problem, fast_config
+    ):
+        first = PartitionCoordinator(
+            dispatcher, fast_config, k=2, seed=5
+        ).solve(problem)
+        second = PartitionCoordinator(
+            dispatcher, fast_config, k=2, seed=5
+        ).solve(problem)
+        assert np.array_equal(first.result.spins, second.result.spins)
+        assert first.boundary_energies == second.boundary_energies
+
+    def test_unchanged_clamp_context_reuses_child_solves(
+        self, dispatcher, fast_config
+    ):
+        # an all-zero model folds to identical children regardless of
+        # the clamped neighbor spins (h' = 0, offset' = offset), so
+        # round 2's child keys match round 1's: both solves are reused
+        # without dispatch and the fixed point stops the iteration
+        model = DenseIsingModel(np.zeros(8), np.zeros((8, 8)), 0.0)
+        stitched = PartitionCoordinator(
+            dispatcher, fast_config, k=2, seed=1
+        ).solve(make_problem(model))
+        assert stitched.result.stop_reason == "boundary_converged"
+        assert stitched.rounds == 2
+        assert stitched.reused_solves == 2  # both blocks, round 2
+        assert set(np.unique(stitched.result.spins)) <= {-1.0, 1.0}
+
+    def test_run_partitioned_spec_reads_the_block(
+        self, dispatcher, problem, fast_config
+    ):
+        spec = JobSpec(
+            config=fast_config,
+            ising=problem,
+            partition=partition_block(2, max_rounds=3, seed=5),
+        )
+        stitched = run_partitioned_spec(dispatcher, spec)
+        assert stitched.plan.k == 2
+        assert stitched.rounds <= 3
+
+
+class TestRoundFailSeam:
+    def test_injected_round_failures_are_retried_transparently(
+        self, dispatcher, problem, fast_config
+    ):
+        baseline = PartitionCoordinator(
+            dispatcher, fast_config, k=2, seed=5
+        ).solve(problem)
+        before = get_metrics().counter(
+            "partition_round_retries_total"
+        ).value
+        install_fault_plan(
+            FaultPlan(
+                [FaultRule(site="partition.round_fail", at_calls=(1, 2))]
+            )
+        )
+        try:
+            stitched = PartitionCoordinator(
+                dispatcher, fast_config, k=2, seed=5
+            ).solve(problem)
+        finally:
+            clear_fault_plan()
+        assert np.array_equal(
+            stitched.result.spins, baseline.result.spins
+        )
+        assert stitched.result.metadata["partition"]["round_retries"] == 2
+        after = get_metrics().counter(
+            "partition_round_retries_total"
+        ).value
+        assert after - before == 2
+
+    def test_exhausted_round_retries_raise(
+        self, dispatcher, problem, fast_config
+    ):
+        install_fault_plan(
+            FaultPlan(
+                [FaultRule(site="partition.round_fail", probability=1.0)]
+            )
+        )
+        try:
+            with pytest.raises(ReproError, match="round 1 failed"):
+                PartitionCoordinator(
+                    dispatcher, fast_config, k=2, seed=5,
+                    round_retries=1,
+                ).solve(problem)
+        finally:
+            clear_fault_plan()

@@ -1,0 +1,77 @@
+"""Clamp-folding correctness: the exact energy identity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError
+from repro.ising.model import DenseIsingModel
+from repro.ising.subproblem import assemble_state, extract_subproblem
+
+
+def random_model(seed: int, n: int):
+    rng = np.random.default_rng(seed)
+    upper = np.triu(rng.normal(size=(n, n)), k=1)
+    return DenseIsingModel(
+        rng.normal(size=n), upper + upper.T, rng.normal()
+    )
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(2, 16),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_subproblem_objective_equals_parent_objective(seed, n, data):
+    """objective'(sigma_K) == objective(assembled full state), exactly
+    up to float64 rounding — the identity the stitcher builds on."""
+    model = random_model(seed, n)
+    rng = np.random.default_rng(seed + 1)
+    block_size = data.draw(st.integers(1, n - 1))
+    block = rng.choice(n, size=block_size, replace=False)
+    clamped = rng.choice([-1.0, 1.0], size=n)
+    sub = extract_subproblem(model, block, clamped)
+    sub_spins = rng.choice([-1.0, 1.0], size=block_size)
+    full = assemble_state(clamped, sub.indices, sub_spins)
+    assert float(sub.model.objective(sub_spins)) == pytest.approx(
+        float(model.objective(full)), abs=1e-9
+    )
+
+
+def test_clamped_values_inside_block_are_ignored():
+    model = random_model(3, 8)
+    block = [1, 4, 6]
+    state_a = np.ones(8)
+    state_b = np.ones(8)
+    state_b[[1, 4, 6]] = -1.0  # differs only inside the block
+    sub_a = extract_subproblem(model, block, state_a)
+    sub_b = extract_subproblem(model, block, state_b)
+    assert np.array_equal(sub_a.model.biases, sub_b.model.biases)
+    assert sub_a.model.offset == sub_b.model.offset
+
+
+def test_block_validation():
+    model = random_model(0, 6)
+    state = np.ones(6)
+    with pytest.raises(DimensionError):
+        extract_subproblem(model, [], state)
+    with pytest.raises(DimensionError):
+        extract_subproblem(model, [1, 1], state)
+    with pytest.raises(DimensionError):
+        extract_subproblem(model, [0, 6], state)
+    with pytest.raises(DimensionError):
+        extract_subproblem(model, [0, 1], np.ones(5))
+
+
+def test_assemble_state_shape_checked():
+    with pytest.raises(DimensionError):
+        assemble_state(np.ones(6), np.array([0, 1]), np.ones(3))
+
+
+def test_assemble_state_writes_only_block_positions():
+    base = np.ones(6)
+    out = assemble_state(base, np.array([2, 5]), np.array([-1.0, -1.0]))
+    assert out.tolist() == [1, 1, -1, 1, 1, -1]
+    assert base.tolist() == [1] * 6  # input untouched
