@@ -33,10 +33,19 @@ Commands
     ``--remote URL``, execute them locally, ship checkpoints and
     results back.  ``--drain`` exits once the queue is empty;
     ``--isolated`` runs each attempt in a child process.
+``loadtest``
+    Drive a gateway with open-loop load (fixed-rate arrivals, never
+    gated on responses): sweep ``--rps`` stages per ``--mix``, record
+    latency percentiles / shed rates / the knee, evaluate ``--slo``
+    objectives with burn rates, and optionally run a chaos soak
+    (``--soak-seconds``) asserting artifacts stay byte-identical to
+    an unloaded solve.  ``--out`` writes the ``BENCH_load.json``
+    payload.
 ``status``
     Show the service job table and telemetry summary (local directory
     or ``--remote`` gateway); ``--workers`` shows the fleet registry
-    instead (worker liveness, leases, per-worker job counts).
+    instead (worker liveness, leases, per-worker job counts);
+    ``--limit N`` pages the job table server-side.
 ``fetch``
     Write a finished job's design JSON (same format ``decompose``
     emits, so ``evaluate``/``export-verilog`` consume it directly);
@@ -108,6 +117,7 @@ from repro.fleet import FleetClient, PoolAutoscaler, RemoteWorkerAgent
 from repro.gateway import DecompositionGateway, GatewayConfig
 from repro.ising.kernels import backend_infos
 from repro.ising.solvers.registry import solver_info, solver_names
+from repro.loadgen.mixes import mix_names
 from repro.lut import cascade_cost_report
 from repro.lut.verilog import cascade_to_verilog
 from repro.obs import (
@@ -408,11 +418,72 @@ def build_parser() -> argparse.ArgumentParser:
                       help="ship a crash-recovery checkpoint every K "
                            "components (0 disables checkpointing)")
 
+    load = sub.add_parser(
+        "loadtest",
+        help="drive a gateway with open-loop load and record the "
+             "latency-vs-RPS curve, SLO verdicts, and (optionally) a "
+             "chaos soak",
+    )
+    load.add_argument("--remote", required=True, metavar="URL",
+                      help="gateway base URL to load")
+    load.add_argument("--token", default=None,
+                      help="bearer token for the gateway")
+    load.add_argument("--rps", default="2,4,8", metavar="R1,R2,...",
+                      help="comma-separated offered-RPS stages, "
+                           "ascending (the sweep)")
+    load.add_argument("--mix", action="append", default=None,
+                      metavar="NAME", dest="mixes",
+                      help=f"job mix to drive (repeatable; one of "
+                           f"{', '.join(mix_names())}; default: "
+                           f"dedup-heavy + cache-cold)")
+    load.add_argument("--duration", type=float, default=10.0,
+                      metavar="SECONDS",
+                      help="seconds per (mix, rps) stage")
+    load.add_argument("--concurrency", type=int, default=8,
+                      help="sender threads per stage (bounds "
+                           "in-flight requests; lateness is recorded, "
+                           "never omitted)")
+    load.add_argument("--seed", type=int, default=3,
+                      help="base seed for the job-mix specs")
+    load.add_argument("--slo", default=None, metavar="SPEC",
+                      help="SLO clauses, e.g. "
+                           "'availability=0.99,p95_ms=500,"
+                           "window_s=5,max_burn=2'")
+    load.add_argument("--strict-slo", action="store_true",
+                      help="exit 3 when the SLO verdict fails "
+                           "(default: verdicts are recorded, not "
+                           "enforced)")
+    load.add_argument("--complete-timeout", type=float, default=60.0,
+                      metavar="SECONDS",
+                      help="how long to wait for submitted jobs to "
+                           "finish when collecting completion "
+                           "latencies")
+    load.add_argument("--soak-seconds", type=float, default=0.0,
+                      metavar="SECONDS",
+                      help="after the sweep, run a fixed-RPS soak "
+                           "this long with the chaos seams armed and "
+                           "byte-compare artifacts against an "
+                           "unloaded local solve (0 disables)")
+    load.add_argument("--soak-rps", type=float, default=None,
+                      help="soak plateau rate (default: the lowest "
+                           "sweep rate)")
+    load.add_argument("--soak-mix", default="cache-cold",
+                      help="mix to soak (must be completable work)")
+    load.add_argument("--baseline-dir", type=Path, default=None,
+                      help="directory for the soak's unloaded "
+                           "comparison service (default: a temp dir)")
+    load.add_argument("--out", type=Path, default=None, metavar="PATH",
+                      help="write the full JSON report here "
+                           "(BENCH_load.json shape)")
+
     stat = sub.add_parser(
         "status", help="show service jobs and telemetry"
     )
     _add_service_target(stat)
     stat.add_argument("--job", default=None, help="show one job only")
+    stat.add_argument("--limit", type=int, default=None, metavar="N",
+                      help="show only the first N jobs (server-side "
+                           "pagination; avoids O(queue) responses)")
     stat.add_argument("--json", action="store_true", dest="as_json",
                       help="emit the raw telemetry summary as JSON")
     stat.add_argument("--prometheus", action="store_true",
@@ -851,15 +922,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _status_backend(args: argparse.Namespace):
-    """A uniform (jobs, job, status, prometheus, design, workers) view
-    over either a local service directory or a remote gateway — what
-    keeps the ``status``/``fetch`` rendering a single code path.
+    """A uniform (jobs, job, status, prometheus, design, workers,
+    jobs_page) view over either a local service directory or a remote
+    gateway — what keeps the ``status``/``fetch`` rendering a single
+    code path.
     """
     if args.remote is not None:
         client = _remote_client(args)
         return (client.jobs, client.job, client.status,
                 client.metrics_text, client.fetch_design_dict,
-                client.workers)
+                client.workers, client.jobs_page)
     service = DecompositionService(args.service_dir)
     return (
         service.jobs,
@@ -868,13 +940,155 @@ def _status_backend(args: argparse.Namespace):
         lambda: prometheus_exposition(service.store, service.artifacts),
         service.fetch_design_dict,
         service.store.list_workers,
+        service.jobs_page,
     )
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import contextlib
+    import tempfile
+
+    from repro.gateway import GatewayClient
+    from repro.gateway.transport import RetryPolicy
+    from repro.loadgen.generator import (
+        MixSubmitter,
+        OpenLoopGenerator,
+        collect_completion_latencies,
+    )
+    from repro.loadgen.mixes import default_load_config, get_mix
+    from repro.loadgen.recorder import (
+        build_report,
+        find_knee,
+        summarize_stage,
+    )
+    from repro.loadgen.report import render_load_report
+    from repro.loadgen.slo import SLOSpec, evaluate_slo, parse_slo
+    from repro.loadgen.soak import run_soak
+
+    try:
+        rates = sorted(
+            float(r) for r in args.rps.split(",") if r.strip()
+        )
+    except ValueError:
+        raise ConfigurationError(
+            f"--rps must be comma-separated numbers, got {args.rps!r}"
+        ) from None
+    if not rates:
+        raise ConfigurationError("--rps needs at least one rate")
+    profiles = [
+        get_mix(name)
+        for name in (args.mixes or ["dedup-heavy", "cache-cold"])
+    ]
+    slo = parse_slo(args.slo) if args.slo else SLOSpec()
+    config = default_load_config(seed=args.seed)
+    # one attempt per scheduled arrival: a retry would be a second
+    # arrival the rate clock never scheduled (see repro.loadgen docs)
+    no_retry = RetryPolicy(max_retries=0)
+
+    mixes_block = {}
+    stages_by_mix = {}
+    for profile in profiles:
+        client = GatewayClient(
+            args.remote, token=args.token, retry=no_retry
+        )
+        generator = OpenLoopGenerator(
+            MixSubmitter(client, profile, config),
+            mix_name=profile.name,
+            expect_rejections=profile.expect_rejections,
+            concurrency=args.concurrency,
+        )
+        summaries, stages = [], []
+        for rps in rates:
+            print(
+                f"[load] {profile.name} @ {rps:g} rps "
+                f"for {args.duration:g}s ..."
+            )
+            stage = generator.run(
+                rps=rps, duration_seconds=args.duration
+            )
+            completions = None
+            if args.complete_timeout > 0 and stage.job_ids():
+                completions = collect_completion_latencies(
+                    client,
+                    stage.job_ids(),
+                    timeout_seconds=args.complete_timeout,
+                )
+            summary = summarize_stage(stage, completions)
+            summaries.append(summary)
+            stages.append(stage)
+            print(
+                f"[load]   achieved {summary['achieved_rps']:g} rps, "
+                f"ok {summary['ok']}/{summary['requests']}, "
+                f"shed {summary['shed']}, errors {summary['errors']}"
+            )
+        mixes_block[profile.name] = {
+            "summary": profile.summary,
+            "stages": summaries,
+            "knee": find_knee(summaries),
+        }
+        stages_by_mix[profile.name] = stages
+
+    slo_block = {"objective": slo.to_dict(), "mixes": {}, "ok": True}
+    for name, stages in stages_by_mix.items():
+        verdict = evaluate_slo(slo, stages)
+        slo_block["mixes"][name] = verdict
+        slo_block["ok"] = slo_block["ok"] and verdict["ok"]
+
+    soak_block = None
+    if args.soak_seconds > 0:
+        soak_rps = (
+            args.soak_rps if args.soak_rps is not None else rates[0]
+        )
+        print(
+            f"[load] soak: {args.soak_mix} @ {soak_rps:g} rps for "
+            f"{args.soak_seconds:g}s with chaos seams armed ..."
+        )
+        with contextlib.ExitStack() as stack:
+            baseline_dir = args.baseline_dir
+            if baseline_dir is None:
+                baseline_dir = Path(
+                    stack.enter_context(
+                        tempfile.TemporaryDirectory(
+                            prefix="repro-load-baseline-"
+                        )
+                    )
+                )
+            soak_block, soak_stage = run_soak(
+                GatewayClient(args.remote, token=args.token),
+                get_mix(args.soak_mix),
+                config,
+                rps=soak_rps,
+                duration_seconds=args.soak_seconds,
+                baseline_dir=baseline_dir,
+                concurrency=args.concurrency,
+            )
+            soak_block["slo"] = evaluate_slo(slo, [soak_stage])
+
+    report = build_report(
+        mixes_block,
+        slo_block,
+        soak_block,
+        context={
+            "gateway": args.remote,
+            "stage_duration_seconds": args.duration,
+            "rates": rates,
+        },
+    )
+    print(render_load_report(report))
+    if args.out is not None:
+        args.out.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.out}")
+    if args.strict_slo and not slo_block["ok"]:
+        return 3
+    return 0
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
     _check_target(args)
     (jobs_fn, job_fn, status_fn, prometheus_fn, _,
-     workers_fn) = _status_backend(args)
+     workers_fn, jobs_page_fn) = _status_backend(args)
     if args.prometheus:
         print(prometheus_fn(), end="")
         return 0
@@ -893,7 +1107,15 @@ def _cmd_status(args: argparse.Namespace) -> int:
     if args.as_json:
         print(json.dumps(status_fn(), indent=2, sort_keys=True))
         return 0
-    print(format_job_table(jobs_fn()))
+    if args.limit is not None:
+        # one server-side page — a deep queue never forces an
+        # O(queue) response just to peek at it
+        jobs, next_cursor = jobs_page_fn(limit=args.limit)
+        print(format_job_table(jobs))
+        if next_cursor is not None:
+            print(f"... more jobs after cursor {next_cursor}")
+    else:
+        print(format_job_table(jobs_fn()))
     summary = status_fn()
     print()
     print(f"queue depth:    {summary['queue']['depth']}")
@@ -934,7 +1156,7 @@ def _cmd_work(args: argparse.Namespace) -> int:
 
 def _cmd_fetch(args: argparse.Namespace) -> int:
     _check_target(args)
-    _, job_fn, _, _, design_fn, _ = _status_backend(args)
+    _, job_fn, _, _, design_fn, _, _ = _status_backend(args)
     design = design_fn(args.job)
     text = json.dumps(design, indent=2, sort_keys=True)
     if args.out is None:
@@ -964,6 +1186,7 @@ _DISPATCH = {
     "submit": _cmd_submit,
     "serve": _cmd_serve,
     "work": _cmd_work,
+    "loadtest": _cmd_loadtest,
     "status": _cmd_status,
     "fetch": _cmd_fetch,
     "trace": _cmd_trace_report,

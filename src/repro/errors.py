@@ -84,7 +84,10 @@ class GatewayError(ReproError, RuntimeError):
     """An HTTP gateway request failed (client side or server side).
 
     Carries the HTTP status code (0 when the failure happened before a
-    response existed, e.g. connection refused) and, when the server
+    response existed, e.g. connection refused), the machine-readable
+    error ``code`` slug from the canonical gateway envelope
+    (``{"error": {"code", "message", "retry_after"?}}``; ``None`` for
+    legacy bodies or connection-level failures), and, when the server
     suggested one, the ``Retry-After`` delay in seconds.
     """
 
@@ -93,10 +96,12 @@ class GatewayError(ReproError, RuntimeError):
         message: str,
         status: int = 0,
         retry_after: "float | None" = None,
+        code: "str | None" = None,
     ) -> None:
         super().__init__(message)
         self.status = status
         self.retry_after = retry_after
+        self.code = code
 
 
 class JobNotFound(ServiceError, KeyError):

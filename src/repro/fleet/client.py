@@ -4,7 +4,10 @@
 endpoints agents need (``GET /v1/artifacts/{key}``,
 ``GET /v1/workers``) on top of the submitter surface it inherits.
 
-Transport semantics worth knowing:
+Connection handling, backoff, and error typing come from the shared
+:class:`~repro.gateway.transport.HttpTransport` base (via
+:class:`GatewayClient`), so the worker plane retries exactly like the
+submitter plane.  Transport semantics worth knowing:
 
 * ``claim`` uses the raw request path so an empty-queue **204** maps to
   ``None`` instead of a JSON-parse error; the socket timeout is padded
@@ -18,7 +21,6 @@ Transport semantics worth knowing:
 
 from __future__ import annotations
 
-import json
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -50,13 +52,7 @@ class FleetClient(GatewayClient):
         )
         if status == 204 or not data:
             return None
-        try:
-            parsed = json.loads(data.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise GatewayError(
-                f"gateway returned invalid JSON for claim: {exc}",
-                status=status,
-            ) from exc
+        parsed = self._decode_json(data, "/v1/workers/claim", status)
         return ClaimGrant.from_payload(parsed)
 
     def heartbeat(self, worker: str, job_id: str) -> Dict:

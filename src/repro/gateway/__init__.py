@@ -8,7 +8,8 @@ directory into a network service using only the standard library
 Endpoints (all JSON unless noted)::
 
     POST /v1/jobs              submit a JobSpecV1 wire document
-    GET  /v1/jobs              list jobs (``?state=`` filter)
+    GET  /v1/jobs              list jobs (``?state=&limit=&cursor=``;
+                               paginated, ``next_cursor`` in the body)
     GET  /v1/jobs/{id}         one job's status + failure log
     GET  /v1/jobs/{id}/result  the finished job's artifact envelope
     GET  /v1/status            the service telemetry summary
@@ -36,19 +37,34 @@ queue-depth backpressure (503 + ``Retry-After``), request-size and
 per-request socket timeouts, a JSONL access log, and graceful shutdown
 that drains in-flight handlers before returning.
 
-:class:`GatewayClient` is the typed Python client; its retry loop backs
-off exponentially and honors server ``Retry-After`` hints, and its
-accessors return the same :class:`~repro.service.JobRecord` objects the
-local service API yields, so CLI code paths are shared between local
-and ``--remote`` operation.
+Every error response uses one canonical JSON envelope::
+
+    {"error": {"code": "<slug>", "message": "...",
+               "retry_after": <seconds>?}, "status": <http status>}
+
+``code`` is a stable machine-readable slug (``invalid_request``,
+``unauthorized``, ``not_found``, ``conflict``, ``rate_limited``,
+``overloaded``, ``store_unavailable``, ``internal``, ...); the
+top-level ``status`` mirror is kept for legacy readers.
+
+:class:`GatewayClient` is the typed Python client; the shared
+:class:`~repro.gateway.transport.HttpTransport` base (also under
+:class:`~repro.fleet.client.FleetClient`) backs off exponentially with
+optional jitter, honors server ``Retry-After`` hints, and parses the
+canonical envelope (legacy string bodies still accepted).  Accessors
+return the same :class:`~repro.service.JobRecord` objects the local
+service API yields, so CLI code paths are shared between local and
+``--remote`` operation.
 """
 
-from repro.gateway.client import GatewayClient, RetryPolicy
+from repro.gateway.client import GatewayClient
 from repro.gateway.server import DecompositionGateway, GatewayConfig
+from repro.gateway.transport import HttpTransport, RetryPolicy
 
 __all__ = [
     "DecompositionGateway",
     "GatewayClient",
     "GatewayConfig",
+    "HttpTransport",
     "RetryPolicy",
 ]

@@ -6,25 +6,23 @@
 :class:`~repro.service.JobRecord` and design-document types, which is
 what lets the CLI run one code path for local and ``--remote`` modes.
 
-Transient failures (connection refused, 408/429/503) are retried with
-exponential backoff, and a server ``Retry-After`` hint always wins over
-the computed delay when it is longer.  All failures surface as
+All connection handling, Retry-After-honoring backoff, and typed
+status-0 errors live in the shared
+:class:`~repro.gateway.transport.HttpTransport` base (also used by
+:class:`~repro.fleet.client.FleetClient`); this module only adds the
+submitter-facing API surface.  All failures surface as
 :class:`~repro.errors.GatewayError` carrying the HTTP status (0 when no
-response existed) and any ``Retry-After`` value.
+response existed), the canonical-envelope error code when the server
+sent one, and any ``Retry-After`` value.
 """
 
 from __future__ import annotations
 
-import http.client
-import json
 import time
-import urllib.error
-import urllib.request
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import GatewayError
-from repro.resilience import active_fault_plan
+from repro.gateway.transport import HttpTransport, RetryPolicy
 from repro.serialization import ensure_design_document
 from repro.service.jobstore import JobRecord
 from repro.service.spec import JobSpec
@@ -35,178 +33,14 @@ __all__ = ["GatewayClient", "RetryPolicy"]
 _TERMINAL = ("done", "failed", "quarantined")
 
 
-@dataclass(frozen=True)
-class RetryPolicy:
-    """When and how the client retries a failed request.
-
-    Attributes
-    ----------
-    max_retries:
-        Retries *after* the first attempt (0 disables retrying).
-    backoff_base_seconds, backoff_max_seconds:
-        Exponential schedule: ``base * 2**attempt`` capped at the max.
-        A server ``Retry-After`` longer than the computed delay is
-        honored instead.
-    retry_statuses:
-        HTTP statuses worth retrying — throttling and transient
-        unavailability, never 4xx input errors.  Connection-level
-        failures (status 0) are always retried.
-    """
-
-    max_retries: int = 4
-    backoff_base_seconds: float = 0.25
-    backoff_max_seconds: float = 8.0
-    retry_statuses: Tuple[int, ...] = (408, 429, 503)
-
-
-class GatewayClient:
+class GatewayClient(HttpTransport):
     """Client for one gateway base URL (see module docs).
 
-    Parameters
-    ----------
-    base_url:
-        E.g. ``http://127.0.0.1:8080``; a trailing slash is fine.
-    token:
-        Bearer token matching the server's ``auth_token``; sent as
-        ``Authorization: Bearer <token>`` when set.
-    timeout_seconds:
-        Per-request socket timeout.
-    retry:
-        See :class:`RetryPolicy`.
-    sleep:
-        Injection point for tests (default :func:`time.sleep`).
+    Constructor parameters are inherited unchanged from
+    :class:`~repro.gateway.transport.HttpTransport`:
+    ``(base_url, token=None, timeout_seconds=30.0, retry=None,
+    sleep=time.sleep)``.
     """
-
-    def __init__(
-        self,
-        base_url: str,
-        token: Optional[str] = None,
-        timeout_seconds: float = 30.0,
-        retry: Optional[RetryPolicy] = None,
-        sleep: Callable[[float], None] = time.sleep,
-    ) -> None:
-        self.base_url = base_url.rstrip("/")
-        self.token = token
-        self.timeout_seconds = timeout_seconds
-        self.retry = retry if retry is not None else RetryPolicy()
-        self._sleep = sleep
-
-    # -- transport -----------------------------------------------------
-
-    def _attempt(
-        self, method: str, path: str, body: Optional[bytes]
-    ) -> Tuple[int, Dict[str, str], bytes]:
-        request = urllib.request.Request(
-            self.base_url + path, data=body, method=method
-        )
-        request.add_header("Accept", "application/json")
-        if body is not None:
-            request.add_header("Content-Type", "application/json")
-        if self.token is not None:
-            request.add_header("Authorization", f"Bearer {self.token}")
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout_seconds
-            ) as response:
-                plan = active_fault_plan()
-                if plan is not None and plan.should_fire(
-                    "client.connection_drop", f"{method} {path}"
-                ):
-                    raise http.client.IncompleteRead(b"")
-                return (
-                    response.status,
-                    dict(response.headers.items()),
-                    response.read(),
-                )
-        except urllib.error.HTTPError as exc:
-            return exc.code, dict(exc.headers.items()), exc.read()
-        except http.client.HTTPException as exc:
-            # connection reset mid-body: ``response.read()`` raises raw
-            # ``http.client`` errors (``IncompleteRead``, ...), which are
-            # NOT ``OSError`` subclasses — map them to the same
-            # retryable status-0 shape as a refused connection
-            raise GatewayError(
-                f"gateway connection dropped mid-response at "
-                f"{self.base_url}: {type(exc).__name__}: {exc}",
-                status=0,
-            ) from exc
-        except (urllib.error.URLError, OSError) as exc:
-            raise GatewayError(
-                f"cannot reach gateway at {self.base_url}: "
-                f"{getattr(exc, 'reason', exc)}",
-                status=0,
-            ) from exc
-
-    @staticmethod
-    def _retry_after(headers: Dict[str, str]) -> Optional[float]:
-        value = headers.get("Retry-After")
-        if value is None:
-            return None
-        try:
-            return max(0.0, float(value))
-        except ValueError:
-            return None  # HTTP-date form; fall back to computed backoff
-
-    @staticmethod
-    def _error_message(payload: bytes, status: int) -> str:
-        try:
-            data = json.loads(payload.decode("utf-8"))
-            return str(data.get("error", data))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            return f"HTTP {status}"
-
-    def _request(
-        self, method: str, path: str, payload: Optional[Dict] = None
-    ) -> Tuple[int, Dict[str, str], bytes]:
-        """One logical request: attempts + backoff; raises on 4xx/5xx
-        that survive the retry budget.
-        """
-        body = (
-            None
-            if payload is None
-            else json.dumps(payload, sort_keys=True).encode("utf-8")
-        )
-        policy = self.retry
-        last_error: Optional[GatewayError] = None
-        for attempt in range(policy.max_retries + 1):
-            try:
-                status, headers, data = self._attempt(method, path, body)
-            except GatewayError as exc:
-                last_error = exc  # connection-level: always retryable
-            else:
-                if status < 400:
-                    return status, headers, data
-                retry_after = self._retry_after(headers)
-                last_error = GatewayError(
-                    self._error_message(data, status),
-                    status=status,
-                    retry_after=retry_after,
-                )
-                if status not in policy.retry_statuses:
-                    raise last_error
-            if attempt >= policy.max_retries:
-                break
-            delay = min(
-                policy.backoff_max_seconds,
-                policy.backoff_base_seconds * (2.0 ** attempt),
-            )
-            hinted = getattr(last_error, "retry_after", None)
-            if hinted is not None:
-                delay = max(delay, hinted)
-            self._sleep(delay)
-        raise last_error
-
-    def _request_json(
-        self, method: str, path: str, payload: Optional[Dict] = None
-    ) -> Dict:
-        status, _, data = self._request(method, path, payload)
-        try:
-            return json.loads(data.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise GatewayError(
-                f"gateway returned invalid JSON for {path}: {exc}",
-                status=status,
-            ) from exc
 
     # -- API surface ---------------------------------------------------
 
@@ -240,11 +74,61 @@ class GatewayClient:
         data = self._request_json("GET", f"/v1/jobs/{job_id}")
         return JobRecord.from_dict(data["job"])
 
+    @staticmethod
+    def _jobs_query(
+        state: Optional[str],
+        limit: Optional[int],
+        cursor: Optional[str],
+    ) -> str:
+        params = []
+        if state:
+            params.append(f"state={state}")
+        if limit is not None:
+            params.append(f"limit={int(limit)}")
+        if cursor:
+            params.append(f"cursor={cursor}")
+        return "?" + "&".join(params) if params else ""
+
     def jobs(self, state: Optional[str] = None) -> List[JobRecord]:
-        """All jobs, oldest first, optionally filtered by state."""
-        path = "/v1/jobs" + (f"?state={state}" if state else "")
+        """All jobs, oldest first, optionally filtered by state.
+
+        Unpaginated convenience — pages through the server cursor
+        internally.  Prefer :meth:`jobs_page` / :meth:`iter_jobs` when
+        the queue may be large.
+        """
+        return list(self.iter_jobs(state=state))
+
+    def jobs_page(
+        self,
+        state: Optional[str] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> Tuple[List[JobRecord], Optional[str]]:
+        """One page of jobs: ``(records, next_cursor)``.
+
+        ``next_cursor`` is ``None`` on the last page; pass it back
+        verbatim to continue.  Ordering is stable (``created_at, id``)
+        so pages never skip or repeat jobs submitted mid-pagination.
+        """
+        path = "/v1/jobs" + self._jobs_query(state, limit, cursor)
         data = self._request_json("GET", path)
-        return [JobRecord.from_dict(entry) for entry in data["jobs"]]
+        records = [JobRecord.from_dict(entry) for entry in data["jobs"]]
+        return records, data.get("next_cursor")
+
+    def iter_jobs(
+        self,
+        state: Optional[str] = None,
+        page_size: int = 200,
+    ) -> Iterator[JobRecord]:
+        """Lazily iterate every job, oldest first, page by page."""
+        cursor: Optional[str] = None
+        while True:
+            records, cursor = self.jobs_page(
+                state=state, limit=page_size, cursor=cursor
+            )
+            yield from records
+            if cursor is None:
+                return
 
     def result(self, job_id: str) -> Dict:
         """The finished job's artifact envelope (design + provenance)."""

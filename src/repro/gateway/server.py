@@ -16,8 +16,12 @@ Dedup runs *before* backpressure so a resubmission of finished (or
 already-queued) work still succeeds on a saturated queue — the client
 gets its twin back instead of a useless 503, and no capacity is spent.
 
-Every response is JSON with a correct ``Content-Length``; rejections
-carry ``{"error": ..., "status": ...}`` bodies, and 429/503 add a
+Every response is JSON with a correct ``Content-Length``.  Rejections
+all use one canonical envelope —
+``{"error": {"code", "message", "retry_after"?}, "status": ...}`` —
+across every ``/v1/*`` endpoint (``code`` is a stable slug such as
+``rate_limited`` or ``overloaded``; the top-level ``status`` mirror is
+kept for legacy readers), and 429/503 additionally carry a
 ``Retry-After`` header the client's backoff honors.
 """
 
@@ -49,6 +53,21 @@ logger = logging.getLogger(__name__)
 
 #: request-latency histogram boundaries (seconds)
 _LATENCY_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0)
+
+#: default machine-readable error code per HTTP status (canonical
+#: envelope); handlers override with a more specific slug where one
+#: exists (e.g. 503 ``overloaded`` vs ``store_unavailable``)
+_ERROR_CODES = {
+    400: "invalid_request",
+    401: "unauthorized",
+    404: "not_found",
+    409: "conflict",
+    411: "length_required",
+    413: "payload_too_large",
+    429: "rate_limited",
+    500: "internal",
+    503: "unavailable",
+}
 
 
 @dataclass(frozen=True)
@@ -377,15 +396,30 @@ def _build_handler(gateway: DecompositionGateway):
             )
 
         def _error(self, status: int, message: str,
-                   retry_after: Optional[float] = None) -> None:
+                   retry_after: Optional[float] = None,
+                   code: Optional[str] = None) -> None:
+            """One canonical error envelope for every rejection.
+
+            ``{"error": {"code", "message", "retry_after"?},
+            "status": ...}`` — ``code`` defaults from the status, the
+            top-level ``status`` mirror keeps legacy readers working,
+            and any ``retry_after`` is surfaced both in the envelope
+            and as a ``Retry-After`` header.
+            """
             headers = (
                 {"Retry-After": f"{retry_after:g}"}
                 if retry_after is not None
                 else None
             )
+            envelope: Dict = {
+                "code": code or _ERROR_CODES.get(status, "error"),
+                "message": message,
+            }
+            if retry_after is not None:
+                envelope["retry_after"] = retry_after
             self._json(
                 status,
-                {"error": message, "status": status},
+                {"error": envelope, "status": status},
                 extra_headers=headers,
             )
 
@@ -522,9 +556,30 @@ def _build_handler(gateway: DecompositionGateway):
 
         def _handle_list(self, query: Dict) -> None:
             state = query.get("state", [None])[0]
-            jobs = service.jobs(state)
+            cursor = query.get("cursor", [None])[0]
+            limit_raw = query.get("limit", [None])[0]
+            limit = None
+            if limit_raw is not None:
+                try:
+                    limit = int(limit_raw)
+                except ValueError:
+                    limit = -1
+                if limit <= 0:
+                    self._error(
+                        400,
+                        f"limit must be a positive integer, "
+                        f"got {limit_raw!r}",
+                    )
+                    return
+            jobs, next_cursor = service.jobs_page(
+                state=state, limit=limit, cursor=cursor
+            )
             self._json(
-                200, {"jobs": [job.to_dict() for job in jobs]}
+                200,
+                {
+                    "jobs": [job.to_dict() for job in jobs],
+                    "next_cursor": next_cursor,
+                },
             )
 
         def _handle_job(self, job_id: str) -> None:
@@ -593,6 +648,7 @@ def _build_handler(gateway: DecompositionGateway):
                     f"queue is full ({config.max_queue_depth} jobs "
                     f"pending); retry later",
                     retry_after=config.retry_after_seconds,
+                    code="overloaded",
                 )
                 return
             job = service.store.submit(spec, artifact_key=key)
@@ -706,6 +762,7 @@ def _build_handler(gateway: DecompositionGateway):
                         503,
                         f"job store unavailable: {exc}",
                         retry_after=config.claim_retry_after_seconds,
+                        code="store_unavailable",
                     )
                     return
                 if job is not None:

@@ -1,0 +1,262 @@
+"""Shared HTTP transport for every gateway-facing client.
+
+:class:`HttpTransport` owns everything below the API surface —
+connection handling over stdlib ``urllib``, the retry loop with
+exponential backoff (a server ``Retry-After`` hint always wins over the
+computed delay when it is longer), optional bounded jitter, and typed
+status-0 errors for failures that happened before any response existed.
+Both :class:`~repro.gateway.client.GatewayClient` and
+:class:`~repro.fleet.client.FleetClient` build on it, so retry
+semantics cannot drift between the submitter and worker planes.
+
+Error bodies are parsed from the canonical envelope
+``{"error": {"code", "message", "retry_after"?}}``; legacy shapes
+(``{"error": "<string>"}`` or arbitrary JSON) still decode so old
+servers keep working against new clients.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import GatewayError
+from repro.resilience import active_fault_plan
+
+__all__ = ["HttpTransport", "RetryPolicy", "parse_error_body"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how the client retries a failed request.
+
+    Attributes
+    ----------
+    max_retries:
+        Retries *after* the first attempt (0 disables retrying).
+    backoff_base_seconds, backoff_max_seconds:
+        Exponential schedule: ``base * 2**attempt`` capped at the max.
+        A server ``Retry-After`` longer than the computed delay is
+        honored instead.
+    retry_statuses:
+        HTTP statuses worth retrying — throttling and transient
+        unavailability, never 4xx input errors.  Connection-level
+        failures (status 0) are always retried.
+    jitter_ratio:
+        Fraction of the computed delay to randomize by (uniform in
+        ``[-jitter, +jitter]``), decorrelating clients that were
+        throttled at the same instant.  The jittered delay never
+        exceeds ``backoff_max_seconds`` and never undercuts a server
+        ``Retry-After`` hint.  0 keeps the schedule deterministic.
+    """
+
+    max_retries: int = 4
+    backoff_base_seconds: float = 0.25
+    backoff_max_seconds: float = 8.0
+    retry_statuses: Tuple[int, ...] = (408, 429, 503)
+    jitter_ratio: float = 0.0
+
+
+def parse_error_body(
+    payload: bytes, status: int
+) -> Tuple[str, Optional[str], Optional[float]]:
+    """``(message, code, retry_after)`` from an error response body.
+
+    Understands the canonical envelope
+    ``{"error": {"code", "message", "retry_after"?}}`` and falls back
+    to the legacy ``{"error": "<string>"}`` / arbitrary-JSON shapes, so
+    a new client still reads old servers (and non-gateway proxies).
+    """
+    try:
+        data = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return f"HTTP {status}", None, None
+    error = data.get("error", data) if isinstance(data, dict) else data
+    if isinstance(error, dict):
+        message = str(error.get("message", error))
+        code = error.get("code")
+        retry_after = error.get("retry_after")
+        try:
+            retry_after = (
+                None if retry_after is None else max(0.0, float(retry_after))
+            )
+        except (TypeError, ValueError):
+            retry_after = None
+        return message, (str(code) if code is not None else None), retry_after
+    return str(error), None, None
+
+
+class HttpTransport:
+    """Connection + retry machinery for one gateway base URL.
+
+    Parameters
+    ----------
+    base_url:
+        E.g. ``http://127.0.0.1:8080``; a trailing slash is fine.
+    token:
+        Bearer token matching the server's ``auth_token``; sent as
+        ``Authorization: Bearer <token>`` when set.
+    timeout_seconds:
+        Per-request socket timeout.
+    retry:
+        See :class:`RetryPolicy`.
+    sleep:
+        Injection point for tests (default :func:`time.sleep`).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        token: Optional[str] = None,
+        timeout_seconds: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.token = token
+        self.timeout_seconds = timeout_seconds
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
+        self._jitter_rng = random.Random()
+
+    # -- single attempt ------------------------------------------------
+
+    def _attempt(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method
+        )
+        request.add_header("Accept", "application/json")
+        if body is not None:
+            request.add_header("Content-Type", "application/json")
+        if self.token is not None:
+            request.add_header("Authorization", f"Bearer {self.token}")
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_seconds
+            ) as response:
+                plan = active_fault_plan()
+                if plan is not None and plan.should_fire(
+                    "client.connection_drop", f"{method} {path}"
+                ):
+                    raise http.client.IncompleteRead(b"")
+                return (
+                    response.status,
+                    dict(response.headers.items()),
+                    response.read(),
+                )
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers.items()), exc.read()
+        except http.client.HTTPException as exc:
+            # connection reset mid-body: ``response.read()`` raises raw
+            # ``http.client`` errors (``IncompleteRead``, ...), which are
+            # NOT ``OSError`` subclasses — map them to the same
+            # retryable status-0 shape as a refused connection
+            raise GatewayError(
+                f"gateway connection dropped mid-response at "
+                f"{self.base_url}: {type(exc).__name__}: {exc}",
+                status=0,
+            ) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise GatewayError(
+                f"cannot reach gateway at {self.base_url}: "
+                f"{getattr(exc, 'reason', exc)}",
+                status=0,
+            ) from exc
+
+    # -- retry loop ----------------------------------------------------
+
+    @staticmethod
+    def _retry_after(headers: Dict[str, str]) -> Optional[float]:
+        value = headers.get("Retry-After")
+        if value is None:
+            return None
+        try:
+            return max(0.0, float(value))
+        except ValueError:
+            return None  # HTTP-date form; fall back to computed backoff
+
+    def _backoff_delay(
+        self, attempt: int, hinted: Optional[float]
+    ) -> float:
+        policy = self.retry
+        delay = min(
+            policy.backoff_max_seconds,
+            policy.backoff_base_seconds * (2.0 ** attempt),
+        )
+        if policy.jitter_ratio > 0.0:
+            spread = self._jitter_rng.uniform(
+                -policy.jitter_ratio, policy.jitter_ratio
+            )
+            delay = min(
+                policy.backoff_max_seconds, max(0.0, delay * (1.0 + spread))
+            )
+        if hinted is not None:
+            delay = max(delay, hinted)
+        return delay
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One logical request: attempts + backoff; raises on 4xx/5xx
+        that survive the retry budget.
+        """
+        body = (
+            None
+            if payload is None
+            else json.dumps(payload, sort_keys=True).encode("utf-8")
+        )
+        policy = self.retry
+        last_error: Optional[GatewayError] = None
+        for attempt in range(policy.max_retries + 1):
+            try:
+                status, headers, data = self._attempt(method, path, body)
+            except GatewayError as exc:
+                last_error = exc  # connection-level: always retryable
+            else:
+                if status < 400:
+                    return status, headers, data
+                message, code, body_hint = parse_error_body(data, status)
+                retry_after = self._retry_after(headers)
+                if retry_after is None:
+                    retry_after = body_hint
+                last_error = GatewayError(
+                    message,
+                    status=status,
+                    retry_after=retry_after,
+                    code=code,
+                )
+                if status not in policy.retry_statuses:
+                    raise last_error
+            if attempt >= policy.max_retries:
+                break
+            self._sleep(
+                self._backoff_delay(
+                    attempt, getattr(last_error, "retry_after", None)
+                )
+            )
+        raise last_error
+
+    # -- decoding ------------------------------------------------------
+
+    def _decode_json(self, data: bytes, path: str, status: int) -> Dict:
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise GatewayError(
+                f"gateway returned invalid JSON for {path}: {exc}",
+                status=status,
+            ) from exc
+
+    def _request_json(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Dict:
+        status, _, data = self._request(method, path, payload)
+        return self._decode_json(data, path, status)

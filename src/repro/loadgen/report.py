@@ -1,0 +1,79 @@
+"""Human-readable rendering of a BENCH_load payload."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["render_load_report"]
+
+
+def _latency_cell(block: Optional[Dict]) -> str:
+    if not block:
+        return "-"
+    return f"{block['p50_ms']:.1f}/{block['p95_ms']:.1f}"
+
+
+def render_load_report(report: Dict) -> str:
+    """Text table per mix: the curve, the knee, SLO and soak verdicts."""
+    lines: List[str] = []
+    for name, mix_block in sorted(report.get("mixes", {}).items()):
+        lines.append(f"mix {name}: {mix_block.get('summary', '')}")
+        lines.append(
+            "  offered  achieved  ok/req    shed   err "
+            " svc p50/p95 ms  open p50/p95 ms"
+        )
+        for stage in mix_block.get("stages", []):
+            lines.append(
+                f"  {stage['offered_rps']:7.2f}"
+                f"  {stage['achieved_rps']:8.2f}"
+                f"  {stage['ok']:3d}/{stage['requests']:<3d}"
+                f"  {stage['shed_rate']:6.2f}"
+                f"  {stage['error_rate']:4.2f}"
+                f"  {_latency_cell(stage['service_latency']):>14s}"
+                f"  {_latency_cell(stage['open_loop_latency']):>15s}"
+            )
+        knee = mix_block.get("knee")
+        if knee:
+            state = (
+                "saturated" if knee.get("saturated") else "not saturated"
+            )
+            lines.append(
+                f"  knee: {knee.get('offered_rps')} rps ({state}; "
+                f"{knee.get('reason')})"
+            )
+        lines.append("")
+    slo = report.get("slo")
+    if slo:
+        objective = slo.get("objective", {})
+        lines.append(
+            f"SLO (availability>={objective.get('availability')}, "
+            f"p95<={objective.get('latency_p95_ms')}ms, "
+            f"burn<={objective.get('max_burn_rate')}x"
+            f"@{objective.get('window_seconds')}s):"
+        )
+        for name, verdict in sorted(slo.get("mixes", {}).items()):
+            mark = "PASS" if verdict.get("ok") else "FAIL"
+            lines.append(
+                f"  {name}: {mark} "
+                f"(availability {verdict['availability']['observed']}, "
+                f"p95 {verdict['latency']['observed_p95_ms']}ms, "
+                f"max burn {verdict['burn_rate']['max']}x)"
+            )
+        lines.append(
+            f"  overall: {'PASS' if slo.get('ok') else 'FAIL'}"
+        )
+        lines.append("")
+    soak = report.get("soak")
+    if soak:
+        mark = (
+            "byte-identical"
+            if soak.get("byte_identical")
+            else f"MISMATCH ({soak.get('mismatches')})"
+        )
+        lines.append(
+            f"soak: {soak.get('mix')} at {soak.get('offered_rps')} rps "
+            f"for {soak.get('duration_seconds')}s under chaos — "
+            f"{soak.get('completed')}/{soak.get('requests')} completed, "
+            f"{mark}"
+        )
+    return "\n".join(lines).rstrip()

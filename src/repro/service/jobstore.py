@@ -773,19 +773,69 @@ class JobStore:
 
     def list_jobs(self, state: Optional[str] = None) -> List[JobRecord]:
         """All jobs (optionally filtered by state), oldest first."""
+        records, _ = self.page_jobs(state=state)
+        return records
+
+    def page_jobs(
+        self,
+        state: Optional[str] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> Tuple[List[JobRecord], Optional[str]]:
+        """One page of jobs, oldest first: ``(records, next_cursor)``.
+
+        The cursor is the last-seen job id; pagination continues from
+        strictly after that job in ``(created_at, id)`` order, which is
+        stable under concurrent submissions — rows never shift under a
+        paginating reader the way OFFSET pages do, so no job is skipped
+        or repeated.  ``next_cursor`` is ``None`` on the final page.
+        ``limit=None`` returns everything in one page (legacy shape).
+        An unknown ``cursor`` or ``state`` raises
+        :class:`~repro.errors.ServiceError`.
+        """
         if state is not None and state not in JOB_STATES:
             raise ServiceError(
                 f"unknown job state {state!r}; states: {JOB_STATES}"
             )
-        query = "SELECT * FROM jobs"
-        params: tuple = ()
-        if state is not None:
-            query += " WHERE state = ?"
-            params = (state,)
-        query += " ORDER BY created_at, id"
+        if limit is not None and limit <= 0:
+            raise ServiceError(
+                f"limit must be a positive integer, got {limit!r}"
+            )
+        clauses: List[str] = []
+        params: List = []
         with self._txn() as conn:
-            rows = conn.execute(query, params).fetchall()
-        return [_record_from_row(row) for row in rows]
+            if cursor is not None:
+                anchor = conn.execute(
+                    "SELECT created_at, id FROM jobs WHERE id = ?",
+                    (cursor,),
+                ).fetchone()
+                if anchor is None:
+                    raise ServiceError(
+                        f"unknown pagination cursor {cursor!r}"
+                    )
+                clauses.append(
+                    "(created_at > ? OR (created_at = ? AND id > ?))"
+                )
+                params.extend(
+                    [anchor["created_at"], anchor["created_at"], cursor]
+                )
+            if state is not None:
+                clauses.append("state = ?")
+                params.append(state)
+            query = "SELECT * FROM jobs"
+            if clauses:
+                query += " WHERE " + " AND ".join(clauses)
+            query += " ORDER BY created_at, id"
+            if limit is not None:
+                # one extra row tells us whether a next page exists
+                query += " LIMIT ?"
+                params.append(limit + 1)
+            rows = conn.execute(query, tuple(params)).fetchall()
+        next_cursor: Optional[str] = None
+        if limit is not None and len(rows) > limit:
+            rows = rows[:limit]
+            next_cursor = rows[-1]["id"]
+        return [_record_from_row(row) for row in rows], next_cursor
 
     def find_by_key(
         self,

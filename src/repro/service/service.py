@@ -144,6 +144,22 @@ class DecompositionService:
         """All job records, oldest first."""
         return self.store.list_jobs(state)
 
+    def jobs_page(
+        self,
+        state: Optional[str] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> Tuple[List[JobRecord], Optional[str]]:
+        """One page of job records: ``(records, next_cursor)``.
+
+        See :meth:`repro.service.jobstore.JobStore.page_jobs` — this is
+        what ``GET /v1/jobs?limit=&cursor=`` serves, so large queues
+        never require an O(queue) response.
+        """
+        return self.store.page_jobs(
+            state=state, limit=limit, cursor=cursor
+        )
+
     def status(self) -> Dict:
         """Structured telemetry summary (see ``service.telemetry``)."""
         return service_summary(self.store, self.artifacts)

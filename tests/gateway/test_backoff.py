@@ -1,0 +1,258 @@
+"""Client backoff under sustained throttling, against a scripted server.
+
+The server here is a plain stdlib HTTP server that replays a scripted
+sequence of responses (then repeats the last one forever) and records
+every request it saw — so the tests can assert *bounded* request
+counts, honored ``Retry-After`` hints, and capped jittered delays
+without any real sleeping (the transport's ``sleep`` is injected).
+"""
+
+import contextlib
+import json
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.gateway import GatewayClient, HttpTransport, RetryPolicy
+from repro.gateway.transport import parse_error_body
+
+
+def _envelope(status, code, message, retry_after=None):
+    error = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    return json.dumps({"error": error, "status": status}).encode()
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    def log_message(self, *args):  # keep test output clean
+        pass
+
+    def _serve(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            self.rfile.read(length)
+        with self.server.lock:
+            self.server.requests.append((self.command, self.path))
+            if self.server.script:
+                action = self.server.script.pop(0)
+            else:
+                action = self.server.fallback
+        body = action.get("body", b"{}")
+        self.send_response(action["status"])
+        for key, value in action.get("headers", {}).items():
+            self.send_header(key, value)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = _serve
+    do_POST = _serve
+
+
+@contextlib.contextmanager
+def scripted_server(script, fallback=None):
+    """Yield ``(server, url)``; replays ``script`` then ``fallback``."""
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    server.lock = threading.Lock()
+    server.requests = []
+    server.script = list(script)
+    server.fallback = fallback or (script and script[-1]) or {
+        "status": 200
+    }
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class SleepRecorder:
+    def __init__(self):
+        self.delays = []
+
+    def __call__(self, seconds):
+        self.delays.append(seconds)
+
+
+class TestBoundedRetries:
+    def test_sustained_429_stops_at_the_budget(self):
+        throttle = {
+            "status": 429,
+            "headers": {"Retry-After": "0"},
+            "body": _envelope(429, "rate_limited", "submission queue full"),
+        }
+        sleeps = SleepRecorder()
+        with scripted_server([], fallback=throttle) as (server, url):
+            client = GatewayClient(
+                url,
+                retry=RetryPolicy(
+                    max_retries=3, backoff_base_seconds=0.001
+                ),
+                sleep=sleeps,
+            )
+            with pytest.raises(GatewayError) as excinfo:
+                client.healthz()
+        # max_retries+1 requests, then give up — no retry storm
+        assert len(server.requests) == 4
+        assert len(sleeps.delays) == 3
+        exc = excinfo.value
+        assert exc.status == 429
+        assert exc.code == "rate_limited"
+        assert "submission queue full" in str(exc)
+
+    def test_no_retry_policy_is_single_shot(self):
+        shed = {
+            "status": 503,
+            "body": _envelope(503, "overloaded", "too many in flight"),
+        }
+        sleeps = SleepRecorder()
+        with scripted_server([], fallback=shed) as (server, url):
+            client = GatewayClient(
+                url, retry=RetryPolicy(max_retries=0), sleep=sleeps
+            )
+            with pytest.raises(GatewayError) as excinfo:
+                client.healthz()
+        assert len(server.requests) == 1
+        assert sleeps.delays == []
+        assert excinfo.value.code == "overloaded"
+
+    def test_non_retryable_status_never_retries(self):
+        bad = {
+            "status": 400,
+            "body": _envelope(400, "invalid_request", "schema_version"),
+        }
+        with scripted_server([], fallback=bad) as (server, url):
+            client = GatewayClient(url, sleep=SleepRecorder())
+            with pytest.raises(GatewayError) as excinfo:
+                client.healthz()
+        assert len(server.requests) == 1
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "invalid_request"
+
+    def test_connection_failures_surface_as_status_zero(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        client = GatewayClient(
+            f"http://127.0.0.1:{free_port}",
+            retry=RetryPolicy(max_retries=1, backoff_base_seconds=0.001),
+        )
+        with pytest.raises(GatewayError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 0
+        assert excinfo.value.code is None
+
+
+class TestRetryAfter:
+    def test_header_hint_stretches_the_computed_delay(self):
+        sleeps = SleepRecorder()
+        script = [
+            {
+                "status": 503,
+                "headers": {"Retry-After": "0.5"},
+                "body": _envelope(503, "unavailable", "warming up"),
+            },
+            {"status": 200, "body": b'{"status": "ok"}'},
+        ]
+        with scripted_server(script) as (server, url):
+            client = GatewayClient(
+                url,
+                retry=RetryPolicy(
+                    max_retries=2, backoff_base_seconds=0.001
+                ),
+                sleep=sleeps,
+            )
+            assert client.healthz() == {"status": "ok"}
+        assert len(server.requests) == 2
+        assert sleeps.delays == [0.5]  # hint wins over 1ms backoff
+
+    def test_body_hint_used_when_header_absent(self):
+        sleeps = SleepRecorder()
+        script = [
+            {
+                "status": 429,
+                "body": _envelope(
+                    429, "rate_limited", "slow down", retry_after=0.75
+                ),
+            },
+            {"status": 200, "body": b'{"status": "ok"}'},
+        ]
+        with scripted_server(script) as (_, url):
+            client = GatewayClient(
+                url,
+                retry=RetryPolicy(
+                    max_retries=2, backoff_base_seconds=0.001
+                ),
+                sleep=sleeps,
+            )
+            client.healthz()
+        assert sleeps.delays == [0.75]
+
+
+class TestBackoffSchedule:
+    def test_deterministic_exponential_with_cap(self):
+        transport = HttpTransport(
+            "http://x",
+            retry=RetryPolicy(
+                backoff_base_seconds=0.25, backoff_max_seconds=2.0
+            ),
+        )
+        delays = [transport._backoff_delay(a, None) for a in range(5)]
+        assert delays == [0.25, 0.5, 1.0, 2.0, 2.0]
+
+    def test_jitter_varies_but_respects_the_cap(self):
+        transport = HttpTransport(
+            "http://x",
+            retry=RetryPolicy(
+                backoff_base_seconds=1.0,
+                backoff_max_seconds=1.5,
+                jitter_ratio=0.5,
+            ),
+        )
+        transport._jitter_rng.seed(42)
+        delays = [transport._backoff_delay(3, None) for _ in range(50)]
+        assert all(0.0 <= d <= 1.5 for d in delays)
+        assert len(set(delays)) > 1  # actually jittered
+        # a 0.5 ratio around a capped 1.5s delay must dip below the cap
+        assert min(delays) < 1.5
+
+    def test_hint_wins_even_over_the_cap(self):
+        transport = HttpTransport(
+            "http://x",
+            retry=RetryPolicy(
+                backoff_max_seconds=1.0, jitter_ratio=0.25
+            ),
+        )
+        assert transport._backoff_delay(9, 4.0) == 4.0
+
+
+class TestErrorBodyParsing:
+    def test_canonical_envelope(self):
+        message, code, hint = parse_error_body(
+            _envelope(429, "rate_limited", "busy", retry_after=2), 429
+        )
+        assert (message, code, hint) == ("busy", "rate_limited", 2.0)
+
+    def test_legacy_string_error(self):
+        message, code, hint = parse_error_body(
+            json.dumps({"error": "boom", "status": 400}).encode(), 400
+        )
+        assert (message, code, hint) == ("boom", None, None)
+
+    def test_non_json_body(self):
+        message, code, hint = parse_error_body(b"<html>502</html>", 502)
+        assert (message, code, hint) == ("HTTP 502", None, None)
+
+    def test_bad_retry_after_ignored(self):
+        body = json.dumps(
+            {"error": {"code": "x", "message": "m", "retry_after": "soon"}}
+        ).encode()
+        assert parse_error_body(body, 503) == ("m", "x", None)

@@ -289,17 +289,18 @@ class TestValidation:
         with DecompositionGateway(service, GatewayConfig(port=0)) as gw:
             status, body = self._post(gw.url, {**wire, "surprise": 1})
             assert status == 400
-            assert "surprise" in body["error"]
+            assert "surprise" in body["error"]["message"]
+            assert body["error"]["code"] == "invalid_request"
 
             status, body = self._post(
                 gw.url, {**wire, "schema_version": 999}
             )
             assert status == 400
-            assert "schema_version" in body["error"]
+            assert "schema_version" in body["error"]["message"]
 
             status, body = self._post(gw.url, {"hello": "world"})
             assert status == 400
-            assert "repro-jobspec" in body["error"]
+            assert "repro-jobspec" in body["error"]["message"]
 
             # nothing slipped into the queue
             assert service.store.pending() == 0

@@ -1,0 +1,34 @@
+"""Shared fixtures for the load-harness suite."""
+
+import pytest
+
+from repro.gateway import DecompositionGateway, GatewayConfig
+from repro.loadgen.mixes import default_load_config
+from repro.service import DecompositionService, SchedulerPolicy
+
+FAST_POLICY = SchedulerPolicy(
+    lease_seconds=30.0,
+    retry_backoff_seconds=0.01,
+    poll_interval_seconds=0.01,
+)
+
+
+@pytest.fixture
+def load_config():
+    return default_load_config()
+
+
+@pytest.fixture
+def serving_gateway(tmp_path):
+    """A live gateway over a 2-worker in-process service."""
+    service = DecompositionService(
+        tmp_path / "svc", n_workers=2, policy=FAST_POLICY
+    )
+    pool = service.serve_forever()
+    gateway = DecompositionGateway(service, GatewayConfig(port=0))
+    gateway.start()
+    try:
+        yield gateway
+    finally:
+        gateway.stop()
+        pool.stop()
