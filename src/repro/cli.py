@@ -27,7 +27,10 @@ Commands
     interrupted).  ``--min-workers/--max-workers`` replace the fixed
     pool with queue-depth-driven autoscaling; ``--dispatch-only``
     (with ``--http``) runs the gateway with *no* local workers — the
-    queue is drained entirely by remote ``repro work`` agents.
+    queue is drained entirely by remote ``repro work`` agents;
+    ``--shards N`` hashes jobs across N independent job-store shards
+    (per-shard circuit breakers keep the service answering on the
+    survivors when one store fails).
 ``work``
     Run a remote worker against a gateway: claim jobs over
     ``--remote URL``, execute them locally, ship checkpoints and
@@ -45,7 +48,14 @@ Commands
     Show the service job table and telemetry summary (local directory
     or ``--remote`` gateway); ``--workers`` shows the fleet registry
     instead (worker liveness, leases, per-worker job counts);
-    ``--limit N`` pages the job table server-side.
+    ``--shards`` shows per-shard job-store health (exit 3 while any
+    shard is degraded); ``--limit N`` pages the job table server-side.
+``admin scrub`` / ``admin rebuild``
+    Job-store maintenance for sharded layouts: ``scrub`` integrity-
+    checks every shard (SQLite ``quick_check`` plus journal and
+    artifact cross-checks; exit 3 on findings) and ``rebuild --shard K``
+    reconstructs a lost or corrupt shard from its append-only intent
+    journal and the content-addressed artifact store.
 ``fetch``
     Write a finished job's design JSON (same format ``decompose``
     emits, so ``evaluate``/``export-verilog`` consume it directly);
@@ -137,6 +147,8 @@ from repro.service import (
     WorkerSupervisor,
     format_job_table,
     format_worker_table,
+    rebuild_shard,
+    scrub_store,
 )
 from repro.service.telemetry import prometheus_exposition
 from repro.workloads import build_workload, workload_names
@@ -324,6 +336,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_dir(serve)
     serve.add_argument("--workers", type=int, default=1,
                        help="concurrent service workers")
+    serve.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="hash jobs across N independent job-store "
+                            "shards (fault domains with per-shard "
+                            "circuit breakers; default: the directory's "
+                            "existing layout, or a single store)")
     serve.add_argument("--batch-jobs", type=int, default=1, metavar="B",
                        help="jobs each worker claims and advances "
                             "together per loop, fusing compatible "
@@ -492,6 +509,34 @@ def build_parser() -> argparse.ArgumentParser:
                       dest="show_workers",
                       help="show the fleet registry (worker liveness, "
                            "leases, per-worker job counts) instead")
+    stat.add_argument("--shards", action="store_true",
+                      dest="show_shards",
+                      help="show per-shard job-store health (circuit "
+                           "breaker state, failure counts) instead")
+
+    admin = sub.add_parser(
+        "admin",
+        help="job-store maintenance: integrity scrub and shard rebuild",
+    )
+    admin_sub = admin.add_subparsers(dest="admin_command", required=True)
+    scrub = admin_sub.add_parser(
+        "scrub",
+        help="integrity-check every shard: SQLite quick_check plus "
+             "journal and artifact cross-checks (exit 3 on findings)",
+    )
+    _add_service_dir(scrub)
+    scrub.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the full scrub report as JSON")
+    rebuild = admin_sub.add_parser(
+        "rebuild",
+        help="reconstruct a lost/corrupt shard from its intent journal "
+             "and the content-addressed artifact store",
+    )
+    _add_service_dir(rebuild)
+    rebuild.add_argument("--shard", type=int, required=True, metavar="K",
+                         help="shard index to rebuild")
+    rebuild.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the rebuild report as JSON")
 
     fetch = sub.add_parser(
         "fetch", help="write a finished job's design JSON"
@@ -751,7 +796,7 @@ def _submit_ising(args: argparse.Namespace) -> int:
     return 0 if verdict["verified"] else 3
 
 
-def _graceful_sigterm() -> None:
+def _graceful_sigterm(on_term=None) -> None:
     """Make ``kill`` drain like ctrl-C instead of dropping requests.
 
     Long-running commands (``serve``, ``work``) are stopped by
@@ -761,9 +806,18 @@ def _graceful_sigterm() -> None:
     attempt).  SIGINT itself may arrive as SIG_IGN when the process
     was backgrounded from a non-interactive shell, so TERM is the
     only reliable stop signal there.
+
+    ``on_term`` runs *inside* the signal handler, before the
+    KeyboardInterrupt is raised — it must be async-signal-safe (no
+    locks, no joins).  The gateway passes ``request_drain`` here so a
+    SIGTERM wakes parked ``/v1/workers/claim`` long-polls immediately
+    (they answer 204 + Retry-After) instead of only once the main
+    thread unwinds to ``gateway.stop()``.
     """
 
     def _raise(signum, frame):
+        if on_term is not None:
+            on_term()
         raise KeyboardInterrupt
 
     try:
@@ -804,6 +858,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = DecompositionService(
         args.service_dir, n_workers=args.workers, policy=policy,
         checkpoint_every=checkpoint_every, batch_jobs=args.batch_jobs,
+        shards=args.shards,
     )
     supervisor = None
     if args.isolated_workers:
@@ -823,6 +878,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_workers=args.max_workers,
         )
     depth = service.store.pending()
+    shard_states = service.shard_states()
+    if shard_states is not None:
+        print(f"job store sharded over {len(shard_states)} fault "
+              f"domain(s)")
     if args.dispatch_only:
         print(f"serving {args.service_dir} dispatch-only (no local "
               f"workers), {depth} job(s) pending")
@@ -862,6 +921,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 access_log_path=args.http_access_log,
             ),
         )
+        # re-register TERM so the handler wakes parked claim
+        # long-polls synchronously, before the interrupt unwinds to
+        # gateway.stop() below
+        _graceful_sigterm(gateway.request_drain)
         pool = start_pool()
         print(f"gateway listening on {gateway.url}")
         try:
@@ -1085,8 +1148,48 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_block(args: argparse.Namespace):
+    """The ``{"total", "degraded", "states"}`` shard-health block for
+    ``status --shards`` (``None`` on an unsharded store)."""
+    if args.remote is not None:
+        return _remote_client(args).healthz().get("shards")
+    states = DecompositionService(args.service_dir).shard_states()
+    if states is None:
+        return None
+    return {
+        "total": len(states),
+        "degraded": [
+            s["index"] for s in states if s["state"] != "healthy"
+        ],
+        "states": states,
+    }
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     _check_target(args)
+    if args.show_shards:
+        shards = _shard_block(args)
+        if shards is None:
+            print("single job store (unsharded)")
+            return 0
+        if args.as_json:
+            print(json.dumps(shards, indent=2, sort_keys=True))
+            return 0 if not shards["degraded"] else 3
+        header = (
+            f"{'shard':>5} {'state':<9} {'fails':>5}  last error"
+        )
+        print(header)
+        print("-" * len(header))
+        for state in shards["states"]:
+            error = state.get("last_error") or "-"
+            print(f"{state['index']:>5} {state['state']:<9} "
+                  f"{state['consecutive_failures']:>5}  {error}")
+        print()
+        print(f"shards: {shards['total']} total, "
+              f"{len(shards['degraded'])} degraded"
+              + (f" ({', '.join(map(str, shards['degraded']))})"
+                 if shards["degraded"] else ""))
+        return 0 if not shards["degraded"] else 3
     (jobs_fn, job_fn, status_fn, prometheus_fn, _,
      workers_fn, jobs_page_fn) = _status_backend(args)
     if args.prometheus:
@@ -1169,6 +1272,40 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_admin(args: argparse.Namespace) -> int:
+    if args.admin_command == "scrub":
+        report = scrub_store(args.service_dir)
+        if args.as_json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0 if report["ok"] else 3
+        for shard in report["shards"]:
+            verdict = "ok" if shard["ok"] else "FINDINGS"
+            jobs = "?" if shard["jobs"] is None else shard["jobs"]
+            print(f"shard {shard['index']:>2} {verdict:<8} "
+                  f"{jobs} job(s)  {shard['path']}")
+            for finding in shard["findings"]:
+                print(f"  - {finding}")
+        print(f"scrub: {report['n_shards']} shard(s), "
+              f"{'clean' if report['ok'] else 'findings above'}")
+        return 0 if report["ok"] else 3
+    if args.admin_command == "rebuild":
+        report = rebuild_shard(args.service_dir, args.shard)
+        if args.as_json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0
+        backed_up = report["backed_up"] or "nothing (shard file absent)"
+        print(f"rebuilt shard {report['shard']} -> {report['path']}")
+        print(f"  backed up:            {backed_up}")
+        print(f"  jobs restored:        {report['restored']}")
+        print(f"  terminal via journal: {report['terminal_from_journal']}")
+        print(f"  done via artifact:    {report['done_from_artifact']}")
+        print(f"  requeued to re-solve: {report['requeued']}")
+        return 0
+    raise AssertionError(
+        f"unhandled admin command {args.admin_command!r}"
+    )
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     events, metadata = load_trace(args.trace_file)
     summary = summarize_trace(events, metadata)
@@ -1189,6 +1326,7 @@ _DISPATCH = {
     "loadtest": _cmd_loadtest,
     "status": _cmd_status,
     "fetch": _cmd_fetch,
+    "admin": _cmd_admin,
     "trace": _cmd_trace_report,
 }
 

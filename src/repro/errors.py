@@ -80,6 +80,31 @@ class JobStoreCorruptError(ServiceError):
     """
 
 
+class ShardUnavailableError(ServiceError):
+    """One shard of a sharded job store is degraded (circuit open).
+
+    Raised by :class:`repro.service.shards.ShardedJobStore` when an
+    operation is *scoped* to a shard whose circuit breaker is open —
+    a submit or dedup lookup whose artifact key hashes onto the
+    degraded shard, or a transition on a job homed there.  Operations
+    that can be served by the surviving shards (claims, pagination,
+    counts, the fleet registry) do not raise; they skip the degraded
+    shard instead.  Carries the shard index and the suggested
+    ``Retry-After`` delay, which the gateway maps onto a scoped 503
+    ``store_unavailable`` response.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: int = 0,
+        retry_after: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.retry_after = retry_after
+
+
 class GatewayError(ReproError, RuntimeError):
     """An HTTP gateway request failed (client side or server side).
 

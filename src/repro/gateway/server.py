@@ -40,7 +40,12 @@ from typing import Dict, Optional, Union
 from urllib.parse import parse_qs, urlsplit
 
 from repro._version import package_version
-from repro.errors import JobNotFound, ReproError, ServiceError
+from repro.errors import (
+    JobNotFound,
+    ReproError,
+    ServiceError,
+    ShardUnavailableError,
+)
 from repro.obs.exporters import PROMETHEUS_CONTENT_TYPE
 from repro.obs.metrics import get_metrics
 from repro.service.service import DecompositionService
@@ -262,9 +267,21 @@ class DecompositionGateway:
         logger.info("gateway listening on %s", self.url)
         self._httpd.serve_forever()
 
+    def request_drain(self) -> None:
+        """Wake parked claim long-polls without tearing anything down.
+
+        Signal-handler safe (sets one event, no locks, no joins): the
+        CLI's SIGTERM hook calls this *synchronously in signal
+        context* so every parked ``/v1/workers/claim`` long-poll
+        returns 204 + Retry-After immediately, instead of holding its
+        poll deadline while the interpreter unwinds toward
+        :meth:`stop`.  Idempotent; :meth:`stop` implies it.
+        """
+        self._stopping.set()
+
     def stop(self) -> None:
         """Stop accepting, drain in-flight handlers, release the port."""
-        self._stopping.set()
+        self.request_drain()
         self._httpd.shutdown()
         self._httpd.server_close()  # joins handler threads
         if self._thread is not None:
@@ -501,6 +518,8 @@ def _build_handler(gateway: DecompositionGateway):
                     self._error(404, f"no such endpoint: {parts.path}")
             except JobNotFound as exc:
                 self._error(404, str(exc))
+            except ShardUnavailableError as exc:
+                self._shard_unavailable(exc)
             except ReproError as exc:
                 self._error(400, str(exc))
             except Exception as exc:  # noqa: BLE001 — boundary
@@ -526,6 +545,8 @@ def _build_handler(gateway: DecompositionGateway):
                     self._error(404, f"no such endpoint: {parts.path}")
             except JobNotFound as exc:
                 self._error(404, str(exc))
+            except ShardUnavailableError as exc:
+                self._shard_unavailable(exc)
             except ReproError as exc:
                 self._error(400, str(exc))
             except Exception as exc:  # noqa: BLE001 — boundary
@@ -534,15 +555,46 @@ def _build_handler(gateway: DecompositionGateway):
 
         # -- endpoints -------------------------------------------------
 
-        def _handle_healthz(self) -> None:
-            self._json(
-                200,
-                {
-                    "status": "ok",
-                    "version": package_version(),
-                    "pending": service.store.pending(),
-                },
+        def _shard_unavailable(self, exc: ShardUnavailableError) -> None:
+            """Scoped 503: one shard's circuit is open, the rest serve."""
+            self._metrics_inc(
+                "gateway_rejected_shard_unavailable",
+                "requests refused because their shard is degraded",
             )
+            self._error(
+                503,
+                str(exc),
+                retry_after=(
+                    exc.retry_after
+                    if exc.retry_after is not None
+                    else config.retry_after_seconds
+                ),
+                code="store_unavailable",
+            )
+
+        def _handle_healthz(self) -> None:
+            body = {
+                "status": "ok",
+                "version": package_version(),
+                "pending": service.store.pending(),
+            }
+            # sharded stores report per-shard breaker state; overall
+            # status flips to "degraded" while any circuit is open
+            # (the store still serves on the survivors)
+            shard_states = service.shard_states()
+            if shard_states is not None:
+                degraded = [
+                    state["index"] for state in shard_states
+                    if state["state"] != "healthy"
+                ]
+                body["shards"] = {
+                    "total": len(shard_states),
+                    "degraded": degraded,
+                    "states": shard_states,
+                }
+                if degraded:
+                    body["status"] = "degraded"
+            self._json(200, body)
 
         def _handle_metrics(self) -> None:
             text = prometheus_exposition(

@@ -41,6 +41,13 @@ Sites
 ``jobstore.operational_error`` / ``jobstore.disk_full``
     Raise ``sqlite3.OperationalError`` from the store's connection /
     commit path.
+``shard.unavailable`` / ``shard.corrupt``
+    Raise ``sqlite3.OperationalError`` / ``JobStoreCorruptError`` from
+    one shard of a :class:`repro.service.shards.ShardedJobStore`
+    before the call reaches SQLite — exercises the per-shard circuit
+    breaker and degraded-mode serving.  The seam's ``detail`` is
+    ``"<index>:<shard path>"``, so ``match="2:"`` confines the fault
+    to shard 2.
 ``client.connection_drop``
     Raise ``http.client.IncompleteRead`` in the gateway client after
     the response headers — a connection reset mid-body.
@@ -76,6 +83,7 @@ from repro.obs.metrics import get_metrics
 logger = get_logger("repro.resilience.faults")
 
 __all__ = [
+    "DEFAULT_EVENT_LOG_MAX_BYTES",
     "FAULT_SITES",
     "FaultPlan",
     "FaultRule",
@@ -97,6 +105,8 @@ FAULT_SITES = (
     "worker.die",
     "jobstore.operational_error",
     "jobstore.disk_full",
+    "shard.unavailable",
+    "shard.corrupt",
     "client.connection_drop",
     "partition.round_fail",
 )
@@ -361,14 +371,42 @@ def drain_event_sink() -> List[Dict]:
     return events
 
 
+#: rotation threshold for the recovery log; override with the
+#: ``REPRO_CHAOS_LOG_MAX_BYTES`` environment variable (0 disables)
+DEFAULT_EVENT_LOG_MAX_BYTES = 4 * 1024 * 1024
+
+
+def _event_log_cap() -> int:
+    raw = os.environ.get("REPRO_CHAOS_LOG_MAX_BYTES")
+    if raw is None:
+        return DEFAULT_EVENT_LOG_MAX_BYTES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_EVENT_LOG_MAX_BYTES
+
+
 def write_event_log(
-    path: Union[str, Path], events: Optional[Sequence[Dict]] = None
+    path: Union[str, Path],
+    events: Optional[Sequence[Dict]] = None,
+    max_bytes: Optional[int] = None,
 ) -> Path:
-    """Append ``events`` (default: drain the sink) to a JSONL file."""
+    """Append ``events`` (default: drain the sink) to a JSONL file.
+
+    The log is *bounded*: when the file has grown past ``max_bytes``
+    (default :data:`DEFAULT_EVENT_LOG_MAX_BYTES`, overridable via
+    ``REPRO_CHAOS_LOG_MAX_BYTES``; 0 disables rotation) it is rotated
+    to ``<path>.1`` — replacing any previous rotation — before the
+    append, so a long chaos soak holds at most ~2× the cap on disk
+    instead of growing without limit.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     if events is None:
         events = drain_event_sink()
+    cap = _event_log_cap() if max_bytes is None else max_bytes
+    if cap > 0 and path.exists() and path.stat().st_size >= cap:
+        os.replace(path, path.with_name(path.name + ".1"))
     with path.open("a") as handle:
         for event in events:
             handle.write(json.dumps(event, sort_keys=True) + "\n")

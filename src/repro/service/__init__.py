@@ -11,6 +11,9 @@ Module map
 ``spec``       :class:`JobSpec` + :func:`artifact_key` (content hashing)
 ``artifacts``  :class:`ArtifactStore` — on-disk design cache
 ``jobstore``   :class:`JobStore` — SQLite job journal (the durable truth)
+``shards``     :class:`ShardedJobStore` — N independent job-store
+               fault domains with per-shard circuit breakers,
+               degraded-mode serving, and journal-based scrub/rebuild
 ``scheduler``  :class:`Scheduler`/:class:`SchedulerPolicy` — retries,
                backoff, leases, orphan recovery
 ``worker``     :class:`JobExecutor` + :class:`WorkerPool`
@@ -36,6 +39,13 @@ from repro.service.jobstore import (
 )
 from repro.service.scheduler import Scheduler, SchedulerPolicy
 from repro.service.service import DecompositionService
+from repro.service.shards import (
+    ShardedJobStore,
+    open_job_store,
+    rebuild_shard,
+    scrub_store,
+    shard_for_key,
+)
 from repro.service.spec import (
     SPEC_FORMAT,
     SPEC_SCHEMA_VERSION,
@@ -68,6 +78,7 @@ __all__ = [
     "SPEC_SCHEMA_VERSION",
     "Scheduler",
     "SchedulerPolicy",
+    "ShardedJobStore",
     "TERMINAL_STATES",
     "WorkerPool",
     "WorkerRecord",
@@ -75,6 +86,10 @@ __all__ = [
     "artifact_key",
     "format_job_table",
     "format_worker_table",
+    "open_job_store",
+    "rebuild_shard",
+    "scrub_store",
     "service_summary",
+    "shard_for_key",
     "spec_from_stored",
 ]

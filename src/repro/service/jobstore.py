@@ -390,10 +390,17 @@ class JobStore:
         spec: JobSpec,
         artifact_key: str,
         now: Optional[float] = None,
+        job_id: Optional[str] = None,
     ) -> JobRecord:
-        """Enqueue a new job; returns its freshly-created record."""
+        """Enqueue a new job; returns its freshly-created record.
+
+        ``job_id`` lets a caller pre-assign the id — the sharded store
+        uses this to tag ids with their home shard (and to journal the
+        submission intent before the row exists).
+        """
         now = time.time() if now is None else now
-        job_id = f"job-{uuid.uuid4().hex[:12]}"
+        if job_id is None:
+            job_id = f"job-{uuid.uuid4().hex[:12]}"
         with self._txn() as conn:
             conn.execute(
                 "INSERT INTO jobs (id, artifact_key, spec, state, "
@@ -407,6 +414,57 @@ class JobStore:
                 ),
             )
         return self.get(job_id)
+
+    def restore_job(
+        self,
+        *,
+        job_id: str,
+        artifact_key: str,
+        spec_wire: Dict,
+        state: str,
+        max_attempts: int,
+        created_at: float,
+        attempts: int = 0,
+        error: Optional[str] = None,
+        med: Optional[float] = None,
+        runtime_seconds: Optional[float] = None,
+        cache_hit: bool = False,
+        finished_at: Optional[float] = None,
+    ) -> None:
+        """Insert one job row verbatim (shard rebuild only).
+
+        Unlike :meth:`submit` this writes a row in any state with its
+        original id and timestamps — it is how
+        :func:`repro.service.shards.rebuild_shard` replays a lost
+        shard's intent journal into a fresh database.  Idempotent per
+        id: an existing row is left untouched (the rebuild may replay
+        a journal that partially overlaps a surviving database).
+        """
+        if state not in JOB_STATES:
+            raise ServiceError(
+                f"unknown job state {state!r}; states: {JOB_STATES}"
+            )
+        with self._txn() as conn:
+            conn.execute(
+                "INSERT OR IGNORE INTO jobs (id, artifact_key, spec, "
+                "state, attempts, max_attempts, cache_hit, error, "
+                "created_at, finished_at, runtime_seconds, med) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    job_id,
+                    artifact_key,
+                    json.dumps(spec_wire, sort_keys=True),
+                    state,
+                    attempts,
+                    max_attempts,
+                    int(cache_hit),
+                    error,
+                    created_at,
+                    finished_at,
+                    runtime_seconds,
+                    med,
+                ),
+            )
 
     # -- scheduling ----------------------------------------------------
 
@@ -781,6 +839,7 @@ class JobStore:
         state: Optional[str] = None,
         limit: Optional[int] = None,
         cursor: Optional[str] = None,
+        after: Optional[Tuple[float, str]] = None,
     ) -> Tuple[List[JobRecord], Optional[str]]:
         """One page of jobs, oldest first: ``(records, next_cursor)``.
 
@@ -792,6 +851,12 @@ class JobStore:
         ``limit=None`` returns everything in one page (legacy shape).
         An unknown ``cursor`` or ``state`` raises
         :class:`~repro.errors.ServiceError`.
+
+        ``after`` is an explicit ``(created_at, id)`` anchor used
+        instead of cursor resolution — the sharded store's cross-shard
+        keyset merge passes it so every shard can continue from the
+        same global position even when the anchor row lives (or lived)
+        on a different shard.
         """
         if state is not None and state not in JOB_STATES:
             raise ServiceError(
@@ -804,7 +869,7 @@ class JobStore:
         clauses: List[str] = []
         params: List = []
         with self._txn() as conn:
-            if cursor is not None:
+            if cursor is not None and after is None:
                 anchor = conn.execute(
                     "SELECT created_at, id FROM jobs WHERE id = ?",
                     (cursor,),
@@ -813,12 +878,12 @@ class JobStore:
                     raise ServiceError(
                         f"unknown pagination cursor {cursor!r}"
                     )
+                after = (anchor["created_at"], cursor)
+            if after is not None:
                 clauses.append(
                     "(created_at > ? OR (created_at = ? AND id > ?))"
                 )
-                params.extend(
-                    [anchor["created_at"], anchor["created_at"], cursor]
-                )
+                params.extend([after[0], after[0], after[1]])
             if state is not None:
                 clauses.append("state = ?")
                 params.append(state)

@@ -34,8 +34,9 @@ from repro.errors import ServiceError
 from repro.lut.cascade import LutCascadeDesign
 from repro.serialization import design_from_dict
 from repro.service.artifacts import ArtifactStore
-from repro.service.jobstore import JobRecord, JobStore
+from repro.service.jobstore import JobRecord
 from repro.service.scheduler import Scheduler, SchedulerPolicy
+from repro.service.shards import open_job_store
 from repro.service.spec import JobSpec, queue_artifact_key
 from repro.service.telemetry import service_summary
 from repro.service.worker import (
@@ -59,10 +60,15 @@ class DecompositionService:
         decompose_fn: Optional[DecomposeFn] = None,
         checkpoint_every: Optional[int] = DEFAULT_CHECKPOINT_EVERY,
         batch_jobs: int = 1,
+        shards: Optional[int] = None,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.store = JobStore(self.root / "jobs.sqlite3")
+        # shards=None discovers the directory's layout (manifest);
+        # N >= 2 opens the sharded store with per-shard fault domains
+        # (see repro.service.shards), N == 1 keeps today's single
+        # jobs.sqlite3 byte-identical
+        self.store = open_job_store(self.root, shards)
         self.artifacts = ArtifactStore(self.root / "artifacts")
         self.scheduler = Scheduler(self.store, policy)
         self.executor = JobExecutor(
@@ -163,6 +169,13 @@ class DecompositionService:
     def status(self) -> Dict:
         """Structured telemetry summary (see ``service.telemetry``)."""
         return service_summary(self.store, self.artifacts)
+
+    def shard_states(self) -> Optional[List[Dict]]:
+        """Per-shard breaker snapshots, or ``None`` for the single
+        (unsharded) store — the healthz / ``status --shards`` feed.
+        """
+        states = getattr(self.store, "shard_states", None)
+        return states() if callable(states) else None
 
     def fetch_envelope(self, job_id: str) -> Dict:
         """The finished job's artifact envelope (design + metadata)."""

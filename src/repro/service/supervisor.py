@@ -51,7 +51,7 @@ from repro.resilience import (
     install_fault_plan,
 )
 from repro.service.artifacts import ArtifactStore
-from repro.service.jobstore import JobStore
+from repro.service.shards import open_job_store
 from repro.service.scheduler import Scheduler, SchedulerPolicy
 from repro.service.worker import (
     DEFAULT_CHECKPOINT_EVERY,
@@ -81,7 +81,9 @@ def worker_process_main(
     if fault_spec is not None:
         install_fault_plan(FaultPlan.from_spec(fault_spec))
     root_path = Path(root)
-    store = JobStore(root_path / "jobs.sqlite3")
+    # discovers the shard layout from the manifest, so supervised
+    # children of a `serve --shards N` parent open the same N stores
+    store = open_job_store(root_path)
     artifacts = ArtifactStore(root_path / "artifacts")
     scheduler = Scheduler(store, SchedulerPolicy(**policy_dict))
     executor = JobExecutor(artifacts, checkpoint_every=checkpoint_every)
@@ -118,7 +120,7 @@ class WorkerSupervisor:
         self.root = Path(root)
         self.policy = policy if policy is not None else SchedulerPolicy()
         self.scheduler = Scheduler(
-            JobStore(self.root / "jobs.sqlite3"), self.policy
+            open_job_store(self.root), self.policy
         )
         self.n_workers = n_workers
         self.checkpoint_every = checkpoint_every

@@ -122,6 +122,17 @@ def service_summary(
     }
     if artifacts is not None:
         summary["cache"].update(artifacts.stats())
+    shard_states = getattr(store, "shard_states", None)
+    if callable(shard_states):
+        states = shard_states()
+        summary["shards"] = {
+            "total": len(states),
+            "degraded": [
+                state["index"] for state in states
+                if state["state"] != "healthy"
+            ],
+            "states": states,
+        }
     return summary
 
 
@@ -205,6 +216,22 @@ def prometheus_exposition(
             "service_worker_heartbeat_lag_seconds",
             help="oldest worker heartbeat age",
         ).set(fleet["max_heartbeat_age_seconds"])
+    shards = summary.get("shards")
+    if shards is not None:
+        derived.gauge(
+            "service_shards_total", help="job-store shard count"
+        ).set(shards["total"])
+        derived.gauge(
+            "service_shards_degraded",
+            help="shards whose circuit breaker is currently open",
+        ).set(len(shards["degraded"]))
+        # the registry has no label support, so per-shard liveness is
+        # one gauge per shard: repro_service_shard00_up 0|1
+        for state in shards["states"]:
+            derived.gauge(
+                f"service_shard{state['index']:02d}_up",
+                help="1 while this shard's circuit is closed",
+            ).set(1 if state["state"] == "healthy" else 0)
     text = prometheus_text(derived)
     process = prometheus_text(
         registry if registry is not None else get_metrics()
@@ -215,7 +242,7 @@ def prometheus_exposition(
 def format_job_table(jobs: Sequence[JobRecord]) -> str:
     """Fixed-width text table of jobs for the ``status`` CLI."""
     header = (
-        f"{'id':<17} {'state':<11} {'problem':<16} {'att':>3} "
+        f"{'id':<20} {'state':<11} {'problem':<16} {'att':>3} "
         f"{'cache':>5} {'med':>8} {'runtime':>8}  error"
     )
     lines = [header, "-" * len(header)]
@@ -228,7 +255,7 @@ def format_job_table(jobs: Sequence[JobRecord]) -> str:
         )
         error = "" if not job.error else f" {job.error}"
         lines.append(
-            f"{job.id:<17} {job.state:<11} {job.spec.describe():<16} "
+            f"{job.id:<20} {job.state:<11} {job.spec.describe():<16} "
             f"{job.attempts:>3} {('yes' if job.cache_hit else 'no'):>5} "
             f"{med:>8} {runtime:>8} {error}"
         )

@@ -60,7 +60,12 @@ import numpy as np
 from repro.core.checkpoint import DecomposeCheckpoint
 from repro.core.framework import IsingDecomposer
 from repro.core.fusion import SweepFusionGate
-from repro.errors import OperationCancelled, ReproError, ServiceError
+from repro.errors import (
+    OperationCancelled,
+    ReproError,
+    ServiceError,
+    ShardUnavailableError,
+)
 from repro.obs.logconfig import get_logger, warn_once
 from repro.obs.metrics import get_metrics
 from repro.obs.tracing import get_tracer
@@ -521,9 +526,24 @@ class WorkerPool:
         targets a row that is no longer ``running`` for this worker.
         That is not an error of *this* worker — log and move on, the
         job's durable state is owned by whoever holds the claim now.
+
+        A transition that hits a *degraded shard* is different: the
+        row is intact but unreachable, so the job stays ``running``
+        and lease expiry recovers it once the shard returns (or a
+        rebuild requeues it).  Either way the worker survives.
         """
         try:
             action()
+        except ShardUnavailableError as exc:
+            logger.warning(
+                "job %s transition hit a degraded shard (%s); "
+                "leaving recovery to the lease",
+                job_id, exc,
+            )
+            get_metrics().counter(
+                "service_store_errors_total",
+                help="transient job-store errors seen by workers",
+            ).inc()
         except ServiceError as exc:
             logger.warning(
                 "job %s transition lost a race (lease expired or "

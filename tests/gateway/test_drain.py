@@ -1,0 +1,97 @@
+"""Graceful drain: SIGTERM must wake parked claim long-polls at once.
+
+A remote worker parks in ``POST /v1/workers/claim`` for up to
+``claim_wait_seconds`` when the queue is empty.  ``request_drain()`` —
+what the CLI's SIGTERM handler calls — has to wake every parked poll
+immediately (they answer 204 + Retry-After) instead of leaving the
+shutdown to wait out the longest poll, and it must be safe to call
+from a signal handler (no locks, no joins).
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+from repro.gateway import DecompositionGateway, GatewayConfig
+from repro.service import DecompositionService, SchedulerPolicy
+
+POLICY = SchedulerPolicy(
+    lease_seconds=30.0,
+    retry_backoff_seconds=0.01,
+    poll_interval_seconds=0.01,
+)
+
+
+def _claim(url, wait_seconds):
+    request = urllib.request.Request(
+        f"{url}/v1/workers/claim",
+        data=json.dumps(
+            {"worker": "w-drain", "wait": wait_seconds}
+        ).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    return urllib.request.urlopen(request, timeout=30)
+
+
+class TestDrainWakesLongPoll:
+    def test_request_drain_wakes_parked_claim(self, tmp_path):
+        service = DecompositionService(
+            tmp_path / "svc", n_workers=1, policy=POLICY
+        )
+        config = GatewayConfig(
+            port=0, claim_wait_seconds=20.0, claim_poll_seconds=0.05
+        )
+        with DecompositionGateway(service, config) as gateway:
+            result = {}
+
+            def park():
+                started = time.monotonic()
+                response = _claim(gateway.url, 20.0)
+                result["elapsed"] = time.monotonic() - started
+                result["status"] = response.status
+                result["retry_after"] = response.headers["Retry-After"]
+
+            thread = threading.Thread(target=park)
+            thread.start()
+            time.sleep(0.3)  # let the poll park on the empty queue
+            gateway.request_drain()
+            thread.join(timeout=5.0)
+            assert not thread.is_alive(), "claim long-poll never woke"
+
+        # woke on the drain signal, not the 20s poll deadline
+        assert result["elapsed"] < 5.0
+        assert result["status"] == 204
+        assert float(result["retry_after"]) > 0
+
+    def test_stop_also_wakes_parked_claim(self, tmp_path):
+        # the non-signal path: plain stop() must drain identically
+        service = DecompositionService(
+            tmp_path / "svc", n_workers=1, policy=POLICY
+        )
+        gateway = DecompositionGateway(
+            service,
+            GatewayConfig(
+                port=0, claim_wait_seconds=20.0, claim_poll_seconds=0.05
+            ),
+        )
+        gateway.start()
+        result = {}
+
+        def park():
+            started = time.monotonic()
+            response = _claim(gateway.url, 20.0)
+            result["elapsed"] = time.monotonic() - started
+            result["status"] = response.status
+
+        thread = threading.Thread(target=park)
+        thread.start()
+        time.sleep(0.3)
+        started_stop = time.monotonic()
+        gateway.stop()
+        stop_elapsed = time.monotonic() - started_stop
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert result["status"] == 204
+        assert stop_elapsed < 5.0  # stop never waits out the poll

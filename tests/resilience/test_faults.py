@@ -141,3 +141,35 @@ class TestEventLog:
         ]
         assert [entry["site"] for entry in lines] == ["kernel.nan"]
         assert drain_event_sink() == []  # the write drained the sink
+
+    def test_log_rotates_at_the_size_cap(self, tmp_path):
+        path = tmp_path / "recovery.jsonl"
+        batch = [{"site": "kernel.nan", "detail": f"iter{i}"}
+                 for i in range(10)]
+        write_event_log(path, events=batch, max_bytes=200)
+        first_size = path.stat().st_size
+        assert first_size >= 200  # one append may overshoot the cap
+        write_event_log(path, events=batch, max_bytes=200)
+        rotated = tmp_path / "recovery.jsonl.1"
+        assert rotated.exists()
+        assert rotated.stat().st_size == first_size
+        # the live file restarted from empty — bounded at ~2x cap total
+        assert path.stat().st_size == first_size
+        # a third write replaces the old rotation instead of chaining
+        write_event_log(path, events=batch, max_bytes=200)
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "recovery.jsonl", "recovery.jsonl.1"
+        ]
+
+    def test_cap_from_environment(self, tmp_path, monkeypatch):
+        path = tmp_path / "recovery.jsonl"
+        batch = [{"site": "kernel.nan", "detail": "x" * 50}]
+        monkeypatch.setenv("REPRO_CHAOS_LOG_MAX_BYTES", "10")
+        write_event_log(path, events=batch)
+        write_event_log(path, events=batch)
+        assert (tmp_path / "recovery.jsonl.1").exists()
+        # 0 disables rotation entirely
+        monkeypatch.setenv("REPRO_CHAOS_LOG_MAX_BYTES", "0")
+        before = path.stat().st_size
+        write_event_log(path, events=batch)
+        assert path.stat().st_size > before

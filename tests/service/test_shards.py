@@ -1,0 +1,487 @@
+"""Sharded job store: routing, fault domains, scrub/rebuild.
+
+Covers the shard hash and on-disk layout (N=1 must stay byte-level
+identical to the single-store world), cross-shard claims by concurrent
+workers, single-flight dedup on the home shard, the per-shard circuit
+breaker (trip on repeated failures, half-open probe, recovery), keyset
+pagination that stays stable while a shard is degraded, the quarantine
+schema migration applied per shard, and the intent-journal-based
+scrub/rebuild path.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.errors import ServiceError, ShardUnavailableError
+from repro.resilience import FaultPlan, FaultRule, fault_injection
+from repro.service import (
+    JobSpec,
+    JobStore,
+    Scheduler,
+    SchedulerPolicy,
+    ShardedJobStore,
+    open_job_store,
+    rebuild_shard,
+    scrub_store,
+    shard_for_key,
+)
+from repro.service.shards import (
+    read_journal,
+    resolve_n_shards,
+    shard_db_path,
+    shard_journal_path,
+)
+
+
+@pytest.fixture
+def chaos_seed():
+    return 1234
+
+
+def key_for_shard(index, n_shards, salt=0):
+    """A valid artifact key that hashes onto ``index`` of ``n_shards``."""
+    value = index + salt * n_shards
+    assert value % n_shards == index
+    return f"{value:08x}" + "0" * 56
+
+
+@pytest.fixture
+def spec(fast_config):
+    return JobSpec(workload="cos", n_inputs=6, config=fast_config,
+                   max_attempts=3)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return open_job_store(tmp_path, shards=3)
+
+
+class TestLayout:
+    def test_hash_is_stable_and_in_range(self):
+        key = "deadbeef" + "0" * 56
+        assert shard_for_key(key, 4) == int("deadbeef", 16) % 4
+        for n in (2, 3, 8):
+            assert 0 <= shard_for_key(key, n) < n
+
+    def test_n1_layout_is_the_plain_single_store(self, tmp_path):
+        store = open_job_store(tmp_path, shards=1)
+        assert isinstance(store, JobStore)
+        assert (tmp_path / "jobs.sqlite3").exists()
+        # no manifest, no journals — byte-identical to the old layout
+        assert not (tmp_path / "shards.json").exists()
+        assert not list(tmp_path.glob("*.journal.jsonl"))
+
+    def test_sharded_layout_and_manifest(self, tmp_path):
+        store = open_job_store(tmp_path, shards=3)
+        assert isinstance(store, ShardedJobStore)
+        for i in range(3):
+            assert shard_db_path(tmp_path, i, 3).exists()
+        manifest = json.loads((tmp_path / "shards.json").read_text())
+        assert manifest["n_shards"] == 3
+
+    def test_manifest_is_discovered_on_reopen(self, tmp_path):
+        open_job_store(tmp_path, shards=3)
+        reopened = open_job_store(tmp_path)  # no count given
+        assert isinstance(reopened, ShardedJobStore)
+        assert reopened.n_shards == 3
+
+    def test_resharding_is_refused(self, tmp_path):
+        open_job_store(tmp_path, shards=3)
+        with pytest.raises(ServiceError, match="reshard"):
+            open_job_store(tmp_path, shards=5)
+        assert resolve_n_shards(tmp_path) == 3
+
+    def test_sharding_an_unsharded_directory_is_refused(self, tmp_path):
+        open_job_store(tmp_path, shards=1)
+        with pytest.raises(ServiceError, match="unsharded"):
+            open_job_store(tmp_path, shards=4)
+
+
+class TestRouting:
+    def test_submit_lands_on_home_shard_with_tagged_id(
+        self, store, spec, tmp_path
+    ):
+        key = key_for_shard(2, 3)
+        job = store.submit(spec, key, now=100.0)
+        assert job.id.startswith("job-s02-")
+        with sqlite3.connect(shard_db_path(tmp_path, 2, 3)) as conn:
+            rows = conn.execute("SELECT id FROM jobs").fetchall()
+        assert rows == [(job.id,)]
+        assert store.get(job.id).artifact_key == key
+
+    def test_untagged_legacy_id_routes_by_probing(self, store, spec):
+        job = store.submit(spec, key_for_shard(1, 3), now=100.0)
+        # simulate a legacy row: rewrite the id to an untagged form
+        legacy = "job-0123456789ab"
+        with sqlite3.connect(store._paths[1]) as conn:
+            conn.execute(
+                "UPDATE jobs SET id = ? WHERE id = ?", (legacy, job.id)
+            )
+            conn.commit()
+        assert store.get(legacy).artifact_key == job.artifact_key
+
+    def test_dedup_twin_keys_meet_on_one_shard(self, store, spec):
+        key = key_for_shard(0, 3)
+        first = store.submit(spec, key, now=100.0)
+        second = store.submit(spec, key, now=101.0)
+        assert shard_for_key(key, 3) == 0
+        live = store.find_by_key(key, states=("queued", "running", "done"))
+        assert {job.id for job in live} == {first.id, second.id}
+        # the idempotent-submit probe sees the first twin, oldest first
+        assert live[0].id == first.id
+
+
+class TestCrossShardScheduling:
+    def test_two_workers_claim_across_shards(self, store, spec):
+        jobs = [
+            store.submit(spec, key_for_shard(i % 3, 3, salt=i // 3),
+                         now=100.0 + i)
+            for i in range(6)
+        ]
+        claimed = {"w0": [], "w1": []}
+        for step in range(6):
+            worker = f"w{step % 2}"
+            job = store.claim(worker, lease_seconds=30.0, now=200.0)
+            assert job is not None
+            claimed[worker].append(job)
+        assert store.claim("w0", 30.0, now=200.0) is None
+        got = {job.id for jobs_ in claimed.values() for job in jobs_}
+        assert got == {job.id for job in jobs}
+        # both workers really ran, and the registry merges across shards
+        assert len(claimed["w0"]) == 3 and len(claimed["w1"]) == 3
+        workers = {w.id: w for w in store.list_workers()}
+        assert set(workers) == {"w0", "w1"}
+
+    def test_counts_and_pending_aggregate(self, store, spec):
+        for i in range(3):
+            store.submit(spec, key_for_shard(i, 3), now=100.0 + i)
+        assert store.counts()["queued"] == 3
+        assert store.pending() == 3
+
+
+class TestCircuitBreaker:
+    def make_store(self, tmp_path, **kwargs):
+        kwargs.setdefault("trip_threshold", 2)
+        kwargs.setdefault("probe_interval_seconds", 0.0)
+        return ShardedJobStore(tmp_path, 3, **kwargs)
+
+    def seam(self, site, index, chaos_seed):
+        return FaultPlan(
+            [FaultRule(site=site, probability=1.0, match=f"{index}:")],
+            seed=chaos_seed,
+        )
+
+    def test_repeated_operational_errors_trip_the_breaker(
+        self, tmp_path, spec, chaos_seed
+    ):
+        store = self.make_store(tmp_path)
+        key = key_for_shard(1, 3)
+        with fault_injection(self.seam("shard.unavailable", 1,
+                                       chaos_seed)):
+            for _ in range(2):
+                with pytest.raises(ShardUnavailableError):
+                    store.submit(spec, key, now=100.0)
+        states = {s["index"]: s["state"] for s in store.shard_states()}
+        assert states == {0: "healthy", 1: "degraded", 2: "healthy"}
+        assert store.degraded_shards() == [1]
+
+    def test_corruption_trips_immediately(
+        self, tmp_path, spec, chaos_seed
+    ):
+        store = self.make_store(tmp_path, trip_threshold=3)
+        with fault_injection(self.seam("shard.corrupt", 2, chaos_seed)):
+            with pytest.raises(ShardUnavailableError):
+                store.submit(spec, key_for_shard(2, 3), now=100.0)
+        assert store.degraded_shards() == [2]
+
+    def test_degraded_submit_carries_retry_after(
+        self, tmp_path, spec, chaos_seed
+    ):
+        store = self.make_store(tmp_path, retry_after_seconds=7.0,
+                                probe_interval_seconds=3600.0)
+        with fault_injection(self.seam("shard.unavailable", 1,
+                                       chaos_seed)):
+            for _ in range(2):
+                with pytest.raises(ShardUnavailableError):
+                    store.submit(spec, key_for_shard(1, 3), now=100.0)
+        # circuit open, seam gone: still scoped-unavailable (no probe
+        # slot for an hour), and the envelope names shard + retry hint
+        with pytest.raises(ShardUnavailableError) as info:
+            store.submit(spec, key_for_shard(1, 3), now=100.0)
+        assert info.value.shard == 1
+        assert info.value.retry_after == pytest.approx(7.0)
+
+    def test_claims_continue_on_surviving_shards(
+        self, tmp_path, spec, chaos_seed
+    ):
+        store = self.make_store(tmp_path, probe_interval_seconds=3600.0)
+        done = [
+            store.submit(spec, key_for_shard(i, 3), now=100.0 + i)
+            for i in (0, 2)
+        ]
+        with fault_injection(self.seam("shard.unavailable", 1,
+                                       chaos_seed)):
+            for _ in range(2):
+                with pytest.raises(ShardUnavailableError):
+                    store.submit(spec, key_for_shard(1, 3), now=100.0)
+        claimed = {
+            store.claim("w", 30.0, now=200.0).id for _ in range(2)
+        }
+        assert claimed == {job.id for job in done}
+        assert store.claim("w", 30.0, now=200.0) is None
+
+    def test_all_shards_down_raises_operational_error(
+        self, tmp_path, spec, chaos_seed
+    ):
+        store = self.make_store(tmp_path, probe_interval_seconds=3600.0)
+        plan = FaultPlan(
+            [FaultRule(site="shard.unavailable", probability=1.0)],
+            seed=chaos_seed,
+        )
+        with fault_injection(plan):
+            for index in range(3):
+                for _ in range(2):
+                    with pytest.raises(ShardUnavailableError):
+                        store.submit(
+                            spec, key_for_shard(index, 3), now=100.0
+                        )
+        with pytest.raises(sqlite3.OperationalError, match="all 3"):
+            store.claim("w", 30.0, now=200.0)
+
+    def test_half_open_probe_recovers_the_shard(
+        self, tmp_path, spec, chaos_seed
+    ):
+        store = self.make_store(tmp_path)  # probe interval 0: eager
+        key = key_for_shard(1, 3)
+        with fault_injection(self.seam("shard.unavailable", 1,
+                                       chaos_seed)):
+            for _ in range(2):
+                with pytest.raises(ShardUnavailableError):
+                    store.submit(spec, key, now=100.0)
+        assert store.degraded_shards() == [1]
+        # seam disarmed: the next call is the half-open probe and
+        # succeeds, closing the circuit
+        job = store.submit(spec, key, now=101.0)
+        assert job.id.startswith("job-s01-")
+        assert store.degraded_shards() == []
+
+
+class TestPaginationWhileDegraded:
+    def test_pages_stay_stable_when_a_shard_trips(
+        self, tmp_path, spec, chaos_seed
+    ):
+        store = ShardedJobStore(tmp_path, 3, trip_threshold=1,
+                                probe_interval_seconds=3600.0)
+        jobs = [
+            store.submit(spec, key_for_shard(i % 3, 3, salt=i // 3),
+                         now=100.0 + i)
+            for i in range(9)
+        ]
+        page1, cursor = store.page_jobs(limit=4)
+        assert [j.id for j in page1] == [j.id for j in jobs[:4]]
+        assert cursor is not None
+
+        plan = FaultPlan(
+            [FaultRule(site="shard.unavailable", probability=1.0,
+                       match="1:")],
+            seed=chaos_seed,
+        )
+        with fault_injection(plan):
+            with pytest.raises(ShardUnavailableError):
+                store.submit(spec, key_for_shard(1, 3, salt=50),
+                             now=200.0)
+        assert store.degraded_shards() == [1]
+
+        # the cursor survives the trip: no duplicates, no re-ordering —
+        # exactly the survivors' jobs after the anchor, oldest first
+        rest = []
+        while cursor is not None:
+            page, cursor = store.page_jobs(limit=4, cursor=cursor)
+            rest.extend(page)
+        expected = [
+            job.id for job in jobs[4:] if not job.id.startswith("job-s01-")
+        ]
+        assert [job.id for job in rest] == expected
+        seen = [job.id for job in page1] + [job.id for job in rest]
+        assert len(seen) == len(set(seen))
+
+    def test_unknown_cursor_is_a_service_error(self, store, spec):
+        store.submit(spec, key_for_shard(0, 3), now=100.0)
+        with pytest.raises(ServiceError, match="cursor"):
+            store.page_jobs(limit=1, cursor="job-nonexistent0")
+
+
+OLD_SCHEMA = """
+CREATE TABLE jobs (
+    id              TEXT PRIMARY KEY,
+    artifact_key    TEXT NOT NULL,
+    spec            TEXT NOT NULL,
+    state           TEXT NOT NULL CHECK (state IN
+                        ('queued', 'running', 'done', 'failed')),
+    attempts        INTEGER NOT NULL DEFAULT 0,
+    max_attempts    INTEGER NOT NULL,
+    not_before      REAL NOT NULL DEFAULT 0,
+    lease_expires   REAL,
+    worker          TEXT,
+    cache_hit       INTEGER NOT NULL DEFAULT 0,
+    error           TEXT,
+    created_at      REAL NOT NULL,
+    started_at      REAL,
+    finished_at     REAL,
+    runtime_seconds REAL,
+    med             REAL
+);
+CREATE INDEX idx_jobs_state ON jobs (state, not_before);
+CREATE INDEX idx_jobs_key ON jobs (artifact_key);
+"""
+
+
+class TestShardedMigration:
+    def test_quarantine_migration_runs_per_shard(self, tmp_path, spec):
+        # lay out the sharded directory, then regress shard 1 to the
+        # pre-quarantine schema with one live row in it
+        open_job_store(tmp_path, shards=3)
+        path = shard_db_path(tmp_path, 1, 3)
+        path.unlink()
+        old_id = "job-s01-00000000dead"
+        with sqlite3.connect(path) as conn:
+            conn.executescript(OLD_SCHEMA)
+            conn.execute(
+                "INSERT INTO jobs (id, artifact_key, spec, state, "
+                "max_attempts, created_at) VALUES (?, ?, ?, 'queued', "
+                "3, 0)",
+                (old_id, key_for_shard(1, 3),
+                 json.dumps(spec.to_wire(), sort_keys=True)),
+            )
+            conn.commit()
+
+        store = open_job_store(tmp_path)  # eager open migrates shard 1
+        assert store.degraded_shards() == []
+        assert store.get(old_id).state == "queued"
+        # the migrated shard admits the new terminal state
+        scheduler = Scheduler(
+            store,
+            SchedulerPolicy(retry_backoff_seconds=0.01,
+                            quarantine_after=1),
+        )
+        claimed = scheduler.claim("w0", now=1.0)
+        assert claimed.id == old_id
+        assert scheduler.record_failure(
+            claimed, error="boom", now=1.0
+        ) == "quarantined"
+        assert store.get(old_id).state == "quarantined"
+
+
+class TestJournalScrubRebuild:
+    def test_submit_and_terminal_ops_are_journaled(
+        self, store, spec, tmp_path
+    ):
+        key = key_for_shard(2, 3)
+        job = store.submit(spec, key, now=100.0)
+        store.claim("w", 30.0, now=101.0)
+        store.complete(job.id, med=0.5, runtime_seconds=1.0, now=102.0)
+        records = list(read_journal(shard_journal_path(tmp_path, 2)))
+        assert [r["op"] for r in records] == ["submit", "done"]
+        assert records[0]["id"] == job.id
+        assert records[0]["artifact_key"] == key
+        assert records[1]["id"] == job.id
+
+    def test_scrub_clean_store(self, store, spec, tmp_path):
+        store.submit(spec, key_for_shard(0, 3), now=100.0)
+        report = scrub_store(tmp_path)
+        assert report["ok"]
+        assert report["n_shards"] == 3
+        assert [s["jobs"] for s in report["shards"]] == [1, 0, 0]
+
+    def test_scrub_flags_garbage_shard(self, store, spec, tmp_path):
+        store.submit(spec, key_for_shard(1, 3), now=100.0)
+        del store
+        path = shard_db_path(tmp_path, 1, 3)
+        # take the WAL sidecars with the main file, otherwise SQLite's
+        # own WAL recovery quietly undoes the simulated disk loss
+        for suffix in ("-wal", "-shm"):
+            sidecar = path.with_name(path.name + suffix)
+            if sidecar.exists():
+                sidecar.unlink()
+        path.write_bytes(b"not a database")
+        report = scrub_store(tmp_path)
+        assert not report["ok"]
+        bad = report["shards"][1]
+        assert not bad["ok"]
+        assert any("integrity" in f for f in bad["findings"])
+        assert report["shards"][0]["ok"] and report["shards"][2]["ok"]
+
+    def test_scrub_flags_journaled_job_missing_from_db(
+        self, store, spec, tmp_path
+    ):
+        job = store.submit(spec, key_for_shard(0, 3), now=100.0)
+        del store
+        path = shard_db_path(tmp_path, 0, 3)
+        with sqlite3.connect(path) as conn:
+            conn.execute("DELETE FROM jobs WHERE id = ?", (job.id,))
+            conn.commit()
+        report = scrub_store(tmp_path)
+        assert not report["ok"]
+        assert any(
+            job.id in finding
+            for finding in report["shards"][0]["findings"]
+        )
+
+    def test_rebuild_restores_terminal_and_requeues_live(
+        self, store, spec, tmp_path
+    ):
+        key_done = key_for_shard(1, 3)
+        key_live = key_for_shard(1, 3, salt=1)
+        done = store.submit(spec, key_done, now=100.0)
+        live = store.submit(spec, key_live, now=101.0)
+        claimed = store.claim("w", 30.0, now=102.0)
+        assert claimed.id == done.id
+        store.complete(done.id, med=0.25, runtime_seconds=1.0, now=103.0)
+        del store
+
+        path = shard_db_path(tmp_path, 1, 3)
+        path.write_bytes(b"scribbled over by a failing disk")
+        report = rebuild_shard(tmp_path, 1)
+        assert report["backed_up"] == str(path) + ".corrupt"
+        assert report["terminal_from_journal"] == 1
+        assert report["requeued"] == 1
+        assert report["restored"] == 2
+
+        rebuilt = open_job_store(tmp_path)
+        restored_done = rebuilt.get(done.id)
+        assert restored_done.state == "done"
+        assert restored_done.med == pytest.approx(0.25)
+        assert rebuilt.get(live.id).state == "queued"
+        # the rebuilt database is structurally sound — the only scrub
+        # finding left is the done job's artifact, which this
+        # store-level test never wrote
+        after = scrub_store(tmp_path)["shards"][1]
+        assert after["jobs"] == 2
+        assert all("artifact" in f for f in after["findings"])
+
+    def test_rebuild_refuses_single_store(self, tmp_path):
+        open_job_store(tmp_path, shards=1)
+        with pytest.raises(ServiceError):
+            rebuild_shard(tmp_path, 0)
+
+    def test_reset_shard_reopens_after_offline_repair(
+        self, tmp_path, spec, chaos_seed
+    ):
+        store = ShardedJobStore(tmp_path, 3, trip_threshold=1,
+                                probe_interval_seconds=3600.0)
+        plan = FaultPlan(
+            [FaultRule(site="shard.corrupt", probability=1.0,
+                       match="0:")],
+            seed=chaos_seed,
+        )
+        with fault_injection(plan):
+            with pytest.raises(ShardUnavailableError):
+                store.submit(spec, key_for_shard(0, 3), now=100.0)
+        assert store.degraded_shards() == [0]
+        store.reset_shard(0)
+        assert store.degraded_shards() == []
+        assert store.submit(
+            spec, key_for_shard(0, 3), now=101.0
+        ).id.startswith("job-s00-")
